@@ -1,0 +1,39 @@
+//! Microbenchmarks of the point arithmetic: PADD (Algorithm 1), the
+//! dedicated PACC (Algorithm 4) and PDBL, per curve — the host-side
+//! ground truth behind the kernel cost model's 14-vs-10-multiply ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distmsm_ec::curves::{Bls12381G1, Bn254G1, Mnt4753G1};
+use distmsm_ec::{Curve, Scalar};
+use std::hint::black_box;
+
+fn bench_curve<C: Curve>(c: &mut Criterion, name: &str) {
+    let g = C::generator();
+    let p = g.scalar_mul(&C::Scalar::from_u64(123_456_789));
+    let q = g.scalar_mul(&C::Scalar::from_u64(987_654_321));
+    let q_aff = q.to_affine();
+
+    let mut group = c.benchmark_group(format!("ec/{name}"));
+    group.bench_function("padd", |b| b.iter(|| black_box(p).padd(&black_box(q))));
+    group.bench_function("pacc", |b| {
+        b.iter(|| {
+            let mut acc = black_box(p);
+            acc.pacc(&black_box(q_aff));
+            acc
+        })
+    });
+    group.bench_function("pdbl", |b| b.iter(|| black_box(p).pdbl()));
+    group.bench_function("scalar_mul_64bit", |b| {
+        b.iter(|| black_box(g).scalar_mul(&C::Scalar::from_u64(black_box(u64::MAX))))
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_curve::<Bn254G1>(c, "bn254");
+    bench_curve::<Bls12381G1>(c, "bls12-381");
+    bench_curve::<Mnt4753G1>(c, "mnt4753");
+}
+
+criterion_group!(ec_ops, benches);
+criterion_main!(ec_ops);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the Montgomery multiplication substrate: CIOS vs
+//! SOS at 64-bit limbs, the u32 GPU mirrors, and the tensor-core path,
+//! across the paper's field widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distmsm_ff::params::{Bls12381Fq, Bn254Fq, Mnt4753Fq};
+use distmsm_ff::u32limb::U32Field;
+use distmsm_ff::{Fp, FpParams};
+use distmsm_kernel::tensor::TcMontgomery;
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_field<P: FpParams<N>, const N: usize>(c: &mut Criterion, name: &str) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fp::<P, N>::random(&mut rng);
+    let b = Fp::<P, N>::random(&mut rng);
+    let field = U32Field::from_modulus(&P::MODULUS);
+    let tc = TcMontgomery::new(field.clone());
+    let a32 = a.mont_repr().to_u32_limbs();
+    let b32 = b.mont_repr().to_u32_limbs();
+
+    let mut g = c.benchmark_group(format!("montmul/{name}"));
+    g.bench_function(BenchmarkId::from_parameter("cios-u64"), |bench| {
+        bench.iter(|| black_box(a) * black_box(b))
+    });
+    g.bench_function(BenchmarkId::from_parameter("sos-u64"), |bench| {
+        bench.iter(|| black_box(a).mul_sos(&black_box(b)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("sos-u32-gpu-mirror"), |bench| {
+        bench.iter(|| field.mul_sos(black_box(&a32), black_box(&b32)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("cios-u32-gpu-mirror"), |bench| {
+        bench.iter(|| field.mul_cios(black_box(&a32), black_box(&b32)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("tensor-core-model"), |bench| {
+        bench.iter(|| tc.mul(black_box(&a32), black_box(&b32)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group(format!("field/{name}"));
+    g.bench_function("inverse", |bench| bench.iter(|| black_box(a).inverse()));
+    g.bench_function("square", |bench| bench.iter(|| black_box(a).square()));
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_field::<Bn254Fq, 4>(c, "bn254");
+    bench_field::<Bls12381Fq, 6>(c, "bls12-381");
+    bench_field::<Mnt4753Fq, 12>(c, "mnt4753");
+}
+
+criterion_group!(field_mul, benches);
+criterion_main!(field_mul);

@@ -1,0 +1,62 @@
+//! End-to-end MSM benchmarks of the functional substrate: the DistMSM
+//! engine (host execution + metering) vs a serial Pippenger vs naive
+//! double-and-add, at sizes a laptop can measure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distmsm::engine::{DistMsm, DistMsmConfig};
+use distmsm_ec::curves::Bn254G1;
+use distmsm_ec::{Curve, MsmInstance, Scalar, XyzzPoint};
+use distmsm_gpu_sim::MultiGpuSystem;
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn serial_pippenger(instance: &MsmInstance<Bn254G1>, s: u32) -> XyzzPoint<Bn254G1> {
+    let n_windows = <Bn254G1 as Curve>::SCALAR_BITS.div_ceil(s);
+    let mut acc = XyzzPoint::identity();
+    for w in (0..n_windows).rev() {
+        for _ in 0..s {
+            acc = acc.pdbl();
+        }
+        let mut buckets = vec![XyzzPoint::identity(); 1 << s];
+        for (p, k) in instance.points.iter().zip(&instance.scalars) {
+            let m = k.window(w * s, s) as usize;
+            if m != 0 {
+                buckets[m].pacc(p);
+            }
+        }
+        let mut running = XyzzPoint::identity();
+        let mut sum = XyzzPoint::identity();
+        for b in buckets.iter().skip(1).rev() {
+            running = running.padd(b);
+            sum = sum.padd(&running);
+        }
+        acc = acc.padd(&sum);
+    }
+    acc
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msm/bn254");
+    group.sample_size(10);
+    for logn in [10u32, 12] {
+        let n = 1usize << logn;
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = MsmInstance::<Bn254G1>::random(n, &mut rng);
+        let engine = DistMsm::with_config(MultiGpuSystem::dgx_a100(8), DistMsmConfig::default());
+        group.bench_with_input(BenchmarkId::new("distmsm-engine", n), &inst, |b, inst| {
+            b.iter(|| engine.execute(black_box(inst)).unwrap().result)
+        });
+        group.bench_with_input(BenchmarkId::new("serial-pippenger", n), &inst, |b, inst| {
+            b.iter(|| serial_pippenger(black_box(inst), 8))
+        });
+        if logn == 10 {
+            group.bench_with_input(BenchmarkId::new("double-and-add", n), &inst, |b, inst| {
+                b.iter(|| black_box(inst).reference_result())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(msm, benches);
+criterion_main!(msm);

@@ -1,0 +1,34 @@
+//! NTT benchmarks of the zkSNARK substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distmsm_ff::params::{Bn254Fr, FrBn254};
+use distmsm_zksnark::ntt::NttDomain;
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt/bn254-fr");
+    let mut rng = StdRng::seed_from_u64(3);
+    for log_n in [10u32, 14, 16] {
+        let domain = NttDomain::<Bn254Fr, 4>::new(log_n).unwrap();
+        let data: Vec<FrBn254> = (0..domain.size()).map(|_| FrBn254::random(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("forward", 1usize << log_n), &data, |b, d| {
+            b.iter(|| {
+                let mut v = d.clone();
+                domain.forward(black_box(&mut v));
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", 1usize << log_n), &data, |b, d| {
+            b.iter(|| {
+                let mut v = d.clone();
+                domain.inverse(black_box(&mut v));
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ntt, benches);
+criterion_main!(ntt);

@@ -1,0 +1,41 @@
+//! Bucket-scatter benchmarks: naive vs three-level hierarchical
+//! (Algorithm 3), measuring the functional substrate's own throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distmsm::plan::Slice;
+use distmsm::scatter::{scatter_hierarchical, scatter_naive, ScatterConfig};
+use distmsm_ff::Uint;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn scalars(n: usize) -> Vec<Uint<4>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|_| Uint([rng.random(), rng.random(), rng.random(), rng.random::<u64>() >> 2]))
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let ks = scalars(1 << 16);
+    let cfg = ScatterConfig::default();
+    let mut group = c.benchmark_group("scatter");
+    group.sample_size(20);
+    for s in [8u32, 11, 14] {
+        let slice = Slice {
+            gpu: 0,
+            window: 0,
+            bucket_lo: 0,
+            bucket_hi: 1 << s,
+        };
+        group.bench_with_input(BenchmarkId::new("naive", s), &ks, |b, ks| {
+            b.iter(|| scatter_naive(black_box(ks), s, &slice, 1 << 16, 4.0))
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical", s), &ks, |b, ks| {
+            b.iter(|| scatter_hierarchical(black_box(ks), s, &slice, &cfg, 4.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(scatter, benches);
+criterion_main!(scatter);

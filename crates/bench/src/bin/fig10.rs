@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (optimisation breakdown).
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_fig10();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 (bucket-scatter: naive vs hierarchical).
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_fig11();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 (PADD optimisation waterfall).
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_fig12();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (per-thread workload estimation).
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_fig3();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (multi-GPU speedup over a single GPU).
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_fig8();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (performance across GPU models).
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_fig9();
+    println!("{report}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 3 (MSM execution time, DistMSM vs best baseline).
+fn main() {
+    println!("{}", distmsm_bench::runners::run_functional_validation(1 << 12));
+    let (report, avg) = distmsm_bench::runners::run_table3();
+    println!("{report}");
+    let _ = avg;
+}

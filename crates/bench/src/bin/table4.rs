@@ -1,0 +1,5 @@
+//! Regenerates Table 4 (end-to-end zkSNARK proof generation).
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_table4();
+    println!("{report}");
+}

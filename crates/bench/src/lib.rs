@@ -1,0 +1,26 @@
+//! # distmsm-bench — experiment harness
+//!
+//! Regenerates every table and figure of the DistMSM paper's evaluation
+//! (§5). Each binary prints a functional-validation preamble (bit-exact
+//! MSM at reduced N) followed by the paper-scale analytic reproduction
+//! with the paper's reported numbers side by side:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table3` | Table 3 — MSM time across curves/sizes/GPU counts |
+//! | `table4` | Table 4 — end-to-end proof generation |
+//! | `fig3` | Figure 3 — per-thread workload vs window size |
+//! | `fig8` | Figure 8 — multi-GPU scalability |
+//! | `fig9` | Figure 9 — A100 / RTX4090 / 6900XT comparison |
+//! | `fig10` | Figure 10 — optimisation-group breakdown |
+//! | `fig11` | Figure 11 — hierarchical vs naive bucket scatter |
+//! | `fig12` | Figure 12 — PADD-kernel optimisation waterfall |
+//!
+//! Criterion microbenchmarks of the substrate itself (field multiply,
+//! point ops, MSM, NTT, scatter) live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod runners;
+pub mod table;

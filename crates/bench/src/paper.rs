@@ -1,0 +1,135 @@
+//! The paper's reported numbers, transcribed for side-by-side comparison.
+//!
+//! Absolute times were measured on real DGX-A100 hardware and are **not**
+//! expected to match the simulator; they are printed next to reproduced
+//! values so `EXPERIMENTS.md` can compare the *shapes* (who wins, by what
+//! factor, where crossovers fall).
+
+/// One Table 3 cell: milliseconds for (BG, DistMSM).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Table3Cell {
+    /// Best baseline ("BG") milliseconds.
+    pub bg_ms: f64,
+    /// Table 2 id of the winning baseline (the superscript).
+    pub bg_id: u8,
+    /// DistMSM milliseconds.
+    pub dist_ms: f64,
+}
+
+/// GPU counts of Table 3's column groups.
+pub const TABLE3_GPUS: [usize; 4] = [1, 8, 16, 32];
+/// log₂ sizes of Table 3's rows.
+pub const TABLE3_SIZES: [u32; 4] = [22, 24, 26, 28];
+/// Curve order of [`TABLE3`].
+pub const TABLE3_CURVES: [&str; 4] = ["BN254", "BLS12-377", "BLS12-381", "MNT4753"];
+
+/// Table 3 of the paper: `TABLE3[curve][size][gpus]`.
+pub const TABLE3: [[[Table3Cell; 4]; 4]; 4] = {
+    const fn c(bg_ms: f64, bg_id: u8, dist_ms: f64) -> Table3Cell {
+        Table3Cell { bg_ms, bg_id, dist_ms }
+    }
+    [
+        // BN254
+        [
+            [c(63.58, 5, 29.04), c(22.91, 5, 4.78), c(20.35, 5, 2.88), c(9.51, 5, 2.04)],
+            [c(218.6, 5, 115.1), c(37.08, 5, 16.54), c(37.17, 5, 8.96), c(25.72, 5, 5.43)],
+            [c(825.1, 5, 414.8), c(113.9, 5, 56.15), c(60.17, 5, 30.36), c(35.51, 5, 17.46)],
+            [c(2898.0, 5, 1578.0), c(420.6, 5, 202.7), c(218.2, 5, 103.8), c(107.6, 5, 54.43)],
+        ],
+        // BLS12-377
+        [
+            [c(30.07, 6, 52.24), c(9.53, 6, 7.79), c(7.71, 6, 4.48), c(6.87, 2, 3.01)],
+            [c(126.3, 6, 213.6), c(29.84, 6, 30.35), c(21.50, 6, 15.86), c(17.29, 2, 8.75)],
+            [c(517.4, 6, 728.8), c(105.7, 6, 97.93), c(74.55, 6, 51.46), c(63.38, 2, 28.14)],
+            [c(4165.0, 5, 2624.0), c(392.2, 6, 334.9), c(276.2, 6, 169.9), c(174.1, 5, 87.47)],
+        ],
+        // BLS12-381
+        [
+            [c(132.3, 5, 58.01), c(76.82, 5, 8.52), c(61.04, 5, 4.89), c(33.98, 5, 2.95)],
+            [c(448.6, 5, 234.4), c(79.99, 5, 33.30), c(97.87, 5, 17.43), c(75.94, 5, 9.40)],
+            [c(1288.0, 5, 855.2), c(289.5, 2, 113.7), c(129.1, 5, 59.36), c(76.22, 5, 32.17)],
+            [c(5038.0, 5, 3137.0), c(907.1, 2, 399.0), c(434.4, 5, 202.0), c(281.7, 2, 103.4)],
+        ],
+        // MNT4753
+        [
+            [c(11700.0, 4, 863.8), c(1750.0, 4, 116.8), c(970.2, 4, 75.62), c(665.0, 4, 45.60)],
+            [c(47900.0, 4, 4061.0), c(5713.0, 4, 531.2), c(2987.0, 4, 270.3), c(1756.0, 4, 146.9)],
+            [c(194_000.0, 4, 10_800.0), c(23_800.0, 4, 1382.0), c(11_300.0, 4, 696.2), c(5763.0, 4, 353.1)],
+            [c(786_000.0, 4, 38_400.0), c(104_000.0, 4, 4944.0), c(46_000.0, 4, 2477.0), c(23_700.0, 4, 1243.0)],
+        ],
+    ]
+};
+
+/// Table 4 of the paper: (application, constraints, libsnark s, DistMSM s).
+pub const TABLE4: [(&str, u64, f64, f64); 3] = [
+    ("Zcash-Sprout", 2_585_747, 145.8, 5.8),
+    ("Otti-SGD", 6_968_254, 291.0, 11.7),
+    ("Zen_acc-LeNet", 77_689_757, 5036.7, 188.7),
+];
+
+/// §5.1 headline: average multi-GPU speedup over the best baseline.
+pub const PAPER_AVG_SPEEDUP: f64 = 6.39;
+
+/// §5.3.2: hierarchical-scatter speedups over naive at 16 GPUs.
+pub const PAPER_FIG11_SPEEDUP_S11: f64 = 6.71;
+/// §5.3.2: and at the smaller window `s = 9`.
+pub const PAPER_FIG11_SPEEDUP_S9: f64 = 18.3;
+
+/// §5.3.3: full PADD-optimisation speedups (MNT4753, other curves).
+pub const PAPER_FIG12_SPEEDUP_MNT: f64 = 1.94;
+/// §5.3.3 companion figure for the three pairing curves.
+pub const PAPER_FIG12_SPEEDUP_OTHERS: f64 = 1.61;
+
+/// Geometric mean of per-cell DistMSM speedups over BG for multi-GPU
+/// configurations (8, 16, 32) — the paper's headline statistic computed
+/// from its own table.
+pub fn paper_multi_gpu_speedups() -> Vec<f64> {
+    let mut out = Vec::new();
+    for curve in &TABLE3 {
+        for size in curve {
+            for cell in &size[1..] {
+                out.push(cell.bg_ms / cell.dist_ms);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_is_self_consistent() {
+        // the 6.39× average of §5.1 should be recoverable from Table 3
+        let sp = paper_multi_gpu_speedups();
+        let mean = sp.iter().sum::<f64>() / sp.len() as f64;
+        assert!(
+            (5.0..8.0).contains(&mean),
+            "arithmetic mean of multi-GPU speedups {mean} should bracket 6.39"
+        );
+    }
+
+    #[test]
+    fn mnt4753_has_largest_speedups() {
+        let mnt = &TABLE3[3];
+        for size in mnt {
+            for cell in size {
+                assert!(cell.bg_ms / cell.dist_ms > 9.0);
+            }
+        }
+    }
+
+    #[test]
+    fn yrrid_superscript_only_on_bls377() {
+        for (ci, curve) in TABLE3.iter().enumerate() {
+            for size in curve {
+                for cell in size {
+                    if cell.bg_id == 6 {
+                        assert_eq!(TABLE3_CURVES[ci], "BLS12-377");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the experiment harnesses.
+
+/// A simple left-padded table printer.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (shorter rows are padded with blanks).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..n_cols {
+                let cell = cells.get(i).map_or("", String::as_str);
+                let pad = widths[i] - cell.chars().count();
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+                if i + 1 < n_cols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds as adaptive ms / s text (matching the paper's "38.4K"
+/// style for large millisecond counts).
+pub fn fmt_ms(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "FAIL".into();
+    }
+    let ms = seconds * 1e3;
+    if ms >= 10_000.0 {
+        format!("{:.1}K", ms / 1000.0)
+    } else if ms >= 100.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+/// Formats a speedup ratio like the paper's parentheticals.
+pub fn fmt_speedup(x: f64) -> String {
+    if !x.is_finite() {
+        return "-".into();
+    }
+    if x >= 10.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["a", "long-header", "b"]);
+        t.row(["1", "2", "3"]);
+        t.row(["wide-cell", "x", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].contains("2"));
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_ms(0.0384e3 / 1e3 * 1000.0), "38.4K");
+        assert_eq!(fmt_ms(0.5), "500.0");
+        assert_eq!(fmt_ms(0.005), "5.000");
+        assert_eq!(fmt_ms(f64::INFINITY), "FAIL");
+        assert_eq!(fmt_speedup(6.39), "6.39x");
+        assert_eq!(fmt_speedup(20.0), "20x");
+    }
+}

@@ -1,0 +1,201 @@
+//! A cuZK-style sparse-matrix MSM (the paper's baseline #2).
+//!
+//! cuZK [Lu et al.] formulates Pippenger's bucket scatter as a sparse
+//! matrix transposition: scalar chunks form an ELL matrix whose
+//! transpose (computed with prefix sums — no global atomics at all)
+//! yields the bucket→points lists, followed by a load-balanced SpMV-like
+//! accumulation. It scales near-linearly to 8 GPUs (its paper's claim,
+//! echoed in §6 here) but keeps the bucket-reduce on the GPU, which is
+//! what DistMSM improves on at higher GPU counts.
+//!
+//! This is a genuinely different algorithm (counting-sort transpose vs
+//! atomics), implemented functionally and metered like everything else.
+
+use crate::bucket_sum::{bucket_sum, threads_per_bucket};
+use crate::plan::Slice;
+use crate::reduce::{bucket_reduce_gpu_stats, bucket_reduce_serial, window_reduce};
+use distmsm_ec::{Curve, FieldElement, MsmInstance, Scalar, XyzzPoint};
+use distmsm_gpu_sim::{
+    estimate_kernel_time, CostModelConfig, KernelProfile, LaunchStats, MultiGpuSystem, ThreadCost,
+};
+use distmsm_kernel::{EcKernelModel, PaddOptimizations};
+
+/// Result of a cuZK-style execution.
+#[derive(Clone, Debug)]
+pub struct CuZkReport<C: Curve> {
+    /// The MSM value (bit-exact).
+    pub result: XyzzPoint<C>,
+    /// Window size used.
+    pub window_size: u32,
+    /// Simulated wall time in seconds.
+    pub total_s: f64,
+}
+
+/// The sparse-matrix transpose of one window: a counting sort of point
+/// indices by bucket id. Returns per-bucket index lists plus the metered
+/// launch statistics (prefix-sum passes instead of atomics).
+pub fn transpose_window<S: Scalar>(
+    scalars: &[S],
+    s: u32,
+    window: u32,
+    gpu_threads: u64,
+) -> (Vec<Vec<u32>>, LaunchStats) {
+    let n_buckets = 1usize << s;
+    // pass 1: histogram
+    let mut counts = vec![0u32; n_buckets];
+    for k in scalars {
+        let b = k.window(window * s, s) as usize;
+        if b != 0 {
+            counts[b] += 1;
+        }
+    }
+    // pass 2: exclusive prefix sum → row offsets (the transpose index)
+    let mut offsets = vec![0u32; n_buckets + 1];
+    for b in 0..n_buckets {
+        offsets[b + 1] = offsets[b] + counts[b];
+    }
+    // pass 3: scatter into the transposed layout
+    let mut buckets: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c as usize)).collect();
+    for (i, k) in scalars.iter().enumerate() {
+        let b = k.window(window * s, s) as usize;
+        if b != 0 {
+            buckets[b].push(i as u32);
+        }
+    }
+
+    let n = scalars.len() as u64;
+    let threads = n.min(gpu_threads).max(1);
+    let per_thread = n.div_ceil(threads) as f64;
+    let mut stats = LaunchStats::new(
+        KernelProfile::new("cuzk-transpose", 32, 0, 256),
+        threads,
+    );
+    stats.max_thread = ThreadCost {
+        // histogram + scatter are two full passes; prefix sum is log-depth
+        int_ops: per_thread * 10.0 + (n_buckets as f64 / threads as f64).ceil() * 8.0,
+        global_bytes: per_thread * (32.0 + 8.0) * 2.0,
+        barriers: (threads as f64).log2().ceil(),
+        global_syncs: 2.0, // between the three passes
+        ..ThreadCost::default()
+    };
+    stats.total = stats.max_thread.scale(threads as f64);
+    (buckets, stats)
+}
+
+/// Executes the cuZK-style MSM on `system`: windows round-robined over
+/// GPUs, transpose-based scatter, SpMV-like bucket sum, **GPU**
+/// bucket-reduce (the design choice DistMSM replaces).
+///
+/// # Panics
+///
+/// Panics on an empty instance.
+pub fn execute<C: Curve>(
+    instance: &MsmInstance<C>,
+    system: &MultiGpuSystem,
+    window_size: Option<u32>,
+) -> CuZkReport<C> {
+    assert!(!instance.is_empty(), "empty MSM instance");
+    let cost_cfg = CostModelConfig::default();
+    let model = EcKernelModel::new(C::Base::LIMBS32, PaddOptimizations::all());
+    let dev = &system.devices[0];
+    let resident = dev.resident_threads_per_sm(model.regs_per_thread(), 0, 256);
+    let gpu_threads = (u64::from(resident) * u64::from(dev.sm_count)).max(1);
+
+    // cuZK favours larger windows than DistMSM (its reduce is on-GPU)
+    let s = window_size.unwrap_or(16).min(C::SCALAR_BITS);
+    let n_windows = C::SCALAR_BITS.div_ceil(s);
+    let n_gpus = system.n_gpus();
+
+    let mut per_gpu = vec![0.0f64; n_gpus];
+    let mut window_results = vec![XyzzPoint::<C>::identity(); n_windows as usize];
+    for w in 0..n_windows {
+        let gpu = (w as usize) % n_gpus;
+        let (buckets, t_stats) = transpose_window(&instance.scalars, s, w, gpu_threads);
+        per_gpu[gpu] += estimate_kernel_time(&system.devices[gpu], &t_stats, &cost_cfg).total();
+
+        let tpb = threads_per_bucket(gpu_threads, buckets.len() as u64);
+        let sum = bucket_sum(&instance.points, &buckets, tpb, &model, 256);
+        per_gpu[gpu] += estimate_kernel_time(&system.devices[gpu], &sum.stats, &cost_cfg).total();
+
+        let slice = Slice {
+            gpu,
+            window: w,
+            bucket_lo: 0,
+            bucket_hi: 1 << s,
+        };
+        let _ = slice;
+        let (reduced, _) = bucket_reduce_serial(&sum.sums, 0);
+        window_results[w as usize] = reduced;
+        let r_stats = bucket_reduce_gpu_stats(
+            1 << s,
+            s,
+            gpu_threads,
+            &model,
+            C::A_IS_ZERO,
+            256,
+        );
+        per_gpu[gpu] += estimate_kernel_time(&system.devices[gpu], &r_stats, &cost_cfg).total();
+    }
+    let (result, _) = window_reduce(&window_results, s);
+    let total_s = per_gpu.iter().copied().fold(0.0, f64::max)
+        + system.transfer_time(f64::from(n_windows) * 4.0 * C::Base::LIMBS32 as f64 * 4.0);
+
+    CuZkReport {
+        result,
+        window_size: s,
+        total_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distmsm_ec::curves::Bn254G1;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn cuzk_is_correct() {
+        let mut rng = StdRng::seed_from_u64(900);
+        let inst = MsmInstance::<Bn254G1>::random(200, &mut rng);
+        for gpus in [1usize, 4] {
+            let rep = execute(&inst, &MultiGpuSystem::dgx_a100(gpus), Some(8));
+            assert_eq!(rep.result, inst.reference_result(), "gpus={gpus}");
+        }
+    }
+
+    #[test]
+    fn transpose_matches_scatter() {
+        use crate::scatter::scatter_naive;
+        let mut rng = StdRng::seed_from_u64(901);
+        let inst = MsmInstance::<Bn254G1>::random(512, &mut rng);
+        let s = 7;
+        let (buckets, stats) = transpose_window(&inst.scalars, s, 2, 1 << 16);
+        let slice = Slice {
+            gpu: 0,
+            window: 2,
+            bucket_lo: 0,
+            bucket_hi: 1 << s,
+        };
+        let naive = scatter_naive(&inst.scalars, s, &slice, 1 << 16, 4.0);
+        for (a, b) in buckets.iter().zip(&naive.buckets) {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        // the transpose issues no global atomics at all
+        assert_eq!(stats.total.global_atomics, 0.0);
+    }
+
+    #[test]
+    fn cuzk_scales_to_eight_but_reduce_limits_it() {
+        // cuZK's own claim: near-linear to 8 GPUs; DistMSM's critique:
+        // beyond that, the on-GPU reduce stops shrinking.
+        let mut rng = StdRng::seed_from_u64(902);
+        let inst = MsmInstance::<Bn254G1>::random(2048, &mut rng);
+        let t1 = execute(&inst, &MultiGpuSystem::dgx_a100(1), Some(10)).total_s;
+        let t8 = execute(&inst, &MultiGpuSystem::dgx_a100(8), Some(10)).total_s;
+        assert!(t1 / t8 > 3.0, "8-GPU speedup {}", t1 / t8);
+    }
+}

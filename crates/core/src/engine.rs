@@ -1,0 +1,620 @@
+//! The DistMSM execution engine.
+//!
+//! Orchestrates the full pipeline of Figure 1 over a simulated
+//! [`MultiGpuSystem`]: window/bucket-slice planning, per-GPU bucket
+//! scatter and bucket-sum (executed functionally, in parallel on host
+//! threads), CPU (or GPU) bucket-reduce, and window-reduce — composing
+//! the metered kernel statistics into a wall-time estimate.
+
+use crate::bucket_sum::{bucket_sum, threads_per_bucket};
+use crate::plan::{plan_slices, Slice};
+use crate::reduce::{
+    bucket_reduce_gpu_stats, bucket_reduce_serial, cpu_seconds_for_padds, window_reduce,
+};
+use crate::scatter::{
+    scatter_hierarchical, scatter_naive, ScatterConfig, ScatterKind, ScatterOutcome,
+    SharedMemoryOverflow,
+};
+use distmsm_ec::{Curve, FieldElement, MsmInstance, XyzzPoint};
+use distmsm_gpu_sim::{
+    estimate_kernel_time, CostModelConfig, LaunchStats, MultiGpuSystem,
+};
+use distmsm_kernel::{EcKernelModel, PaddOptimizations};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct DistMsmConfig {
+    /// Window size `s`; `None` selects the §3.1 optimum for the system.
+    pub window_size: Option<u32>,
+    /// Scatter implementation; `None` selects hierarchical whenever the
+    /// slice fits in shared memory (DistMSM's choice), naive otherwise.
+    pub scatter: Option<ScatterKind>,
+    /// Hierarchical-scatter tuning.
+    pub scatter_cfg: ScatterConfig,
+    /// PADD-kernel optimisation set.
+    pub kernel_opts: PaddOptimizations,
+    /// Run bucket-reduce on the CPU (§3.2.3) instead of the GPU.
+    pub bucket_reduce_on_cpu: bool,
+    /// Thread-block size of the bucket-sum kernel.
+    pub block_size: u32,
+    /// Model the CPU reduce as pipelined with GPU work (§3.2.3).
+    pub pipelined: bool,
+    /// Stream packed 4-byte per-window coefficient views (DistMSM's
+    /// choice; charged a one-time repacking pre-pass) instead of reading
+    /// full λ-bit scalars in every scatter.
+    pub packed_coefficients: bool,
+    /// Recode scalars into signed digits (§6's adopted technique): halves
+    /// every window's bucket count (`2^s → 2^{s−1}+1`) at the cost of one
+    /// extra carry window.
+    pub signed_digits: bool,
+}
+
+impl Default for DistMsmConfig {
+    fn default() -> Self {
+        Self {
+            window_size: None,
+            scatter: None,
+            scatter_cfg: ScatterConfig::default(),
+            kernel_opts: PaddOptimizations::all(),
+            bucket_reduce_on_cpu: true,
+            block_size: 256,
+            pipelined: true,
+            packed_coefficients: true,
+            signed_digits: false,
+        }
+    }
+}
+
+/// Wall-time breakdown of one MSM, in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Bucket-scatter across all GPUs (max over GPUs).
+    pub scatter_s: f64,
+    /// Bucket-sum across all GPUs (max over GPUs).
+    pub bucket_sum_s: f64,
+    /// Bucket-reduce (CPU or GPU).
+    pub bucket_reduce_s: f64,
+    /// Window-reduce on the CPU.
+    pub window_reduce_s: f64,
+    /// Device→host transfer of bucket partial sums.
+    pub transfer_s: f64,
+}
+
+/// Result of one (simulated) MSM execution.
+#[derive(Clone, Debug)]
+pub struct MsmReport<C: Curve> {
+    /// The MSM value (bit-exact, verified against references in tests).
+    pub result: XyzzPoint<C>,
+    /// Window size used.
+    pub window_size: u32,
+    /// Number of windows.
+    pub n_windows: u32,
+    /// Time per phase.
+    pub phases: PhaseBreakdown,
+    /// Estimated wall time in seconds.
+    pub total_s: f64,
+    /// Per-GPU busy time in seconds.
+    pub per_gpu_s: Vec<f64>,
+    /// All metered kernel launches (for breakdown harnesses).
+    pub launches: Vec<LaunchStats>,
+}
+
+/// Errors an MSM execution can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MsmError {
+    /// Hierarchical scatter ran out of shared memory (paper: `s > 14`).
+    ScatterOverflow(SharedMemoryOverflow),
+    /// The instance was empty.
+    EmptyInstance,
+}
+
+impl core::fmt::Display for MsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ScatterOverflow(e) => write!(f, "{e}"),
+            Self::EmptyInstance => write!(f, "MSM instance has no points"),
+        }
+    }
+}
+
+impl std::error::Error for MsmError {}
+
+/// The DistMSM engine bound to a system description.
+#[derive(Clone, Debug)]
+pub struct DistMsm {
+    system: MultiGpuSystem,
+    config: DistMsmConfig,
+    cost_cfg: CostModelConfig,
+}
+
+impl DistMsm {
+    /// Creates an engine with the default configuration.
+    pub fn new(system: MultiGpuSystem) -> Self {
+        Self::with_config(system, DistMsmConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(system: MultiGpuSystem, config: DistMsmConfig) -> Self {
+        Self {
+            system,
+            config,
+            cost_cfg: CostModelConfig::default(),
+        }
+    }
+
+    /// The system this engine runs on.
+    pub fn system(&self) -> &MultiGpuSystem {
+        &self.system
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DistMsmConfig {
+        &self.config
+    }
+
+    /// Effective concurrent threads per GPU for a kernel model.
+    fn gpu_threads(&self, model: &EcKernelModel) -> u64 {
+        let d = &self.system.devices[0];
+        let resident = d.resident_threads_per_sm(
+            model.regs_per_thread(),
+            model.shared_mem_per_block(self.config.block_size),
+            self.config.block_size,
+        );
+        (u64::from(resident) * u64::from(d.sm_count)).max(1)
+    }
+
+    /// Chooses the window size: explicit config, or the minimiser of the
+    /// engine's own cost estimate (which — unlike the raw §3.1 op count —
+    /// accounts for the CPU bucket-reduce, pushing multi-GPU runs to the
+    /// small windows of §3.2).
+    pub fn window_size_for(&self, n: usize, curve: &crate::analytic::CurveDesc) -> u32 {
+        self.config.window_size.unwrap_or_else(|| {
+            crate::analytic::estimate_distmsm(n as u64, curve, &self.system, &self.config)
+                .window_size
+        })
+    }
+
+    /// Executes an MSM, returning the verified-exact result and the
+    /// simulated timing.
+    ///
+    /// # Errors
+    ///
+    /// [`MsmError::ScatterOverflow`] when a forced hierarchical scatter
+    /// does not fit in shared memory; [`MsmError::EmptyInstance`] for
+    /// zero-length input.
+    pub fn execute<C: Curve>(&self, instance: &MsmInstance<C>) -> Result<MsmReport<C>, MsmError> {
+        if instance.is_empty() {
+            return Err(MsmError::EmptyInstance);
+        }
+        let model = EcKernelModel::new(C::Base::LIMBS32, self.config.kernel_opts);
+        let gpu_threads = self.gpu_threads(&model);
+        let desc = crate::analytic::CurveDesc {
+            name: C::NAME,
+            limbs32: C::Base::LIMBS32,
+            scalar_bits: C::SCALAR_BITS,
+            a_is_zero: C::A_IS_ZERO,
+        };
+        let s = self.window_size_for(instance.len(), &desc);
+        let (n_windows, n_buckets) = if self.config.signed_digits {
+            (C::SCALAR_BITS.div_ceil(s) + 1, (1u32 << (s - 1)) + 1)
+        } else {
+            (C::SCALAR_BITS.div_ceil(s), 1u32 << s)
+        };
+        let slices = plan_slices(n_windows, n_buckets, self.system.n_gpus());
+        // signed-digit recoding happens once, up front (like the packed
+        // coefficient pre-pass; same memory-bound cost class)
+        let digits: Option<Vec<Vec<i32>>> = self.config.signed_digits.then(|| {
+            instance
+                .scalars
+                .iter()
+                .map(|k| crate::signed::recode_signed(k, s, C::SCALAR_BITS))
+                .collect()
+        });
+
+        // decide scatter kind per slice (DistMSM: hierarchical when it fits)
+        let scatter_kind = |slice: &Slice| -> Result<ScatterKind, MsmError> {
+            match self.config.scatter {
+                Some(ScatterKind::Naive) => Ok(ScatterKind::Naive),
+                Some(ScatterKind::Hierarchical) => {
+                    let needed =
+                        crate::scatter::hierarchical_shared_bytes(slice.len(), &self.config.scatter_cfg);
+                    if needed > self.config.scatter_cfg.shared_mem_per_block {
+                        Err(MsmError::ScatterOverflow(SharedMemoryOverflow {
+                            needed,
+                            available: self.config.scatter_cfg.shared_mem_per_block,
+                        }))
+                    } else {
+                        Ok(ScatterKind::Hierarchical)
+                    }
+                }
+                None => {
+                    let needed =
+                        crate::scatter::hierarchical_shared_bytes(slice.len(), &self.config.scatter_cfg);
+                    if needed > self.config.scatter_cfg.shared_mem_per_block {
+                        Ok(ScatterKind::Naive)
+                    } else {
+                        Ok(ScatterKind::Hierarchical)
+                    }
+                }
+            }
+        };
+
+        // ---- per-slice functional execution (host-parallel) -------------
+        struct SliceOutcome<C: Curve> {
+            slice: Slice,
+            scatter_stats: LaunchStats,
+            sum: crate::bucket_sum::BucketSumOutcome<C>,
+        }
+
+        let mut outcomes: Vec<Option<Result<SliceOutcome<C>, MsmError>>> =
+            (0..slices.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let chunk = slices.len().div_ceil(
+                std::thread::available_parallelism().map_or(4, |p| p.get()),
+            );
+            for (slice_chunk, out_chunk) in
+                slices.chunks(chunk.max(1)).zip(outcomes.chunks_mut(chunk.max(1)))
+            {
+                let model = &model;
+                let config = &self.config;
+                let digits = &digits;
+                scope.spawn(move |_| {
+                    for (slice, out) in slice_chunk.iter().zip(out_chunk.iter_mut()) {
+                        let kind = match scatter_kind(slice) {
+                            Ok(k) => k,
+                            Err(e) => {
+                                *out = Some(Err(e));
+                                continue;
+                            }
+                        };
+                        let coeff_bytes = if config.packed_coefficients {
+                            4.0
+                        } else {
+                            f64::from(C::SCALAR_BITS.div_ceil(8))
+                        };
+                        let scattered: Result<ScatterOutcome, _> = match (&digits, kind) {
+                            (Some(d), kind) => crate::scatter::scatter_signed_digits(
+                                d,
+                                slice,
+                                kind,
+                                gpu_threads,
+                                &config.scatter_cfg,
+                                coeff_bytes,
+                            ),
+                            (None, ScatterKind::Naive) => Ok(scatter_naive(
+                                &instance.scalars,
+                                s,
+                                slice,
+                                gpu_threads,
+                                coeff_bytes,
+                            )),
+                            (None, ScatterKind::Hierarchical) => scatter_hierarchical(
+                                &instance.scalars,
+                                s,
+                                slice,
+                                &config.scatter_cfg,
+                                coeff_bytes,
+                            ),
+                        };
+                        let scattered = match scattered {
+                            Ok(sc) => sc,
+                            Err(e) => {
+                                *out = Some(Err(MsmError::ScatterOverflow(e)));
+                                continue;
+                            }
+                        };
+                        let tpb = threads_per_bucket(gpu_threads, u64::from(slice.len()));
+                        let sum = if digits.is_some() {
+                            crate::bucket_sum::bucket_sum_signed(
+                                &instance.points,
+                                &scattered.buckets,
+                                tpb,
+                                model,
+                                config.block_size,
+                            )
+                        } else {
+                            bucket_sum(
+                                &instance.points,
+                                &scattered.buckets,
+                                tpb,
+                                model,
+                                config.block_size,
+                            )
+                        };
+                        *out = Some(Ok(SliceOutcome {
+                            slice: *slice,
+                            scatter_stats: scattered.stats,
+                            sum,
+                        }));
+                    }
+                });
+            }
+        })
+        .expect("host worker panicked");
+
+        let mut done = Vec::with_capacity(slices.len());
+        for o in outcomes {
+            done.push(o.expect("all slices processed")?);
+        }
+
+        // ---- compose per-GPU times --------------------------------------
+        let n_gpus = self.system.n_gpus();
+        let prepass = if self.config.packed_coefficients {
+            crate::scatter::scalar_prepass_seconds(
+                instance.len() as u64,
+                u64::from(C::SCALAR_BITS.div_ceil(8)),
+                self.system.devices[0].mem_bandwidth_gbps,
+                n_gpus,
+            )
+        } else {
+            0.0
+        };
+        let mut scatter_per_gpu = vec![prepass; n_gpus];
+        let mut sum_per_gpu = vec![0.0f64; n_gpus];
+        let mut launches = Vec::new();
+        for oc in &done {
+            let dev = &self.system.devices[oc.slice.gpu];
+            scatter_per_gpu[oc.slice.gpu] +=
+                estimate_kernel_time(dev, &oc.scatter_stats, &self.cost_cfg).total();
+            sum_per_gpu[oc.slice.gpu] +=
+                estimate_kernel_time(dev, &oc.sum.stats, &self.cost_cfg).total();
+            launches.push(oc.scatter_stats.clone());
+            launches.push(oc.sum.stats.clone());
+        }
+
+        // ---- bucket-reduce ----------------------------------------------
+        // group slices per window, reduce each slice with its offset, and
+        // merge (slices of one window compose additively).
+        let mut window_results = vec![XyzzPoint::<C>::identity(); n_windows as usize];
+        let mut cpu_padds: u64 = 0;
+        let mut gpu_reduce_per_gpu = vec![0.0f64; n_gpus];
+        for oc in &done {
+            let (w, ops) = bucket_reduce_serial(&oc.sum.sums, oc.slice.bucket_lo);
+            window_results[oc.slice.window as usize] =
+                window_results[oc.slice.window as usize].padd(&w);
+            if self.config.bucket_reduce_on_cpu {
+                cpu_padds += ops + 1;
+            } else {
+                let stats = bucket_reduce_gpu_stats(
+                    u64::from(oc.slice.len()),
+                    s,
+                    gpu_threads,
+                    &model,
+                    C::A_IS_ZERO,
+                    self.config.block_size,
+                );
+                let dev = &self.system.devices[oc.slice.gpu];
+                gpu_reduce_per_gpu[oc.slice.gpu] +=
+                    estimate_kernel_time(dev, &stats, &self.cost_cfg).total();
+                launches.push(stats);
+            }
+        }
+
+        // ---- window-reduce ------------------------------------------------
+        let (result, wr_ops) = window_reduce(&window_results, s);
+
+        // ---- timing composition -------------------------------------------
+        let point_bytes = 4.0 * C::Base::LIMBS32 as f64 * 4.0; // XYZZ coords
+        let transfer_bytes = if self.config.bucket_reduce_on_cpu {
+            f64::from(n_windows) * f64::from(n_buckets) * point_bytes
+        } else {
+            // only per-window results come back
+            f64::from(n_windows) * point_bytes
+        };
+        let transfer_s = self.system.transfer_time(transfer_bytes);
+
+        let cpu_reduce_s = cpu_seconds_for_padds(cpu_padds, &model, self.system.cpu.int_ops_per_sec);
+        let window_reduce_s =
+            cpu_seconds_for_padds(wr_ops, &model, self.system.cpu.int_ops_per_sec);
+
+        let per_gpu_s: Vec<f64> = (0..n_gpus)
+            .map(|g| scatter_per_gpu[g] + sum_per_gpu[g] + gpu_reduce_per_gpu[g])
+            .collect();
+        let gpu_makespan = per_gpu_s.iter().copied().fold(0.0, f64::max);
+
+        let bucket_reduce_s = if self.config.bucket_reduce_on_cpu {
+            cpu_reduce_s
+        } else {
+            gpu_reduce_per_gpu.iter().copied().fold(0.0, f64::max)
+        };
+
+        let total_s = if self.config.bucket_reduce_on_cpu && self.config.pipelined {
+            // §3.2.3: the CPU reduce streams behind the GPUs; only the
+            // last window's reduce sits on the critical path.
+            let tail = cpu_reduce_s / f64::from(n_windows.max(1));
+            gpu_makespan.max(cpu_reduce_s) + transfer_s + tail + window_reduce_s
+        } else {
+            gpu_makespan + transfer_s + bucket_reduce_s + window_reduce_s
+        };
+
+        Ok(MsmReport {
+            result,
+            window_size: s,
+            n_windows,
+            phases: PhaseBreakdown {
+                scatter_s: scatter_per_gpu.iter().copied().fold(0.0, f64::max),
+                bucket_sum_s: sum_per_gpu.iter().copied().fold(0.0, f64::max),
+                bucket_reduce_s,
+                window_reduce_s,
+                transfer_s,
+            },
+            total_s,
+            per_gpu_s,
+            launches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distmsm_ec::curves::{Bls12381G1, Bn254G1, Mnt4753G1};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn check_correct<C: Curve>(n: usize, n_gpus: usize, seed: u64, cfg: DistMsmConfig) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = MsmInstance::<C>::random(n, &mut rng);
+        let engine = DistMsm::with_config(MultiGpuSystem::dgx_a100(n_gpus), cfg);
+        let report = engine.execute(&inst).expect("execution succeeds");
+        assert_eq!(report.result, inst.reference_result(), "MSM result wrong");
+        assert!(report.total_s > 0.0 && report.total_s.is_finite());
+    }
+
+    #[test]
+    fn correct_on_one_gpu() {
+        check_correct::<Bn254G1>(200, 1, 1, DistMsmConfig::default());
+    }
+
+    #[test]
+    fn correct_on_eight_gpus() {
+        check_correct::<Bn254G1>(300, 8, 2, DistMsmConfig::default());
+    }
+
+    #[test]
+    fn correct_with_explicit_small_window() {
+        check_correct::<Bn254G1>(
+            256,
+            4,
+            3,
+            DistMsmConfig {
+                window_size: Some(5),
+                ..DistMsmConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn correct_with_naive_scatter_and_gpu_reduce() {
+        check_correct::<Bn254G1>(
+            128,
+            2,
+            4,
+            DistMsmConfig {
+                scatter: Some(ScatterKind::Naive),
+                bucket_reduce_on_cpu: false,
+                ..DistMsmConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn correct_on_bls12381() {
+        check_correct::<Bls12381G1>(100, 8, 5, DistMsmConfig::default());
+    }
+
+    #[test]
+    fn correct_on_mnt4753() {
+        check_correct::<Mnt4753G1>(
+            50,
+            4,
+            6,
+            DistMsmConfig {
+                window_size: Some(8),
+                ..DistMsmConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn more_gpus_when_windows_split() {
+        // 32 GPUs vs few windows exercises bucket-slice splitting
+        check_correct::<Bn254G1>(
+            200,
+            32,
+            7,
+            DistMsmConfig {
+                window_size: Some(4),
+                ..DistMsmConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn signed_digits_engine_is_correct() {
+        for (gpus, s) in [(1usize, None), (4, Some(9u32)), (8, Some(6))] {
+            check_correct::<Bn254G1>(
+                220,
+                gpus,
+                40 + gpus as u64,
+                DistMsmConfig {
+                    window_size: s,
+                    signed_digits: true,
+                    ..DistMsmConfig::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn signed_digits_use_fewer_buckets() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
+        let mk = |signed| {
+            DistMsm::with_config(
+                MultiGpuSystem::dgx_a100(2),
+                DistMsmConfig {
+                    window_size: Some(10),
+                    signed_digits: signed,
+                    ..DistMsmConfig::default()
+                },
+            )
+            .execute(&inst)
+            .unwrap()
+        };
+        let unsigned = mk(false);
+        let signed = mk(true);
+        assert_eq!(signed.result, unsigned.result);
+        assert_eq!(signed.n_windows, unsigned.n_windows + 1);
+        // bucket-reduce work halves with the bucket count
+        assert!(
+            signed.phases.bucket_reduce_s < 0.7 * unsigned.phases.bucket_reduce_s,
+            "signed {} vs unsigned {}",
+            signed.phases.bucket_reduce_s,
+            unsigned.phases.bucket_reduce_s
+        );
+    }
+
+    #[test]
+    fn forced_hierarchical_overflow_reported() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = MsmInstance::<Bn254G1>::random(64, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(1),
+            DistMsmConfig {
+                window_size: Some(16),
+                scatter: Some(ScatterKind::Hierarchical),
+                ..DistMsmConfig::default()
+            },
+        );
+        match engine.execute(&inst) {
+            Err(MsmError::ScatterOverflow(e)) => assert!(e.needed > e.available),
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_instance_rejected() {
+        let inst = MsmInstance::<Bn254G1> {
+            points: vec![],
+            scalars: vec![],
+        };
+        let engine = DistMsm::new(MultiGpuSystem::dgx_a100(1));
+        assert_eq!(engine.execute(&inst).unwrap_err(), MsmError::EmptyInstance);
+    }
+
+    #[test]
+    fn auto_scatter_falls_back_to_naive_for_large_windows() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = MsmInstance::<Bn254G1>::random(64, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(1),
+            DistMsmConfig {
+                window_size: Some(18),
+                scatter: None,
+                ..DistMsmConfig::default()
+            },
+        );
+        let report = engine.execute(&inst).expect("auto mode must not fail");
+        assert_eq!(report.result, inst.reference_result());
+    }
+}

@@ -1,0 +1,155 @@
+//! Work assignment of windows and bucket ranges to GPUs.
+//!
+//! DistMSM's flexible distribution (§3.2.2): the `N_win × 2^s` buckets of
+//! all windows form one flat range that is sliced evenly across GPUs —
+//! whole windows when counts divide, fractional windows otherwise (the
+//! paper's example: three GPUs on two windows → two GPUs take ⅔ of a
+//! window each, the third handles the remaining ⅓ of both).
+
+/// One GPU's responsibility: a bucket range of one window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slice {
+    /// GPU index.
+    pub gpu: usize,
+    /// Window index.
+    pub window: u32,
+    /// First bucket (inclusive). Bucket 0 is never stored (zero
+    /// coefficient contributes nothing), but ranges are expressed over
+    /// the full `0..2^s` space for simplicity.
+    pub bucket_lo: u32,
+    /// One past the last bucket.
+    pub bucket_hi: u32,
+}
+
+impl Slice {
+    /// Buckets in the slice.
+    pub fn len(&self) -> u32 {
+        self.bucket_hi - self.bucket_lo
+    }
+
+    /// True when the slice covers no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.bucket_lo >= self.bucket_hi
+    }
+}
+
+/// Splits `n_windows × n_buckets` buckets evenly over `n_gpus` GPUs,
+/// producing per-GPU window slices.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn plan_slices(n_windows: u32, n_buckets: u32, n_gpus: usize) -> Vec<Slice> {
+    assert!(n_windows > 0 && n_buckets > 0 && n_gpus > 0);
+    let total = u64::from(n_windows) * u64::from(n_buckets);
+    let mut out = Vec::new();
+    for gpu in 0..n_gpus {
+        let lo = total * gpu as u64 / n_gpus as u64;
+        let hi = total * (gpu as u64 + 1) / n_gpus as u64;
+        let mut cur = lo;
+        while cur < hi {
+            let window = (cur / u64::from(n_buckets)) as u32;
+            let in_window = (cur % u64::from(n_buckets)) as u32;
+            let end = ((window as u64 + 1) * u64::from(n_buckets)).min(hi);
+            out.push(Slice {
+                gpu,
+                window,
+                bucket_lo: in_window,
+                bucket_hi: in_window + (end - cur) as u32,
+            });
+            cur = end;
+        }
+    }
+    out
+}
+
+/// Number of GPUs cooperating on each window under a plan.
+pub fn gpus_per_window(slices: &[Slice], n_windows: u32) -> Vec<usize> {
+    let mut counts = vec![0usize; n_windows as usize];
+    for s in slices {
+        counts[s.window as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coverage_ok(slices: &[Slice], n_windows: u32, n_buckets: u32) {
+        // every (window, bucket) covered exactly once
+        let mut seen = vec![0u32; (n_windows * n_buckets) as usize];
+        for s in slices {
+            for b in s.bucket_lo..s.bucket_hi {
+                seen[(s.window * n_buckets + b) as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage must be exact");
+    }
+
+    #[test]
+    fn whole_windows_when_divisible() {
+        let slices = plan_slices(8, 1 << 10, 8);
+        coverage_ok(&slices, 8, 1 << 10);
+        assert_eq!(slices.len(), 8);
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.gpu, i);
+            assert_eq!(s.window, i as u32);
+            assert_eq!(s.len(), 1 << 10);
+        }
+    }
+
+    #[test]
+    fn paper_example_three_gpus_two_windows() {
+        // §3.2.2: two GPUs handle ⅔ of each window, the third the
+        // remaining ⅓ from both.
+        let nb = 999; // divisible by 3 for exactness
+        let slices = plan_slices(2, nb, 3);
+        coverage_ok(&slices, 2, nb);
+        // GPU 0: ⅔ of window 0; GPU 1: ⅓ of window 0 + ⅓ of window 1;
+        // GPU 2: ⅔ of window 1 (an equivalent rotation of the example)
+        let per_gpu: Vec<u32> = (0..3)
+            .map(|g| slices.iter().filter(|s| s.gpu == g).map(Slice::len).sum())
+            .collect();
+        assert_eq!(per_gpu, vec![666, 666, 666]);
+        let gpw = gpus_per_window(&slices, 2);
+        assert_eq!(gpw, vec![2, 2]);
+    }
+
+    #[test]
+    fn more_gpus_than_windows_splits_buckets() {
+        let slices = plan_slices(4, 1 << 8, 16);
+        coverage_ok(&slices, 4, 1 << 8);
+        let gpw = gpus_per_window(&slices, 4);
+        assert!(gpw.iter().all(|&g| g == 4));
+        // each GPU gets a quarter window
+        assert!(slices.iter().all(|s| s.len() == 64));
+    }
+
+    #[test]
+    fn fewer_gpus_than_windows() {
+        let slices = plan_slices(23, 1 << 11, 16);
+        coverage_ok(&slices, 23, 1 << 11);
+        // balanced to within one bucket
+        let loads: Vec<u64> = (0..16)
+            .map(|g| {
+                slices
+                    .iter()
+                    .filter(|s| s.gpu == g)
+                    .map(|s| u64::from(s.len()))
+                    .sum()
+            })
+            .collect();
+        let min = *loads.iter().min().unwrap();
+        let max = *loads.iter().max().unwrap();
+        assert!(max - min <= 1, "loads {loads:?}");
+    }
+
+    #[test]
+    fn single_gpu_owns_everything() {
+        let slices = plan_slices(13, 64, 1);
+        coverage_ok(&slices, 13, 64);
+        assert!(slices.iter().all(|s| s.gpu == 0));
+        assert_eq!(slices.len(), 13);
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic generation of MSM test instances.
+//!
+//! The paper's evaluation feeds MSMs with `N` curve points and `N` random
+//! λ-bit scalars. Points here are generated as consecutive multiples of
+//! the generator (cheap: one PACC each, then one batched inversion), or —
+//! for curves whose base field supports square roots — by solving the
+//! curve equation at incrementing x-coordinates.
+
+use crate::curve::{Affine, Curve, XyzzPoint};
+use crate::traits::SqrtField;
+use rand::Rng;
+
+/// Returns `[G, 2G, …, nG]` as affine points using one PACC per point and
+/// a single batched inversion.
+pub fn generator_multiples<C: Curve>(n: usize) -> Vec<Affine<C>> {
+    let g = C::generator();
+    let mut acc = XyzzPoint::<C>::identity();
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        acc.pacc(&g);
+        points.push(acc);
+    }
+    XyzzPoint::batch_to_affine(&points)
+}
+
+/// Samples `n` distinct curve points by scanning x-coordinates from
+/// `x_start` and solving `y² = x³ + ax + b`.
+///
+/// For curves with cofactor > 1 the results may fall outside the
+/// prime-order subgroup; MSM correctness tests do not care (Pippenger is
+/// an identity over the full group), but anything needing subgroup
+/// elements should use [`generator_multiples`].
+pub fn points_by_x<C>(n: usize, x_start: u64) -> Vec<Affine<C>>
+where
+    C: Curve,
+    C::Base: SqrtField,
+{
+    use crate::traits::FieldElement;
+    let mut out = Vec::with_capacity(n);
+    let mut x = C::Base::one() * small::<C>(x_start);
+    while out.len() < n {
+        let rhs = x.square() * x + C::a() * x + C::b();
+        if let Some(y) = rhs.sqrt() {
+            if !y.is_zero() {
+                out.push(Affine::new_unchecked(x, y));
+            }
+        }
+        x += C::Base::one();
+    }
+    out
+}
+
+fn small<C: Curve>(v: u64) -> C::Base {
+    use crate::traits::FieldElement;
+    let mut acc = C::Base::zero();
+    let one = C::Base::one();
+    // v is tiny in practice (a starting offset); simple repeated doubling
+    let mut bit = 63;
+    while bit > 0 && (v >> bit) & 1 == 0 {
+        bit -= 1;
+    }
+    for i in (0..=bit).rev() {
+        acc = acc.double();
+        if (v >> i) & 1 == 1 {
+            acc += one;
+        }
+    }
+    acc
+}
+
+/// A reproducible MSM instance: points plus scalars.
+#[derive(Clone, Debug)]
+pub struct MsmInstance<C: Curve> {
+    /// The fixed point vector `P_i`.
+    pub points: Vec<Affine<C>>,
+    /// The scalar vector `k_i` (varies per proof in real ZKP workloads).
+    pub scalars: Vec<C::Scalar>,
+}
+
+impl<C: Curve> MsmInstance<C> {
+    /// Generates an instance of `n` generator multiples with uniformly
+    /// random scalars drawn from `rng`.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let points = generator_multiples::<C>(n);
+        let scalars = (0..n).map(|_| C::random_scalar(rng)).collect();
+        Self { points, scalars }
+    }
+
+    /// Number of terms in the MSM.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Reference result by per-term double-and-add (O(N·λ) PADDs — only for
+    /// validation at small N).
+    pub fn reference_result(&self) -> XyzzPoint<C> {
+        let mut acc = XyzzPoint::identity();
+        for (p, k) in self.points.iter().zip(&self.scalars) {
+            acc = acc.padd(&p.scalar_mul(k));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{Bls12381G1, Bn254G1, Bn254G2, Mnt4753G1};
+    use crate::traits::Scalar;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn generator_multiples_are_consistent() {
+        let pts = generator_multiples::<Bn254G1>(10);
+        assert_eq!(pts.len(), 10);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(p.is_on_curve());
+            let expect = Bn254G1::generator().scalar_mul(&Scalar::from_u64(i as u64 + 1));
+            assert_eq!(expect.to_affine(), *p);
+        }
+    }
+
+    #[test]
+    fn generator_multiples_distinct() {
+        let pts = generator_multiples::<Bls12381G1>(64);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert_ne!(pts[i], pts[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn points_by_x_on_curve() {
+        let pts = points_by_x::<Bn254G1>(16, 1);
+        assert_eq!(pts.len(), 16);
+        for p in pts {
+            assert!(p.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn points_by_x_mnt4753() {
+        let pts = points_by_x::<Mnt4753G1>(4, 1);
+        for p in pts {
+            assert!(p.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn msm_instance_reference_small() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let inst = MsmInstance::<Bn254G1>::random(8, &mut rng);
+        let r = inst.reference_result();
+        // brute-force check against naive accumulation of scalar_muls
+        let mut acc = XyzzPoint::identity();
+        for (p, k) in inst.points.iter().zip(&inst.scalars) {
+            acc += p.scalar_mul(k);
+        }
+        assert_eq!(r, acc);
+    }
+
+    #[test]
+    fn g2_instance_generation() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let inst = MsmInstance::<Bn254G2>::random(4, &mut rng);
+        assert_eq!(inst.len(), 4);
+        for p in &inst.points {
+            assert!(p.is_on_curve());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # distmsm-ff — finite-field substrate
+//!
+//! Fixed-width big integers and Montgomery-form prime fields for the
+//! DistMSM reproduction (ASPLOS '24, "Accelerating Multi-Scalar
+//! Multiplication for Efficient Zero Knowledge Proofs with Multi-GPU
+//! Systems").
+//!
+//! The crate provides, from scratch and with no external bignum
+//! dependencies:
+//!
+//! * [`Uint`] — `N × 64`-bit little-endian integers with the carry/window
+//!   primitives Pippenger's algorithm needs;
+//! * [`Fp`] — a generic Montgomery-form prime field with CIOS and SOS
+//!   multipliers (the paper's Algorithm 2), Tonelli–Shanks square roots and
+//!   roots of unity for NTTs;
+//! * [`Fp2`] — the quadratic extension used by BN254 G2;
+//! * [`params`] — the eight field-parameter sets of the paper's four curves
+//!   (Table 1), every Montgomery constant derived at compile time;
+//! * [`u32limb`] — bit-faithful u32-limb mirrors of the GPU kernels, the
+//!   reference the tensor-core model validates against;
+//! * [`primality`] — Miller–Rabin validation of all transcribed moduli;
+//! * [`mont`] — reusable Montgomery machinery including a runtime
+//!   [`mont::MontCtx`] for arbitrary odd moduli.
+//!
+//! ## Example
+//!
+//! ```
+//! use distmsm_ff::{params::FqBn254, Uint};
+//!
+//! let a = FqBn254::from_u64(41);
+//! let b = a + FqBn254::ONE;
+//! assert_eq!(b.to_uint(), Uint::from_u64(42));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fp;
+pub mod fp2;
+pub mod mont;
+pub mod params;
+pub mod primality;
+pub mod u32limb;
+pub mod uint;
+
+pub use fp::{Fp, FpParams};
+pub use fp2::Fp2;
+pub use uint::Uint;

@@ -1,0 +1,159 @@
+//! Field parameters for the four elliptic curves evaluated in the paper
+//! (Table 1): BN254, BLS12-377, BLS12-381 and MNT4-753.
+//!
+//! Each marker type implements [`FpParams`] with just the modulus; every
+//! Montgomery constant is derived at compile time. The constants were
+//! transcribed from the standard curve specifications and are re-validated
+//! by the `primality` and curve-consistency tests (DESIGN.md §7).
+
+use crate::fp::{Fp, FpParams};
+use crate::uint::Uint;
+
+/// Declares a zero-sized [`FpParams`] marker plus a field type alias.
+macro_rules! field_params {
+    ($(#[$doc:meta])* $params:ident, $alias:ident, $n:literal, $name:literal, $modulus:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+        pub struct $params;
+
+        impl FpParams<$n> for $params {
+            const MODULUS: Uint<$n> = Uint::from_hex($modulus);
+            const NAME: &'static str = $name;
+        }
+
+        $(#[$doc])*
+        pub type $alias = Fp<$params, $n>;
+    };
+}
+
+field_params!(
+    /// BN254 (alt_bn128) base field: 254-bit `q`.
+    Bn254Fq,
+    FqBn254,
+    4,
+    "BN254::Fq",
+    "0x30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47"
+);
+
+field_params!(
+    /// BN254 scalar field: 254-bit `r` with two-adicity 28.
+    Bn254Fr,
+    FrBn254,
+    4,
+    "BN254::Fr",
+    "0x30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001"
+);
+
+field_params!(
+    /// BLS12-377 base field: 377-bit `q`.
+    Bls12377Fq,
+    FqBls12377,
+    6,
+    "BLS12-377::Fq",
+    "0x1ae3a4617c510eac63b05c06ca1493b1a22d9f300f5138f1ef3622fba094800170b5d44300000008508c00000000001"
+);
+
+field_params!(
+    /// BLS12-377 scalar field: 253-bit `r` (the λ of Table 1).
+    Bls12377Fr,
+    FrBls12377,
+    4,
+    "BLS12-377::Fr",
+    "0x12ab655e9a2ca55660b44d1e5c37b00159aa76fed00000010a11800000000001"
+);
+
+field_params!(
+    /// BLS12-381 base field: 381-bit `q`.
+    Bls12381Fq,
+    FqBls12381,
+    6,
+    "BLS12-381::Fq",
+    "0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"
+);
+
+field_params!(
+    /// BLS12-381 scalar field: 255-bit `r`.
+    Bls12381Fr,
+    FrBls12381,
+    4,
+    "BLS12-381::Fr",
+    "0x73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+);
+
+field_params!(
+    /// MNT4-753 base field: 753-bit `q` (the register-pressure stress case —
+    /// 24 × 32-bit registers per big integer in the paper's kernel analysis).
+    Mnt4753Fq,
+    FqMnt4753,
+    12,
+    "MNT4-753::Fq",
+    "0x01c4c62d92c41110229022eee2cdadb7f997505b8fafed5eb7e8f96c97d87307fdb925e8a0ed8d99d124d9a15af79db117e776f218059db80f0da5cb537e38685acce9767254a4638810719ac425f0e39d54522cdd119f5e9063de245e8001"
+);
+
+field_params!(
+    /// MNT4-753 scalar field: 753-bit `r`.
+    Mnt4753Fr,
+    FrMnt4753,
+    12,
+    "MNT4-753::Fr",
+    "0x01c4c62d92c41110229022eee2cdadb7f997505b8fafed5eb7e8f96c97d87307fdb925e8a0ed8d99d124d9a15af79db26c5c28c859a99b3eebca9429212636b9dff97634993aa4d6c381bc3f0057974ea099170fa13a4fd90776e240000001"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::FpParams;
+    use crate::primality::is_probable_prime;
+
+    #[test]
+    fn table1_bit_widths() {
+        // Table 1 of the paper: scalar (k_i) and point (P_i) bit widths.
+        assert_eq!(Bn254Fr::MODULUS_BITS, 254);
+        assert_eq!(Bn254Fq::MODULUS_BITS, 254);
+        assert_eq!(Bls12377Fr::MODULUS_BITS, 253);
+        assert_eq!(Bls12377Fq::MODULUS_BITS, 377);
+        assert_eq!(Bls12381Fr::MODULUS_BITS, 255);
+        assert_eq!(Bls12381Fq::MODULUS_BITS, 381);
+        assert_eq!(Mnt4753Fr::MODULUS_BITS, 753);
+        assert_eq!(Mnt4753Fq::MODULUS_BITS, 753);
+    }
+
+    #[test]
+    fn all_moduli_prime() {
+        assert!(is_probable_prime(&Bn254Fq::MODULUS));
+        assert!(is_probable_prime(&Bn254Fr::MODULUS));
+        assert!(is_probable_prime(&Bls12377Fq::MODULUS));
+        assert!(is_probable_prime(&Bls12377Fr::MODULUS));
+        assert!(is_probable_prime(&Bls12381Fq::MODULUS));
+        assert!(is_probable_prime(&Bls12381Fr::MODULUS));
+        assert!(is_probable_prime(&Mnt4753Fq::MODULUS));
+        assert!(is_probable_prime(&Mnt4753Fr::MODULUS));
+    }
+
+    #[test]
+    fn derived_constants_consistent() {
+        // INV * MODULUS ≡ -1 (mod 2^64) for every field.
+        fn check<P: FpParams<N>, const N: usize>() {
+            assert_eq!(
+                P::MODULUS.0[0].wrapping_mul(P::INV),
+                u64::MAX,
+                "{} INV inconsistent",
+                P::NAME
+            );
+        }
+        check::<Bn254Fq, 4>();
+        check::<Bn254Fr, 4>();
+        check::<Bls12377Fq, 6>();
+        check::<Bls12377Fr, 4>();
+        check::<Bls12381Fq, 6>();
+        check::<Bls12381Fr, 4>();
+        check::<Mnt4753Fq, 12>();
+        check::<Mnt4753Fr, 12>();
+    }
+
+    #[test]
+    fn mnt4753_fr_two_adicity_supports_large_ntt() {
+        // The MNT4-753 scalar field was designed for SNARK FFTs.
+        assert!(Mnt4753Fr::TWO_ADICITY >= 15, "{}", Mnt4753Fr::TWO_ADICITY);
+    }
+}

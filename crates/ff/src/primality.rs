@@ -1,0 +1,101 @@
+//! Miller–Rabin probabilistic primality testing over [`Uint`].
+//!
+//! Used by the parameter-validation tests (DESIGN.md §7): every transcribed
+//! field modulus must pass before any experiment trusts it.
+
+use crate::mont::MontCtx;
+use crate::uint::Uint;
+
+/// Deterministic witness set sufficient for very high confidence at any
+/// size (and proven complete below 3.3 · 10^24).
+const WITNESSES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+/// Miller–Rabin primality test with fixed witnesses.
+///
+/// Returns `false` for 0 and 1. For the 253–753-bit field moduli this is a
+/// probabilistic test; 13 rounds push the error probability below `4^-13`
+/// per witness-independent composite, ample for parameter validation.
+pub fn is_probable_prime<const N: usize>(n: &Uint<N>) -> bool {
+    if n.is_zero() || *n == Uint::ONE {
+        return false;
+    }
+    // Small primes / even numbers.
+    for w in WITNESSES {
+        if *n == Uint::from_u64(w) {
+            return true;
+        }
+    }
+    if !n.bit(0) {
+        return false;
+    }
+    if n.num_bits() == 64 * N as u32 {
+        // MontCtx requires a spare top bit; all real moduli satisfy this.
+        // Fall back to rejecting (callers only validate curve moduli).
+        return false;
+    }
+
+    // n - 1 = 2^s * d
+    let (nm1, _) = n.borrowing_sub(&Uint::ONE);
+    let mut s = 0u32;
+    let mut d = nm1;
+    while !d.bit(0) {
+        d = d.shr1();
+        s += 1;
+    }
+
+    let ctx = MontCtx::new(*n);
+    let one = ctx.one();
+    let minus_one = ctx.sub(&Uint::ZERO, &one);
+
+    'witness: for w in WITNESSES {
+        let a = ctx.to_mont(&Uint::from_u64(w));
+        if a.is_zero() {
+            continue; // witness divides n only if n == w (handled above)
+        }
+        let mut x = ctx.pow(&a, &d);
+        if x == one || x == minus_one {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = ctx.mul(&x, &x);
+            if x == minus_one {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_and_composites() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 101, 65537, 4294967311];
+        let composites = [0u64, 1, 4, 9, 15, 561, 41041, 825265, 4294967297];
+        for p in primes {
+            assert!(is_probable_prime(&Uint::<2>::from_u64(p)), "{p}");
+        }
+        for c in composites {
+            assert!(!is_probable_prime(&Uint::<2>::from_u64(c)), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // strong pseudoprime stress: Carmichael numbers
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 530881, 1024651] {
+            assert!(!is_probable_prime(&Uint::<2>::from_u64(c)), "{c}");
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_127() {
+        let m127 = Uint::<3>::from_hex("0x7fffffffffffffffffffffffffffffff");
+        assert!(is_probable_prime(&m127));
+        let (m127m2, _) = m127.borrowing_sub(&Uint::from_u64(2));
+        assert!(!is_probable_prime(&m127m2));
+    }
+}

@@ -1,0 +1,261 @@
+//! 32-bit-limb mirrors of the GPU Montgomery kernels.
+//!
+//! GPUs operate on 32-bit registers, so the paper's Algorithm 2 (SOS
+//! Montgomery multiplication) and the tensor-core transformation of §4.3 are
+//! defined over `u32` limbs. This module is the bit-faithful functional
+//! mirror of those kernels; the tensor-core path in `distmsm-kernel`
+//! validates against it, and it validates against the 64-bit field
+//! arithmetic in [`crate::fp`].
+
+use crate::uint::Uint;
+
+/// `-m₀⁻¹ mod 2^32` — the `n′₀` of Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if `m0` is even.
+pub const fn mont_inv32(m0: u32) -> u32 {
+    assert!(m0 & 1 == 1, "Montgomery modulus must be odd");
+    let mut inv = 1u32;
+    let mut i = 0;
+    while i < 5 {
+        inv = inv.wrapping_mul(2u32.wrapping_sub(m0.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv.wrapping_neg()
+}
+
+/// Schoolbook product of two `n`-limb u32 integers into `2n` limbs
+/// (line 1 of Algorithm 2: `C[0:2N] = A[0:N] × B[0:N]`).
+pub fn mul_wide_u32(a: &[u32], b: &[u32], c: &mut [u32]) {
+    let n = a.len();
+    assert_eq!(b.len(), n, "operand width mismatch");
+    assert_eq!(c.len(), 2 * n, "product buffer must be 2N limbs");
+    c.fill(0);
+    for i in 0..n {
+        let mut carry = 0u64;
+        for j in 0..n {
+            let t = c[i + j] as u64 + a[i] as u64 * b[j] as u64 + carry;
+            c[i + j] = t as u32;
+            carry = t >> 32;
+        }
+        c[i + n] = carry as u32;
+    }
+}
+
+/// Compares `a >= b` for equal-width u32 limb slices.
+fn geq(a: &[u32], b: &[u32]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// In-place subtraction `a -= b` (caller guarantees `a >= b`).
+fn sub_in_place(a: &mut [u32], b: &[u32]) {
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let t = a[i] as i64 - b[i] as i64 - borrow;
+        a[i] = t as u32;
+        borrow = i64::from(t < 0);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+/// SOS Montgomery reduction of a `2n`-limb value, exactly the loop of the
+/// paper's Algorithm 2 lines 2–5.
+///
+/// `c` is the double-width input (consumed); the reduced `n`-limb result is
+/// written to `out`.
+pub fn mont_reduce_sos_u32(c: &mut [u32], modulus: &[u32], inv32: u32, out: &mut [u32]) {
+    let n = modulus.len();
+    assert_eq!(c.len(), 2 * n, "input must be 2N limbs");
+    assert_eq!(out.len(), n, "output must be N limbs");
+    let mut overflow = 0u32; // virtual limb C[2N]
+    for i in 0..n {
+        // line 3: m[i] = (C[i] * n'0) & 0xffffffff
+        let m = c[i].wrapping_mul(inv32);
+        // line 4: C += m * modulus << (32 i)
+        let mut carry = 0u64;
+        for j in 0..n {
+            let t = c[i + j] as u64 + m as u64 * modulus[j] as u64 + carry;
+            c[i + j] = t as u32;
+            carry = t >> 32;
+        }
+        let mut k = i + n;
+        while carry != 0 {
+            if k == 2 * n {
+                overflow += carry as u32;
+                break;
+            }
+            let t = c[k] as u64 + carry;
+            c[k] = t as u32;
+            carry = t >> 32;
+            k += 1;
+        }
+    }
+    out.copy_from_slice(&c[n..2 * n]);
+    // line 5: conditional subtraction
+    if overflow != 0 || geq(out, modulus) {
+        sub_in_place(out, modulus);
+    }
+}
+
+/// Full SOS Montgomery multiplication over u32 limbs (Algorithm 2).
+pub fn mont_mul_sos_u32(a: &[u32], b: &[u32], modulus: &[u32], inv32: u32, out: &mut [u32]) {
+    let n = modulus.len();
+    let mut c = vec![0u32; 2 * n];
+    mul_wide_u32(a, b, &mut c);
+    mont_reduce_sos_u32(&mut c, modulus, inv32, out);
+}
+
+/// CIOS Montgomery multiplication over u32 limbs (the alternative schedule
+/// discussed in [Koç et al. 1996], included for the microbenchmarks).
+pub fn mont_mul_cios_u32(a: &[u32], b: &[u32], modulus: &[u32], inv32: u32, out: &mut [u32]) {
+    let n = modulus.len();
+    assert_eq!(a.len(), n);
+    assert_eq!(b.len(), n);
+    assert_eq!(out.len(), n);
+    let mut t = vec![0u32; n + 2];
+    for i in 0..n {
+        let mut carry = 0u64;
+        for j in 0..n {
+            let v = t[j] as u64 + a[i] as u64 * b[j] as u64 + carry;
+            t[j] = v as u32;
+            carry = v >> 32;
+        }
+        let v = t[n] as u64 + carry;
+        t[n] = v as u32;
+        t[n + 1] = (v >> 32) as u32;
+
+        let m = t[0].wrapping_mul(inv32);
+        let v = t[0] as u64 + m as u64 * modulus[0] as u64;
+        let mut carry = v >> 32;
+        for j in 1..n {
+            let v = t[j] as u64 + m as u64 * modulus[j] as u64 + carry;
+            t[j - 1] = v as u32;
+            carry = v >> 32;
+        }
+        let v = t[n] as u64 + carry;
+        t[n - 1] = v as u32;
+        t[n] = t[n + 1] + (v >> 32) as u32;
+        t[n + 1] = 0;
+    }
+    out.copy_from_slice(&t[..n]);
+    if t[n] != 0 || geq(out, modulus) {
+        sub_in_place(out, modulus);
+    }
+}
+
+/// Helper bundling the modulus limbs and `n′₀` for a field, as the GPU
+/// kernels receive them (plain device constants).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct U32Field {
+    modulus: Vec<u32>,
+    inv32: u32,
+}
+
+impl U32Field {
+    /// Builds the kernel-side view of a field from its modulus limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even or empty.
+    pub fn new(modulus: Vec<u32>) -> Self {
+        assert!(!modulus.is_empty());
+        let inv32 = mont_inv32(modulus[0]);
+        Self { modulus, inv32 }
+    }
+
+    /// Builds the view for the field with `N` 64-bit limbs.
+    pub fn from_modulus<const N: usize>(m: &Uint<N>) -> Self {
+        Self::new(m.to_u32_limbs())
+    }
+
+    /// Number of 32-bit limbs per element.
+    pub fn limbs(&self) -> usize {
+        self.modulus.len()
+    }
+
+    /// The modulus limbs.
+    pub fn modulus(&self) -> &[u32] {
+        &self.modulus
+    }
+
+    /// `n′₀` for 32-bit limbs.
+    pub fn inv32(&self) -> u32 {
+        self.inv32
+    }
+
+    /// Montgomery product via SOS.
+    pub fn mul_sos(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = vec![0u32; self.limbs()];
+        mont_mul_sos_u32(a, b, &self.modulus, self.inv32, &mut out);
+        out
+    }
+
+    /// Montgomery product via CIOS.
+    pub fn mul_cios(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = vec![0u32; self.limbs()];
+        mont_mul_cios_u32(a, b, &self.modulus, self.inv32, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::FpParams;
+    use crate::params::{Bls12381Fq, Bn254Fq, Mnt4753Fq};
+    use crate::Fp;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn check_against_u64<P: FpParams<N>, const N: usize>(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let field = U32Field::from_modulus(&P::MODULUS);
+        for _ in 0..20 {
+            let a = Fp::<P, N>::random(&mut rng);
+            let b = Fp::<P, N>::random(&mut rng);
+            let expect = (a * b).mont_repr().to_u32_limbs();
+            let a32 = a.mont_repr().to_u32_limbs();
+            let b32 = b.mont_repr().to_u32_limbs();
+            assert_eq!(field.mul_sos(&a32, &b32), expect, "SOS mismatch in {}", P::NAME);
+            assert_eq!(field.mul_cios(&a32, &b32), expect, "CIOS mismatch in {}", P::NAME);
+        }
+    }
+
+    #[test]
+    fn matches_u64_bn254() {
+        check_against_u64::<Bn254Fq, 4>(10);
+    }
+
+    #[test]
+    fn matches_u64_bls12381() {
+        check_against_u64::<Bls12381Fq, 6>(11);
+    }
+
+    #[test]
+    fn matches_u64_mnt4753() {
+        check_against_u64::<Mnt4753Fq, 12>(12);
+    }
+
+    #[test]
+    fn inv32_is_inverse() {
+        let m0 = Bn254Fq::MODULUS.to_u32_limbs()[0];
+        assert_eq!(m0.wrapping_mul(mont_inv32(m0).wrapping_neg()), 1);
+    }
+
+    #[test]
+    fn mul_wide_identity() {
+        let a = [0xffffffffu32, 0xffffffff];
+        let b = [1u32, 0];
+        let mut c = [0u32; 4];
+        mul_wide_u32(&a, &b, &mut c);
+        assert_eq!(c, [0xffffffff, 0xffffffff, 0, 0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the field and big-integer substrate.
+
+use distmsm_ff::mont::{add_mod, sub_mod, MontCtx};
+use distmsm_ff::params::{Bn254Fq, FqBn254, FqMnt4753, FrBls12377};
+use distmsm_ff::u32limb::U32Field;
+use distmsm_ff::{Fp, FpParams, Uint};
+use proptest::prelude::*;
+
+fn arb_uint4() -> impl Strategy<Value = Uint<4>> {
+    prop::array::uniform4(any::<u64>()).prop_map(Uint)
+}
+
+fn arb_fq() -> impl Strategy<Value = FqBn254> {
+    arb_uint4().prop_map(|u| {
+        // reduce into range by masking the top bits then conditional sub
+        let mut v = u;
+        v.0[3] &= (1 << 62) - 1;
+        FqBn254::from_uint(&v)
+    })
+}
+
+fn arb_fr377() -> impl Strategy<Value = FrBls12377> {
+    arb_uint4().prop_map(|u| {
+        let mut v = u;
+        v.0[3] &= (1 << 61) - 1;
+        FrBls12377::from_uint(&v)
+    })
+}
+
+fn arb_fq753() -> impl Strategy<Value = FqMnt4753> {
+    prop::collection::vec(any::<u64>(), 12).prop_map(|v| {
+        let mut limbs = [0u64; 12];
+        limbs.copy_from_slice(&v);
+        limbs[11] &= (1 << 48) - 1;
+        FqMnt4753::from_uint(&Uint(limbs))
+    })
+}
+
+proptest! {
+    #[test]
+    fn uint_add_commutes(a in arb_uint4(), b in arb_uint4()) {
+        prop_assert_eq!(a.carrying_add(&b), b.carrying_add(&a));
+    }
+
+    #[test]
+    fn uint_sub_inverts_add(a in arb_uint4(), b in arb_uint4()) {
+        let (s, _) = a.carrying_add(&b);
+        let (d, _) = s.borrowing_sub(&b);
+        prop_assert_eq!(d, a);
+    }
+
+    #[test]
+    fn uint_mul_commutes(a in arb_uint4(), b in arb_uint4()) {
+        prop_assert_eq!(a.widening_mul(&b), b.widening_mul(&a));
+    }
+
+    #[test]
+    fn uint_bits_reassemble(a in arb_uint4(), w in 1u32..=16) {
+        // Reading the whole integer window-by-window loses nothing.
+        let mut acc = Uint::<4>::ZERO;
+        let mut i = 0;
+        while i < 256 {
+            let width = w.min(256 - i);
+            let chunk = a.bits(i, width);
+            for b in 0..width {
+                if (chunk >> b) & 1 == 1 {
+                    let limb = ((i + b) / 64) as usize;
+                    acc.0[limb] |= 1 << ((i + b) % 64);
+                }
+            }
+            i += width;
+        }
+        prop_assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn field_add_assoc(a in arb_fq(), b in arb_fq(), c in arb_fq()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn field_mul_assoc(a in arb_fq(), b in arb_fq(), c in arb_fq()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn field_distributive(a in arb_fq(), b in arb_fq(), c in arb_fq()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn field_inverse(a in arb_fq()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a.inverse().unwrap() * a, FqBn254::ONE);
+        }
+    }
+
+    #[test]
+    fn field_sqrt_of_square(a in arb_fq()) {
+        let sq = a.square();
+        let r = sq.sqrt().expect("squares have roots");
+        prop_assert!(r == a || r == -a);
+    }
+
+    #[test]
+    fn sos_equals_cios(a in arb_fq(), b in arb_fq()) {
+        prop_assert_eq!(a.mul_sos(&b), a * b);
+    }
+
+    #[test]
+    fn sos_equals_cios_753(a in arb_fq753(), b in arb_fq753()) {
+        prop_assert_eq!(a.mul_sos(&b), a * b);
+    }
+
+    #[test]
+    fn fr377_roundtrip(a in arb_fr377()) {
+        prop_assert_eq!(FrBls12377::from_uint(&a.to_uint()), a);
+    }
+
+    #[test]
+    fn u32_kernel_matches_u64(a in arb_fq(), b in arb_fq()) {
+        let field = U32Field::from_modulus(&Bn254Fq::MODULUS);
+        let got = field.mul_sos(&a.mont_repr().to_u32_limbs(), &b.mont_repr().to_u32_limbs());
+        prop_assert_eq!(got, (a * b).mont_repr().to_u32_limbs());
+    }
+
+    #[test]
+    fn mod_add_sub_roundtrip(a in arb_fq(), b in arb_fq()) {
+        let m = &Bn254Fq::MODULUS;
+        let s = add_mod(a.mont_repr(), b.mont_repr(), m);
+        let d = sub_mod(&s, b.mont_repr(), m);
+        prop_assert_eq!(d, *a.mont_repr());
+    }
+
+    #[test]
+    fn mont_ctx_matches_fp(a in arb_fq(), b in arb_fq()) {
+        let ctx = MontCtx::new(Bn254Fq::MODULUS);
+        let got = ctx.mul(a.mont_repr(), b.mont_repr());
+        let expect = a * b;
+        prop_assert_eq!(&got, expect.mont_repr());
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in arb_fq(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        prop_assert_eq!(a.pow(&[e1]) * a.pow(&[e2]), a.pow(&[e1 + e2]));
+    }
+}

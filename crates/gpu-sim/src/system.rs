@@ -1,0 +1,120 @@
+//! Multi-GPU system composition: device sets, the host CPU, and the
+//! interconnect used to gather per-GPU partial results.
+
+use crate::device::DeviceSpec;
+
+/// Host CPU description.
+///
+/// The paper sizes CPU work (the *bucket-reduce* offload of §3.2.3 and the
+/// libsnark baseline of Table 4) through a single sustained integer
+/// throughput figure. The default models the dual AMD Rome 7742 of the
+/// evaluated DGX: its effective big-integer throughput is ≈128× below one
+/// A100, matching the paper's "a GPU could be up to 128× faster than a
+/// high-end CPU".
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: u32,
+    /// Sustained int32-equivalent ops/s across all cores.
+    pub int_ops_per_sec: f64,
+}
+
+impl CpuSpec {
+    /// Dual AMD Rome 7742 (the DGX host of the paper's evaluation).
+    pub fn dual_rome_7742() -> Self {
+        Self {
+            name: "2x AMD Rome 7742",
+            cores: 128,
+            int_ops_per_sec: 1.5e11,
+        }
+    }
+
+    /// Time to execute `ops` int32-equivalent operations on the host.
+    pub fn compute_time(&self, ops: f64) -> f64 {
+        ops / self.int_ops_per_sec
+    }
+}
+
+/// A distributed multi-GPU system: devices + host + interconnect.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiGpuSystem {
+    /// The GPUs (homogeneous in the paper's evaluation, heterogeneous
+    /// allowed here).
+    pub devices: Vec<DeviceSpec>,
+    /// The host CPU that runs *bucket-reduce* and *window-reduce*.
+    pub cpu: CpuSpec,
+    /// Host↔device interconnect bandwidth in GB/s (PCIe class).
+    pub interconnect_gbps: f64,
+    /// GPU↔GPU peer bandwidth in GB/s (NVLink class on a DGX).
+    pub peer_gbps: f64,
+}
+
+impl MultiGpuSystem {
+    /// `n` identical devices with the default DGX host.
+    pub fn homogeneous(spec: DeviceSpec, n: usize) -> Self {
+        Self {
+            devices: vec![spec; n],
+            cpu: CpuSpec::dual_rome_7742(),
+            interconnect_gbps: 64.0,
+            peer_gbps: 600.0,
+        }
+    }
+
+    /// An `n`-GPU Nvidia DGX-A100-like system (the paper's testbed; for
+    /// n > 8 the paper runs multiple DGX boxes, which we model as one
+    /// larger pool with the same per-GPU links).
+    pub fn dgx_a100(n: usize) -> Self {
+        Self::homogeneous(DeviceSpec::a100(), n)
+    }
+
+    /// Number of GPUs.
+    pub fn n_gpus(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Seconds to move `bytes` across the host interconnect.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        bytes / (self.interconnect_gbps * 1e9)
+    }
+
+    /// Seconds to move `bytes` between GPUs over the peer links.
+    pub fn peer_transfer_time(&self, bytes: f64) -> f64 {
+        bytes / (self.peer_gbps * 1e9)
+    }
+
+    /// Total hardware thread capacity across all devices.
+    pub fn total_threads(&self) -> u64 {
+        self.devices.iter().map(DeviceSpec::max_concurrent_threads).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx_shape() {
+        let sys = MultiGpuSystem::dgx_a100(8);
+        assert_eq!(sys.n_gpus(), 8);
+        assert_eq!(sys.cpu.cores, 128);
+        assert!(sys.total_threads() > 8 * (1 << 16));
+    }
+
+    #[test]
+    fn cpu_gpu_ratio_matches_paper() {
+        // §3.2.3: "a GPU could be up to 128× faster than a high-end CPU"
+        let sys = MultiGpuSystem::dgx_a100(1);
+        let gpu_ops = sys.devices[0].cuda_int32_tops * 1e12;
+        let ratio = gpu_ops / sys.cpu.int_ops_per_sec;
+        assert!((100.0..160.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn transfer_time_linear() {
+        let sys = MultiGpuSystem::dgx_a100(1);
+        let t = sys.transfer_time(64e9);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the cost model: monotonicity and sanity invariants
+//! that calibration changes must never break.
+
+use distmsm_gpu_sim::{
+    estimate_kernel_time, CostModelConfig, DeviceSpec, KernelProfile, LaunchStats, ThreadCost,
+};
+use proptest::prelude::*;
+
+fn stats(regs: u32, threads: u64, ops: f64, atomics: f64, addrs: u64, bytes: f64) -> LaunchStats {
+    let mut s = LaunchStats::new(KernelProfile::new("p", regs, 0, 256), threads);
+    s.max_thread = ThreadCost {
+        int_ops: ops,
+        global_atomics: atomics,
+        global_bytes: bytes,
+        ..ThreadCost::default()
+    };
+    s.total = s.max_thread.scale(threads as f64);
+    s.distinct_atomic_addrs = addrs;
+    s
+}
+
+proptest! {
+    #[test]
+    fn occupancy_is_a_fraction(regs in 1u32..1024, shared in 0u32..256_000, block in 1u32..8u32) {
+        let d = DeviceSpec::a100();
+        let occ = d.occupancy(regs, shared, block * 128);
+        prop_assert!((0.0..=1.0).contains(&occ));
+        prop_assert!((0.0..=1.0).contains(&d.efficiency_at(occ)));
+    }
+
+    #[test]
+    fn time_monotone_in_work(ops in 1.0f64..1e9, factor in 1.01f64..10.0) {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        let t1 = estimate_kernel_time(&d, &stats(64, 1 << 16, ops, 0.0, 1, 0.0), &cfg).total();
+        let t2 = estimate_kernel_time(&d, &stats(64, 1 << 16, ops * factor, 0.0, 1, 0.0), &cfg).total();
+        prop_assert!(t2 >= t1, "{t2} < {t1}");
+    }
+
+    #[test]
+    fn time_monotone_in_registers(regs in 64u32..512, extra in 8u32..256) {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        let t1 = estimate_kernel_time(&d, &stats(regs, 1 << 16, 1e7, 0.0, 1, 0.0), &cfg).total();
+        let t2 = estimate_kernel_time(&d, &stats(regs + extra, 1 << 16, 1e7, 0.0, 1, 0.0), &cfg).total();
+        prop_assert!(t2 >= t1 - 1e-12, "more registers cannot be faster");
+    }
+
+    #[test]
+    fn atomic_time_monotone_in_contention(addrs in 1u64..1 << 20, shrink in 2u64..64) {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        let wide = estimate_kernel_time(&d, &stats(64, 1 << 16, 0.0, 512.0, addrs.max(2), 0.0), &cfg);
+        let packed = estimate_kernel_time(
+            &d,
+            &stats(64, 1 << 16, 0.0, 512.0, (addrs / shrink).max(1), 0.0),
+            &cfg,
+        );
+        prop_assert!(packed.atomic_s >= wide.atomic_s - 1e-12);
+    }
+
+    #[test]
+    fn memory_time_linear(bytes in 1.0f64..1e9) {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        let t1 = estimate_kernel_time(&d, &stats(64, 1 << 10, 0.0, 0.0, 1, bytes), &cfg).memory_s;
+        let t2 = estimate_kernel_time(&d, &stats(64, 1 << 10, 0.0, 0.0, 1, 2.0 * bytes), &cfg).memory_s;
+        prop_assert!((t2 / t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faster_device_never_slower(ops in 1.0f64..1e9) {
+        // RTX4090 has strictly higher int32 throughput than the A100
+        let cfg = CostModelConfig::default();
+        let s = stats(64, 1 << 16, ops, 0.0, 1, 0.0);
+        let a100 = estimate_kernel_time(&DeviceSpec::a100(), &s, &cfg).compute_s;
+        let rtx = estimate_kernel_time(&DeviceSpec::rtx4090(), &s, &cfg).compute_s;
+        prop_assert!(rtx <= a100);
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's point-arithmetic straight-line programs as [`OpGraph`]s.
+//!
+//! * [`padd_graph`] — Algorithm 1 (full XYZZ addition, 14 multiplies);
+//! * [`pacc_graph`] — Algorithm 4 (point accumulation with `ZZ=ZZZ=1`
+//!   prior knowledge, 10 multiplies);
+//! * [`pdbl_graph`] — XYZZ doubling (8 multiplies for `a = 0` curves,
+//!   10 with the `a·ZZ²` term).
+//!
+//! Variable names follow the paper's listings; SSA suffixes (`V1`, `V2`,
+//! …) disambiguate re-assignments.
+
+use crate::graph::{OpGraph, OpGraphBuilder, OpKind};
+
+#[cfg(test)]
+use crate::graph::AllocPolicy;
+
+/// Full PADD in XYZZ coordinates — the paper's Algorithm 1, in its program
+/// order. Inputs are two XYZZ points; outputs are the sum's coordinates.
+pub fn padd_graph() -> OpGraph {
+    let mut b = OpGraphBuilder::new();
+    for v in ["X1", "Y1", "ZZ1", "ZZZ1", "X2", "Y2", "ZZ2", "ZZZ2"] {
+        b.input(v);
+    }
+    b.op("U1", OpKind::Mul, "X1", "ZZ2");
+    b.op("U2", OpKind::Mul, "X2", "ZZ1");
+    b.op("S1", OpKind::Mul, "Y1", "ZZZ2");
+    b.op("S2", OpKind::Mul, "Y2", "ZZZ1");
+    b.op("P", OpKind::Sub, "U2", "U1");
+    b.op("R", OpKind::Sub, "S2", "S1");
+    b.op("PP", OpKind::Mul, "P", "P");
+    b.op("PPP", OpKind::Mul, "PP", "P");
+    b.op("Q", OpKind::Mul, "U1", "PP");
+    b.op("V1", OpKind::Mul, "R", "R");
+    b.op("V2", OpKind::Sub, "V1", "PPP");
+    b.op("V3", OpKind::Sub, "V2", "Q");
+    b.op("X3", OpKind::Sub, "V3", "Q");
+    b.op("T", OpKind::Sub, "Q", "X3");
+    b.op("Yt", OpKind::Mul, "R", "T");
+    b.op("T2", OpKind::Mul, "S1", "PPP");
+    b.op("Y3", OpKind::Sub, "Yt", "T2");
+    b.op("ZZt", OpKind::Mul, "ZZ1", "ZZ2");
+    b.op("ZZ3", OpKind::Mul, "ZZt", "PP");
+    b.op("ZZZt", OpKind::Mul, "ZZZ1", "ZZZ2");
+    b.op("ZZZ3", OpKind::Mul, "ZZZt", "PPP");
+    for v in ["X3", "Y3", "ZZ3", "ZZZ3"] {
+        b.output(v);
+    }
+    b.build()
+}
+
+/// PACC — the paper's Algorithm 4: accumulate an affine point
+/// `(XP, YP, 1, 1)` into the running partial sum `(Xacc, Yacc, ZZacc,
+/// ZZZacc)`.
+pub fn pacc_graph() -> OpGraph {
+    let mut b = OpGraphBuilder::new();
+    for v in ["Xacc", "Yacc", "ZZacc", "ZZZacc", "XP", "YP"] {
+        b.input(v);
+    }
+    b.op("U2", OpKind::Mul, "XP", "ZZacc");
+    b.op("S2", OpKind::Mul, "YP", "ZZZacc");
+    b.op("P", OpKind::Sub, "U2", "Xacc");
+    b.op("R", OpKind::Sub, "S2", "Yacc");
+    b.op("PP", OpKind::Mul, "P", "P");
+    b.op("PPP", OpKind::Mul, "PP", "P");
+    b.op("Q", OpKind::Mul, "Xacc", "PP");
+    b.op("V1", OpKind::Mul, "R", "R");
+    b.op("V2", OpKind::Sub, "V1", "PPP");
+    b.op("V3", OpKind::Sub, "V2", "Q");
+    b.op("Xout", OpKind::Sub, "V3", "Q");
+    b.op("T", OpKind::Sub, "Q", "Xout");
+    b.op("Yt", OpKind::Mul, "R", "T");
+    b.op("T2", OpKind::Mul, "Yacc", "PPP");
+    b.op("Yout", OpKind::Sub, "Yt", "T2");
+    b.op("ZZout", OpKind::Mul, "ZZacc", "PP");
+    b.op("ZZZout", OpKind::Mul, "ZZZacc", "PPP");
+    for v in ["Xout", "Yout", "ZZout", "ZZZout"] {
+        b.output(v);
+    }
+    b.build()
+}
+
+/// PDBL in XYZZ coordinates (`dbl-2008-s-1`). With `a ≠ 0` (MNT4-753) two
+/// extra multiplies compute `a·ZZ²`.
+pub fn pdbl_graph(a_is_zero: bool) -> OpGraph {
+    let mut b = OpGraphBuilder::new();
+    for v in ["X1", "Y1", "ZZ1", "ZZZ1"] {
+        b.input(v);
+    }
+    b.op("U", OpKind::Add, "Y1", "Y1");
+    b.op("V", OpKind::Mul, "U", "U");
+    b.op("W", OpKind::Mul, "U", "V");
+    b.op("S", OpKind::Mul, "X1", "V");
+    b.op("Xsq", OpKind::Mul, "X1", "X1");
+    b.op("M2", OpKind::Add, "Xsq", "Xsq");
+    b.op("M3", OpKind::Add, "M2", "Xsq");
+    let m = if a_is_zero {
+        "M3"
+    } else {
+        // aZZ² costs one squaring and one multiply by the constant a
+        b.input("Acoef");
+        b.op("ZZsq", OpKind::Mul, "ZZ1", "ZZ1");
+        b.op("AZZ", OpKind::Mul, "Acoef", "ZZsq");
+        b.op("M4", OpKind::Add, "M3", "AZZ");
+        "M4"
+    };
+    b.op("Msq", OpKind::Mul, m, m);
+    b.op("S2x", OpKind::Add, "S", "S");
+    b.op("X3", OpKind::Sub, "Msq", "S2x");
+    b.op("SmX", OpKind::Sub, "S", "X3");
+    b.op("MT", OpKind::Mul, m, "SmX");
+    b.op("WY", OpKind::Mul, "W", "Y1");
+    b.op("Y3", OpKind::Sub, "MT", "WY");
+    b.op("ZZ3", OpKind::Mul, "V", "ZZ1");
+    b.op("ZZZ3", OpKind::Mul, "W", "ZZZ1");
+    for v in ["X3", "Y3", "ZZ3", "ZZZ3"] {
+        b.output(v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padd_has_14_muls() {
+        // §4.1: "demanding only 14 modular multiplications"
+        assert_eq!(padd_graph().mul_count(), 14);
+    }
+
+    #[test]
+    fn pacc_has_10_muls() {
+        // §5.3.3: PACC "reduces the number of modular multiplication
+        // operations from 14 to 10"
+        assert_eq!(pacc_graph().mul_count(), 10);
+    }
+
+    #[test]
+    fn pdbl_mul_counts() {
+        assert_eq!(pdbl_graph(true).mul_count(), 9);
+        assert_eq!(pdbl_graph(false).mul_count(), 11);
+    }
+
+    #[test]
+    fn program_order_peaks_match_paper() {
+        // §4.2: straightforward implementations peak at 11 (PADD) and 9
+        // (PACC) concurrently live big integers.
+        let padd = padd_graph();
+        let pacc = pacc_graph();
+        assert_eq!(
+            padd.pressure_of(&padd.program_order(), AllocPolicy::Fresh).peak_live,
+            11
+        );
+        assert_eq!(
+            pacc.pressure_of(&pacc.program_order(), AllocPolicy::Fresh).peak_live,
+            9
+        );
+    }
+
+    #[test]
+    fn optimal_order_peaks_match_paper() {
+        // §4.2.1: the paper's optimal sequencing (brute force over its 12
+        // merged scheduling units) reduces PACC 9 → 7 and PADD 11 → 9.
+        // Our exhaustive search at single-op granularity with in-place
+        // destinations reproduces the PACC result exactly and finds one
+        // better for PADD (8): the unit merging forecloses one order.
+        let (pacc_peak, _) = pacc_graph().optimal_order(AllocPolicy::InPlace);
+        assert_eq!(pacc_peak, 7);
+        let (padd_peak, _) = padd_graph().optimal_order(AllocPolicy::InPlace);
+        assert!(padd_peak <= 9, "paper-level bound");
+        assert_eq!(padd_peak, 8, "finer-grained search improves on the paper");
+    }
+
+    #[test]
+    fn pdbl_graphs_are_schedulable() {
+        for a_zero in [true, false] {
+            let g = pdbl_graph(a_zero);
+            let (opt, order) = g.optimal_order(AllocPolicy::InPlace);
+            let prog = g.pressure_of(&g.program_order(), AllocPolicy::InPlace);
+            assert!(opt <= prog.peak_live);
+            assert_eq!(g.pressure_of(&order, AllocPolicy::InPlace).peak_live, opt);
+        }
+    }
+}

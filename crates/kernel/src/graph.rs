@@ -1,0 +1,495 @@
+//! Operation DAGs for big-integer arithmetic sequences.
+//!
+//! A point addition is a short straight-line program over big integers.
+//! §4.2 of the paper minimises its *peak number of concurrently live big
+//! integers* — each live big integer costs `limbs32` GPU registers — by
+//! searching over topological orders. This module provides the DAG
+//! representation, liveness evaluation for a given order, and an exact
+//! minimum-peak search (dynamic programming over downward-closed sets,
+//! equivalent to the paper's brute force over its 12 scheduling units but
+//! run at single-operation granularity).
+
+use std::collections::HashMap;
+
+/// Variable identifier within one [`OpGraph`] (SSA: defined at most once).
+pub type VarId = usize;
+
+/// The arithmetic flavour of an operation.
+///
+/// Multiplications matter for liveness: a Montgomery multiply needs one
+/// temporary big integer for its intermediate product (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Montgomery modular multiplication (or squaring).
+    Mul,
+    /// Modular addition.
+    Add,
+    /// Modular subtraction.
+    Sub,
+}
+
+/// One operation: `dest = src[0] ∘ src[1]`.
+#[derive(Clone, Debug)]
+pub struct Op {
+    /// Destination variable (SSA).
+    pub dest: VarId,
+    /// Source variables (one for squarings written as `x*x`, usually two).
+    pub srcs: Vec<VarId>,
+    /// Arithmetic flavour.
+    pub kind: OpKind,
+    /// Human-readable form, e.g. `"PP = P * P"`.
+    pub label: String,
+}
+
+/// A straight-line program over big integers in SSA form.
+#[derive(Clone, Debug)]
+pub struct OpGraph {
+    names: Vec<String>,
+    inputs: Vec<VarId>,
+    outputs: Vec<VarId>,
+    ops: Vec<Op>,
+}
+
+/// Builder for [`OpGraph`]s; variables are introduced by name.
+#[derive(Default)]
+pub struct OpGraphBuilder {
+    names: Vec<String>,
+    inputs: Vec<VarId>,
+    outputs: Vec<VarId>,
+    ops: Vec<Op>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl OpGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an input variable live at program start.
+    pub fn input(&mut self, name: &str) -> VarId {
+        let id = self.fresh(name);
+        self.inputs.push(id);
+        id
+    }
+
+    fn fresh(&mut self, name: &str) -> VarId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "variable {name} already defined (use SSA names)"
+        );
+        let id = self.names.len();
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    fn resolve(&self, name: &str) -> VarId {
+        *self
+            .by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown variable {name}"))
+    }
+
+    /// Appends `dest = a ∘ b`, defining `dest`.
+    pub fn op(&mut self, dest: &str, kind: OpKind, a: &str, b: &str) -> VarId {
+        let sa = self.resolve(a);
+        let sb = self.resolve(b);
+        let d = self.fresh(dest);
+        let sym = match kind {
+            OpKind::Mul => "*",
+            OpKind::Add => "+",
+            OpKind::Sub => "-",
+        };
+        self.ops.push(Op {
+            dest: d,
+            srcs: vec![sa, sb],
+            kind,
+            label: format!("{dest} = {a} {sym} {b}"),
+        });
+        d
+    }
+
+    /// Marks a variable as a program output (live at the end).
+    pub fn output(&mut self, name: &str) {
+        let id = self.resolve(name);
+        self.outputs.push(id);
+    }
+
+    /// Finalises the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operation reads an undefined variable (cannot happen
+    /// through this builder) or an output was never defined.
+    pub fn build(self) -> OpGraph {
+        OpGraph {
+            names: self.names,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            ops: self.ops,
+        }
+    }
+}
+
+/// Register-allocation policy used when counting live big integers.
+///
+/// The paper's "straightforward implementation" numbers (11 for PADD, 9
+/// for PACC) materialise every destination in a fresh register
+/// ([`AllocPolicy::Fresh`]). Its optimised schedules additionally write
+/// destinations in place over sources that die at the same operation
+/// ([`AllocPolicy::InPlace`]) — the `V = V - PPP` / `ZZacc *= PP` pattern
+/// of Algorithms 1 and 4. Multiplications under `Fresh` implicitly cover
+/// the Montgomery temporary: the product is accumulated in the
+/// destination register set before the final reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Every destination occupies a new register set.
+    Fresh,
+    /// A destination may reuse the registers of a source dying at the op.
+    InPlace,
+}
+
+/// Result of evaluating a schedule's register pressure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PressureProfile {
+    /// Peak number of concurrently live big integers (including the
+    /// Montgomery temporary during multiplications).
+    pub peak_live: usize,
+    /// Live count in effect during each scheduled operation.
+    pub per_op_live: Vec<usize>,
+}
+
+impl OpGraph {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program (textbook) order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Variable name lookup.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v]
+    }
+
+    /// Input variables (live at program start).
+    pub fn inputs(&self) -> &[VarId] {
+        &self.inputs
+    }
+
+    /// Output variables (live at program end).
+    pub fn outputs(&self) -> &[VarId] {
+        &self.outputs
+    }
+
+    /// Number of multiplication operations (the paper's "modular
+    /// multiplication" counts: 14 for PADD, 10 for PACC).
+    pub fn mul_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind == OpKind::Mul).count()
+    }
+
+    /// Number of addition/subtraction operations.
+    pub fn addsub_count(&self) -> usize {
+        self.ops.len() - self.mul_count()
+    }
+
+    fn consumers_masks(&self) -> Vec<u64> {
+        let mut masks = vec![0u64; self.names.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            for &s in &op.srcs {
+                masks[s] |= 1 << i;
+            }
+        }
+        masks
+    }
+
+    fn def_op(&self) -> Vec<Option<usize>> {
+        let mut defs = vec![None; self.names.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            defs[op.dest] = Some(i);
+        }
+        defs
+    }
+
+    fn output_mask(&self) -> Vec<bool> {
+        let mut out = vec![false; self.names.len()];
+        for &o in &self.outputs {
+            out[o] = true;
+        }
+        out
+    }
+
+    fn dep_masks(&self) -> Vec<u64> {
+        // For op i: bitmask of ops that must precede it (defs of its srcs).
+        let defs = self.def_op();
+        self.ops
+            .iter()
+            .map(|op| {
+                let mut m = 0u64;
+                for &s in &op.srcs {
+                    if let Some(d) = defs[s] {
+                        m |= 1 << d;
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+
+    /// Live-variable count *during* op `next`, given the set `done` of
+    /// completed ops (bitmask): all live-before variables (sources
+    /// included) plus the destination, unless the policy allows the
+    /// destination to reuse a dying source's registers.
+    fn live_during(
+        &self,
+        done: u64,
+        next: usize,
+        consumers: &[u64],
+        defs: &[Option<usize>],
+        outs: &[bool],
+        policy: AllocPolicy,
+    ) -> usize {
+        let mut live = 0usize;
+        for v in 0..self.names.len() {
+            let defined = match defs[v] {
+                None => true, // input
+                Some(d) => done & (1 << d) != 0,
+            };
+            if !defined {
+                continue;
+            }
+            let needed = outs[v] || consumers[v] & !done != 0;
+            if needed {
+                live += 1;
+            }
+        }
+        let op = &self.ops[next];
+        let after = done | (1 << next);
+        let src_dies = op
+            .srcs
+            .iter()
+            .any(|&s| !outs[s] && consumers[s] & !after == 0);
+        let extra = match policy {
+            AllocPolicy::Fresh => 1,
+            AllocPolicy::InPlace => usize::from(!src_dies),
+        };
+        live + extra
+    }
+
+    /// Evaluates the register pressure of a given schedule (a permutation
+    /// of op indices respecting dependencies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a valid topological order of the graph.
+    pub fn pressure_of(&self, order: &[usize], policy: AllocPolicy) -> PressureProfile {
+        assert_eq!(order.len(), self.ops.len(), "order must cover all ops");
+        let consumers = self.consumers_masks();
+        let defs = self.def_op();
+        let outs = self.output_mask();
+        let deps = self.dep_masks();
+        let mut done = 0u64;
+        let mut per_op_live = Vec::with_capacity(order.len());
+        let mut peak = 0usize;
+        for &i in order {
+            assert_eq!(done & (1 << i), 0, "op {i} scheduled twice");
+            assert_eq!(deps[i] & !done, 0, "op {i} scheduled before its inputs");
+            let l = self.live_during(done, i, &consumers, &defs, &outs, policy);
+            per_op_live.push(l);
+            peak = peak.max(l);
+            done |= 1 << i;
+        }
+        PressureProfile {
+            peak_live: peak,
+            per_op_live,
+        }
+    }
+
+    /// The textbook order (as written in the paper's algorithm listings).
+    pub fn program_order(&self) -> Vec<usize> {
+        (0..self.ops.len()).collect()
+    }
+
+    /// Exact minimum peak pressure over **all** topological orders, with a
+    /// witness order. This is the paper's brute-force search (§4.2.1) made
+    /// tractable by dynamic programming over downward-closed op sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 63 operations.
+    pub fn optimal_order(&self, policy: AllocPolicy) -> (usize, Vec<usize>) {
+        let n = self.ops.len();
+        assert!(n <= 63, "optimal_order supports at most 63 operations");
+        let consumers = self.consumers_masks();
+        let defs = self.def_op();
+        let outs = self.output_mask();
+        let deps = self.dep_masks();
+        let full: u64 = if n == 64 { !0 } else { (1 << n) - 1 };
+
+        // memo: done-set -> minimal achievable peak for the remaining ops
+        let mut memo: HashMap<u64, usize> = HashMap::new();
+        // best-choice memo for order reconstruction
+        let mut choice: HashMap<u64, usize> = HashMap::new();
+
+        #[allow(clippy::too_many_arguments)]
+        fn solve(
+            g: &OpGraph,
+            done: u64,
+            full: u64,
+            deps: &[u64],
+            consumers: &[u64],
+            defs: &[Option<usize>],
+            outs: &[bool],
+            policy: AllocPolicy,
+            memo: &mut HashMap<u64, usize>,
+            choice: &mut HashMap<u64, usize>,
+        ) -> usize {
+            if done == full {
+                return 0;
+            }
+            if let Some(&v) = memo.get(&done) {
+                return v;
+            }
+            let mut best = usize::MAX;
+            let mut best_op = usize::MAX;
+            for i in 0..g.ops.len() {
+                if done & (1 << i) != 0 || deps[i] & !done != 0 {
+                    continue;
+                }
+                let here = g.live_during(done, i, consumers, defs, outs, policy);
+                let rest = solve(
+                    g,
+                    done | (1 << i),
+                    full,
+                    deps,
+                    consumers,
+                    defs,
+                    outs,
+                    policy,
+                    memo,
+                    choice,
+                );
+                let peak = here.max(rest);
+                if peak < best {
+                    best = peak;
+                    best_op = i;
+                }
+            }
+            memo.insert(done, best);
+            choice.insert(done, best_op);
+            best
+        }
+
+        let peak = solve(
+            self, 0, full, &deps, &consumers, &defs, &outs, policy, &mut memo, &mut choice,
+        );
+        // reconstruct
+        let mut order = Vec::with_capacity(n);
+        let mut done = 0u64;
+        while done != full {
+            let i = choice[&done];
+            order.push(i);
+            done |= 1 << i;
+        }
+        (peak, order)
+    }
+}
+
+impl core::fmt::Display for OpGraph {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for op in &self.ops {
+            writeln!(f, "{}", op.label)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// c = a*b; d = c + a; output d — trivial chain.
+    fn tiny() -> OpGraph {
+        let mut b = OpGraphBuilder::new();
+        b.input("a");
+        b.input("b");
+        b.op("c", OpKind::Mul, "a", "b");
+        b.op("d", OpKind::Add, "c", "a");
+        b.output("d");
+        b.build()
+    }
+
+    #[test]
+    fn tiny_pressure() {
+        let g = tiny();
+        let p = g.pressure_of(&g.program_order(), AllocPolicy::Fresh);
+        // during mul: a, b live + c = 3; during add: a, c live + d = 3
+        assert_eq!(p.peak_live, 3);
+        assert_eq!(p.per_op_live, vec![3, 3]);
+        let q = g.pressure_of(&g.program_order(), AllocPolicy::InPlace);
+        // b dies at the mul and c at the add, so both dests reuse registers
+        assert_eq!(q.per_op_live, vec![2, 2]);
+    }
+
+    #[test]
+    fn optimal_no_worse_than_program_order() {
+        let g = tiny();
+        let (peak, order) = g.optimal_order(AllocPolicy::Fresh);
+        assert!(peak <= g.pressure_of(&g.program_order(), AllocPolicy::Fresh).peak_live);
+        assert_eq!(g.pressure_of(&order, AllocPolicy::Fresh).peak_live, peak);
+    }
+
+    #[test]
+    fn diamond_ordering_matters() {
+        // Two independent chains merging: scheduling them interleaved vs
+        // sequentially changes the peak.
+        let mut b = OpGraphBuilder::new();
+        b.input("x");
+        b.input("y");
+        b.op("p1", OpKind::Mul, "x", "x");
+        b.op("p2", OpKind::Mul, "y", "y");
+        b.op("q1", OpKind::Mul, "p1", "p1");
+        b.op("q2", OpKind::Mul, "p2", "p2");
+        b.op("r", OpKind::Add, "q1", "q2");
+        b.output("r");
+        let g = b.build();
+        let (opt, order) = g.optimal_order(AllocPolicy::InPlace);
+        let prog = g.pressure_of(&g.program_order(), AllocPolicy::InPlace).peak_live;
+        assert!(opt <= prog);
+        assert_eq!(g.pressure_of(&order, AllocPolicy::InPlace).peak_live, opt);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled before its inputs")]
+    fn invalid_order_rejected() {
+        let g = tiny();
+        g.pressure_of(&[1, 0], AllocPolicy::Fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn ssa_enforced() {
+        let mut b = OpGraphBuilder::new();
+        b.input("a");
+        b.op("c", OpKind::Mul, "a", "a");
+        b.op("c", OpKind::Add, "a", "a");
+    }
+
+    #[test]
+    fn counts() {
+        let g = tiny();
+        assert_eq!(g.mul_count(), 1);
+        assert_eq!(g.addsub_count(), 1);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+}

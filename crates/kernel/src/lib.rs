@@ -1,0 +1,42 @@
+//! # distmsm-kernel — EC arithmetic kernel model
+//!
+//! The GPU-kernel-level half of the DistMSM reproduction (§4 of the
+//! paper), implemented as analysable models rather than CUDA:
+//!
+//! * [`graph`] — operation DAGs for PADD/PACC/PDBL with exact
+//!   minimum-peak-liveness scheduling (the paper's §4.2.1 brute force);
+//! * [`formulas`] — the paper's Algorithm 1 / Algorithm 4 / doubling
+//!   straight-line programs;
+//! * [`spill`] — explicit register spilling to shared memory (§4.2.2)
+//!   with Belady eviction;
+//! * [`tensor`] — Montgomery multiplication on simulated tensor cores
+//!   (§4.3): banded byte matrices, the warp column shuffle, on-the-fly
+//!   45-bit compaction — validated bit-exactly against the u32 SOS kernel;
+//! * [`profile`] — synthesis of registers/shared-memory/op-cost profiles
+//!   per curve and optimisation set (the Figure 12 waterfall).
+//!
+//! ## Example
+//!
+//! ```
+//! use distmsm_kernel::formulas::pacc_graph;
+//! use distmsm_kernel::graph::AllocPolicy;
+//!
+//! let g = pacc_graph();
+//! let straightforward = g.pressure_of(&g.program_order(), AllocPolicy::Fresh);
+//! let (optimal, _) = g.optimal_order(AllocPolicy::InPlace);
+//! assert_eq!(straightforward.peak_live, 9); // paper §4.2
+//! assert_eq!(optimal, 7);                   // paper §4.2.1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod formulas;
+pub mod graph;
+pub mod profile;
+pub mod spill;
+pub mod tensor;
+
+pub use graph::{AllocPolicy, OpGraph, OpGraphBuilder, OpKind};
+pub use profile::{EcKernelModel, PaddOptimizations};
+pub use spill::{spill_schedule, SpillSchedule};
+pub use tensor::TcMontgomery;

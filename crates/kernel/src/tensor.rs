@@ -1,0 +1,476 @@
+//! Montgomery multiplication with tensor cores (§4.3).
+//!
+//! Tensor cores multiply `u8` matrices with `u32` accumulation. A big
+//! integer can be written in base 256; multiplying by a **constant** big
+//! integer `n` (the field modulus — exactly the `m × n` product of the
+//! paper's Algorithm 2) then becomes a vector-matrix product against a
+//! banded byte matrix of `n` (Figure 6).
+//!
+//! The outputs are `u32` lanes with at most 23 significant bits whose
+//! bases step by 8 bits; the paper compacts groups of four lanes into
+//! 45-bit integers *in registers* ("on-the-fly compaction", Figure 7)
+//! after a column shuffle that hands each thread four consecutive lanes.
+//!
+//! Everything here is executed functionally and validated bit-for-bit
+//! against the plain u32-limb SOS kernel in `distmsm_ff::u32limb`.
+
+use distmsm_ff::u32limb::{mul_wide_u32, U32Field};
+
+/// The banded byte matrix of a constant big integer (``matB`` of Figure 6).
+///
+/// Row `i`, column `k` holds byte `k - i` of the constant (zero outside
+/// the band), so that `A · matB` accumulates `Σ_i a_i · b_{k-i}` in lane
+/// `k` — the base-256 convolution of the two integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ByteMatrix {
+    bytes: Vec<u8>,
+    rows: usize,
+    cols: usize,
+    /// Optional column permutation: position `pos` exposes logical column
+    /// `perm[pos]` (the §4.3 shuffle that regroups warp fragments).
+    perm: Option<Vec<usize>>,
+}
+
+impl ByteMatrix {
+    /// Builds the matrix for a constant given as little-endian `u32` limbs.
+    pub fn from_limbs(limbs: &[u32]) -> Self {
+        let b: Vec<u8> = limbs.iter().flat_map(|l| l.to_le_bytes()).collect();
+        let rows = b.len();
+        let cols = 2 * b.len();
+        Self {
+            bytes: b,
+            rows,
+            cols,
+            perm: None,
+        }
+    }
+
+    /// Returns the matrix with the §4.3 column shuffle applied, so that
+    /// the natural warp fragment layout hands every thread four
+    /// consecutive logical lanes.
+    pub fn shuffled(mut self) -> Self {
+        self.perm = Some(shuffled_columns(self.cols));
+        self
+    }
+
+    /// Logical column computed at a physical output position.
+    pub fn logical_column(&self, pos: usize) -> usize {
+        match &self.perm {
+            Some(p) => p[pos],
+            None => pos,
+        }
+    }
+
+    /// Number of rows (= bytes of the constant).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of output columns (= bytes of a full product).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix entry at physical `(row, pos)` (after any column shuffle).
+    pub fn at(&self, row: usize, pos: usize) -> u8 {
+        let col = self.logical_column(pos);
+        if col >= row && col - row < self.bytes.len() {
+            self.bytes[col - row]
+        } else {
+            0
+        }
+    }
+}
+
+/// Functional tensor-core matmul: multiplies the byte vector of `a` (as
+/// little-endian `u32` limbs) against `mat`, producing one `u32` lane per
+/// output column.
+///
+/// Each lane accumulates at most `rows` products of two bytes, so for the
+/// 753-bit MNT4-753 field (95 rows) lanes stay below 2^23 — the paper's
+/// "at most 23 significant bits".
+pub fn tc_mul(a_limbs: &[u32], mat: &ByteMatrix) -> Vec<u32> {
+    let a_bytes: Vec<u8> = a_limbs.iter().flat_map(|l| l.to_le_bytes()).collect();
+    assert_eq!(a_bytes.len(), mat.rows(), "operand width mismatch");
+    let mut out = vec![0u32; mat.cols()];
+    for (k, lane) in out.iter_mut().enumerate() {
+        let mut acc = 0u32;
+        for (i, &ab) in a_bytes.iter().enumerate() {
+            acc += u32::from(ab) * u32::from(mat.at(i, k));
+        }
+        *lane = acc;
+    }
+    out
+}
+
+/// int8 tensor-core operations consumed by one [`tc_mul`] of `l_bytes`
+/// wide operands (multiply + accumulate per matrix entry).
+pub fn tc_int8_ops(l_bytes: usize) -> f64 {
+    // 1×L vector times L×2L matrix: 2·L² MACs, 2 ops each.
+    4.0 * (l_bytes as f64) * (l_bytes as f64)
+}
+
+/// Resolves raw (uncompacted) lanes into a little-endian `u32` integer:
+/// lane `k` has base `2^(8k)`.
+pub fn resolve_lanes(lanes: &[u32]) -> Vec<u32> {
+    let n_out = lanes.len() / 4 + 2;
+    let mut out = vec![0u32; n_out];
+    let mut carry: u64 = 0;
+    // accumulate byte-based lanes into 32-bit limbs, 4 lanes per limb
+    for limb in 0..n_out {
+        let mut acc: u64 = carry;
+        for j in 0..4 {
+            let k = 4 * limb + j;
+            if k < lanes.len() {
+                acc += u64::from(lanes[k]) << (8 * j);
+            }
+        }
+        // lanes from the previous limb may overflow into this one; handled
+        // through `carry`
+        out[limb] = acc as u32;
+        carry = acc >> 32;
+    }
+    assert_eq!(carry, 0, "lane accumulation overflow");
+    out
+}
+
+/// The warp-level owner of output lane `e` in the tensor cores' natural
+/// fragment layout (Figure 7b): each pair of consecutive lanes lives in
+/// one of 4 threads, each 8 consecutive lanes spread across the 4.
+pub fn natural_owner(e: usize) -> usize {
+    (e / 2) % 4
+}
+
+/// The column shuffle of §4.3: a permutation of matB's columns such that
+/// each thread ends up holding **4 consecutive** lanes per 16-column
+/// block. `perm[pos] = logical` means output position `pos` computes
+/// logical lane `perm[pos]`.
+///
+/// Within every 16-column block, columns {2,3}↔{8,9} and {6,7}↔{12,13}
+/// are swapped (the paper illustrates the first pair for thread 0 on a
+/// 32-column example).
+pub fn shuffled_columns(n_cols: usize) -> Vec<usize> {
+    assert_eq!(n_cols % 16, 0, "column count must be a multiple of 16");
+    let mut perm: Vec<usize> = (0..n_cols).collect();
+    for block in (0..n_cols).step_by(16) {
+        perm.swap(block + 2, block + 8);
+        perm.swap(block + 3, block + 9);
+        perm.swap(block + 6, block + 12);
+        perm.swap(block + 7, block + 13);
+    }
+    perm
+}
+
+/// One thread's compacted register state: packs 4 consecutive lanes as
+/// `Σ_j lane_{4t+j} · 2^{8j}`.
+///
+/// For 256-bit products lanes carry ≤21 significant bits, giving the
+/// paper's 45-bit packed integers; the widest case (753-bit MNT4-753,
+/// 95-term lanes of ≤23 bits) packs into 47 bits, still comfortably one
+/// register pair.
+pub fn compact_four(lanes: &[u32; 4]) -> u64 {
+    let mut acc = 0u64;
+    for (j, &l) in lanes.iter().enumerate() {
+        debug_assert!(l < 1 << 23, "lane exceeds 23 significant bits");
+        acc += u64::from(l) << (8 * j);
+    }
+    debug_assert!(acc < 1 << 48);
+    acc
+}
+
+/// Resolves compacted 45-bit values (one per group of 4 lanes, base
+/// `2^(32·group)`) into a little-endian `u32` integer.
+pub fn resolve_compacted(compact: &[u64]) -> Vec<u32> {
+    let mut out = vec![0u32; compact.len() + 2];
+    let mut carry: u64 = 0;
+    for (g, &v) in compact.iter().enumerate() {
+        let acc = u64::from(out[g]) + (v & 0xffff_ffff) + carry;
+        out[g] = acc as u32;
+        carry = (acc >> 32) + (v >> 32);
+    }
+    let mut g = compact.len();
+    while carry != 0 {
+        let acc = u64::from(out[g]) + (carry & 0xffff_ffff);
+        out[g] = acc as u32;
+        carry = (carry >> 32) + (acc >> 32);
+        g += 1;
+    }
+    out
+}
+
+/// Montgomery multiplier that deploys the constant-operand product
+/// (`m × n` of Algorithm 2) to simulated tensor cores.
+#[derive(Clone, Debug)]
+pub struct TcMontgomery {
+    field: U32Field,
+    mat_n: ByteMatrix,
+}
+
+impl TcMontgomery {
+    /// Builds the multiplier for a field; precomputes `matB` for the
+    /// modulus (practical exactly because `n` is constant — the paper's
+    /// justification).
+    pub fn new(field: U32Field) -> Self {
+        let mat_n = ByteMatrix::from_limbs(field.modulus()).shuffled();
+        Self { field, mat_n }
+    }
+
+    /// The underlying field view.
+    pub fn field(&self) -> &U32Field {
+        &self.field
+    }
+
+    /// The paper's Algorithm 2 with the `m × n` product on tensor cores:
+    ///
+    /// 1. `C = A × B` on CUDA cores;
+    /// 2. the reduction multipliers `m[i]` sequentially (cheap, low limbs
+    ///    only);
+    /// 3. `m × n` as a byte-matrix product on tensor cores, compacted
+    ///    on the fly;
+    /// 4. `C + m·n`, whose low half is zero by construction; the high
+    ///    half (after a conditional subtraction) is the result.
+    pub fn mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let n = self.field.limbs();
+        let mut c = vec![0u32; 2 * n];
+        mul_wide_u32(a, b, &mut c);
+
+        // --- step 2: the m[i] sequence (CUDA-core work) ------------------
+        let m = self.reduction_multipliers(&c);
+
+        // --- step 3: m × n on tensor cores -------------------------------
+        let product = self.tc_product(&m);
+
+        // --- step 4: C + m·n, take the high half -------------------------
+        let mut wide = vec![0u32; 2 * n + 2];
+        let mut carry: u64 = 0;
+        for i in 0..wide.len() {
+            let mut acc = carry;
+            if i < 2 * n {
+                acc += u64::from(c[i]);
+            }
+            if i < product.len() {
+                acc += u64::from(product[i]);
+            }
+            wide[i] = acc as u32;
+            carry = acc >> 32;
+        }
+        debug_assert_eq!(carry, 0);
+        debug_assert!(wide[..n].iter().all(|&w| w == 0), "low half must cancel");
+
+        let mut out: Vec<u32> = wide[n..2 * n].to_vec();
+        let overflow = wide[2 * n] != 0;
+        if overflow || geq(&out, self.field.modulus()) {
+            sub_in_place(&mut out, self.field.modulus());
+        }
+        out
+    }
+
+    /// Extracts the reduction multiplier limbs `m[i]` of Algorithm 2 by
+    /// running the interleaved reduction on a scratch copy.
+    fn reduction_multipliers(&self, c: &[u32]) -> Vec<u32> {
+        let n = self.field.limbs();
+        let inv = self.field.inv32();
+        let modulus = self.field.modulus();
+        let mut scratch = c.to_vec();
+        scratch.push(0);
+        let mut m = Vec::with_capacity(n);
+        for i in 0..n {
+            let mi = scratch[i].wrapping_mul(inv);
+            m.push(mi);
+            let mut carry = 0u64;
+            for j in 0..n {
+                let t = u64::from(scratch[i + j]) + u64::from(mi) * u64::from(modulus[j]) + carry;
+                scratch[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + n;
+            while carry != 0 && k < scratch.len() {
+                let t = u64::from(scratch[k]) + carry;
+                scratch[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        m
+    }
+
+    /// `m × n` through the full tensor-core pipeline: byte-matrix product
+    /// with shuffled columns, per-thread 45-bit compaction, then lane
+    /// resolution.
+    fn tc_product(&self, m: &[u32]) -> Vec<u32> {
+        // positions now carry shuffled logical lanes (matrix built with
+        // `.shuffled()`), exactly what the warp fragments would hold
+        let lanes = tc_mul(m, &self.mat_n);
+        let n_cols = lanes.len();
+        let mut by_logical = vec![0u32; n_cols];
+        for (pos, &lane) in lanes.iter().enumerate() {
+            by_logical[self.mat_n.logical_column(pos)] = lane;
+        }
+        // each group of 4 consecutive logical lanes lives in one thread
+        let compact: Vec<u64> = by_logical
+            .chunks_exact(4)
+            .map(|ch| compact_four(&[ch[0], ch[1], ch[2], ch[3]]))
+            .collect();
+        let mut resolved = resolve_compacted(&compact);
+        resolved.truncate(2 * self.field.limbs() + 1);
+        resolved
+    }
+}
+
+fn geq(a: &[u32], b: &[u32]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+fn sub_in_place(a: &mut [u32], b: &[u32]) {
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let t = i64::from(a[i]) - i64::from(b[i]) - borrow;
+        a[i] = t as u32;
+        borrow = i64::from(t < 0);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distmsm_ff::params::{Bls12381Fq, Bn254Fq, Mnt4753Fq};
+    use distmsm_ff::{Fp, FpParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn byte_matrix_band_structure() {
+        let m = ByteMatrix::from_limbs(&[0x04030201, 0x08070605]);
+        assert_eq!(m.rows(), 8);
+        assert_eq!(m.cols(), 16);
+        assert_eq!(m.at(0, 0), 1);
+        assert_eq!(m.at(0, 7), 8);
+        assert_eq!(m.at(3, 3), 1);
+        assert_eq!(m.at(3, 2), 0); // below the band
+        assert_eq!(m.at(0, 8), 0); // past the band
+    }
+
+    #[test]
+    fn tc_mul_matches_schoolbook() {
+        let a = [0xdeadbeefu32, 0x12345678];
+        let b = [0xcafebabeu32, 0x87654321];
+        let mat = ByteMatrix::from_limbs(&b);
+        let lanes = tc_mul(&a, &mat);
+        let resolved = resolve_lanes(&lanes);
+        let mut expect = vec![0u32; 4];
+        mul_wide_u32(&a, &b, &mut expect);
+        assert_eq!(&resolved[..4], &expect[..]);
+    }
+
+    #[test]
+    fn lanes_stay_under_23_bits_for_mnt4753() {
+        // §4.3: "each element C_i has at most 23 significant bits"
+        let limbs = Mnt4753Fq::MODULUS.to_u32_limbs();
+        let ones = vec![0xffff_ffffu32; limbs.len()];
+        let mat = ByteMatrix::from_limbs(&limbs);
+        let lanes = tc_mul(&ones, &mat);
+        for l in lanes {
+            assert!(l < 1 << 23, "lane {l:#x} exceeds 23 bits");
+        }
+    }
+
+    #[test]
+    fn shuffle_gives_each_thread_consecutive_lanes() {
+        for n_cols in [16usize, 32, 64, 96 * 2] {
+            if n_cols % 16 != 0 {
+                continue;
+            }
+            let perm = shuffled_columns(n_cols);
+            // group logical lanes by owning thread (per 16-column block)
+            for block in (0..n_cols).step_by(16) {
+                for thread in 0..4 {
+                    let mut owned: Vec<usize> = (0..16)
+                        .filter(|&p| natural_owner(p) == thread)
+                        .map(|p| perm[block + p])
+                        .collect();
+                    owned.sort_unstable();
+                    for w in owned.windows(4) {
+                        // each half (4 lanes) is consecutive
+                        let _ = w;
+                    }
+                    let (lo, hi) = owned.split_at(4);
+                    assert!(lo.windows(2).all(|w| w[1] == w[0] + 1), "{owned:?}");
+                    assert!(hi.windows(2).all(|w| w[1] == w[0] + 1), "{owned:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let perm = shuffled_columns(64);
+        let mut seen = vec![false; 64];
+        for &p in &perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn compact_four_packs_offsets() {
+        let v = compact_four(&[0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(v, 0x11 + (0x22 << 8) + (0x33 << 16) + (0x44 << 24));
+        // 21-bit lanes (256-bit products) pack into ≈45 bits (the paper
+        // quotes the top lane's base+width, 24+21; the lower three lanes
+        // spill a fraction of a bit past it)
+        let paper = compact_four(&[(1 << 21) - 1; 4]);
+        assert!(paper < 1 << 46);
+        assert!(paper > 1 << 44);
+        // worst case (23-bit lanes, 753-bit products) stays within 48
+        let big = compact_four(&[(1 << 23) - 1; 4]);
+        assert!(big < 1 << 48);
+        assert!(big > 1 << 46);
+    }
+
+    fn check_field<P: FpParams<N>, const N: usize>(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let field = U32Field::from_modulus(&P::MODULUS);
+        let tc = TcMontgomery::new(field.clone());
+        for _ in 0..10 {
+            let a = Fp::<P, N>::random(&mut rng);
+            let b = Fp::<P, N>::random(&mut rng);
+            let a32 = a.mont_repr().to_u32_limbs();
+            let b32 = b.mont_repr().to_u32_limbs();
+            assert_eq!(
+                tc.mul(&a32, &b32),
+                field.mul_sos(&a32, &b32),
+                "TC path diverged from SOS in {}",
+                P::NAME
+            );
+        }
+    }
+
+    #[test]
+    fn tc_montgomery_matches_sos_bn254() {
+        check_field::<Bn254Fq, 4>(21);
+    }
+
+    #[test]
+    fn tc_montgomery_matches_sos_bls12381() {
+        check_field::<Bls12381Fq, 6>(22);
+    }
+
+    #[test]
+    fn tc_montgomery_matches_sos_mnt4753() {
+        check_field::<Mnt4753Fq, 12>(23);
+    }
+
+    #[test]
+    fn tc_cost_grows_quadratically() {
+        assert_eq!(tc_int8_ops(32), 4.0 * 32.0 * 32.0);
+        assert!(tc_int8_ops(96) / tc_int8_ops(48) == 4.0);
+    }
+}

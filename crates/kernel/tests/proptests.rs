@@ -1,0 +1,99 @@
+//! Property tests for the kernel model: scheduling optimality, spill
+//! soundness and tensor-core arithmetic over random inputs.
+
+use distmsm_ff::params::{Bls12377Fq, Bn254Fq};
+use distmsm_ff::u32limb::{mul_wide_u32, U32Field};
+use distmsm_ff::{Fp, FpParams, Uint};
+use distmsm_kernel::formulas::{pacc_graph, padd_graph, pdbl_graph};
+use distmsm_kernel::graph::{AllocPolicy, OpGraph};
+use distmsm_kernel::spill::spill_schedule;
+use distmsm_kernel::tensor::{resolve_lanes, tc_mul, ByteMatrix, TcMontgomery};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Draws a random valid topological order of a graph by repeatedly
+/// picking among the ready ops.
+fn random_topo_order(g: &OpGraph, seed: u64) -> Vec<usize> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ops = g.ops();
+    let mut placed = vec![false; ops.len()];
+    let mut defined: Vec<bool> = vec![true; 1 << 8]; // var defined flags (generous)
+    for op in ops {
+        defined[op.dest] = false;
+    }
+    let mut order = Vec::with_capacity(ops.len());
+    while order.len() < ops.len() {
+        let ready: Vec<usize> = (0..ops.len())
+            .filter(|&i| !placed[i] && ops[i].srcs.iter().all(|&s| defined[s]))
+            .collect();
+        let pick = ready[rng.random_range(0..ready.len())];
+        placed[pick] = true;
+        defined[ops[pick].dest] = true;
+        order.push(pick);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimal_order_is_a_lower_bound(seed in 0u64..10_000) {
+        for g in [pacc_graph(), padd_graph(), pdbl_graph(true), pdbl_graph(false)] {
+            let order = random_topo_order(&g, seed);
+            for policy in [AllocPolicy::Fresh, AllocPolicy::InPlace] {
+                let random_peak = g.pressure_of(&order, policy).peak_live;
+                let (opt, _) = g.optimal_order(policy);
+                prop_assert!(opt <= random_peak, "optimal {opt} > sampled {random_peak}");
+            }
+        }
+    }
+
+    #[test]
+    fn spill_respects_budget_for_any_order(seed in 0u64..10_000, slack in 0usize..3) {
+        let g = pacc_graph();
+        let order = random_topo_order(&g, seed);
+        let peak = g.pressure_of(&order, AllocPolicy::InPlace).peak_live;
+        let budget = (peak - slack.min(peak - 3)).max(3);
+        if let Ok(s) = spill_schedule(&g, &order, budget, AllocPolicy::InPlace) {
+            prop_assert!(s.reg_peak <= budget);
+            if budget >= peak {
+                prop_assert_eq!(s.transfers, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tc_mul_equals_schoolbook(a in prop::collection::vec(any::<u32>(), 8),
+                                b in prop::collection::vec(any::<u32>(), 8)) {
+        let mat = ByteMatrix::from_limbs(&b);
+        let lanes = tc_mul(&a, &mat);
+        let resolved = resolve_lanes(&lanes);
+        let mut expect = vec![0u32; 16];
+        mul_wide_u32(&a, &b, &mut expect);
+        prop_assert_eq!(&resolved[..16], &expect[..]);
+    }
+
+    #[test]
+    fn tc_montgomery_matches_sos(a0 in any::<u64>(), a1 in any::<u64>(),
+                                 b0 in any::<u64>(), b1 in any::<u64>()) {
+        fn to_elem<P: FpParams<N>, const N: usize>(l0: u64, l1: u64) -> Vec<u32> {
+            let mut limbs = [0u64; N];
+            limbs[0] = l0;
+            limbs[1] = l1;
+            Fp::<P, N>::from_uint(&Uint(limbs)).mont_repr().to_u32_limbs()
+        }
+        let field = U32Field::from_modulus(&Bn254Fq::MODULUS);
+        let tc = TcMontgomery::new(field.clone());
+        let a = to_elem::<Bn254Fq, 4>(a0, a1);
+        let b = to_elem::<Bn254Fq, 4>(b0, b1);
+        prop_assert_eq!(tc.mul(&a, &b), field.mul_sos(&a, &b));
+
+        let field377 = U32Field::from_modulus(&Bls12377Fq::MODULUS);
+        let tc377 = TcMontgomery::new(field377.clone());
+        let a = to_elem::<Bls12377Fq, 6>(a0, a1);
+        let b = to_elem::<Bls12377Fq, 6>(b0, b1);
+        prop_assert_eq!(tc377.mul(&a, &b), field377.mul_sos(&a, &b));
+    }
+}

@@ -1,0 +1,49 @@
+//! # distmsm-zksnark — end-to-end proof-generation substrate
+//!
+//! Everything the DistMSM paper's Table 4 experiment needs beyond MSM
+//! itself, built from scratch:
+//!
+//! * [`ntt`] — radix-2 number-theoretic transforms (plain and coset) over
+//!   any two-adic field in `distmsm-ff`;
+//! * [`r1cs`] — rank-1 constraint systems with a builder and synthetic
+//!   workload circuits;
+//! * [`qap`] — R1CS → QAP quotient computation (the NTT-heavy prover
+//!   stage) with a polynomial-identity soundness check;
+//! * [`prover`] — a Groth16-shaped prover whose four MSMs run on the
+//!   simulated multi-GPU engine of the `distmsm` crate;
+//! * [`workloads`] — the Table 4 applications (Zcash-Sprout, Otti-SGD,
+//!   Zen_acc-LeNet) at their published constraint counts;
+//! * [`groth16`] — the complete Groth16 protocol (setup / prove /
+//!   **pairing-verified**) closed over the optimal ate pairing in
+//!   `distmsm-ec`.
+//!
+//! ## Example
+//!
+//! ```
+//! use distmsm_zksnark::prover::Groth16Prover;
+//! use distmsm_zksnark::r1cs::synthetic_circuit;
+//! use distmsm_ff::params::Bn254Fr;
+//! use distmsm_gpu_sim::MultiGpuSystem;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let circuit = synthetic_circuit::<Bn254Fr, 4, _>(64, &mut rng);
+//! let prover = Groth16Prover::new(MultiGpuSystem::dgx_a100(2));
+//! let outcome = prover.prove(&circuit)?;
+//! assert!(prover.verify(&outcome));
+//! # Ok::<(), distmsm::engine::MsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod groth16;
+pub mod ntt;
+pub mod poly;
+pub mod prover;
+pub mod qap;
+pub mod r1cs;
+pub mod workloads;
+
+pub use ntt::NttDomain;
+pub use prover::{Groth16Prover, Proof, ProveOutcome, ProverTiming};
+pub use r1cs::ConstraintSystem;

@@ -1,0 +1,229 @@
+//! Rank-1 Constraint Systems.
+//!
+//! The paper generates its end-to-end workloads "with the R1CS protocol"
+//! (Table 4). A constraint is `⟨A_i, z⟩ · ⟨B_i, z⟩ = ⟨C_i, z⟩` over the
+//! assignment vector `z = (1, public…, private…)`.
+
+use distmsm_ff::{Fp, FpParams};
+use rand::Rng;
+
+/// Index of a variable in the assignment vector (`0` is the constant 1).
+pub type Var = usize;
+
+/// A sparse linear combination `Σ coeff·z[var]`.
+pub type LinearCombination<P, const N: usize> = Vec<(Var, Fp<P, N>)>;
+
+/// One rank-1 constraint `⟨A,z⟩·⟨B,z⟩ = ⟨C,z⟩`.
+#[derive(Clone, Debug)]
+pub struct Constraint<P: FpParams<N>, const N: usize> {
+    /// The `A` linear combination.
+    pub a: LinearCombination<P, N>,
+    /// The `B` linear combination.
+    pub b: LinearCombination<P, N>,
+    /// The `C` linear combination.
+    pub c: LinearCombination<P, N>,
+}
+
+/// A rank-1 constraint system plus a satisfying assignment builder.
+#[derive(Clone, Debug)]
+pub struct ConstraintSystem<P: FpParams<N>, const N: usize> {
+    constraints: Vec<Constraint<P, N>>,
+    assignment: Vec<Fp<P, N>>,
+    n_public: usize,
+}
+
+impl<P: FpParams<N>, const N: usize> Default for ConstraintSystem<P, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: FpParams<N>, const N: usize> ConstraintSystem<P, N> {
+    /// An empty system (assignment starts with the constant 1).
+    pub fn new() -> Self {
+        Self {
+            constraints: Vec::new(),
+            assignment: vec![Fp::ONE],
+            n_public: 0,
+        }
+    }
+
+    /// Allocates a new witness variable with a concrete value.
+    pub fn alloc(&mut self, value: Fp<P, N>) -> Var {
+        self.assignment.push(value);
+        self.assignment.len() - 1
+    }
+
+    /// Marks the first `n` allocated variables as public inputs.
+    pub fn set_public(&mut self, n: usize) {
+        self.n_public = n;
+    }
+
+    /// Number of public inputs.
+    pub fn n_public(&self) -> usize {
+        self.n_public
+    }
+
+    /// The constant-one variable.
+    pub fn one() -> Var {
+        0
+    }
+
+    /// Adds the constraint `⟨a,z⟩·⟨b,z⟩ = ⟨c,z⟩`.
+    pub fn enforce(
+        &mut self,
+        a: LinearCombination<P, N>,
+        b: LinearCombination<P, N>,
+        c: LinearCombination<P, N>,
+    ) {
+        self.constraints.push(Constraint { a, b, c });
+    }
+
+    /// Convenience: allocates `l·r` and enforces the product constraint.
+    pub fn mul(&mut self, l: Var, r: Var) -> Var {
+        let v = self.assignment[l] * self.assignment[r];
+        let out = self.alloc(v);
+        self.enforce(
+            vec![(l, Fp::ONE)],
+            vec![(r, Fp::ONE)],
+            vec![(out, Fp::ONE)],
+        );
+        out
+    }
+
+    /// Convenience: allocates `l + r` and enforces it linearly
+    /// (`(l + r)·1 = out`).
+    pub fn add(&mut self, l: Var, r: Var) -> Var {
+        let v = self.assignment[l] + self.assignment[r];
+        let out = self.alloc(v);
+        self.enforce(
+            vec![(l, Fp::ONE), (r, Fp::ONE)],
+            vec![(Self::one(), Fp::ONE)],
+            vec![(out, Fp::ONE)],
+        );
+        out
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Number of variables (including the constant).
+    pub fn n_variables(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint<P, N>] {
+        &self.constraints
+    }
+
+    /// The full assignment vector `z`.
+    pub fn assignment(&self) -> &[Fp<P, N>] {
+        &self.assignment
+    }
+
+    /// Evaluates a linear combination against the assignment.
+    pub fn eval_lc(&self, lc: &LinearCombination<P, N>) -> Fp<P, N> {
+        lc.iter()
+            .map(|&(v, coeff)| self.assignment[v] * coeff)
+            .fold(Fp::ZERO, |a, b| a + b)
+    }
+
+    /// Checks that every constraint is satisfied by the assignment.
+    pub fn is_satisfied(&self) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| self.eval_lc(&c.a) * self.eval_lc(&c.b) == self.eval_lc(&c.c))
+    }
+}
+
+/// Builds a synthetic R1CS instance with `n_constraints` multiplicative
+/// constraints forming a long chain — the shape (one product per
+/// constraint, sequential dependencies) that dominates the paper's
+/// workloads (hash chains in Zcash-Sprout, inner products in the
+/// verifiable-ML circuits).
+pub fn synthetic_circuit<P: FpParams<N>, const N: usize, R: Rng + ?Sized>(
+    n_constraints: usize,
+    rng: &mut R,
+) -> ConstraintSystem<P, N> {
+    let mut cs = ConstraintSystem::new();
+    let seed = cs.alloc(Fp::random(rng));
+    cs.set_public(1);
+    let mut cur = seed;
+    let mut aux = cs.alloc(Fp::random(rng));
+    for i in 0..n_constraints.saturating_sub(1) {
+        if i % 3 == 2 {
+            // inject an addition gate to vary the matrix structure
+            cur = cs.add(cur, aux);
+        } else {
+            cur = cs.mul(cur, aux);
+            aux = cur;
+        }
+    }
+    if n_constraints > 0 && cs.n_constraints() < n_constraints {
+        let _ = cs.mul(cur, aux);
+    }
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distmsm_ff::params::Bn254Fr;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    type Cs = ConstraintSystem<Bn254Fr, 4>;
+
+    #[test]
+    fn product_constraint() {
+        let mut cs = Cs::new();
+        let a = cs.alloc(3u64.into());
+        let b = cs.alloc(5u64.into());
+        let c = cs.mul(a, b);
+        assert_eq!(cs.assignment()[c], 15u64.into());
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    fn violated_constraint_detected() {
+        let mut cs = Cs::new();
+        let a = cs.alloc(3u64.into());
+        let b = cs.alloc(5u64.into());
+        let bogus = cs.alloc(16u64.into());
+        cs.enforce(
+            vec![(a, distmsm_ff::Fp::ONE)],
+            vec![(b, distmsm_ff::Fp::ONE)],
+            vec![(bogus, distmsm_ff::Fp::ONE)],
+        );
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn addition_gates() {
+        let mut cs = Cs::new();
+        let a = cs.alloc(7u64.into());
+        let b = cs.alloc(8u64.into());
+        let c = cs.add(a, b);
+        assert_eq!(cs.assignment()[c], 15u64.into());
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    fn synthetic_is_satisfied_and_sized() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for n in [1usize, 10, 333, 1000] {
+            let cs = synthetic_circuit::<Bn254Fr, 4, _>(n, &mut rng);
+            assert!(cs.is_satisfied(), "n={n}");
+            assert_eq!(cs.n_constraints(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn constant_one_is_variable_zero() {
+        let cs = Cs::new();
+        assert_eq!(cs.assignment()[Cs::one()], distmsm_ff::Fp::ONE);
+        assert_eq!(cs.n_variables(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! The end-to-end workloads of Table 4.
+//!
+//! The paper evaluates Zcash-Sprout (digital currency), Otti-SGD and
+//! Zen_acc-LeNet (verifiable machine learning), reporting only their
+//! R1CS constraint counts; the circuits themselves are proprietary /
+//! external artefacts. Per the substitution rule we synthesise circuits
+//! with the same constraint counts (what the MSM/NTT sizes — and hence
+//! all timing — depend on) and keep a scaled-down variant for functional
+//! validation.
+
+use crate::prover::{ntt_time_single_gpu, ProverTiming};
+use distmsm::analytic::{estimate_distmsm, CurveDesc};
+use distmsm::engine::DistMsmConfig;
+use distmsm_gpu_sim::MultiGpuSystem;
+
+/// One Table 4 row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Workload {
+    /// Application name as printed in Table 4.
+    pub name: &'static str,
+    /// R1CS constraint count ("Size" column).
+    pub constraints: u64,
+}
+
+/// The three applications of Table 4.
+pub const WORKLOADS: [Workload; 3] = [
+    Workload {
+        name: "Zcash-Sprout",
+        constraints: 2_585_747,
+    },
+    Workload {
+        name: "Otti-SGD",
+        constraints: 6_968_254,
+    },
+    Workload {
+        name: "Zen_acc-LeNet",
+        constraints: 77_689_757,
+    },
+];
+
+/// Average nonzero entries per constraint row in the synthetic circuits
+/// (each constraint touches a handful of variables).
+const NNZ_PER_CONSTRAINT: u64 = 6;
+
+/// Effective integer throughput of the libsnark prover code (ops/s).
+///
+/// libsnark's measured 145.8 s for the 2.59M-constraint Zcash-Sprout
+/// circuit implies ~1.9·10⁹ sustained int-ops/s — consistent with a
+/// largely serial bignum implementation rather than the host's 1.5·10¹¹
+/// peak. The *others* stage runs this same code in both columns of
+/// Table 4 ("These operations remain on CPUs"), so the constant applies
+/// to it on the GPU side too.
+pub const LIBSNARK_OPS_PER_SEC: f64 = 1.9e9;
+
+/// CPU time of the non-accelerated "others" stage at libsnark throughput.
+fn others_time_libsnark(w: &Workload) -> f64 {
+    let d = w.constraints.next_power_of_two();
+    let ops = w.constraints as f64 * NNZ_PER_CONSTRAINT as f64 * 320.0 + d as f64 * 4.0 * 320.0;
+    ops / LIBSNARK_OPS_PER_SEC
+}
+
+/// Analytic end-to-end proof-generation timing at full workload scale.
+///
+/// Four MSMs (3 × G1 of size ≈ constraints, 1 × G2 — G2 arithmetic over
+/// Fp² costs ≈3× G1, modelled by tripling that MSM's time), seven NTTs of
+/// the padded domain, CPU "others".
+pub fn prover_timing(w: &Workload, system: &MultiGpuSystem) -> ProverTiming {
+    let d = w.constraints.next_power_of_two();
+    let msm_cfg = DistMsmConfig::default();
+    let g1 = estimate_distmsm(w.constraints, &CurveDesc::BN254, system, &msm_cfg);
+    let g2_factor = 3.0; // Fp2: 3 base-field muls per extension mul (Karatsuba)
+    let msm_s = g1.total_s * (3.0 + g2_factor);
+    let ntt_s = ntt_time_single_gpu(d, 7, system);
+    let others_s = others_time_libsnark(w);
+    ProverTiming {
+        msm_s,
+        ntt_s,
+        others_s,
+    }
+}
+
+/// CPU-only (libsnark-style) proof generation model: the same operation
+/// counts executed at host throughput.
+pub fn libsnark_timing(w: &Workload, _system: &MultiGpuSystem) -> ProverTiming {
+    let d = w.constraints.next_power_of_two();
+    // CPU Pippenger with the single-CPU-optimal window (~16): each MSM of
+    // size n costs ≈ n · λ/s point operations of ~10 modmuls each; one
+    // modmul over 4 × u64 limbs is ~80 int ops.
+    let lambda = 254.0;
+    let s = 16.0;
+    let point_ops_per_msm = w.constraints as f64 * (lambda / s + 2.0);
+    let int_ops_per_point_op = 10.0 * 80.0;
+    let msm_ops = point_ops_per_msm * int_ops_per_point_op * (3.0 + 3.0); // 3 G1 + 1 G2(≈3×)
+    let msm_s = msm_ops / LIBSNARK_OPS_PER_SEC;
+
+    let log_d = (63 - d.leading_zeros() as u64).max(1);
+    let ntt_ops = (d / 2) as f64 * log_d as f64 * 7.0 * (80.0 + 16.0) * 1.5;
+    let ntt_s = ntt_ops / LIBSNARK_OPS_PER_SEC;
+
+    let others_s = others_time_libsnark(w);
+    ProverTiming {
+        msm_s,
+        ntt_s,
+        others_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_sizes_match_table4() {
+        assert_eq!(WORKLOADS[0].constraints, 2_585_747);
+        assert_eq!(WORKLOADS[1].constraints, 6_968_254);
+        assert_eq!(WORKLOADS[2].constraints, 77_689_757);
+    }
+
+    #[test]
+    fn cpu_stage_split_matches_paper() {
+        // §5.1.1: on CPUs "MSM, NTT, and others … account for 78.2%,
+        // 17.9%, and 3.9%" of proof generation.
+        let sys = MultiGpuSystem::dgx_a100(8);
+        let t = libsnark_timing(&WORKLOADS[0], &sys);
+        let (msm, ntt, others) = t.fractions();
+        assert!((0.60..0.90).contains(&msm), "msm fraction {msm}");
+        assert!((0.08..0.35).contains(&ntt), "ntt fraction {ntt}");
+        assert!(others < 0.15, "others fraction {others}");
+    }
+
+    #[test]
+    fn gpu_prover_is_much_faster_than_cpu() {
+        // Table 4: ~25× end-to-end speedup with 8 GPUs
+        let sys = MultiGpuSystem::dgx_a100(8);
+        for w in &WORKLOADS[..2] {
+            let cpu = libsnark_timing(w, &sys).total();
+            let gpu = prover_timing(w, &sys).total();
+            let speedup = cpu / gpu;
+            assert!(
+                (5.0..200.0).contains(&speedup),
+                "{}: speedup {speedup}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn timing_scales_with_constraints() {
+        let sys = MultiGpuSystem::dgx_a100(8);
+        let small = prover_timing(&WORKLOADS[0], &sys).total();
+        let large = prover_timing(&WORKLOADS[2], &sys).total();
+        assert!(large > 10.0 * small);
+    }
+}

@@ -1,0 +1,60 @@
+//! Capacity planning for a proving cluster.
+//!
+//! Given a target MSM size and curve, sweep GPU counts and window sizes
+//! to pick a deployment: exactly the §3.1/§3.2 trade-off the paper
+//! builds DistMSM around (small windows + hierarchical scatter for
+//! multi-GPU, large windows + naive scatter for one GPU).
+//!
+//! ```sh
+//! cargo run --release --example cluster_tuning
+//! ```
+
+use distmsm::analytic::{estimate_distmsm, estimate_distmsm_with_s, CurveDesc};
+use distmsm::workload::WorkloadParams;
+use distmsm::DistMsmConfig;
+use distmsm_gpu_sim::MultiGpuSystem;
+
+fn main() {
+    let curve = CurveDesc::BLS12_381;
+    let n: u64 = 1 << 26;
+    println!("Tuning a {} MSM of N = 2^26 across cluster sizes\n", curve.name);
+
+    println!("{:<6} {:>9} {:>11} {:>13} {:>12}", "GPUs", "best s", "time (ms)", "vs 1 GPU", "€/proof*");
+    let base = estimate_distmsm(n, &curve, &MultiGpuSystem::dgx_a100(1), &DistMsmConfig::default());
+    for gpus in [1usize, 2, 4, 8, 16, 32] {
+        let sys = MultiGpuSystem::dgx_a100(gpus);
+        let est = estimate_distmsm(n, &curve, &sys, &DistMsmConfig::default());
+        // a toy cost metric: GPU-seconds consumed per MSM
+        let gpu_seconds = est.total_s * gpus as f64;
+        println!(
+            "{:<6} {:>9} {:>11.2} {:>12.1}x {:>11.4}",
+            gpus,
+            est.window_size,
+            est.total_s * 1e3,
+            base.total_s / est.total_s,
+            gpu_seconds,
+        );
+    }
+    println!("(*GPU-seconds per MSM — the efficiency price of latency)\n");
+
+    // window-size sensitivity at 16 GPUs
+    let sys = MultiGpuSystem::dgx_a100(16);
+    println!("Window-size sensitivity at 16 GPUs:");
+    println!("{:<4} {:>11} {:>10}", "s", "time (ms)", "feasible");
+    for s in [8u32, 10, 11, 12, 14, 16, 18, 20] {
+        let est = estimate_distmsm_with_s(n, &curve, &sys, &DistMsmConfig::default(), s);
+        println!(
+            "{:<4} {:>11.2} {:>10}",
+            s,
+            est.total_s * 1e3,
+            if est.feasible { "yes" } else { "no" }
+        );
+    }
+
+    // the §3.1 analytical view for comparison
+    println!("\n§3.1 per-thread op model (normalised) at 16 GPUs:");
+    for (s, c) in WorkloadParams::figure3(16).cost_curve(8..=20) {
+        let bar = "#".repeat((c * 10.0).min(60.0) as usize);
+        println!("  s={s:<3} {c:>6.2}  {bar}");
+    }
+}

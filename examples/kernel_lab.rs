@@ -1,0 +1,90 @@
+//! Kernel laboratory: the §4 machinery, hands on.
+//!
+//! Walks through the paper's kernel-level contributions on real data:
+//! the optimal PACC execution order (Figure 5), explicit spilling to
+//! shared memory, and the tensor-core Montgomery multiplication with
+//! on-the-fly compaction — validated bit-for-bit against the plain SOS
+//! kernel.
+//!
+//! ```sh
+//! cargo run --release --example kernel_lab
+//! ```
+
+use distmsm_ff::params::{Bn254Fq, Mnt4753Fq};
+use distmsm_ff::u32limb::U32Field;
+use distmsm_ff::{Fp, FpParams};
+use distmsm_kernel::formulas::{pacc_graph, padd_graph};
+use distmsm_kernel::graph::AllocPolicy;
+use distmsm_kernel::spill::spill_schedule;
+use distmsm_kernel::tensor::TcMontgomery;
+use distmsm_kernel::{EcKernelModel, PaddOptimizations};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // ---- 1. register pressure & optimal ordering (§4.2.1) -------------
+    let pacc = pacc_graph();
+    let naive = pacc.pressure_of(&pacc.program_order(), AllocPolicy::Fresh);
+    let (opt_peak, opt_order) = pacc.optimal_order(AllocPolicy::InPlace);
+    println!("PACC (Algorithm 4): {} ops, {} multiplies", pacc.len(), pacc.mul_count());
+    println!("  straightforward order : peak {} live big integers (paper: 9)", naive.peak_live);
+    println!("  optimal order         : peak {} live big integers (paper: 7)", opt_peak);
+    println!("\n  optimal schedule with live counts (cf. Figure 5):");
+    let profile = pacc.pressure_of(&opt_order, AllocPolicy::InPlace);
+    for (&i, &live) in opt_order.iter().zip(&profile.per_op_live) {
+        println!("    [{live}] {}", pacc.ops()[i].label);
+    }
+
+    let padd = padd_graph();
+    let (padd_peak, _) = padd.optimal_order(AllocPolicy::InPlace);
+    println!(
+        "\nPADD (Algorithm 1): straightforward {} → optimal {} (paper: 11 → 9; the\n  op-granular search beats the paper's 12-unit search by one)",
+        padd.pressure_of(&padd.program_order(), AllocPolicy::Fresh).peak_live,
+        padd_peak
+    );
+
+    // ---- 2. explicit spilling (§4.2.2) ----------------------------------
+    let spilled = spill_schedule(&pacc, &opt_order, opt_peak - 2, AllocPolicy::InPlace)
+        .expect("budget is feasible");
+    println!(
+        "\nExplicit spill to shared memory: {} registers → {} (transfers: {}, peak shared: {} big ints, spilled: {:?})",
+        opt_peak,
+        opt_peak - 2,
+        spilled.transfers,
+        spilled.shared_peak,
+        spilled.spilled,
+    );
+
+    // ---- 3. per-curve register budgets -----------------------------------
+    println!("\nRegisters per thread (bucket-sum kernel):");
+    println!("  {:<10} {:>9} {:>9}", "curve", "NO-OPT", "DistMSM");
+    for (name, limbs) in [("BN254", 8usize), ("BLS12-377", 12), ("BLS12-381", 12), ("MNT4753", 24)] {
+        let base = EcKernelModel::new(limbs, PaddOptimizations::none());
+        let full = EcKernelModel::new(limbs, PaddOptimizations::all());
+        println!(
+            "  {:<10} {:>9} {:>9}",
+            name,
+            base.regs_per_thread(),
+            full.regs_per_thread()
+        );
+    }
+
+    // ---- 4. tensor-core Montgomery multiplication (§4.3) ----------------
+    let mut rng = StdRng::seed_from_u64(99);
+    println!("\nTensor-core Montgomery multiply vs plain SOS:");
+    check_tc::<Bn254Fq, 4>("BN254", &mut rng);
+    check_tc::<Mnt4753Fq, 12>("MNT4753", &mut rng);
+    println!("\nAll tensor-core products matched the SOS kernel bit-for-bit ✓");
+}
+
+fn check_tc<P: FpParams<N>, const N: usize>(name: &str, rng: &mut StdRng) {
+    let field = U32Field::from_modulus(&P::MODULUS);
+    let tc = TcMontgomery::new(field.clone());
+    let mut ok = 0;
+    for _ in 0..20 {
+        let a = Fp::<P, N>::random(rng).mont_repr().to_u32_limbs();
+        let b = Fp::<P, N>::random(rng).mont_repr().to_u32_limbs();
+        assert_eq!(tc.mul(&a, &b), field.mul_sos(&a, &b));
+        ok += 1;
+    }
+    println!("  {name:<8}: {ok}/20 random products agree");
+}

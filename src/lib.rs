@@ -1,0 +1,14 @@
+//! Umbrella crate for the DistMSM reproduction workspace.
+//!
+//! Re-exports every member crate and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! Start with [`distmsm`] (the paper's contribution), or run
+//! `cargo run --release --example quickstart`.
+
+pub use distmsm;
+pub use distmsm_ec as ec;
+pub use distmsm_ff as ff;
+pub use distmsm_gpu_sim as gpu_sim;
+pub use distmsm_kernel as kernel;
+pub use distmsm_zksnark as zksnark;

@@ -1,0 +1,103 @@
+//! Validates the paper-scale analytic path against functional metering.
+//!
+//! DESIGN.md's scale-substitution contract: the closed-form event counts
+//! used for `N = 2^22 … 2^28` must agree with functional measurement at
+//! reduced `N`. These tests hold the two paths to each other at sizes
+//! where both run.
+
+use distmsm::analytic::{estimate_distmsm_with_s, CurveDesc};
+use distmsm::engine::{DistMsm, DistMsmConfig};
+use distmsm_ec::curves::{Bls12381G1, Bn254G1};
+use distmsm_ec::MsmInstance;
+use distmsm_gpu_sim::MultiGpuSystem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn compare<C: distmsm_ec::Curve>(
+    desc: &CurveDesc,
+    n: usize,
+    gpus: usize,
+    s: u32,
+    seed: u64,
+    tolerance: f64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inst = MsmInstance::<C>::random(n, &mut rng);
+    let sys = MultiGpuSystem::dgx_a100(gpus);
+    let cfg = DistMsmConfig {
+        window_size: Some(s),
+        ..DistMsmConfig::default()
+    };
+    let engine = DistMsm::with_config(sys.clone(), cfg.clone());
+    let functional = engine.execute(&inst).expect("functional run");
+    let analytic = estimate_distmsm_with_s(n as u64, desc, &sys, &cfg, s);
+
+    assert_eq!(functional.window_size, analytic.window_size);
+    assert_eq!(functional.n_windows, analytic.n_windows);
+
+    let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-12);
+    assert!(
+        rel(functional.total_s, analytic.total_s) < tolerance,
+        "total: functional {} vs analytic {} (gpus={gpus}, s={s})",
+        functional.total_s,
+        analytic.total_s
+    );
+    assert!(
+        rel(functional.phases.bucket_sum_s, analytic.phases.bucket_sum_s) < tolerance,
+        "bucket_sum: {} vs {}",
+        functional.phases.bucket_sum_s,
+        analytic.phases.bucket_sum_s
+    );
+    assert!(
+        rel(functional.phases.scatter_s, analytic.phases.scatter_s) < tolerance,
+        "scatter: {} vs {}",
+        functional.phases.scatter_s,
+        analytic.phases.scatter_s
+    );
+}
+
+#[test]
+fn analytic_matches_functional_bn254_single_gpu() {
+    compare::<Bn254G1>(&CurveDesc::BN254, 1 << 14, 1, 10, 2000, 0.35);
+}
+
+#[test]
+fn analytic_matches_functional_bn254_multi_gpu() {
+    compare::<Bn254G1>(&CurveDesc::BN254, 1 << 14, 8, 8, 2001, 0.35);
+}
+
+#[test]
+fn analytic_matches_functional_bls12381() {
+    compare::<Bls12381G1>(&CurveDesc::BLS12_381, 1 << 13, 4, 9, 2002, 0.35);
+}
+
+#[test]
+fn analytic_extrapolation_is_monotone() {
+    // doubling N must increase every compute phase
+    let sys = MultiGpuSystem::dgx_a100(8);
+    let cfg = DistMsmConfig::default();
+    let mut last = 0.0;
+    for logn in 18..=28 {
+        let e = distmsm::analytic::estimate_distmsm(1 << logn, &CurveDesc::BN254, &sys, &cfg);
+        assert!(
+            e.total_s > last,
+            "2^{logn}: {} not > {last}",
+            e.total_s
+        );
+        last = e.total_s;
+    }
+}
+
+#[test]
+fn curve_cost_ordering_preserved() {
+    // per Table 3, at fixed N and GPUs: BN254 < BLS12-377 ≈ BLS12-381 ≪ MNT4753
+    let sys = MultiGpuSystem::dgx_a100(8);
+    let cfg = DistMsmConfig::default();
+    let t = |c: &CurveDesc| distmsm::analytic::estimate_distmsm(1 << 24, c, &sys, &cfg).total_s;
+    let bn = t(&CurveDesc::BN254);
+    let b377 = t(&CurveDesc::BLS12_377);
+    let b381 = t(&CurveDesc::BLS12_381);
+    let mnt = t(&CurveDesc::MNT4753);
+    assert!(bn < b377);
+    assert!((b377 - b381).abs() / b381 < 0.2, "{b377} vs {b381}");
+    assert!(mnt > 4.0 * b381);
+}

@@ -1,0 +1,41 @@
+//! Property tests of the full engine: for *any* small instance and any
+//! legal configuration, the MSM value must equal the reference.
+
+use distmsm::engine::{DistMsm, DistMsmConfig};
+use distmsm::scatter::ScatterKind;
+use distmsm_ec::curves::Bn254G1;
+use distmsm_ec::MsmInstance;
+use distmsm_gpu_sim::MultiGpuSystem;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_correct_under_arbitrary_config(
+        seed in 0u64..10_000,
+        n in 1usize..150,
+        gpus in 1usize..9,
+        s in 2u32..12,
+        naive in any::<bool>(),
+        cpu_reduce in any::<bool>(),
+        signed in any::<bool>(),
+        packed in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = MsmInstance::<Bn254G1>::random(n, &mut rng);
+        let cfg = DistMsmConfig {
+            window_size: Some(s),
+            scatter: naive.then_some(ScatterKind::Naive),
+            bucket_reduce_on_cpu: cpu_reduce,
+            signed_digits: signed,
+            packed_coefficients: packed,
+            ..DistMsmConfig::default()
+        };
+        let engine = DistMsm::with_config(MultiGpuSystem::dgx_a100(gpus), cfg);
+        let report = engine.execute(&inst).expect("small windows always fit");
+        prop_assert_eq!(report.result, inst.reference_result());
+        prop_assert!(report.total_s.is_finite() && report.total_s > 0.0);
+    }
+}

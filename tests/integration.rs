@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the whole pipeline, end to end.
+
+use distmsm::baseline::BestGpuBaseline;
+use distmsm::engine::{DistMsm, DistMsmConfig};
+use distmsm::scatter::ScatterKind;
+use distmsm_ec::curves::{Bls12377G1, Bls12381G1, Bn254G1, Bn254G2, Mnt4753G1};
+use distmsm_ec::{Curve, MsmInstance, Scalar, XyzzPoint};
+use distmsm_ff::params::Bn254Fr;
+use distmsm_gpu_sim::MultiGpuSystem;
+use distmsm_zksnark::prover::Groth16Prover;
+use distmsm_zksnark::r1cs::synthetic_circuit;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// An independent serial Pippenger implementation (windowing + buckets +
+/// suffix-sum reduce), used to cross-validate the engine beyond the
+/// double-and-add reference.
+fn serial_pippenger<C: Curve>(instance: &MsmInstance<C>, s: u32) -> XyzzPoint<C> {
+    let n_windows = C::SCALAR_BITS.div_ceil(s);
+    let n_buckets = 1usize << s;
+    let mut acc = XyzzPoint::<C>::identity();
+    for w in (0..n_windows).rev() {
+        for _ in 0..s {
+            acc = acc.pdbl();
+        }
+        let mut buckets = vec![XyzzPoint::<C>::identity(); n_buckets];
+        for (p, k) in instance.points.iter().zip(&instance.scalars) {
+            let m = k.window(w * s, s) as usize;
+            if m != 0 {
+                buckets[m].pacc(p);
+            }
+        }
+        let mut running = XyzzPoint::<C>::identity();
+        let mut sum = XyzzPoint::<C>::identity();
+        for b in buckets.iter().skip(1).rev() {
+            running = running.padd(b);
+            sum = sum.padd(&running);
+        }
+        acc = acc.padd(&sum);
+    }
+    acc
+}
+
+#[test]
+fn three_way_agreement_bn254() {
+    let mut rng = StdRng::seed_from_u64(1000);
+    let inst = MsmInstance::<Bn254G1>::random(500, &mut rng);
+    let reference = inst.reference_result();
+    let pip = serial_pippenger(&inst, 7);
+    let engine = DistMsm::new(MultiGpuSystem::dgx_a100(4));
+    let dist = engine.execute(&inst).unwrap().result;
+    assert_eq!(reference, pip, "serial Pippenger diverges");
+    assert_eq!(reference, dist, "DistMSM diverges");
+}
+
+#[test]
+fn engine_and_baseline_agree_across_curves() {
+    fn check<C: Curve>(n: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = MsmInstance::<C>::random(n, &mut rng);
+        let sys = MultiGpuSystem::dgx_a100(4);
+        let dist = DistMsm::new(sys.clone()).execute(&inst).unwrap().result;
+        let base = BestGpuBaseline::new(sys)
+            .with_window_size(6)
+            .execute(&inst)
+            .unwrap()
+            .result;
+        assert_eq!(dist, base, "{}", C::NAME);
+        assert_eq!(dist, inst.reference_result(), "{}", C::NAME);
+    }
+    check::<Bn254G1>(128, 1);
+    check::<Bls12377G1>(96, 2);
+    check::<Bls12381G1>(96, 3);
+    check::<Mnt4753G1>(32, 4);
+    check::<Bn254G2>(48, 5);
+}
+
+#[test]
+fn window_size_invariance() {
+    // the MSM value must not depend on the window size or scatter kind
+    let mut rng = StdRng::seed_from_u64(1001);
+    let inst = MsmInstance::<Bn254G1>::random(200, &mut rng);
+    let expect = inst.reference_result();
+    for s in [2u32, 5, 9, 13] {
+        for scatter in [Some(ScatterKind::Naive), None] {
+            let cfg = DistMsmConfig {
+                window_size: Some(s),
+                scatter,
+                ..DistMsmConfig::default()
+            };
+            let engine = DistMsm::with_config(MultiGpuSystem::dgx_a100(3), cfg);
+            assert_eq!(engine.execute(&inst).unwrap().result, expect, "s={s}");
+        }
+    }
+}
+
+#[test]
+fn gpu_count_invariance() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let inst = MsmInstance::<Bls12381G1>::random(160, &mut rng);
+    let expect = inst.reference_result();
+    for gpus in [1usize, 2, 5, 8, 16, 33] {
+        let engine = DistMsm::new(MultiGpuSystem::dgx_a100(gpus));
+        assert_eq!(engine.execute(&inst).unwrap().result, expect, "gpus={gpus}");
+    }
+}
+
+#[test]
+fn scalar_edge_cases() {
+    // zero scalars, one, the maximum window pattern, duplicates
+    let mut rng = StdRng::seed_from_u64(1003);
+    let mut inst = MsmInstance::<Bn254G1>::random(8, &mut rng);
+    inst.scalars[0] = Scalar::zero();
+    inst.scalars[1] = Scalar::from_u64(1);
+    inst.scalars[2] = Scalar::from_u64(u64::MAX);
+    inst.scalars[3] = inst.scalars[4]; // duplicate scalars
+    let engine = DistMsm::new(MultiGpuSystem::dgx_a100(2));
+    assert_eq!(engine.execute(&inst).unwrap().result, inst.reference_result());
+}
+
+#[test]
+fn all_zero_scalars_give_identity() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    let mut inst = MsmInstance::<Bn254G1>::random(32, &mut rng);
+    for k in &mut inst.scalars {
+        *k = Scalar::zero();
+    }
+    let engine = DistMsm::new(MultiGpuSystem::dgx_a100(2));
+    assert!(engine.execute(&inst).unwrap().result.is_identity());
+}
+
+#[test]
+fn end_to_end_proof_pipeline() {
+    let mut rng = StdRng::seed_from_u64(1005);
+    let circuit = synthetic_circuit::<Bn254Fr, 4, _>(200, &mut rng);
+    assert!(circuit.is_satisfied());
+    let prover = Groth16Prover::new(MultiGpuSystem::dgx_a100(4));
+    let outcome = prover.prove(&circuit).expect("prove");
+    assert!(prover.verify(&outcome));
+    assert!(outcome.timing.msm_s > 0.0);
+    assert!(outcome.timing.ntt_s > 0.0);
+}
+
+#[test]
+fn single_point_msm() {
+    let mut rng = StdRng::seed_from_u64(1006);
+    let inst = MsmInstance::<Bn254G1>::random(1, &mut rng);
+    let engine = DistMsm::new(MultiGpuSystem::dgx_a100(8));
+    assert_eq!(
+        engine.execute(&inst).unwrap().result,
+        inst.points[0].scalar_mul(&inst.scalars[0])
+    );
+}
