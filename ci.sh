@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the DistMSM reproduction.
+#
+#   ./ci.sh            # build, test, lint, analyze
+#
+# Every step must pass; the analyze step runs the simulated-GPU race
+# detector and the kernel resource linter (crates/analyze) and fails on
+# any warning- or error-level finding.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "== distmsm-analyze check =="
+cargo run -p distmsm-analyze -- check
+
+echo "CI OK"

@@ -1,0 +1,30 @@
+//! # distmsm-analyze — simulated-GPU race detector and kernel linter
+//!
+//! Two complementary analyses over the DistMSM reproduction:
+//!
+//! * A **dynamic race detector** ([`race`], driven by [`harness`]): the
+//!   simulator's access-trace hook (`distmsm-gpu-sim`'s `trace` feature)
+//!   tags every simulated global/shared read, write and atomic with its
+//!   originating device, block, warp and thread plus a synchronisation
+//!   phase; a collapsed vector-clock happens-before checker then reports
+//!   data races, barrier divergence and atomic hotspots.
+//!
+//! * A **static kernel linter** ([`lint`]): rule-based checks over the
+//!   register-pressure schedules of `distmsm-kernel` — peak liveness vs
+//!   device register files, shared-memory fit, dead ops, and
+//!   spill/reload consistency replayed from the spill event stream.
+//!
+//! Both report through the shared [`report::Report`] type (stable rule
+//! ids, severities, text and JSON rendering). The `distmsm-analyze`
+//! binary (`cargo run -p distmsm-analyze -- check`) runs everything and
+//! exits non-zero when any warning- or error-level finding survives.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod lint;
+pub mod race;
+pub mod report;
+
+pub use race::{check_trace, check_traces, RaceConfig};
+pub use report::{Finding, Report, Severity};

@@ -1,0 +1,367 @@
+//! Static kernel linter: resource-budget and schedule-consistency rules.
+//!
+//! Two families of rules:
+//!
+//! * **Resource rules** check an [`EcKernelModel`]'s summary numbers
+//!   (registers per thread, shared memory per block) against a concrete
+//!   [`DeviceSpec`] at the block sizes the engine might launch:
+//!   `REG-001` registers alone prevent launch, `SHM-001` shared memory
+//!   overflows at every candidate block size, `REG-002` the nominal block
+//!   size fails but a smaller one fits, `REG-003` per-thread registers
+//!   exceed the 255-register ISA encoding limit, `OCC-001` best
+//!   achievable occupancy sits below the latency-hiding saturation point.
+//!
+//! * **Schedule rules** replay the artefacts behind the model
+//!   ([`KernelSchedule`]): `DAG-001` ops whose results can never reach an
+//!   output, `SPILL-001` reload of a variable not resident in shared
+//!   memory, `SPILL-002` replayed register peak exceeds the declared
+//!   budget, `SPILL-003` spill event stream inconsistent with the
+//!   transfer count, `SPILL-004` an op executes while one of its sources
+//!   is still parked in shared memory (missing reload).
+
+use crate::report::{Finding, Report, Severity};
+use distmsm_gpu_sim::DeviceSpec;
+use distmsm_kernel::{EcKernelModel, KernelSchedule, PaddOptimizations, SpillAction};
+use std::collections::HashSet;
+
+/// Block sizes the linter probes, largest (the engine's nominal launch
+/// configuration) first.
+pub const BLOCK_SIZES: [u32; 4] = [256, 128, 64, 32];
+
+/// Occupancy below which the device cannot hide latency (mirrors the
+/// simulator's saturation point in `DeviceSpec::efficiency_at`).
+const SATURATION_OCCUPANCY: f64 = 0.25;
+
+/// Checks a kernel model's resource demand against one device.
+pub fn lint_resources(label: &str, model: &EcKernelModel, device: &DeviceSpec) -> Report {
+    let mut report = Report::new();
+    let loc = format!("{label}@{}", device.name);
+    let regs = model.regs_per_thread();
+
+    if regs > 255 {
+        report.push(Finding::new(
+            "REG-003",
+            Severity::Info,
+            loc.clone(),
+            format!(
+                "{regs} registers per thread exceed the 255-register ISA encoding \
+                 limit; a real compiler would demote the excess to local memory"
+            ),
+        ));
+    }
+
+    if device.resident_threads_per_sm(regs, 0, BLOCK_SIZES[BLOCK_SIZES.len() - 1]) == 0 {
+        report.push(Finding::new(
+            "REG-001",
+            Severity::Error,
+            loc,
+            format!(
+                "{regs} registers per thread leave no room for even one warp in the \
+                 {}-register file — the kernel cannot launch at any block size",
+                device.registers_per_sm
+            ),
+        ));
+        return report; // the remaining rules presuppose a launchable kernel
+    }
+
+    let feasible: Vec<(u32, u32)> = BLOCK_SIZES
+        .iter()
+        .map(|&bs| (bs, device.resident_threads_per_sm(regs, model.shared_mem_per_block(bs), bs)))
+        .filter(|&(_, resident)| resident > 0)
+        .collect();
+
+    if feasible.is_empty() {
+        report.push(Finding::new(
+            "SHM-001",
+            Severity::Error,
+            loc,
+            format!(
+                "shared-memory footprint ({} B at block size {}) exceeds the device \
+                 limit of {} B at every probed block size",
+                model.shared_mem_per_block(BLOCK_SIZES[0]),
+                BLOCK_SIZES[0],
+                device.shared_mem_per_block
+            ),
+        ));
+        return report;
+    }
+
+    let nominal = BLOCK_SIZES[0];
+    if !feasible.iter().any(|&(bs, _)| bs == nominal) {
+        let (bs, _) = feasible[0];
+        report.push(Finding::new(
+            "REG-002",
+            Severity::Info,
+            loc.clone(),
+            format!(
+                "nominal block size {nominal} does not fit ({} B shared per block, \
+                 device limit {} B); the launcher must shrink blocks to {bs}",
+                model.shared_mem_per_block(nominal),
+                device.shared_mem_per_block
+            ),
+        ));
+    }
+
+    let best_occupancy = feasible
+        .iter()
+        .map(|&(_, resident)| f64::from(resident) / f64::from(device.max_threads_per_sm))
+        .fold(0.0_f64, f64::max);
+    if best_occupancy < SATURATION_OCCUPANCY {
+        report.push(Finding::new(
+            "OCC-001",
+            Severity::Info,
+            loc,
+            format!(
+                "best achievable occupancy {best_occupancy:.2} is below the \
+                 latency-hiding saturation point {SATURATION_OCCUPANCY}; throughput \
+                 scales down proportionally"
+            ),
+        ));
+    }
+
+    report
+}
+
+/// Replays the scheduling artefacts behind a model: dead-op reachability
+/// over the DAG and spill/reload consistency of the event stream.
+pub fn lint_schedule(label: &str, schedule: &KernelSchedule) -> Report {
+    let mut report = Report::new();
+    let g = &schedule.graph;
+
+    // DAG-001: backward reachability from the declared outputs.
+    let mut needed: HashSet<usize> = g.outputs().iter().copied().collect();
+    for op in g.ops().iter().rev() {
+        if needed.contains(&op.dest) {
+            needed.extend(op.srcs.iter().copied());
+        }
+    }
+    for op in g.ops() {
+        if !needed.contains(&op.dest) {
+            report.push(Finding::new(
+                "DAG-001",
+                Severity::Warning,
+                label.to_owned(),
+                format!("op `{}` can never reach an output — dead computation", op.label),
+            ));
+        }
+    }
+
+    let Some(spill) = &schedule.spill else {
+        return report;
+    };
+
+    if spill.events.len() != spill.transfers {
+        report.push(Finding::new(
+            "SPILL-003",
+            Severity::Error,
+            label.to_owned(),
+            format!(
+                "spill event stream has {} entries but the schedule claims {} transfers",
+                spill.events.len(),
+                spill.transfers
+            ),
+        ));
+    }
+    if spill.reg_peak > spill.reg_budget {
+        report.push(Finding::new(
+            "SPILL-002",
+            Severity::Error,
+            label.to_owned(),
+            format!(
+                "replayed register peak {} exceeds the declared budget {}",
+                spill.reg_peak, spill.reg_budget
+            ),
+        ));
+    }
+
+    // Replay the event stream against the op order. Variables the
+    // scheduler silently drops from shared memory when they die (no
+    // reload event) stay in our set — harmless, because a dead variable
+    // is by definition never a source again.
+    let ops = g.ops();
+    let mut shm: HashSet<&str> = HashSet::new();
+    let mut ev = spill.events.iter().peekable();
+    for (pos, &op_idx) in schedule.order.iter().enumerate() {
+        let shm_before: HashSet<&str> = shm.clone();
+        while let Some(e) = ev.peek() {
+            if e.pos != pos {
+                break;
+            }
+            let e = ev.next().unwrap();
+            match e.action {
+                SpillAction::Spill => {
+                    if !shm.insert(&e.var) {
+                        report.push(Finding::new(
+                            "SPILL-001",
+                            Severity::Error,
+                            label.to_owned(),
+                            format!(
+                                "`{}` spilled at position {pos} while already in shared memory",
+                                e.var
+                            ),
+                        ));
+                    }
+                }
+                SpillAction::Reload => {
+                    if !shm.remove(e.var.as_str()) {
+                        report.push(Finding::new(
+                            "SPILL-001",
+                            Severity::Error,
+                            label.to_owned(),
+                            format!(
+                                "`{}` reloaded at position {pos} without a prior spill",
+                                e.var
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // A source still in shared memory when its op runs means a missing
+        // reload. Spills recorded at this position *after* the op ran (the
+        // over-budget destination eviction) are excluded via `shm_before`.
+        for &s in &ops[op_idx].srcs {
+            let name = g.var_name(s);
+            if shm.contains(name) && shm_before.contains(name) {
+                report.push(Finding::new(
+                    "SPILL-004",
+                    Severity::Error,
+                    label.to_owned(),
+                    format!(
+                        "op `{}` at position {pos} reads `{name}` while it is parked \
+                         in shared memory — missing reload",
+                        ops[op_idx].label
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some(e) = ev.next() {
+        report.push(Finding::new(
+            "SPILL-003",
+            Severity::Error,
+            label.to_owned(),
+            format!(
+                "spill event for `{}` at position {} lies beyond the schedule (len {})",
+                e.var,
+                e.pos,
+                schedule.order.len()
+            ),
+        ));
+    }
+
+    report
+}
+
+/// The curve shapes the shipped engine models: 32-bit limb counts with the
+/// field they stand in for.
+pub const LIMB_PRESETS: [(usize, &str); 3] =
+    [(8, "bn254"), (12, "bls12-377"), (24, "mnt4753")];
+
+/// Lints every `kernel::profile` preset — each Figure-12 waterfall step at
+/// each limb preset — against the three modelled devices, plus one
+/// schedule replay per model (device-independent).
+pub fn lint_presets() -> Report {
+    let devices = [DeviceSpec::a100(), DeviceSpec::rtx4090(), DeviceSpec::amd6900xt()];
+    let mut report = Report::new();
+    for (limbs, curve) in LIMB_PRESETS {
+        for (step, opts) in PaddOptimizations::waterfall() {
+            let model = EcKernelModel::new(limbs, opts);
+            let label = format!("{curve}/{step}");
+            report.extend(lint_schedule(&label, &model.schedule()));
+            for device in &devices {
+                report.extend(lint_resources(&label, &model, device));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_produce_no_errors() {
+        let r = lint_presets();
+        assert_eq!(r.count(Severity::Error), 0, "{}", r.render_text());
+        assert_eq!(r.count(Severity::Warning), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn presets_surface_known_pressure_points() {
+        let r = lint_presets();
+        // MNT4-753 without optimisations runs at 296 registers per thread.
+        assert!(
+            r.findings.iter().any(|f| f.rule == "REG-003" && f.location.contains("mnt4753")),
+            "{}",
+            r.render_text()
+        );
+        // Wide-field presets run below the latency-hiding point somewhere.
+        assert!(
+            r.findings.iter().any(|f| f.rule == "OCC-001" && f.location.contains("mnt4753")),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn oversized_shared_footprint_forces_smaller_blocks() {
+        // A 1152-bit field (36 limbs) with explicit spill parks
+        // 2 × 36 × 4 × 256 = 73728 B per block — over the 6900XT's 64 KiB,
+        // so the nominal block size must shrink.
+        let model = EcKernelModel::new(36, PaddOptimizations::all());
+        let r = lint_resources("fixture-1152", &model, &DeviceSpec::amd6900xt());
+        assert!(
+            r.findings.iter().any(|f| f.rule == "REG-002"),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn oversized_field_cannot_launch() {
+        // A hypothetical 16384-bit field: 11 live big integers × 512 limbs
+        // blow the register file for even a single warp.
+        let model = EcKernelModel::new(512, PaddOptimizations::none());
+        let r = lint_resources("fixture-16k", &model, &DeviceSpec::a100());
+        assert!(
+            r.findings.iter().any(|f| f.rule == "REG-001" && f.severity == Severity::Error),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn spill_replay_accepts_shipped_schedules() {
+        for (limbs, _) in LIMB_PRESETS {
+            let model = EcKernelModel::new(limbs, PaddOptimizations::all());
+            let schedule = model.schedule();
+            assert!(schedule.spill.is_some(), "explicit spill active");
+            let r = lint_schedule("replay", &schedule);
+            assert_eq!(r.actionable(), 0, "{}", r.render_text());
+        }
+    }
+
+    #[test]
+    fn corrupted_event_stream_is_caught() {
+        let model = EcKernelModel::new(8, PaddOptimizations::all());
+        let mut schedule = model.schedule();
+        {
+            let spill = schedule.spill.as_mut().unwrap();
+            // Drop the first spill: its matching reload now has no source.
+            let first_spill = spill
+                .events
+                .iter()
+                .position(|e| e.action == SpillAction::Spill)
+                .unwrap();
+            spill.events.remove(first_spill);
+        }
+        let r = lint_schedule("corrupted", &schedule);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "SPILL-001" || f.rule == "SPILL-003"),
+            "{}",
+            r.render_text()
+        );
+    }
+}

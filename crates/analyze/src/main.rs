@@ -1,0 +1,51 @@
+//! `distmsm-analyze` command-line entry point.
+//!
+//! ```text
+//! distmsm-analyze check [--json]
+//! ```
+//!
+//! Runs the dynamic race checker over every shipped kernel scenario and
+//! the static linter over every kernel preset × device, prints the
+//! combined report (text by default, `--json` for machine consumption),
+//! and exits with status 1 when any warning or error is found.
+
+use distmsm_analyze::harness::check_shipped_kernels;
+use distmsm_analyze::lint::lint_presets;
+use distmsm_analyze::{RaceConfig, Report};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: distmsm-analyze check [--json]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut command = None;
+    for a in &args {
+        match a.as_str() {
+            "--json" => json = true,
+            "check" if command.is_none() => command = Some("check"),
+            _ => return usage(),
+        }
+    }
+    if command != Some("check") {
+        return usage();
+    }
+
+    let mut report = Report::new();
+    report.extend(check_shipped_kernels(&RaceConfig::default()));
+    report.extend(lint_presets());
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.actionable() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

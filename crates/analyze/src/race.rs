@@ -1,0 +1,511 @@
+//! Vector-clock happens-before checking over simulated access traces.
+//!
+//! # The happens-before relation
+//!
+//! The traced kernels synchronise only through block barriers and grid
+//! syncs, and every access carries its thread's *phase* — the number of
+//! sync points the thread has passed ([`distmsm_gpu_sim::trace`]). Under
+//! barrier-structured synchronisation the classic vector clock collapses:
+//! at a block barrier every member thread joins every other member's
+//! clock, so all threads of a block share one epoch vector that advances
+//! in lockstep with the phase; a grid sync joins all block vectors. A
+//! thread's full vector clock is therefore reconstructible from
+//! `(block, phase)` alone, and the checker stores those two words per
+//! access instead of an `O(threads)` vector:
+//!
+//! * same thread: program order;
+//! * same block: `prior.phase < current.phase` (some barrier or grid sync
+//!   separates them, and either joins the whole block);
+//! * different blocks: ordered iff a grid sync `g` satisfies
+//!   `prior.phase <= g < current.phase` (the only cross-block joins).
+//!
+//! Two accesses to the same location **race** when they are unordered in
+//! both directions, come from different threads, at least one of them
+//! writes, and they are not both atomic.
+//!
+//! Besides races, the checker reports barrier divergence (threads of one
+//! block declaring different barrier counts — a deadlock on real
+//! hardware), accesses past the declared synchronisation structure,
+//! atomic hotspots (more distinct writers on one global address than the
+//! configured threshold), and traced atomic footprints that exceed what
+//! the kernel metered for the cost model.
+
+use crate::report::{Finding, Report, Severity};
+use distmsm_gpu_sim::trace::{Access, AccessKind, LaunchTrace, SimThread, Space};
+use std::collections::{HashMap, HashSet};
+
+/// Tunables of the dynamic checker.
+#[derive(Clone, Debug)]
+pub struct RaceConfig {
+    /// A global atomic address with more distinct writing threads than
+    /// this is reported as a hotspot (`HOT-001`). The default is far above
+    /// anything the shipped kernels produce at test sizes, so hotspot
+    /// findings indicate a genuine contention concentration.
+    pub hotspot_writers: usize,
+    /// At most this many race findings are reported per launch; the rest
+    /// are summarised in one final finding.
+    pub max_reported: usize,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        Self {
+            hotspot_writers: 64,
+            max_reported: 20,
+        }
+    }
+}
+
+/// The collapsed vector clock of one access: which block's epoch vector it
+/// reads, and how many sync points that vector has absorbed.
+#[derive(Clone, Copy, Debug)]
+struct Epoch {
+    block: u32,
+    phase: u32,
+}
+
+/// `a` happens-before `b` for accesses of *different* threads.
+fn hb(a: Epoch, b: Epoch, grid_syncs: &[u32]) -> bool {
+    if a.block == b.block {
+        a.phase < b.phase
+    } else {
+        grid_syncs.iter().any(|&g| a.phase <= g && g < b.phase)
+    }
+}
+
+fn unordered(a: Epoch, b: Epoch, grid_syncs: &[u32]) -> bool {
+    !hb(a, b, grid_syncs) && !hb(b, a, grid_syncs)
+}
+
+fn conflicts(a: AccessKind, b: AccessKind) -> bool {
+    use AccessKind::*;
+    match (a, b) {
+        (Read, Read) => false,
+        (Atomic, Atomic) => false, // atomics serialise against each other
+        _ => true,                 // at least one plain write is involved
+    }
+}
+
+/// Per-location record: for each (thread, kind) the maximum phase at which
+/// that thread touched the location. The maximum-phase access is the
+/// *least ordered* representative — if it happens-before (or after) the
+/// current access, every earlier access by that thread does too — so one
+/// entry per (thread, kind) suffices for exact race detection.
+#[derive(Default)]
+struct LocState {
+    last: HashMap<(SimThread, u8), Epoch>,
+}
+
+fn kind_tag(k: AccessKind) -> u8 {
+    match k {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Atomic => 2,
+    }
+}
+
+fn kind_name(tag: u8) -> &'static str {
+    ["read", "write", "atomic"][tag as usize]
+}
+
+/// Location identity: global addresses are device-wide; shared addresses
+/// only alias within one block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Loc {
+    device: u16,
+    shared_block: u32, // u32::MAX for global
+    addr: u64,
+}
+
+fn loc_of(a: &Access) -> Loc {
+    Loc {
+        device: a.thread.device,
+        shared_block: match a.space {
+            Space::Global => u32::MAX,
+            Space::Shared => a.thread.block,
+        },
+        addr: a.addr,
+    }
+}
+
+/// Checks one launch trace. Findings are located as `kernel#launch`.
+pub fn check_trace(trace: &LaunchTrace, cfg: &RaceConfig) -> Report {
+    let mut report = Report::new();
+    let loc_label = format!("{}#{}", trace.kernel, trace.launch);
+
+    // --- barrier structure -----------------------------------------------
+    let mut declared: HashMap<u32, u32> = HashMap::new();
+    for b in &trace.barriers {
+        if let Some(&prev) = declared.get(&b.block) {
+            if prev != b.count {
+                report.push(Finding::new(
+                    "BAR-001",
+                    Severity::Error,
+                    loc_label.clone(),
+                    format!(
+                        "block {} declares conflicting barrier counts ({prev} vs {})",
+                        b.block, b.count
+                    ),
+                ));
+            }
+        } else {
+            declared.insert(b.block, b.count);
+        }
+    }
+    for (t, count) in &trace.thread_barriers {
+        let expected = declared.get(&t.block).copied().unwrap_or(0);
+        if *count != expected {
+            report.push(Finding::new(
+                "BAR-001",
+                Severity::Error,
+                loc_label.clone(),
+                format!(
+                    "thread {t} arrives at {count} barrier(s) while its block declares \
+                     {expected} — divergent arrival deadlocks the block"
+                ),
+            ));
+        }
+    }
+    let distinct_counts: HashSet<u32> = declared.values().copied().collect();
+    if distinct_counts.len() > 1 {
+        report.push(Finding::new(
+            "BAR-002",
+            Severity::Warning,
+            loc_label.clone(),
+            format!(
+                "blocks of one launch declare {} different barrier counts — \
+                 divergent control flow across blocks",
+                distinct_counts.len()
+            ),
+        ));
+    }
+
+    let mut grid_syncs: Vec<u32> = trace.grid_sync_phases.clone();
+    grid_syncs.sort_unstable();
+    grid_syncs.dedup();
+    let n_grid = grid_syncs.len() as u32;
+
+    // --- phase bounds ------------------------------------------------------
+    let mut phase_violations = 0usize;
+    for a in &trace.accesses {
+        let budget = declared.get(&a.thread.block).copied().unwrap_or(0) + n_grid;
+        if a.phase > budget {
+            phase_violations += 1;
+            if phase_violations <= 3 {
+                report.push(Finding::new(
+                    "BAR-003",
+                    Severity::Error,
+                    loc_label.clone(),
+                    format!(
+                        "thread {} accesses {:#x} at phase {} but its block only \
+                         declares {budget} synchronisation point(s)",
+                        a.thread, a.addr, a.phase
+                    ),
+                ));
+            }
+        }
+    }
+    if phase_violations > 3 {
+        report.push(Finding::new(
+            "BAR-003",
+            Severity::Error,
+            loc_label.clone(),
+            format!("... and {} further phase violations", phase_violations - 3),
+        ));
+    }
+
+    // --- races -------------------------------------------------------------
+    let mut locs: HashMap<Loc, LocState> = HashMap::new();
+    let mut atomic_writers: HashMap<(u16, u64), HashSet<SimThread>> = HashMap::new();
+    let mut races = 0usize;
+    for a in &trace.accesses {
+        if a.space == Space::Global && a.kind == AccessKind::Atomic {
+            atomic_writers
+                .entry((a.thread.device, a.addr))
+                .or_default()
+                .insert(a.thread);
+        }
+        let epoch = Epoch {
+            block: a.thread.block,
+            phase: a.phase,
+        };
+        let state = locs.entry(loc_of(a)).or_default();
+        if races < cfg.max_reported {
+            for (&(other, tag), &prior) in &state.last {
+                if other == a.thread || !conflicts(a.kind, match tag {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    _ => AccessKind::Atomic,
+                }) {
+                    continue;
+                }
+                if unordered(prior, epoch, &grid_syncs) {
+                    races += 1;
+                    let rule = if a.space == Space::Global {
+                        "RACE-001"
+                    } else {
+                        "RACE-002"
+                    };
+                    report.push(Finding::new(
+                        rule,
+                        Severity::Error,
+                        loc_label.clone(),
+                        format!(
+                            "data race on {} address {:#x}: {} by {} (phase {}) is \
+                             unordered with {} by {} (phase {})",
+                            if a.space == Space::Global { "global" } else { "shared" },
+                            a.addr,
+                            kind_name(tag),
+                            other,
+                            prior.phase,
+                            kind_name(kind_tag(a.kind)),
+                            a.thread,
+                            a.phase,
+                        ),
+                    ));
+                    if races >= cfg.max_reported {
+                        report.push(Finding::new(
+                            rule,
+                            Severity::Error,
+                            loc_label.clone(),
+                            format!("race reporting capped at {}", cfg.max_reported),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        let entry = state.last.entry((a.thread, kind_tag(a.kind))).or_insert(epoch);
+        if a.phase >= entry.phase {
+            *entry = epoch;
+        }
+    }
+
+    // --- atomic hotspots ---------------------------------------------------
+    if let Some(((_, addr), writers)) = atomic_writers
+        .iter()
+        .max_by_key(|(_, writers)| writers.len())
+    {
+        if writers.len() > cfg.hotspot_writers {
+            report.push(Finding::new(
+                "HOT-001",
+                Severity::Warning,
+                loc_label.clone(),
+                format!(
+                    "global atomic hotspot: {} distinct threads update address {addr:#x} \
+                     (threshold {}); expect ~{}× serialisation under the cost model",
+                    writers.len(),
+                    cfg.hotspot_writers,
+                    writers.len().min(32),
+                ),
+            ));
+        }
+    }
+
+    // --- metering cross-check ---------------------------------------------
+    if let Some(metered) = trace.metered_atomic_addrs {
+        let traced = atomic_writers.len() as u64;
+        if traced > metered {
+            report.push(Finding::new(
+                "METER-001",
+                Severity::Warning,
+                loc_label,
+                format!(
+                    "trace touches {traced} distinct global atomic addresses but the \
+                     kernel metered only {metered} for the cost model — the contention \
+                     estimate is too pessimistic"
+                ),
+            ));
+        }
+    }
+
+    report
+}
+
+/// Checks every launch of a capture.
+pub fn check_traces(traces: &[LaunchTrace], cfg: &RaceConfig) -> Report {
+    let mut report = Report::new();
+    for t in traces {
+        report.extend(check_trace(t, cfg));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thread(block: u32, t: u32) -> SimThread {
+        SimThread {
+            device: 0,
+            block,
+            thread: t,
+        }
+    }
+
+    fn access(th: SimThread, phase: u32, space: Space, kind: AccessKind, addr: u64) -> Access {
+        Access {
+            thread: th,
+            phase,
+            space,
+            kind,
+            addr,
+        }
+    }
+
+    #[test]
+    fn hb_within_block_is_phase_order() {
+        let g: Vec<u32> = vec![];
+        let a = Epoch { block: 0, phase: 0 };
+        let b = Epoch { block: 0, phase: 1 };
+        assert!(hb(a, b, &g));
+        assert!(!hb(b, a, &g));
+        assert!(unordered(a, Epoch { block: 0, phase: 0 }, &g));
+    }
+
+    #[test]
+    fn hb_across_blocks_needs_grid_sync() {
+        let a = Epoch { block: 0, phase: 0 };
+        let b = Epoch { block: 1, phase: 1 };
+        assert!(unordered(a, b, &[]));
+        assert!(hb(a, b, &[0]));
+        assert!(!hb(a, b, &[1])); // sync after both
+    }
+
+    #[test]
+    fn atomic_pair_is_not_a_race() {
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            accesses: vec![
+                access(thread(0, 0), 0, Space::Global, AccessKind::Atomic, 9),
+                access(thread(1, 0), 0, Space::Global, AccessKind::Atomic, 9),
+            ],
+            ..LaunchTrace::default()
+        };
+        let r = check_trace(&trace, &RaceConfig::default());
+        assert_eq!(r.actionable(), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn cross_block_write_write_races() {
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            accesses: vec![
+                access(thread(0, 0), 0, Space::Global, AccessKind::Write, 9),
+                access(thread(1, 0), 0, Space::Global, AccessKind::Write, 9),
+            ],
+            ..LaunchTrace::default()
+        };
+        let r = check_trace(&trace, &RaceConfig::default());
+        assert_eq!(r.count(Severity::Error), 1, "{}", r.render_text());
+        assert_eq!(r.findings[0].rule, "RACE-001");
+    }
+
+    #[test]
+    fn atomic_vs_plain_read_races() {
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            accesses: vec![
+                access(thread(0, 0), 0, Space::Global, AccessKind::Atomic, 5),
+                access(thread(0, 1), 0, Space::Global, AccessKind::Read, 5),
+            ],
+            ..LaunchTrace::default()
+        };
+        let r = check_trace(&trace, &RaceConfig::default());
+        assert_eq!(r.count(Severity::Error), 1, "{}", r.render_text());
+    }
+
+    #[test]
+    fn barrier_orders_same_block() {
+        use distmsm_gpu_sim::trace::BlockBarriers;
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            accesses: vec![
+                access(thread(0, 0), 0, Space::Shared, AccessKind::Write, 5),
+                access(thread(0, 1), 1, Space::Shared, AccessKind::Read, 5),
+            ],
+            barriers: vec![BlockBarriers {
+                block: 0,
+                threads: 2,
+                count: 1,
+            }],
+            ..LaunchTrace::default()
+        };
+        let r = check_trace(&trace, &RaceConfig::default());
+        assert_eq!(r.actionable(), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn shared_addresses_do_not_alias_across_blocks() {
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            accesses: vec![
+                access(thread(0, 0), 0, Space::Shared, AccessKind::Write, 5),
+                access(thread(1, 0), 0, Space::Shared, AccessKind::Write, 5),
+            ],
+            ..LaunchTrace::default()
+        };
+        let r = check_trace(&trace, &RaceConfig::default());
+        assert_eq!(r.actionable(), 0, "{}", r.render_text());
+    }
+
+    #[test]
+    fn divergent_thread_barriers_flagged() {
+        use distmsm_gpu_sim::trace::BlockBarriers;
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            barriers: vec![BlockBarriers {
+                block: 0,
+                threads: 32,
+                count: 2,
+            }],
+            thread_barriers: vec![(thread(0, 7), 1)],
+            ..LaunchTrace::default()
+        };
+        let r = check_trace(&trace, &RaceConfig::default());
+        assert!(r.findings.iter().any(|f| f.rule == "BAR-001"));
+    }
+
+    #[test]
+    fn phase_beyond_declared_syncs_flagged() {
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            accesses: vec![access(thread(0, 0), 3, Space::Global, AccessKind::Read, 1)],
+            ..LaunchTrace::default()
+        };
+        let r = check_trace(&trace, &RaceConfig::default());
+        assert!(r.findings.iter().any(|f| f.rule == "BAR-003"));
+    }
+
+    #[test]
+    fn hotspot_threshold_applies() {
+        let mut accesses = Vec::new();
+        for t in 0..100 {
+            accesses.push(access(thread(t, 0), 0, Space::Global, AccessKind::Atomic, 42));
+        }
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            accesses,
+            ..LaunchTrace::default()
+        };
+        let hot = check_trace(&trace, &RaceConfig { hotspot_writers: 64, max_reported: 20 });
+        assert!(hot.findings.iter().any(|f| f.rule == "HOT-001"));
+        let cold = check_trace(&trace, &RaceConfig { hotspot_writers: 128, max_reported: 20 });
+        assert!(cold.findings.is_empty());
+    }
+
+    #[test]
+    fn metering_cross_check() {
+        let trace = LaunchTrace {
+            kernel: "t".into(),
+            accesses: vec![
+                access(thread(0, 0), 0, Space::Global, AccessKind::Atomic, 1),
+                access(thread(0, 0), 0, Space::Global, AccessKind::Atomic, 2),
+            ],
+            metered_atomic_addrs: Some(1),
+            ..LaunchTrace::default()
+        };
+        let r = check_trace(&trace, &RaceConfig::default());
+        assert!(r.findings.iter().any(|f| f.rule == "METER-001"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Finding and report types shared by the race detector and the linter.
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: worth knowing, not wrong.
+    Info,
+    /// Suspicious: likely a performance or robustness problem.
+    Warning,
+    /// Defect: the analysed artefact is incorrect or cannot run.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Info => "info",
+            Self::Warning => "warning",
+            Self::Error => "error",
+        }
+    }
+}
+
+/// One analysis finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable rule identifier, e.g. `RACE-001` or `REG-001`.
+    pub rule: &'static str,
+    /// Severity of this instance.
+    pub severity: Severity,
+    /// Where it was found — a kernel launch, a preset × device pair, an op.
+    pub location: String,
+    /// Human explanation of what is wrong and why.
+    pub message: String,
+}
+
+impl Finding {
+    /// Convenience constructor.
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            rule,
+            severity,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// A collection of findings with rendering helpers.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, f: Finding) {
+        self.findings.push(f);
+    }
+
+    /// Appends every finding of `other`.
+    pub fn extend(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+    }
+
+    /// Number of findings at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    /// Number of findings at `Warning` or `Error` — the ones that make
+    /// `check` fail.
+    pub fn actionable(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity >= Severity::Warning)
+            .count()
+    }
+
+    /// Plain-text rendering, one line per finding plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{:<7} {:<10} {}: {}\n",
+                f.severity.label(),
+                f.rule,
+                f.location,
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// JSON rendering (hand-rolled — the workspace is offline and carries
+    /// no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"severity\": {}, \"location\": {}, \"message\": {}}}{}\n",
+                json_str(f.rule),
+                json_str(f.severity.label()),
+                json_str(&f.location),
+                json_str(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"errors\": {},\n  \"warnings\": {},\n  \"infos\": {}\n}}\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let mut r = Report::new();
+        r.push(Finding::new(
+            "RACE-001",
+            Severity::Error,
+            "scatter-naive#3",
+            "data race on \"addr\"\twith tab",
+        ));
+        r.push(Finding::new("OCC-001", Severity::Info, "a100", "low occupancy"));
+        let text = r.render_text();
+        assert!(text.contains("RACE-001"));
+        assert!(text.contains("1 error(s), 0 warning(s), 1 info"));
+        let json = r.render_json();
+        assert!(json.contains("\\\"addr\\\"\\twith"));
+        assert!(json.contains("\"errors\": 1"));
+        assert_eq!(r.actionable(), 1);
+    }
+}

@@ -177,10 +177,10 @@ pub fn run_fig3() -> (String, Vec<(u32, u32)>) {
         .iter()
         .map(|&g| WorkloadParams::figure3(g).cost_curve(6..=24))
         .collect();
-    for i in 0..curves[0].len() {
+    for (i, &(s, cost1)) in curves[0].iter().enumerate() {
         t.row([
-            curves[0][i].0.to_string(),
-            format!("{:.2}", curves[0][i].1),
+            s.to_string(),
+            format!("{cost1:.2}"),
             format!("{:.2}", curves[1][i].1),
             format!("{:.2}", curves[2][i].1),
         ]);
@@ -587,6 +587,51 @@ pub fn run_ablations() -> String {
         rep.serial_s * 1e3,
         rep.pipelined_s * 1e3,
         rep.saving() * 100.0,
+    ));
+    out
+}
+
+/// Opt-in trace-overhead measurement (the fig8 binary's `--analyze` flag):
+/// runs the same multi-GPU MSM repeatedly with trace capture off and — when
+/// this crate is built with the `analyze` feature — again with capture on,
+/// reporting the wall-clock delta the access-trace hooks cost.
+///
+/// Built *without* the feature (the default for every bench target), the
+/// hooks are compiled out entirely and the function only reports the
+/// baseline timing, demonstrating the zero-cost-when-disabled claim.
+pub fn run_trace_overhead(n: usize, reps: usize) -> String {
+    use std::time::Instant;
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = MsmInstance::<Bn254G1>::random(n, &mut rng);
+    let engine = DistMsm::new(MultiGpuSystem::dgx_a100(4));
+    let run_all = || {
+        for _ in 0..reps {
+            engine.execute(&inst).expect("MSM executes");
+        }
+    };
+
+    let mut out = format!("Trace-hook overhead (N={n}, {reps} runs, 4 GPUs, BN254):\n");
+    let t0 = Instant::now();
+    run_all();
+    let off = t0.elapsed();
+
+    #[cfg(feature = "analyze")]
+    {
+        distmsm_gpu_sim::trace::begin_capture();
+        let t1 = Instant::now();
+        run_all();
+        let on = t1.elapsed();
+        let traces = distmsm_gpu_sim::trace::end_capture();
+        let accesses: usize = traces.iter().map(|t| t.accesses.len()).sum();
+        out.push_str(&format!(
+            "  capture off: {off:.2?} (hooks compiled in, capture disabled)\n  capture on:  {on:.2?} ({} launches, {accesses} accesses recorded)\n  capture overhead: {:+.1}%\n",
+            traces.len(),
+            (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0,
+        ));
+    }
+    #[cfg(not(feature = "analyze"))]
+    out.push_str(&format!(
+        "  hooks compiled out: {off:.2?}\n  (rebuild with `--features analyze` to measure capture overhead)\n"
     ));
     out
 }

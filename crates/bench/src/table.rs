@@ -42,9 +42,9 @@ impl Table {
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..n_cols {
+            for (i, &w) in widths.iter().enumerate().take(n_cols) {
                 let cell = cells.get(i).map_or("", String::as_str);
-                let pad = widths[i] - cell.chars().count();
+                let pad = w - cell.chars().count();
                 line.push_str(cell);
                 line.push_str(&" ".repeat(pad));
                 if i + 1 < n_cols {

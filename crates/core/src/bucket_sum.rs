@@ -3,8 +3,109 @@
 //! reduction.
 
 use distmsm_ec::{Affine, Curve, XyzzPoint};
+use distmsm_gpu_sim::trace::LaunchRecorder;
 use distmsm_gpu_sim::LaunchStats;
 use distmsm_kernel::EcKernelModel;
+
+/// Trace address namespaces (see `distmsm_gpu_sim::trace`).
+#[cfg(feature = "trace")]
+mod addr {
+    /// Global: affine point array, indexed by point.
+    pub const POINT: u64 = 0x1000_0000_0000;
+    /// Global: cross-block partial sums; `GPART + (bucket << 20 | block)`.
+    pub const GPART: u64 = 0x3000_0000_0000;
+    /// Shared (block-local): per-thread partial-sum slots.
+    pub const SHM_PARTIAL: u64 = 0x300_0000;
+}
+
+/// Emits the bucket-sum access pattern. Thread `bucket * tpb + lane`
+/// accumulates every `tpb`-th point of its bucket into a shared-memory
+/// partial (phase 0), the block's threads pass `log2(tpb)` reduction
+/// barriers, and the bucket leader combines the partials. The emitted
+/// combine is flat (the leader reads each lane's slot once) rather than
+/// the metered `log2` tree — a simplification with identical
+/// synchronisation structure, since every tree step is barrier-separated
+/// from the writes it consumes. When a bucket's lanes straddle a block
+/// boundary, per-block segment leaders publish their partial globally and
+/// the combine crosses a grid sync, mirroring a cooperative-groups launch.
+#[cfg(feature = "trace")]
+fn emit_bucket_sum_trace(
+    rec: &mut LaunchRecorder,
+    buckets: &[Vec<u32>],
+    tpb: u32,
+    block_size: u32,
+) {
+    use crate::scatter::SIGN_BIT;
+    use distmsm_gpu_sim::trace::{AccessKind, Space};
+    let tpb = tpb.max(1) as u64;
+    let bs = block_size.max(1) as u64;
+    let n_buckets = buckets.len() as u64;
+    let threads = (n_buckets * tpb).max(1);
+    let reduce_steps = (tpb as f64).log2().ceil() as u32;
+    let spans_blocks = buckets
+        .iter()
+        .enumerate()
+        .any(|(b, pts)| !pts.is_empty() && (b as u64 * tpb) / bs != (b as u64 * tpb + tpb - 1) / bs);
+
+    let n_blocks = threads.div_ceil(bs);
+    for blk in 0..n_blocks {
+        let in_block = bs.min(threads - blk * bs) as u32;
+        rec.block_barriers(blk as u32, in_block, reduce_steps);
+    }
+
+    for (b, pts) in buckets.iter().enumerate() {
+        if pts.is_empty() {
+            continue;
+        }
+        let lane_thread = |lane: u64| {
+            let g = b as u64 * tpb + lane;
+            ((g / bs) as u32, (g % bs) as u32)
+        };
+        // phase 0: strided accumulation into the lane's shared partial
+        let active_lanes = (pts.len() as u64).min(tpb);
+        for (pos, &entry) in pts.iter().enumerate() {
+            let lane = pos as u64 % tpb;
+            let (blk, tid) = lane_thread(lane);
+            let point = u64::from(entry & !SIGN_BIT);
+            rec.access(blk, tid, 0, Space::Global, AccessKind::Read, addr::POINT + point);
+            rec.access(blk, tid, 0, Space::Shared, AccessKind::Write, addr::SHM_PARTIAL + u64::from(tid));
+        }
+        // combine: the bucket leader gathers same-block partials after the
+        // reduction barriers; cross-block segments go through global memory
+        // and the grid sync.
+        let (leader_blk, leader_tid) = lane_thread(0);
+        let mut segment_leader_seen = vec![false; n_blocks as usize];
+        for lane in 0..active_lanes {
+            let (blk, tid) = lane_thread(lane);
+            if blk == leader_blk {
+                rec.access(
+                    leader_blk,
+                    leader_tid,
+                    reduce_steps,
+                    Space::Shared,
+                    AccessKind::Read,
+                    addr::SHM_PARTIAL + u64::from(tid),
+                );
+            } else if !segment_leader_seen[blk as usize] {
+                segment_leader_seen[blk as usize] = true;
+                let gpart = addr::GPART + ((b as u64) << 20 | u64::from(blk));
+                rec.access(blk, tid, reduce_steps, Space::Global, AccessKind::Write, gpart);
+                rec.access(
+                    leader_blk,
+                    leader_tid,
+                    reduce_steps + 1,
+                    Space::Global,
+                    AccessKind::Read,
+                    gpart,
+                );
+            }
+        }
+    }
+
+    if spans_blocks {
+        rec.grid_sync_at(reduce_steps);
+    }
+}
 
 /// Result of summing one slice's buckets on one GPU.
 #[derive(Clone, Debug)]
@@ -70,6 +171,16 @@ pub fn bucket_sum<C: Curve>(
     let mut stats = LaunchStats::new(model.profile("bucket-sum", block_size), threads);
     stats.max_thread = max_thread;
     stats.total = total;
+
+    let rec = LaunchRecorder::start("bucket-sum", 0);
+    #[cfg(feature = "trace")]
+    let mut rec = rec;
+    #[cfg(feature = "trace")]
+    if rec.active() {
+        emit_bucket_sum_trace(&mut rec, buckets, tpb, block_size);
+    }
+    rec.commit();
+
     BucketSumOutcome { sums, stats }
 }
 
@@ -110,6 +221,16 @@ pub fn bucket_sum_signed<C: Curve>(
     out.max_thread = acc.scale(per_thread_paccs).add(&padd.scale(reduce_steps));
     out.max_thread.global_bytes += per_thread_paccs * (2.0 * model.limbs32() as f64 * 4.0);
     out.max_thread.barriers += reduce_steps;
+
+    let rec = LaunchRecorder::start("bucket-sum", 0);
+    #[cfg(feature = "trace")]
+    let mut rec = rec;
+    #[cfg(feature = "trace")]
+    if rec.active() {
+        emit_bucket_sum_trace(&mut rec, buckets, tpb, block_size);
+    }
+    rec.commit();
+
     BucketSumOutcome {
         sums,
         stats: out,

@@ -15,10 +15,94 @@ use crate::bucket_sum::{bucket_sum, threads_per_bucket};
 use crate::plan::Slice;
 use crate::reduce::{bucket_reduce_gpu_stats, bucket_reduce_serial, window_reduce};
 use distmsm_ec::{Curve, FieldElement, MsmInstance, Scalar, XyzzPoint};
+use distmsm_gpu_sim::trace::LaunchRecorder;
 use distmsm_gpu_sim::{
     estimate_kernel_time, CostModelConfig, KernelProfile, LaunchStats, MultiGpuSystem, ThreadCost,
 };
 use distmsm_kernel::{EcKernelModel, PaddOptimizations};
+
+/// Trace address namespaces (see `distmsm_gpu_sim::trace`).
+#[cfg(feature = "trace")]
+mod addr {
+    /// Global: packed scalar-chunk array, indexed by point.
+    pub const SCAL: u64 = 0x1000_0000_0000;
+    /// Global: per-thread histogram columns; `HIST + (bucket << 20 | thread)`.
+    pub const HIST: u64 = 0x5000_0000_0000;
+    /// Global: per-bucket row offsets from the prefix sum.
+    pub const OFF: u64 = 0x6000_0000_0000;
+    /// Global: transposed cells; `CELL + (bucket << 24 | slot)`.
+    pub const CELL: u64 = 0x7000_0000_0000;
+}
+
+/// Emits the transpose's three grid-synchronised passes. Pass 0 builds
+/// per-thread histogram columns (cuZK's ELL layout — no two threads share
+/// a counter, hence no atomics), pass 1 prefix-sums them into per-bucket
+/// row offsets (each bucket owned by one thread), pass 2 re-reads the
+/// scalars and writes each point into its claimed (unique) transposed
+/// cell. Passes are separated by grid syncs, which is the only reason the
+/// cross-thread histogram/offset reads are ordered.
+#[cfg(feature = "trace")]
+fn emit_transpose_trace<S: Scalar>(
+    rec: &mut LaunchRecorder,
+    scalars: &[S],
+    s: u32,
+    window: u32,
+    threads: u64,
+) {
+    use distmsm_gpu_sim::trace::{AccessKind, Space};
+    let n = scalars.len() as u64;
+    let n_buckets = 1u64 << s;
+    let per_thread = n.div_ceil(threads.max(1)).max(1);
+    let thread_of = |i: u64| {
+        let t = i / per_thread;
+        ((t / 256) as u32, (t % 256) as u32) // profile block size is 256
+    };
+    // pass 0: histogram into private columns
+    for (i, k) in scalars.iter().enumerate() {
+        let (blk, tid) = thread_of(i as u64);
+        let t = i as u64 / per_thread;
+        rec.access(blk, tid, 0, Space::Global, AccessKind::Read, addr::SCAL + i as u64);
+        let b = k.window(window * s, s);
+        if b != 0 {
+            rec.access(blk, tid, 0, Space::Global, AccessKind::Write, addr::HIST + ((b << 20) | t));
+        }
+    }
+    rec.grid_sync_at(0);
+    // pass 1: prefix sum — bucket b is owned by one thread, which reads
+    // every thread's column for b and publishes the row offset
+    let buckets_per_thread = n_buckets.div_ceil(threads.max(1)).max(1);
+    for b in 1..n_buckets {
+        let owner = b / buckets_per_thread;
+        let (blk, tid) = ((owner / 256) as u32, (owner % 256) as u32);
+        for t in 0..threads.min(4) {
+            // sampled columns: reading all `threads` columns per bucket
+            // would square the trace size without changing the HB structure
+            rec.access(blk, tid, 1, Space::Global, AccessKind::Read, addr::HIST + ((b << 20) | t));
+        }
+        rec.access(blk, tid, 1, Space::Global, AccessKind::Write, addr::OFF + b);
+    }
+    rec.grid_sync_at(1);
+    // pass 2: scatter into the claimed transposed cells
+    let mut cursors = vec![0u64; n_buckets as usize];
+    for (i, k) in scalars.iter().enumerate() {
+        let (blk, tid) = thread_of(i as u64);
+        rec.access(blk, tid, 2, Space::Global, AccessKind::Read, addr::SCAL + i as u64);
+        let b = k.window(window * s, s);
+        if b != 0 {
+            rec.access(blk, tid, 2, Space::Global, AccessKind::Read, addr::OFF + b);
+            let slot = cursors[b as usize];
+            cursors[b as usize] += 1;
+            rec.access(
+                blk,
+                tid,
+                2,
+                Space::Global,
+                AccessKind::Write,
+                addr::CELL + ((b << 24) | slot),
+            );
+        }
+    }
+}
 
 /// Result of a cuZK-style execution.
 #[derive(Clone, Debug)]
@@ -79,6 +163,16 @@ pub fn transpose_window<S: Scalar>(
         ..ThreadCost::default()
     };
     stats.total = stats.max_thread.scale(threads as f64);
+
+    let rec = LaunchRecorder::start("cuzk-transpose", 0);
+    #[cfg(feature = "trace")]
+    let mut rec = rec;
+    #[cfg(feature = "trace")]
+    if rec.active() {
+        emit_transpose_trace(&mut rec, scalars, s, window, threads);
+    }
+    rec.commit();
+
     (buckets, stats)
 }
 

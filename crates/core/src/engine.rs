@@ -248,7 +248,7 @@ impl DistMsm {
 
         let mut outcomes: Vec<Option<Result<SliceOutcome<C>, MsmError>>> =
             (0..slices.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let chunk = slices.len().div_ceil(
                 std::thread::available_parallelism().map_or(4, |p| p.get()),
             );
@@ -258,7 +258,7 @@ impl DistMsm {
                 let model = &model;
                 let config = &self.config;
                 let digits = &digits;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (slice, out) in slice_chunk.iter().zip(out_chunk.iter_mut()) {
                         let kind = match scatter_kind(slice) {
                             Ok(k) => k,
@@ -329,8 +329,7 @@ impl DistMsm {
                     }
                 });
             }
-        })
-        .expect("host worker panicked");
+        });
 
         let mut done = Vec::with_capacity(slices.len());
         for o in outcomes {

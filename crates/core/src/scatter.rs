@@ -11,7 +11,128 @@
 
 use crate::plan::Slice;
 use distmsm_ec::Scalar;
+use distmsm_gpu_sim::trace::LaunchRecorder;
 use distmsm_gpu_sim::{KernelProfile, LaunchStats, ThreadCost};
+
+/// Simulated address namespaces for the access trace (see
+/// `distmsm_gpu_sim::trace`). Each launch gets its own trace, so bases only
+/// need to be distinct *within* one kernel.
+#[cfg(feature = "trace")]
+mod addr {
+    /// Global: packed per-window coefficient array, indexed by point.
+    pub const COEFF: u64 = 0x1000_0000_0000;
+    /// Global: per-bucket append cursors, indexed by absolute bucket.
+    pub const CURSOR: u64 = 0x2000_0000_0000;
+    /// Global: bucket payload; `DATA + (bucket << 24 | slot)`.
+    pub const DATA: u64 = 0x4000_0000_0000;
+    /// Shared (block-local): per-local-bucket counters.
+    pub const SHM_CNT: u64 = 0x100_0000;
+    /// Shared (block-local): locally scattered point slots.
+    pub const SHM_SLOT: u64 = 0x200_0000;
+}
+
+/// Emits the naive-scatter access pattern: every thread reads its
+/// coefficients and appends matching points straight into the global
+/// buckets — one cursor atomic plus one payload write per insert. The
+/// payload slot is the point's final position in its bucket, i.e. the
+/// location the claimed cursor value denotes; slots are therefore unique
+/// and the only cross-thread collisions are the (atomic) cursor bumps.
+#[cfg(feature = "trace")]
+fn emit_naive_trace(
+    rec: &mut LaunchRecorder,
+    n_points: usize,
+    per_thread_points: u64,
+    buckets: &[Vec<u32>],
+    bucket_lo: u32,
+) {
+    use distmsm_gpu_sim::trace::{AccessKind, Space};
+    let thread_of = |i: usize| {
+        let t = i as u64 / per_thread_points.max(1);
+        ((t / 256) as u32, (t % 256) as u32) // profile block size is 256
+    };
+    for i in 0..n_points {
+        let (blk, tid) = thread_of(i);
+        rec.access(blk, tid, 0, Space::Global, AccessKind::Read, addr::COEFF + i as u64);
+    }
+    for (bi, bucket) in buckets.iter().enumerate() {
+        let abs = u64::from(bucket_lo) + bi as u64;
+        for (slot, &entry) in bucket.iter().enumerate() {
+            let i = (entry & !SIGN_BIT) as usize;
+            let (blk, tid) = thread_of(i);
+            rec.access(blk, tid, 0, Space::Global, AccessKind::Atomic, addr::CURSOR + abs);
+            rec.access(
+                blk,
+                tid,
+                0,
+                Space::Global,
+                AccessKind::Write,
+                addr::DATA + ((abs << 24) | slot as u64),
+            );
+        }
+    }
+}
+
+/// Emits the hierarchical-scatter access pattern (Algorithm 3). Phase 0 is
+/// the in-block local scatter: coefficient reads, two shared-memory
+/// counter atomics per matching point (count + offset claim) and one write
+/// into the block's slot array. After the block's declared barriers, the
+/// commit phase issues one global cursor atomic per non-empty local bucket
+/// and writes the claimed (disjoint) payload range. `contrib(i)` returns
+/// the slice-local bucket of point `i`, or `None` when it lands outside.
+#[cfg(feature = "trace")]
+fn emit_hierarchical_trace(
+    rec: &mut LaunchRecorder,
+    n_points: usize,
+    range: usize,
+    bucket_lo: u32,
+    cfg: &ScatterConfig,
+    contrib: impl Fn(usize) -> Option<usize>,
+) {
+    use distmsm_gpu_sim::trace::{AccessKind, Space};
+    let ppb = (cfg.block_size as usize * cfg.points_per_thread as usize).max(1);
+    let k = (cfg.points_per_thread as usize).max(1);
+    let barrier_count = 3 + (f64::from(cfg.block_size).log2().ceil() as u32);
+    let n_blocks = n_points.div_ceil(ppb).max(1);
+    let mut cursors = vec![0u64; range];
+    for blk in 0..n_blocks {
+        let start = blk * ppb;
+        let end = (start + ppb).min(n_points);
+        let mut local: Vec<Vec<usize>> = vec![Vec::new(); range];
+        for i in start..end {
+            let j = i - start;
+            let tid = (j / k) as u32;
+            rec.access(blk as u32, tid, 0, Space::Global, AccessKind::Read, addr::COEFF + i as u64);
+            if let Some(bi) = contrib(i) {
+                rec.access(blk as u32, tid, 0, Space::Shared, AccessKind::Atomic, addr::SHM_CNT + bi as u64);
+                rec.access(blk as u32, tid, 0, Space::Shared, AccessKind::Atomic, addr::SHM_CNT + bi as u64);
+                rec.access(blk as u32, tid, 0, Space::Shared, AccessKind::Write, addr::SHM_SLOT + j as u64);
+                local[bi].push(i);
+            }
+        }
+        rec.block_barriers(blk as u32, cfg.block_size, barrier_count);
+        for (bi, pts) in local.iter().enumerate() {
+            if pts.is_empty() {
+                continue;
+            }
+            let tid = (bi % cfg.block_size as usize) as u32;
+            let abs = u64::from(bucket_lo) + bi as u64;
+            rec.access(blk as u32, tid, barrier_count, Space::Shared, AccessKind::Read, addr::SHM_CNT + bi as u64);
+            rec.access(blk as u32, tid, barrier_count, Space::Global, AccessKind::Atomic, addr::CURSOR + abs);
+            for _ in pts {
+                let slot = cursors[bi];
+                cursors[bi] += 1;
+                rec.access(
+                    blk as u32,
+                    tid,
+                    barrier_count,
+                    Space::Global,
+                    AccessKind::Write,
+                    addr::DATA + ((abs << 24) | slot),
+                );
+            }
+        }
+    }
+}
 
 /// Which scatter implementation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +239,18 @@ pub fn scatter_naive<S: Scalar>(
 
     let stats =
         naive_scatter_stats(scalars.len() as u64, inserts, slice.len(), gpu_threads, coeff_bytes);
+
+    let rec = LaunchRecorder::start("scatter-naive", slice.gpu as u16);
+    #[cfg(feature = "trace")]
+    let mut rec = rec;
+    #[cfg(feature = "trace")]
+    if rec.active() {
+        let per_thread = (scalars.len() as u64).div_ceil(stats.threads);
+        emit_naive_trace(&mut rec, scalars.len(), per_thread, &buckets, slice.bucket_lo);
+        rec.note_metered_atomics(stats.distinct_atomic_addrs);
+    }
+    rec.commit();
+
     ScatterOutcome { buckets, stats }
 }
 
@@ -222,6 +355,21 @@ pub fn scatter_hierarchical<S: Scalar>(
         cfg,
         coeff_bytes,
     );
+
+    let rec = LaunchRecorder::start("scatter-hierarchical", slice.gpu as u16);
+    #[cfg(feature = "trace")]
+    let mut rec = rec;
+    #[cfg(feature = "trace")]
+    if rec.active() {
+        emit_hierarchical_trace(&mut rec, scalars.len(), range, slice.bucket_lo, cfg, |i| {
+            let b = bucket_of(&scalars[i], slice.window, s);
+            (b != 0 && b >= u64::from(slice.bucket_lo) && b < u64::from(slice.bucket_hi))
+                .then(|| (b - u64::from(slice.bucket_lo)) as usize)
+        });
+        rec.note_metered_atomics(stats.distinct_atomic_addrs);
+    }
+    rec.commit();
+
     Ok(ScatterOutcome { buckets, stats })
 }
 
@@ -320,6 +468,30 @@ pub fn scatter_signed_digits(
             hierarchical_scatter_stats(n_blocks, committed, slice.len(), cfg, coeff_bytes)
         }
     };
+
+    let rec = LaunchRecorder::start(stats.profile.name, slice.gpu as u16);
+    #[cfg(feature = "trace")]
+    let mut rec = rec;
+    #[cfg(feature = "trace")]
+    if rec.active() {
+        match kind {
+            ScatterKind::Naive => {
+                let per_thread = (digits.len() as u64).div_ceil(stats.threads);
+                emit_naive_trace(&mut rec, digits.len(), per_thread, &buckets, slice.bucket_lo);
+            }
+            ScatterKind::Hierarchical => {
+                emit_hierarchical_trace(&mut rec, digits.len(), range, slice.bucket_lo, cfg, |i| {
+                    let d = digits[i][slice.window as usize];
+                    let b = d.unsigned_abs() as u64;
+                    (d != 0 && b >= u64::from(slice.bucket_lo) && b < u64::from(slice.bucket_hi))
+                        .then(|| (b - u64::from(slice.bucket_lo)) as usize)
+                });
+            }
+        }
+        rec.note_metered_atomics(stats.distinct_atomic_addrs);
+    }
+    rec.commit();
+
     Ok(ScatterOutcome { buckets, stats })
 }
 

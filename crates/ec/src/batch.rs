@@ -19,7 +19,7 @@ pub fn batch_inverse<F: FieldElement>(values: &mut [F]) -> usize {
     for v in values.iter() {
         prefix.push(acc);
         if !v.is_zero() {
-            acc = acc * *v;
+            acc *= *v;
         }
     }
     let mut inv = match acc.inverse() {
@@ -33,7 +33,7 @@ pub fn batch_inverse<F: FieldElement>(values: &mut [F]) -> usize {
         }
         let v = values[i];
         values[i] = inv * prefix[i];
-        inv = inv * v;
+        inv *= v;
         count += 1;
     }
     count

@@ -221,9 +221,6 @@ mod tests {
     fn subgroup_check<C: Curve>(order_bits: &[u64]) {
         let g = C::generator();
         assert!(g.is_on_curve(), "{} generator off-curve", C::NAME);
-        let mut k = C::Scalar::default();
-        // scalar_mul takes C::Scalar; drive through Uint via the Scalar trait
-        let _ = k;
         let acc = mul_by_limbs::<C>(&g, order_bits);
         assert!(acc.is_identity(), "{} r·G ≠ ∞", C::NAME);
     }

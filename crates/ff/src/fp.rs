@@ -169,7 +169,7 @@ impl<P: FpParams<N>, const N: usize> Fp<P, N> {
         for i in (0..bits).rev() {
             acc = acc.square();
             if (exp[i / 64] >> (i % 64)) & 1 == 1 {
-                acc = acc * *self;
+                acc *= *self;
             }
         }
         acc
@@ -226,7 +226,7 @@ impl<P: FpParams<N>, const N: usize> Fp<P, N> {
         // find a quadratic non-residue z
         let mut z = Self::from_u64(2);
         while z.legendre() != -1 {
-            z = z + Self::ONE;
+            z += Self::ONE;
         }
         let mut m = s;
         let mut c = z.pow(&q.0);
@@ -252,8 +252,8 @@ impl<P: FpParams<N>, const N: usize> Fp<P, N> {
             }
             m = i;
             c = b.square();
-            t = t * c;
-            r = r * b;
+            t *= c;
+            r *= b;
         }
         (r.square() == *self).then_some(r)
     }
@@ -287,7 +287,7 @@ impl<P: FpParams<N>, const N: usize> Fp<P, N> {
         }
         let mut g = Self::from_u64(2);
         while g.legendre() != -1 {
-            g = g + Self::ONE;
+            g += Self::ONE;
         }
         let (pm1, _) = P::MODULUS.borrowing_sub(&Uint::ONE);
         let e = pm1.shr(log_n);

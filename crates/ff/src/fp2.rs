@@ -98,7 +98,7 @@ impl<P: FpParams<N>, const N: usize> Fp2<P, N> {
         for i in (0..bits).rev() {
             acc = acc.square();
             if (exp[i / 64] >> (i % 64)) & 1 == 1 {
-                acc = acc * *self;
+                acc *= *self;
             }
         }
         acc

@@ -111,9 +111,9 @@ pub fn mont_mul_cios<const N: usize>(a: &Uint<N>, b: &Uint<N>, m: &Uint<N>, inv:
     for i in 0..N {
         // t += a[i] * b
         let mut carry = 0u64;
-        for j in 0..N {
-            let (v, c) = mac(t[j], a.0[i], b.0[j], carry);
-            t[j] = v;
+        for (j, tj) in t.iter_mut().enumerate().take(N) {
+            let (v, c) = mac(*tj, a.0[i], b.0[j], carry);
+            *tj = v;
             carry = c;
         }
         let (v, c) = adc(t_extra, carry, 0);

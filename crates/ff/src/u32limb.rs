@@ -122,10 +122,10 @@ pub fn mont_mul_cios_u32(a: &[u32], b: &[u32], modulus: &[u32], inv32: u32, out:
     assert_eq!(b.len(), n);
     assert_eq!(out.len(), n);
     let mut t = vec![0u32; n + 2];
-    for i in 0..n {
+    for &ai in a.iter().take(n) {
         let mut carry = 0u64;
         for j in 0..n {
-            let v = t[j] as u64 + a[i] as u64 * b[j] as u64 + carry;
+            let v = t[j] as u64 + ai as u64 * b[j] as u64 + carry;
             t[j] = v as u32;
             carry = v >> 32;
         }

@@ -158,7 +158,7 @@ impl<const N: usize> Uint<N> {
     /// Panics if `width` is 0 or greater than 64.
     #[inline]
     pub fn bits(&self, lo: u32, width: u32) -> u64 {
-        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
         let limb = (lo / 64) as usize;
         let shift = lo % 64;
         if limb >= N {
@@ -283,11 +283,11 @@ impl<const N: usize> Uint<N> {
         let limb_shift = (bits / 64) as usize;
         let bit_shift = bits % 64;
         let mut out = [0u64; N];
-        for i in 0..N {
+        for (i, o) in out.iter_mut().enumerate() {
             if i + limb_shift < N {
-                out[i] = self.0[i + limb_shift] >> bit_shift;
+                *o = self.0[i + limb_shift] >> bit_shift;
                 if bit_shift > 0 && i + limb_shift + 1 < N {
-                    out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                    *o |= self.0[i + limb_shift + 1] << (64 - bit_shift);
                 }
             }
         }

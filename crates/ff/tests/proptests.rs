@@ -3,7 +3,7 @@
 use distmsm_ff::mont::{add_mod, sub_mod, MontCtx};
 use distmsm_ff::params::{Bn254Fq, FqBn254, FqMnt4753, FrBls12377};
 use distmsm_ff::u32limb::U32Field;
-use distmsm_ff::{Fp, FpParams, Uint};
+use distmsm_ff::{FpParams, Uint};
 use proptest::prelude::*;
 
 fn arb_uint4() -> impl Strategy<Value = Uint<4>> {

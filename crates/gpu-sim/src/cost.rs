@@ -270,6 +270,11 @@ pub fn estimate_kernel_time(
     let concurrent_threads =
         (u64::from(resident) * u64::from(device.sm_count)).min(stats.threads) as f64;
     let atomic_s = if stats.total.global_atomics > 0.0 {
+        // Degenerate-input clamps: `.max(1)` keeps the divisor finite when a
+        // kernel issued atomics but never filled in `distinct_atomic_addrs`
+        // (treated as maximal contention on one address), and `.max(1.0)`
+        // floors the writer count when addresses outnumber the concurrent
+        // threads — a single-thread launch still pays one uncontended writer.
         let writers_per_addr =
             (concurrent_threads / stats.distinct_atomic_addrs.max(1) as f64).max(1.0);
         let cycles_per_atomic =
@@ -283,6 +288,8 @@ pub fn estimate_kernel_time(
         0.0
     } + if stats.total.shared_atomics > 0.0 {
         let block_threads = f64::from(p.block_size);
+        // Same clamps as the global path: unset address counts degrade to
+        // worst-case (all of the block on one shared slot), never to NaN.
         let writers_per_addr =
             (block_threads / stats.distinct_shared_addrs.max(1) as f64).max(1.0);
         let cycles = cfg.shared_atomic_base_cycles
@@ -390,6 +397,75 @@ mod tests {
         assert_eq!(mx.global_atomics, 5.0);
         let sc = a.scale(2.0);
         assert_eq!(sc.global_atomics, 10.0);
+    }
+
+    #[test]
+    fn zero_atomics_cost_nothing() {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        // atomics == 0 must short-circuit both atomic terms even when the
+        // address counts are zero too (the clamps must never be reached).
+        let s = stats_with(64, 0, 1 << 16, 1e6, 0.0, 0);
+        let t = estimate_kernel_time(&d, &s, &cfg);
+        assert_eq!(t.atomic_s, 0.0);
+        assert!(t.total().is_finite());
+    }
+
+    #[test]
+    fn unset_atomic_addrs_degrade_to_one_address() {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        // atomics issued but distinct_atomic_addrs left at 0: the `.max(1)`
+        // clamp treats this as full contention on a single address — the
+        // result must be finite and identical to an explicit addrs == 1.
+        let unset = stats_with(64, 0, 1 << 16, 0.0, 64.0, 0);
+        let one = stats_with(64, 0, 1 << 16, 0.0, 64.0, 1);
+        let t_unset = estimate_kernel_time(&d, &unset, &cfg).atomic_s;
+        let t_one = estimate_kernel_time(&d, &one, &cfg).atomic_s;
+        assert!(t_unset.is_finite() && t_unset > 0.0);
+        assert_eq!(t_unset, t_one);
+    }
+
+    #[test]
+    fn single_thread_launch_pays_uncontended_atomics() {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        // one thread, many distinct addresses: writers_per_addr would be
+        // 1/addrs without the `.max(1.0)` floor. The clamp pins it at one
+        // writer, so each atomic costs exactly `atomic_base_cycles`.
+        let s = stats_with(64, 0, 1, 0.0, 16.0, 1 << 20);
+        let t = estimate_kernel_time(&d, &s, &cfg).atomic_s;
+        let expected = 16.0 * cfg.atomic_base_cycles / (d.clock_ghz * 1e9);
+        assert!((t - expected).abs() < 1e-15, "t={t} expected={expected}");
+    }
+
+    #[test]
+    fn serialisation_caps_at_warp_width() {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        // all concurrent threads hammer one address: the per-address queue
+        // is capped at 32 (warp-serialised hardware), so doubling writers
+        // beyond the cap only raises the per-op conflict cycles linearly,
+        // not quadratically.
+        let s = stats_with(64, 0, 1 << 20, 0.0, 1.0, 1);
+        let t = estimate_kernel_time(&d, &s, &cfg).atomic_s;
+        let resident = d.resident_threads_per_sm(64, 0, 256);
+        let concurrent = (u64::from(resident) * u64::from(d.sm_count)).min(1 << 20) as f64;
+        let cycles = cfg.atomic_base_cycles + cfg.atomic_conflict_cycles * (concurrent - 1.0);
+        let expected = cycles * 32.0 / (d.clock_ghz * 1e9);
+        assert!((t - expected).abs() / expected < 1e-12, "t={t} expected={expected}");
+    }
+
+    #[test]
+    fn unset_shared_addrs_stay_finite() {
+        let d = DeviceSpec::a100();
+        let cfg = CostModelConfig::default();
+        let mut s = stats_with(64, 0, 1 << 16, 0.0, 0.0, 0);
+        s.max_thread.shared_atomics = 8.0;
+        s.total.shared_atomics = 8.0 * (1 << 16) as f64;
+        s.distinct_shared_addrs = 0; // unset → whole block on one slot
+        let t = estimate_kernel_time(&d, &s, &cfg).atomic_s;
+        assert!(t.is_finite() && t > 0.0);
     }
 
     #[test]

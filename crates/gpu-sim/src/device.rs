@@ -105,11 +105,10 @@ impl DeviceSpec {
         let by_regs = (self.registers_per_sm / regs_per_thread.max(1)) / 32 * 32;
         // Shared memory is allocated per block, so that limit quantises to
         // whole blocks.
-        let by_shared = if shared_per_block == 0 {
-            u32::MAX
-        } else {
-            (self.shared_mem_per_block / shared_per_block) * block_size
-        };
+        let by_shared = self
+            .shared_mem_per_block
+            .checked_div(shared_per_block)
+            .map_or(u32::MAX, |blocks| blocks * block_size);
         by_regs.min(by_shared).min(self.max_threads_per_sm)
     }
 
@@ -127,7 +126,7 @@ impl DeviceSpec {
     /// occupancy (about 16 warps/SM on Ampere for compute-bound kernels).
     pub fn efficiency_at(&self, occupancy: f64) -> f64 {
         const SATURATION: f64 = 0.25;
-        (occupancy / SATURATION).min(1.0).max(0.0)
+        (occupancy / SATURATION).clamp(0.0, 1.0)
     }
 
     /// Effective int32 throughput (ops/s) for a kernel with the given

@@ -25,6 +25,7 @@
 pub mod cost;
 pub mod device;
 pub mod system;
+pub mod trace;
 
 pub use cost::{
     estimate_kernel_time, CostModelConfig, KernelProfile, KernelTime, LaunchStats, ThreadCost,

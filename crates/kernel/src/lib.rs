@@ -37,6 +37,6 @@ pub mod spill;
 pub mod tensor;
 
 pub use graph::{AllocPolicy, OpGraph, OpGraphBuilder, OpKind};
-pub use profile::{EcKernelModel, PaddOptimizations};
-pub use spill::{spill_schedule, SpillSchedule};
+pub use profile::{EcKernelModel, KernelSchedule, PaddOptimizations};
+pub use spill::{spill_schedule, SpillAction, SpillEvent, SpillSchedule};
 pub use tensor::TcMontgomery;

@@ -7,8 +7,8 @@
 //! optimisation toggles mirror the waterfall of the paper's Figure 12.
 
 use crate::formulas::{pacc_graph, padd_graph, pdbl_graph};
-use crate::graph::AllocPolicy;
-use crate::spill::spill_schedule;
+use crate::graph::{AllocPolicy, OpGraph};
+use crate::spill::{spill_schedule, SpillSchedule};
 use crate::tensor::tc_int8_ops;
 use distmsm_gpu_sim::{KernelProfile, ThreadCost};
 
@@ -84,6 +84,25 @@ impl Default for PaddOptimizations {
     }
 }
 
+/// The scheduling artefacts behind an [`EcKernelModel`]: the op DAG, the
+/// chosen execution order and allocation policy, and the spill schedule
+/// (when explicit spilling is active). Exposed so external analyses — the
+/// `distmsm-analyze` linter in particular — can replay and audit the
+/// decisions instead of trusting the summary numbers.
+#[derive(Clone, Debug)]
+pub struct KernelSchedule {
+    /// The accumulation-op DAG the model scheduled (PACC or PADD).
+    pub graph: OpGraph,
+    /// Execution order as indices into `graph.ops()`.
+    pub order: Vec<usize>,
+    /// Register allocation policy used for liveness accounting.
+    pub policy: AllocPolicy,
+    /// Peak big-integer liveness of `order` under `policy` (pre-spill).
+    pub peak_live: usize,
+    /// The spill schedule, when `explicit_spill` reduced the peak.
+    pub spill: Option<SpillSchedule>,
+}
+
 /// Cost and configuration model of the EC arithmetic kernel for one curve.
 #[derive(Clone, Debug)]
 pub struct EcKernelModel {
@@ -137,6 +156,37 @@ impl EcKernelModel {
     /// 32-bit limbs per field element.
     pub fn limbs32(&self) -> usize {
         self.limbs32
+    }
+
+    /// Recomputes the scheduling artefacts this model is based on (the
+    /// graph choice, execution order and spill schedule are deterministic
+    /// functions of the optimisation set).
+    pub fn schedule(&self) -> KernelSchedule {
+        let graph = if self.opts.dedicated_pacc {
+            pacc_graph()
+        } else {
+            padd_graph()
+        };
+        let (policy, order, peak) = if self.opts.optimal_order {
+            let (peak, order) = graph.optimal_order(AllocPolicy::InPlace);
+            (AllocPolicy::InPlace, order, peak)
+        } else {
+            let order = graph.program_order();
+            let peak = graph.pressure_of(&order, AllocPolicy::Fresh).peak_live;
+            (AllocPolicy::Fresh, order, peak)
+        };
+        let spill = if self.opts.explicit_spill && peak > 2 {
+            spill_schedule(&graph, &order, peak - 2, policy).ok()
+        } else {
+            None
+        };
+        KernelSchedule {
+            graph,
+            order,
+            policy,
+            peak_live: peak,
+            spill,
+        }
     }
 
     /// The active optimisation set.

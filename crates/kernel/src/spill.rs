@@ -10,6 +10,27 @@
 use crate::graph::{AllocPolicy, OpGraph};
 use std::collections::HashSet;
 
+/// Direction of one register↔shared-memory move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillAction {
+    /// Variable evicted from registers into shared memory.
+    Spill,
+    /// Variable brought back from shared memory into registers.
+    Reload,
+}
+
+/// One register↔shared-memory transfer in schedule order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpillEvent {
+    /// Position in the op order (index into the `order` slice) at which the
+    /// transfer happens.
+    pub pos: usize,
+    /// Variable name (from [`OpGraph::var_name`]).
+    pub var: String,
+    /// Spill or reload.
+    pub action: SpillAction,
+}
+
 /// Outcome of simulating a schedule under a register budget.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpillSchedule {
@@ -23,6 +44,11 @@ pub struct SpillSchedule {
     pub reg_peak: usize,
     /// Names of variables that were spilled at least once.
     pub spilled: Vec<String>,
+    /// Every transfer in schedule order (`transfers == events.len()`).
+    /// Consumed by `distmsm-analyze`'s spill-consistency lint, which replays
+    /// the event stream to check that each reload is preceded by a spill of
+    /// the same variable.
+    pub events: Vec<SpillEvent>,
 }
 
 /// Why a spill simulation could not satisfy its budget.
@@ -119,6 +145,7 @@ pub fn spill_schedule(
     let mut shared_peak = in_shm.len();
     let mut reg_peak = in_reg.len();
     let mut spilled_set: HashSet<usize> = HashSet::new();
+    let mut events_idx: Vec<(usize, usize, SpillAction)> = Vec::new();
 
     for (pos, &i) in order.iter().enumerate() {
         let op = &ops[i];
@@ -137,6 +164,7 @@ pub fn spill_schedule(
                     &mut in_shm,
                     &mut transfers,
                     &mut spilled_set,
+                    &mut events_idx,
                     &next_use,
                 )
                 .map_err(|required| SpillBudgetError {
@@ -144,6 +172,7 @@ pub fn spill_schedule(
                     required,
                 })?;
                 in_reg.insert(s);
+                events_idx.push((pos, s, SpillAction::Reload));
             }
         }
 
@@ -153,7 +182,7 @@ pub fn spill_schedule(
             .copied()
             .filter(|&s| next_use(s, pos + 1) == usize::MAX)
             .collect();
-        let dest_needs_slot = !(policy == AllocPolicy::InPlace && !after_dead.is_empty());
+        let dest_needs_slot = policy != AllocPolicy::InPlace || after_dead.is_empty();
         if dest_needs_slot {
             evict_to_fit(
                 budget.saturating_sub(1),
@@ -163,6 +192,7 @@ pub fn spill_schedule(
                 &mut in_shm,
                 &mut transfers,
                 &mut spilled_set,
+                &mut events_idx,
                 &next_use,
             )
             .map_err(|required| SpillBudgetError {
@@ -200,6 +230,7 @@ pub fn spill_schedule(
                 in_shm.insert(victim);
                 spilled_set.insert(victim);
                 transfers += 1;
+                events_idx.push((pos, victim, SpillAction::Spill));
             }
             shared_peak = shared_peak.max(in_shm.len());
         }
@@ -208,12 +239,21 @@ pub fn spill_schedule(
 
     let mut spilled: Vec<String> = spilled_set.iter().map(|&v| g.var_name(v).to_owned()).collect();
     spilled.sort();
+    let events = events_idx
+        .into_iter()
+        .map(|(pos, v, action)| SpillEvent {
+            pos,
+            var: g.var_name(v).to_owned(),
+            action,
+        })
+        .collect();
     Ok(SpillSchedule {
         reg_budget: budget,
         transfers,
         shared_peak,
         reg_peak: reg_peak.min(budget),
         spilled,
+        events,
     })
 }
 
@@ -226,6 +266,7 @@ fn evict_to_fit(
     in_shm: &mut HashSet<usize>,
     transfers: &mut usize,
     spilled_set: &mut HashSet<usize>,
+    events_idx: &mut Vec<(usize, usize, SpillAction)>,
     next_use: &dyn Fn(usize, usize) -> usize,
 ) -> Result<(), usize> {
     while in_reg.len() > room_for {
@@ -240,6 +281,7 @@ fn evict_to_fit(
             in_shm.insert(victim);
             spilled_set.insert(victim);
             *transfers += 1;
+            events_idx.push((pos, victim, SpillAction::Spill));
         }
     }
     Ok(())
@@ -294,6 +336,34 @@ mod tests {
         assert!(err.is_err());
         let msg = err.unwrap_err().to_string();
         assert!(msg.contains("register budget too small"), "{msg}");
+    }
+
+    #[test]
+    fn event_stream_matches_transfer_count_and_order() {
+        let g = padd_graph();
+        let (peak, order) = g.optimal_order(AllocPolicy::InPlace);
+        let s = spill_schedule(&g, &order, peak - 2, AllocPolicy::InPlace).unwrap();
+        assert_eq!(s.events.len(), s.transfers);
+        // positions are monotone and every reload follows a spill of the
+        // same variable at an earlier event
+        let mut last_pos = 0;
+        let mut spilled_so_far: Vec<&str> = Vec::new();
+        for ev in &s.events {
+            assert!(ev.pos >= last_pos, "events out of schedule order");
+            last_pos = ev.pos;
+            match ev.action {
+                SpillAction::Spill => spilled_so_far.push(&ev.var),
+                SpillAction::Reload => assert!(
+                    spilled_so_far.contains(&ev.var.as_str()),
+                    "reload of `{}` with no prior spill",
+                    ev.var
+                ),
+            }
+        }
+        // every spilled-name appears in the event stream too
+        for name in &s.spilled {
+            assert!(s.events.iter().any(|e| &e.var == name));
+        }
     }
 
     #[test]

@@ -117,7 +117,7 @@ pub fn resolve_lanes(lanes: &[u32]) -> Vec<u32> {
     let mut out = vec![0u32; n_out];
     let mut carry: u64 = 0;
     // accumulate byte-based lanes into 32-bit limbs, 4 lanes per limb
-    for limb in 0..n_out {
+    for (limb, o) in out.iter_mut().enumerate() {
         let mut acc: u64 = carry;
         for j in 0..4 {
             let k = 4 * limb + j;
@@ -127,7 +127,7 @@ pub fn resolve_lanes(lanes: &[u32]) -> Vec<u32> {
         }
         // lanes from the previous limb may overflow into this one; handled
         // through `carry`
-        out[limb] = acc as u32;
+        *o = acc as u32;
         carry = acc >> 32;
     }
     assert_eq!(carry, 0, "lane accumulation overflow");

@@ -137,7 +137,7 @@ impl Groth16Prover {
 
         // ---- timing --------------------------------------------------------
         let msm_s = a_msm.total_s + b_msm.total_s + c_base.total_s + h_msm.total_s;
-        let ntt_s = ntt_time_single_gpu(d as u64, u32::try_from(qap.ntt_count).expect("small"), &self.system);
+        let ntt_s = ntt_time_single_gpu(d as u64, qap.ntt_count, &self.system);
         let nnz: u64 = cs
             .constraints()
             .iter()
