@@ -4,8 +4,9 @@
 #   ./ci.sh            # build, test, lint, analyze
 #
 # Every step must pass; the analyze step runs the simulated-GPU race
-# detector and the kernel resource linter (crates/analyze) and fails on
-# any warning- or error-level finding.
+# detector, the kernel resource linter, and the comm-schedule checker
+# (crates/analyze) over traced executions and fails on any warning- or
+# error-level finding.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,10 +16,16 @@ cargo build --release
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== cargo test -p distmsm-comms -q =="
+cargo test -p distmsm-comms -q
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
-echo "== distmsm-analyze check =="
+echo "== cargo doc --no-deps =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "== distmsm-analyze check (race + lint + comm schedules) =="
 cargo run -p distmsm-analyze -- check
 
 echo "CI OK"

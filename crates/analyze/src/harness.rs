@@ -2,7 +2,7 @@
 //! captured launches to the race checker.
 //!
 //! Capture state in `distmsm_gpu_sim::trace` is process-global, so every
-//! capture session takes [`CAPTURE_GUARD`] — concurrent test threads
+//! capture session takes the crate-internal `CAPTURE_GUARD` — concurrent test threads
 //! would otherwise interleave their launches into each other's captures.
 
 use crate::race::{check_traces, RaceConfig};
@@ -15,8 +15,10 @@ use distmsm_gpu_sim::MultiGpuSystem;
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Mutex;
 
-/// Serialises capture sessions (the trace buffer is process-global).
-static CAPTURE_GUARD: Mutex<()> = Mutex::new(());
+/// Serialises capture sessions: both the gpu-sim launch trace and the
+/// comms schedule trace are process-global, and every captured scenario
+/// (here and in [`crate::comm`]) drives engines that feed both streams.
+pub(crate) static CAPTURE_GUARD: Mutex<()> = Mutex::new(());
 
 /// The execution paths the dynamic checker exercises. Together they cover
 /// every instrumented kernel: hierarchical and naive scatter, signed-digit

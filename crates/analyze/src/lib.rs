@@ -14,6 +14,11 @@
 //!   device register files, shared-memory fit, dead ops, and
 //!   spill/reload consistency replayed from the spill event stream.
 //!
+//! * A **comm-schedule checker** ([`comm`]): replays the collective
+//!   schedules captured from `distmsm-comms`' trace stream and verifies
+//!   byte conservation, deadlock-free step ordering, and link
+//!   over-subscription (rules `COMM-00x`).
+//!
 //! Both report through the shared [`report::Report`] type (stable rule
 //! ids, severities, text and JSON rendering). The `distmsm-analyze`
 //! binary (`cargo run -p distmsm-analyze -- check`) runs everything and
@@ -21,10 +26,12 @@
 
 #![warn(missing_docs)]
 
+pub mod comm;
 pub mod harness;
 pub mod lint;
 pub mod race;
 pub mod report;
 
+pub use comm::{check_comm_schedules, check_schedule};
 pub use race::{check_trace, check_traces, RaceConfig};
 pub use report::{Finding, Report, Severity};

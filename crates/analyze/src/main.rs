@@ -4,11 +4,13 @@
 //! distmsm-analyze check [--json]
 //! ```
 //!
-//! Runs the dynamic race checker over every shipped kernel scenario and
-//! the static linter over every kernel preset × device, prints the
-//! combined report (text by default, `--json` for machine consumption),
-//! and exits with status 1 when any warning or error is found.
+//! Runs the dynamic race checker over every shipped kernel scenario, the
+//! static linter over every kernel preset × device, and the comm-schedule
+//! checker over every captured collective, prints the combined report
+//! (text by default, `--json` for machine consumption), and exits with
+//! status 1 when any warning or error is found.
 
+use distmsm_analyze::comm::check_comm_schedules;
 use distmsm_analyze::harness::check_shipped_kernels;
 use distmsm_analyze::lint::lint_presets;
 use distmsm_analyze::{RaceConfig, Report};
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
     let mut report = Report::new();
     report.extend(check_shipped_kernels(&RaceConfig::default()));
     report.extend(lint_presets());
+    report.extend(check_comm_schedules());
 
     if json {
         print!("{}", report.render_json());

@@ -1,0 +1,7 @@
+//! Regenerates the multi-node scaling extension of Figure 9: EC
+//! collective strategies compared functionally on a two-box pod, then the
+//! analytic 8 → 16 → 32-GPU scaling table with node boundaries.
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_fig9_scaling();
+    println!("{report}");
+}

@@ -12,6 +12,7 @@
 //! | `fig3` | Figure 3 — per-thread workload vs window size |
 //! | `fig8` | Figure 8 — multi-GPU scalability |
 //! | `fig9` | Figure 9 — A100 / RTX4090 / 6900XT comparison |
+//! | `fig9_scaling` | Figure 9 ext. — EC collectives and multi-node scaling |
 //! | `fig10` | Figure 10 — optimisation-group breakdown |
 //! | `fig11` | Figure 11 — hierarchical vs naive bucket scatter |
 //! | `fig12` | Figure 12 — PADD-kernel optimisation waterfall |

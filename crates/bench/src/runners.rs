@@ -299,6 +299,114 @@ pub fn run_fig9() -> (String, Vec<(&'static str, f64)>) {
     (out, results)
 }
 
+/// Figure 9 extension — multi-node scaling of the EC collectives: a
+/// functional strategy comparison on a real two-box pod (bit-exact),
+/// then the analytic 8 → 16 → 32-GPU scaling table with node boundaries,
+/// pod topology vs an idealised single box of the same GPU count.
+/// Returns `(report, rows of (gpus, best pod s, best single-box s))`.
+///
+/// # Panics
+///
+/// Panics if any collective strategy changes the MSM result.
+pub fn run_fig9_scaling() -> (String, Vec<(usize, f64, f64)>) {
+    use distmsm::CollectiveStrategy;
+    use distmsm_comms::Topology;
+
+    let mut out = String::from(
+        "Figure 9 (scaling): EC collectives across node boundaries\n\n",
+    );
+
+    // ---- functional mode: every strategy bit-exact on a real pod ------
+    let mut rng = StdRng::seed_from_u64(900);
+    let inst = MsmInstance::<Bn254G1>::random(384, &mut rng);
+    let expect = inst.reference_result();
+    let mut t = Table::new(["strategy", "steps", "flows", "comm"]);
+    for strat in CollectiveStrategy::ALL {
+        let cfg = DistMsmConfig {
+            window_size: Some(8),
+            bucket_reduce_on_cpu: false,
+            collective: strat,
+            ..DistMsmConfig::default()
+        };
+        let rep = DistMsm::with_config(MultiGpuSystem::dgx_a100(12), cfg)
+            .execute(&inst)
+            .expect("scaling MSM");
+        assert_eq!(rep.result, expect, "{} mismatch", strat.name());
+        let comm = rep.comm.expect("engine reports its comm schedule");
+        t.row([
+            strat.name().to_string(),
+            comm.steps.len().to_string(),
+            comm.n_flows().to_string(),
+            fmt_ms(comm.total_s),
+        ]);
+    }
+    out.push_str(
+        "Functional: every strategy bit-exact on a 12-GPU two-box pod (BN254, N = 384):\n",
+    );
+    out.push_str(&t.render());
+
+    // ---- analytic mode: 8 → 16 → 32 GPUs over node boundaries ---------
+    let n = 1u64 << 26;
+    let curve = CurveDesc::BLS12_381;
+    out.push_str(&format!(
+        "\nAnalytic scaling ({}, N = 2^26, GPU bucket-reduce): pod topology vs an\nidealised NVSwitch box of the same GPU count.\n\n",
+        curve.name
+    ));
+    let mut t = Table::new([
+        "gpus", "nodes", "host-gather", "ring", "tree", "rs-gather", "best pod", "1-box ideal",
+        "pod eff",
+    ]);
+    let strategy_cfg = |strat: CollectiveStrategy| DistMsmConfig {
+        bucket_reduce_on_cpu: false,
+        collective: strat,
+        ..DistMsmConfig::default()
+    };
+    let base = estimate_distmsm(
+        n,
+        &curve,
+        &MultiGpuSystem::dgx_a100(8),
+        &strategy_cfg(CollectiveStrategy::default()),
+    )
+    .total_s;
+    let mut rows = Vec::new();
+    for gpus in [8usize, 16, 32] {
+        let pod = MultiGpuSystem::dgx_a100(gpus);
+        let mut one_box = MultiGpuSystem::flat_pool(gpus);
+        one_box.topology = Some(Topology::single_box(gpus));
+        let time = |sys: &MultiGpuSystem, strat| {
+            estimate_distmsm(n, &curve, sys, &strategy_cfg(strat)).total_s
+        };
+        let pod_times: Vec<f64> = CollectiveStrategy::ALL
+            .iter()
+            .map(|&s| time(&pod, s))
+            .collect();
+        let best_pod = pod_times.iter().copied().fold(f64::INFINITY, f64::min);
+        let best_box = CollectiveStrategy::ALL
+            .iter()
+            .map(|&s| time(&one_box, s))
+            .fold(f64::INFINITY, f64::min);
+        // parallel efficiency of the pod vs the 8-GPU box, linear = 1.0
+        let eff = base * 8.0 / (best_pod * gpus as f64);
+        rows.push((gpus, best_pod, best_box));
+        t.row([
+            gpus.to_string(),
+            gpus.div_ceil(8).to_string(),
+            fmt_ms(pod_times[0]),
+            fmt_ms(pod_times[1]),
+            fmt_ms(pod_times[2]),
+            fmt_ms(pod_times[3]),
+            fmt_ms(best_pod),
+            fmt_ms(best_box),
+            format!("{:.0}%", eff * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nThe knee at the node boundary: past 8 GPUs every collective crosses the\nNIC/IB tier, so pod efficiency drops strictly below the single-box ideal\nat equal GPU count (the flat-pool model used to hide this).\n",
+    );
+    (out, rows)
+}
+
 /// Figure 10: breakdown of the two optimisation groups. Returns
 /// `(report, rows of (gpus, algo, padd, combined))`.
 pub fn run_fig10() -> (String, Vec<(usize, f64, f64, f64)>) {
@@ -448,56 +556,7 @@ pub fn run_fig12() -> (String, Vec<(&'static str, f64)>) {
     (out, finals)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
 
-    #[test]
-    fn functional_validation_passes() {
-        let report = run_functional_validation(1 << 9);
-        assert_eq!(report.matches("OK").count(), 5);
-    }
-
-    #[test]
-    fn table3_produces_multi_gpu_speedups() {
-        let (_, avg) = run_table3();
-        assert!(avg > 1.5, "avg multi-GPU speedup {avg} too small");
-    }
-
-    #[test]
-    fn fig8_shows_scaling() {
-        let (_, dist32) = run_fig8();
-        assert!(dist32 > 8.0, "32-GPU speedup {dist32}");
-    }
-
-    #[test]
-    fn fig10_synergy() {
-        let (_, rows) = run_fig10();
-        // multi-GPU algorithm speedup grows with GPU count
-        let algo: Vec<f64> = rows.iter().map(|r| r.1).collect();
-        assert!(algo.last().unwrap() > algo.first().unwrap());
-        // combined speedup exceeds either alone at 32 GPUs
-        let last = rows.last().unwrap();
-        assert!(last.3 > last.1.max(last.2));
-    }
-
-    #[test]
-    fn fig11_hierarchical_wins_small_windows() {
-        let (report, (sp11, sp9)) = run_fig11();
-        assert!(sp11 > 1.0, "s=11 speedup {sp11}");
-        assert!(sp9 > sp11, "smaller windows must benefit more");
-        assert!(report.contains("FAIL"), "s > 14 must fail");
-    }
-
-    #[test]
-    fn fig12_mnt_benefits_most() {
-        let (_, finals) = run_fig12();
-        let mnt = finals.iter().find(|f| f.0 == "MNT4753").unwrap().1;
-        let bn = finals.iter().find(|f| f.0 == "BN254").unwrap().1;
-        assert!(mnt > 1.0 && bn > 1.0);
-        assert!(mnt > bn, "MNT4753 must gain most from register-pressure relief");
-    }
-}
 
 /// Ablations of the adopted techniques (precomputation, signed digits,
 /// batch-affine accumulation, multi-MSM pipelining). Returns the printed
@@ -634,4 +693,72 @@ pub fn run_trace_overhead(n: usize, reps: usize) -> String {
         "  hooks compiled out: {off:.2?}\n  (rebuild with `--features analyze` to measure capture overhead)\n"
     ));
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_validation_passes() {
+        let report = run_functional_validation(1 << 9);
+        assert_eq!(report.matches("OK").count(), 5);
+    }
+
+    #[test]
+    fn table3_produces_multi_gpu_speedups() {
+        let (_, avg) = run_table3();
+        assert!(avg > 1.5, "avg multi-GPU speedup {avg} too small");
+    }
+
+    #[test]
+    fn fig8_shows_scaling() {
+        let (_, dist32) = run_fig8();
+        assert!(dist32 > 8.0, "32-GPU speedup {dist32}");
+    }
+
+    #[test]
+    fn fig9_scaling_shows_cross_node_knee() {
+        let (report, rows) = run_fig9_scaling();
+        assert!(report.contains("host-gather") && report.contains("rs-gather"));
+        for (gpus, pod, one_box) in rows {
+            if gpus > 8 {
+                assert!(
+                    pod > one_box,
+                    "{gpus} GPUs: pod {pod} must be slower than single box {one_box}"
+                );
+            } else {
+                // 8 GPUs fit one box: identical topology, identical cost
+                assert!((pod - one_box).abs() < 1e-12 * one_box.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_synergy() {
+        let (_, rows) = run_fig10();
+        // multi-GPU algorithm speedup grows with GPU count
+        let algo: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        assert!(algo.last().unwrap() > algo.first().unwrap());
+        // combined speedup exceeds either alone at 32 GPUs
+        let last = rows.last().unwrap();
+        assert!(last.3 > last.1.max(last.2));
+    }
+
+    #[test]
+    fn fig11_hierarchical_wins_small_windows() {
+        let (report, (sp11, sp9)) = run_fig11();
+        assert!(sp11 > 1.0, "s=11 speedup {sp11}");
+        assert!(sp9 > sp11, "smaller windows must benefit more");
+        assert!(report.contains("FAIL"), "s > 14 must fail");
+    }
+
+    #[test]
+    fn fig12_mnt_benefits_most() {
+        let (_, finals) = run_fig12();
+        let mnt = finals.iter().find(|f| f.0 == "MNT4753").unwrap().1;
+        let bn = finals.iter().find(|f| f.0 == "BN254").unwrap().1;
+        assert!(mnt > 1.0 && bn > 1.0);
+        assert!(mnt > bn, "MNT4753 must gain most from register-pressure relief");
+    }
 }

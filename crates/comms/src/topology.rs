@@ -1,0 +1,491 @@
+//! Interconnect topology graphs: GPUs, switches, hosts and NICs joined
+//! by links with bandwidth and latency.
+//!
+//! The paper's 16- and 32-GPU configurations span multiple DGX boxes, so
+//! the flat two-scalar interconnect model (`interconnect_gbps` /
+//! `peer_gbps`) cannot reproduce the node-boundary knee of its scaling
+//! curves. This module models the interconnect as an explicit graph:
+//!
+//! * **nodes** — GPUs, NVSwitch-class peer switches, PCIe hubs/root
+//!   complexes, host CPUs and InfiniBand NICs/switches;
+//! * **links** — undirected, with a sustained bandwidth (GB/s) and a
+//!   per-message latency (seconds);
+//! * **routing** — deterministic shortest path (Dijkstra over
+//!   `latency + ref_bytes/bandwidth`), where only switch-class nodes may
+//!   relay traffic (a GPU or host is never a transit hop);
+//! * **contention** — per-link flow metering used by the schedule layer
+//!   to divide link bandwidth among concurrent flows.
+//!
+//! Presets mirror the testbeds the paper evaluates on: a single
+//! NVSwitch-backed DGX-A100 box, a PCIe-only RTX4090-class box, and a
+//! multi-node DGX pod whose boxes are joined over InfiniBand.
+
+/// What a topology node is. The variant determines whether the node may
+/// relay traffic: only switch-class nodes ([`NodeKind::Switch`],
+/// [`NodeKind::PcieHub`], [`NodeKind::Nic`]) appear in the interior of a
+/// route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A GPU endpoint, carrying its global device index.
+    Gpu(usize),
+    /// An NVSwitch-class all-to-all peer switch.
+    Switch,
+    /// A PCIe hub / root complex aggregating device links toward a host.
+    PcieHub,
+    /// A host CPU endpoint.
+    Host,
+    /// A NIC or InfiniBand switch port (relays inter-node traffic).
+    Nic,
+}
+
+impl NodeKind {
+    /// True when the node may appear in the interior of a route.
+    pub fn can_relay(&self) -> bool {
+        matches!(self, Self::Switch | Self::PcieHub | Self::Nic)
+    }
+}
+
+/// One node of the interconnect graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// Node kind (GPU / switch / hub / host / NIC).
+    pub kind: NodeKind,
+    /// Human-readable label used in reports (e.g. `"box1/gpu3"`).
+    pub label: String,
+}
+
+/// One undirected link of the interconnect graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Link {
+    /// First endpoint (node index).
+    pub a: usize,
+    /// Second endpoint (node index).
+    pub b: usize,
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+}
+
+/// A routed path between two endpoints under the α–β cost model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Route {
+    /// Node indices along the path, source first, destination last.
+    pub nodes: Vec<usize>,
+    /// Link indices along the path (one fewer than `nodes`).
+    pub links: Vec<usize>,
+    /// α: total per-message latency (sum of link latencies), seconds.
+    pub alpha_s: f64,
+    /// Bottleneck bandwidth in GB/s (minimum over the path's links).
+    pub min_gbps: f64,
+}
+
+impl Route {
+    /// Number of store-and-forward hops (= number of links).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Reference message size used to weight routing decisions: large enough
+/// that bandwidth dominates switch-hop latency, so peer traffic prefers
+/// the NVSwitch plane over a detour through the host.
+const ROUTE_REF_BYTES: f64 = 1_048_576.0;
+
+/// An interconnect topology graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Preset (or user-chosen) name, e.g. `"dgx-a100-pod-4x8"`.
+    pub name: String,
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// All links.
+    pub links: Vec<Link>,
+    /// GPU node index by global GPU rank.
+    gpu_nodes: Vec<usize>,
+    /// Node index of the master host (rank 0's host): the CPU that runs
+    /// bucket-reduce and window-reduce.
+    master_host: usize,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            gpu_nodes: Vec::new(),
+            master_host: usize::MAX,
+        }
+    }
+
+    /// Adds a node and returns its index. The first [`NodeKind::Host`]
+    /// added becomes the master host; GPU nodes must be added in rank
+    /// order.
+    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> usize {
+        let id = self.nodes.len();
+        match kind {
+            NodeKind::Gpu(rank) => {
+                assert_eq!(rank, self.gpu_nodes.len(), "GPU nodes must be added in rank order");
+                self.gpu_nodes.push(id);
+            }
+            NodeKind::Host if self.master_host == usize::MAX => self.master_host = id,
+            _ => {}
+        }
+        self.nodes.push(Node {
+            kind,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Adds an undirected link and returns its index.
+    pub fn connect(&mut self, a: usize, b: usize, bandwidth_gbps: f64, latency_s: f64) -> usize {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "link endpoints must exist");
+        assert!(bandwidth_gbps > 0.0, "links need positive bandwidth");
+        self.links.push(Link {
+            a,
+            b,
+            bandwidth_gbps,
+            latency_s,
+        });
+        self.links.len() - 1
+    }
+
+    /// Number of GPU endpoints.
+    pub fn n_gpus(&self) -> usize {
+        self.gpu_nodes.len()
+    }
+
+    /// Node index of GPU `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank` is out of range.
+    pub fn gpu_node(&self, rank: usize) -> usize {
+        self.gpu_nodes[rank]
+    }
+
+    /// Node index of the master host (the CPU running the reduce stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology declares no host.
+    pub fn master_host(&self) -> usize {
+        assert!(self.master_host != usize::MAX, "topology has no host node");
+        self.master_host
+    }
+
+    /// Label of link `id`, `"a<->b"`.
+    pub fn link_label(&self, id: usize) -> String {
+        let l = &self.links[id];
+        format!("{}<->{}", self.nodes[l.a].label, self.nodes[l.b].label)
+    }
+
+    /// Deterministic shortest path from `from` to `to` under the α–β
+    /// weight `latency + ref_bytes / bandwidth`, relaying only through
+    /// switch-class nodes. Returns `None` when disconnected.
+    pub fn route(&self, from: usize, to: usize) -> Option<Route> {
+        if from == to {
+            return Some(Route {
+                nodes: vec![from],
+                links: Vec::new(),
+                alpha_s: 0.0,
+                min_gbps: f64::INFINITY,
+            });
+        }
+        // Dijkstra with deterministic tie-breaking on (cost, node id).
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n]; // (node, link)
+        let mut done = vec![false; n];
+        dist[from] = 0.0;
+        loop {
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for v in 0..n {
+                if !done[v] && dist[v] < best {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if u == usize::MAX {
+                return None;
+            }
+            if u == to {
+                break;
+            }
+            done[u] = true;
+            // endpoints other than the source never relay
+            if u != from && !self.nodes[u].kind.can_relay() {
+                continue;
+            }
+            for (li, l) in self.links.iter().enumerate() {
+                let v = if l.a == u {
+                    l.b
+                } else if l.b == u {
+                    l.a
+                } else {
+                    continue;
+                };
+                let w = l.latency_s + ROUTE_REF_BYTES / (l.bandwidth_gbps * 1e9);
+                if dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                    prev[v] = Some((u, li));
+                }
+            }
+        }
+        let mut nodes = vec![to];
+        let mut links = Vec::new();
+        let mut cur = to;
+        while let Some((p, li)) = prev[cur] {
+            links.push(li);
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        links.reverse();
+        let alpha_s = links.iter().map(|&l| self.links[l].latency_s).sum();
+        let min_gbps = links
+            .iter()
+            .map(|&l| self.links[l].bandwidth_gbps)
+            .fold(f64::INFINITY, f64::min);
+        Some(Route {
+            nodes,
+            links,
+            alpha_s,
+            min_gbps,
+        })
+    }
+
+    /// Route between two GPUs by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the GPUs are disconnected (a malformed topology).
+    pub fn gpu_route(&self, a: usize, b: usize) -> Route {
+        self.route(self.gpu_node(a), self.gpu_node(b))
+            .expect("GPUs must be connected")
+    }
+
+    /// Route from GPU `rank` to the master host.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the GPU cannot reach the host.
+    pub fn gpu_to_host_route(&self, rank: usize) -> Route {
+        self.route(self.gpu_node(rank), self.master_host())
+            .expect("GPU must reach the host")
+    }
+
+    // ---- presets --------------------------------------------------------
+
+    /// A single NVSwitch-backed DGX-A100-class box with `n` GPUs
+    /// (`n = 8` is the paper's testbed node).
+    ///
+    /// Wiring per GPU: a 600 GB/s NVLink port into the box NVSwitch and a
+    /// 64 GB/s PCIe link into the box PCIe hub; the hub reaches the host
+    /// over one shared 64 GB/s root port (so a full-box host gather is
+    /// root-port-bound, matching the flat model's single host pipe).
+    pub fn single_box(n: usize) -> Self {
+        assert!(n >= 1, "a box needs at least one GPU");
+        let mut t = Self::new(format!("dgx-a100-box-{n}"));
+        t.wire_box(0, n, LinkRates::nvswitch_box());
+        t
+    }
+
+    /// The paper's 8-GPU DGX-A100 node.
+    pub fn dgx_a100_box() -> Self {
+        Self::single_box(8)
+    }
+
+    /// A PCIe-only box (RTX4090-class): no peer switch, every GPU hangs
+    /// off one PCIe hub at 32 GB/s, so peer traffic detours through the
+    /// hub and contends with the host link.
+    pub fn pcie_box(n: usize) -> Self {
+        assert!(n >= 1, "a box needs at least one GPU");
+        let mut t = Self::new(format!("pcie-box-{n}"));
+        t.wire_box(0, n, LinkRates::pcie_box());
+        t
+    }
+
+    /// A multi-node DGX-A100 pod: `n` GPUs in boxes of eight, each box's
+    /// NVSwitch plane reaching an InfiniBand switch through a 200 GB/s
+    /// NIC aggregate (8 × HDR ports), and the remote hosts' traffic
+    /// landing on box 0's PCIe hub. Cross-node traffic is therefore
+    /// NIC-bound (200 GB/s shared per box) — the source of the scaling
+    /// knee at node boundaries.
+    pub fn dgx_pod(n: usize) -> Self {
+        assert!(n > 8, "a pod needs more than one 8-GPU box");
+        let n_boxes = n.div_ceil(8);
+        let mut t = Self::new(format!("dgx-a100-pod-{n_boxes}x8"));
+        let ib = t.add_node(NodeKind::Nic, "ib-switch");
+        for b in 0..n_boxes {
+            let gpus = (n - 8 * b).min(8);
+            let (switch, hub) = t.wire_box(b, gpus, LinkRates::nvswitch_box());
+            let nic = t.add_node(NodeKind::Nic, format!("box{b}/nic"));
+            t.connect(switch, nic, LinkRates::NIC_GBPS, LinkRates::NIC_LATENCY_S);
+            // the NIC also reaches the box's PCIe hub so remote traffic
+            // can terminate on a host
+            t.connect(nic, hub, LinkRates::PCIE_GBPS, LinkRates::PCIE_LATENCY_S);
+            t.connect(nic, ib, LinkRates::NIC_GBPS, LinkRates::NIC_LATENCY_S);
+        }
+        t
+    }
+
+    /// Wires one box (GPUs, switch-or-hub plane, host) with `gpus` GPUs
+    /// whose global ranks continue from the GPUs already present.
+    /// Returns `(peer plane node, pcie hub node)` — for a PCIe-only box
+    /// both are the hub.
+    fn wire_box(&mut self, box_idx: usize, gpus: usize, rates: LinkRates) -> (usize, usize) {
+        let hub = self.add_node(NodeKind::PcieHub, format!("box{box_idx}/hub"));
+        let host = self.add_node(NodeKind::Host, format!("box{box_idx}/host"));
+        self.connect(hub, host, rates.pcie_gbps, rates.pcie_latency_s);
+        let plane = if rates.peer_gbps > 0.0 {
+            self.add_node(NodeKind::Switch, format!("box{box_idx}/nvswitch"))
+        } else {
+            hub
+        };
+        for _ in 0..gpus {
+            let rank = self.gpu_nodes.len();
+            let g = self.add_node(NodeKind::Gpu(rank), format!("box{box_idx}/gpu{rank}"));
+            if rates.peer_gbps > 0.0 {
+                self.connect(g, plane, rates.peer_gbps, rates.peer_latency_s);
+            }
+            self.connect(g, hub, rates.pcie_gbps, rates.pcie_latency_s);
+        }
+        (plane, hub)
+    }
+}
+
+/// Link-rate bundle used by the box presets.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkRates {
+    /// GPU↔NVSwitch bandwidth (0 = no peer plane).
+    pub peer_gbps: f64,
+    /// Per-message NVLink hop latency.
+    pub peer_latency_s: f64,
+    /// GPU↔hub and hub↔host PCIe bandwidth.
+    pub pcie_gbps: f64,
+    /// Per-message PCIe hop latency.
+    pub pcie_latency_s: f64,
+}
+
+impl LinkRates {
+    /// NVSwitch↔NIC / NIC↔IB-switch aggregate bandwidth (8 × HDR200).
+    pub const NIC_GBPS: f64 = 200.0;
+    /// Per-message InfiniBand hop latency.
+    pub const NIC_LATENCY_S: f64 = 2e-6;
+    /// PCIe 4 ×16 class bandwidth (the DGX host plane).
+    pub const PCIE_GBPS: f64 = 64.0;
+    /// Per-message PCIe hop latency.
+    pub const PCIE_LATENCY_S: f64 = 5e-6;
+
+    /// Rates for an NVSwitch-backed DGX-A100-class box.
+    pub fn nvswitch_box() -> Self {
+        Self {
+            peer_gbps: 600.0,
+            peer_latency_s: 2e-6,
+            pcie_gbps: Self::PCIE_GBPS,
+            pcie_latency_s: Self::PCIE_LATENCY_S,
+        }
+    }
+
+    /// Rates for a PCIe-only (RTX4090-class) box.
+    pub fn pcie_box() -> Self {
+        Self {
+            peer_gbps: 0.0,
+            peer_latency_s: 0.0,
+            pcie_gbps: 32.0,
+            pcie_latency_s: Self::PCIE_LATENCY_S,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_box_peer_routes_over_nvswitch() {
+        let t = Topology::dgx_a100_box();
+        assert_eq!(t.n_gpus(), 8);
+        let r = t.gpu_route(0, 7);
+        assert_eq!(r.hops(), 2, "gpu->nvswitch->gpu");
+        assert_eq!(r.min_gbps, 600.0);
+    }
+
+    #[test]
+    fn single_box_host_route_is_pcie_bound() {
+        let t = Topology::dgx_a100_box();
+        let r = t.gpu_to_host_route(3);
+        assert_eq!(r.hops(), 2, "gpu->hub->host");
+        assert_eq!(r.min_gbps, 64.0);
+    }
+
+    #[test]
+    fn pcie_box_peer_detours_through_hub() {
+        let t = Topology::pcie_box(4);
+        let r = t.gpu_route(0, 1);
+        assert_eq!(r.hops(), 2);
+        assert_eq!(r.min_gbps, 32.0);
+    }
+
+    #[test]
+    fn pod_cross_node_is_nic_bound() {
+        let t = Topology::dgx_pod(16);
+        assert_eq!(t.n_gpus(), 16);
+        // intra-box stays on the NVSwitch plane
+        let intra = t.gpu_route(0, 7);
+        assert_eq!(intra.min_gbps, 600.0);
+        // cross-box bottlenecks on the 200 GB/s NIC aggregate
+        let cross = t.gpu_route(0, 8);
+        assert_eq!(cross.min_gbps, 200.0);
+        assert!(cross.hops() > intra.hops());
+        assert!(cross.alpha_s > intra.alpha_s);
+    }
+
+    #[test]
+    fn pod_remote_host_route_terminates_on_master_hub() {
+        let t = Topology::dgx_pod(16);
+        let local = t.gpu_to_host_route(0);
+        let remote = t.gpu_to_host_route(12);
+        assert_eq!(local.min_gbps, 64.0);
+        assert_eq!(remote.min_gbps, 64.0, "remote lands on the master root port");
+        assert!(remote.hops() > local.hops());
+        assert!(remote.alpha_s > local.alpha_s);
+    }
+
+    #[test]
+    fn gpus_never_relay() {
+        // in a pod, NVSwitch->hub traffic must not shortcut through a GPU
+        let t = Topology::dgx_pod(16);
+        for rank in [8usize, 9, 15] {
+            let r = t.gpu_to_host_route(rank);
+            for &mid in &r.nodes[1..r.nodes.len() - 1] {
+                assert!(
+                    t.nodes[mid].kind.can_relay(),
+                    "transit node {} must be switch-class",
+                    t.nodes[mid].label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_free() {
+        let t = Topology::dgx_a100_box();
+        let r = t.route(t.gpu_node(2), t.gpu_node(2)).unwrap();
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.alpha_s, 0.0);
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_route() {
+        let mut t = Topology::new("two-islands");
+        let a = t.add_node(NodeKind::Gpu(0), "a");
+        let b = t.add_node(NodeKind::Gpu(1), "b");
+        assert_eq!(t.route(a, b), None);
+    }
+}

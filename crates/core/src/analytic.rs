@@ -222,12 +222,16 @@ pub fn estimate_distmsm_with_s(
     }
 
     let point_bytes = 4.0 * curve.limbs32 as f64 * 4.0;
-    let transfer_bytes = if config.bucket_reduce_on_cpu {
-        f64::from(n_windows) * n_buckets as f64 * point_bytes
+    // identical schedules to the engine's gather/collective (see
+    // `crate::comm`): the transfer term stays in lockstep by construction
+    let comm = if config.bucket_reduce_on_cpu {
+        crate::comm::bucket_gather_schedule(&slices, point_bytes, system)
     } else {
-        f64::from(n_windows) * point_bytes
+        crate::comm::window_partial_plan(config.collective, n_windows, point_bytes, system)
     };
-    let transfer_s = system.transfer_time(transfer_bytes);
+    let transfer_s = comm.total_s;
+    let comm_host_s =
+        cpu_seconds_for_padds(comm.host_reduce_ops, &model, system.cpu.int_ops_per_sec);
     let cpu_reduce_s = cpu_seconds_for_padds(cpu_padds, &model, system.cpu.int_ops_per_sec);
     let wr_ops = u64::from(curve.scalar_bits) + u64::from(n_windows);
     let window_reduce_s = cpu_seconds_for_padds(wr_ops, &model, system.cpu.int_ops_per_sec);
@@ -239,7 +243,7 @@ pub fn estimate_distmsm_with_s(
     let bucket_reduce_s = if config.bucket_reduce_on_cpu {
         cpu_reduce_s
     } else {
-        gpu_reduce_per_gpu.iter().copied().fold(0.0, f64::max)
+        gpu_reduce_per_gpu.iter().copied().fold(0.0, f64::max) + comm_host_s
     };
     let total_s = if !feasible {
         f64::INFINITY
@@ -278,6 +282,8 @@ pub fn estimate_best_gpu(
         cpu: system.cpu.clone(),
         interconnect_gbps: system.interconnect_gbps,
         peer_gbps: system.peer_gbps,
+        // one GPU sees no inter-GPU fabric; the flat host pipe suffices
+        topology: None,
     };
     // Baselines tune their window size empirically for their own design
     // (large windows, naive scatter, on-GPU reduce), so pick the s that

@@ -14,10 +14,12 @@
 //! optimisations).
 
 use crate::engine::{DistMsm, DistMsmConfig, MsmError, MsmReport, PhaseBreakdown};
+use crate::reduce::cpu_seconds_for_padds;
 use crate::scatter::ScatterKind;
+use distmsm_comms::{run_collective, CollectiveStrategy, CommConfig};
 use distmsm_ec::{Curve, MsmInstance, XyzzPoint};
 use distmsm_gpu_sim::MultiGpuSystem;
-use distmsm_kernel::PaddOptimizations;
+use distmsm_kernel::{EcKernelModel, PaddOptimizations};
 
 /// Kernel quality of a baseline: the leading baselines ship hand-tuned
 /// kernels (dedicated accumulation, good schedules) but none of the
@@ -90,6 +92,9 @@ impl BestGpuBaseline {
             cpu: self.system.cpu.clone(),
             interconnect_gbps: self.system.interconnect_gbps,
             peer_gbps: self.system.peer_gbps,
+            // each sub-MSM runs on one GPU; the merge below crosses the
+            // real fabric
+            topology: None,
         };
         // the single-GPU optimum: what these implementations were tuned
         // for — chosen by minimising the baseline's own cost estimate,
@@ -115,7 +120,7 @@ impl BestGpuBaseline {
         };
         let engine = DistMsm::with_config(single_gpu, config);
 
-        let mut result = XyzzPoint::<C>::identity();
+        let mut partials: Vec<Vec<XyzzPoint<C>>> = Vec::with_capacity(g);
         let mut per_gpu_s = Vec::with_capacity(g);
         let mut phases = PhaseBreakdown::default();
         let mut launches = Vec::new();
@@ -126,6 +131,7 @@ impl BestGpuBaseline {
             let hi = n * (slice + 1) / g;
             if lo == hi {
                 per_gpu_s.push(0.0);
+                partials.push(vec![XyzzPoint::identity()]);
                 continue;
             }
             let sub = MsmInstance {
@@ -133,7 +139,7 @@ impl BestGpuBaseline {
                 scalars: instance.scalars[lo..hi].to_vec(),
             };
             let rep = engine.execute(&sub)?;
-            result = result.padd(&rep.result);
+            partials.push(vec![rep.result]);
             per_gpu_s.push(rep.total_s);
             phases.scatter_s = phases.scatter_s.max(rep.phases.scatter_s);
             phases.bucket_sum_s = phases.bucket_sum_s.max(rep.phases.bucket_sum_s);
@@ -144,15 +150,38 @@ impl BestGpuBaseline {
             window_size = rep.window_size;
             n_windows = rep.n_windows;
         }
-        let total_s = per_gpu_s.iter().copied().fold(0.0, f64::max);
+        // The CPU merge of per-GPU results crosses the real fabric (the
+        // N-dim augmentation ships one point per GPU to the host).
+        let point_bytes = 4.0 * <C::Base as distmsm_ec::FieldElement>::LIMBS32 as f64 * 4.0;
+        let (merged, sched) = run_collective(
+            CollectiveStrategy::HostGather,
+            &partials,
+            |a, b| a.padd(b),
+            &self.system.fabric(),
+            &CommConfig::default(),
+            point_bytes,
+        );
+        let model = EcKernelModel::new(
+            <C::Base as distmsm_ec::FieldElement>::LIMBS32,
+            self.kernel_opts,
+        );
+        let merge_s = sched.total_s
+            + cpu_seconds_for_padds(
+                sched.host_reduce_ops,
+                &model,
+                self.system.cpu.int_ops_per_sec,
+            );
+        phases.transfer_s += sched.total_s;
+        let total_s = per_gpu_s.iter().copied().fold(0.0, f64::max) + merge_s;
         Ok(MsmReport {
-            result,
+            result: merged[0],
             window_size,
             n_windows,
             phases,
             total_s,
             per_gpu_s,
             launches,
+            comm: Some(sched),
         })
     }
 }

@@ -231,8 +231,17 @@ pub fn execute<C: Curve>(
         per_gpu[gpu] += estimate_kernel_time(&system.devices[gpu], &r_stats, &cost_cfg).total();
     }
     let (result, _) = window_reduce(&window_results, s);
+    // each GPU ships its round-robin share of window results to the
+    // host, routed through the fabric (topology-aware on DGX presets)
+    let point_bytes = 4.0 * C::Base::LIMBS32 as f64 * 4.0;
+    let per_gpu_bytes: Vec<f64> = (0..n_gpus)
+        .map(|g| {
+            let windows = (u64::from(n_windows) + n_gpus as u64 - 1 - g as u64) / n_gpus as u64;
+            windows as f64 * point_bytes
+        })
+        .collect();
     let total_s = per_gpu.iter().copied().fold(0.0, f64::max)
-        + system.transfer_time(f64::from(n_windows) * 4.0 * C::Base::LIMBS32 as f64 * 4.0);
+        + system.gather_to_host_time(&per_gpu_bytes);
 
     CuZkReport {
         result,

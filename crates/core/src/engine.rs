@@ -15,6 +15,7 @@ use crate::scatter::{
     scatter_hierarchical, scatter_naive, ScatterConfig, ScatterKind, ScatterOutcome,
     SharedMemoryOverflow,
 };
+use distmsm_comms::{run_collective, CollectiveStrategy, CommConfig, CommSchedule};
 use distmsm_ec::{Curve, FieldElement, MsmInstance, XyzzPoint};
 use distmsm_gpu_sim::{
     estimate_kernel_time, CostModelConfig, LaunchStats, MultiGpuSystem,
@@ -47,6 +48,11 @@ pub struct DistMsmConfig {
     /// every window's bucket count (`2^s → 2^{s−1}+1`) at the cost of one
     /// extra carry window.
     pub signed_digits: bool,
+    /// How per-GPU window partials are combined when bucket-reduce runs
+    /// on the GPUs: the reduction executes bit-exactly over EC points
+    /// through `distmsm-comms` and its transfer cost is routed through
+    /// the system's interconnect (topology-aware on DGX presets).
+    pub collective: CollectiveStrategy,
 }
 
 impl Default for DistMsmConfig {
@@ -61,6 +67,7 @@ impl Default for DistMsmConfig {
             pipelined: true,
             packed_coefficients: true,
             signed_digits: false,
+            collective: CollectiveStrategy::HostGather,
         }
     }
 }
@@ -76,7 +83,9 @@ pub struct PhaseBreakdown {
     pub bucket_reduce_s: f64,
     /// Window-reduce on the CPU.
     pub window_reduce_s: f64,
-    /// Device→host transfer of bucket partial sums.
+    /// Communication: the device→host gather of bucket partials (CPU
+    /// reduce path) or the inter-GPU collective over window partials
+    /// (GPU reduce path), routed through the system's fabric.
     pub transfer_s: f64,
 }
 
@@ -97,6 +106,9 @@ pub struct MsmReport<C: Curve> {
     pub per_gpu_s: Vec<f64>,
     /// All metered kernel launches (for breakdown harnesses).
     pub launches: Vec<LaunchStats>,
+    /// The communication schedule behind `phases.transfer_s` (`None`
+    /// for reports composed without a fabric, e.g. merged baselines).
+    pub comm: Option<CommSchedule>,
 }
 
 /// Errors an MSM execution can report.
@@ -363,17 +375,24 @@ impl DistMsm {
 
         // ---- bucket-reduce ----------------------------------------------
         // group slices per window, reduce each slice with its offset, and
-        // merge (slices of one window compose additively).
+        // merge (slices of one window compose additively). On the CPU
+        // path the host holds every partial (gathered below); on the GPU
+        // path each GPU keeps its own window partials, merged by the
+        // configured collective.
         let mut window_results = vec![XyzzPoint::<C>::identity(); n_windows as usize];
+        let mut gpu_partials: Vec<Vec<XyzzPoint<C>>> =
+            vec![vec![XyzzPoint::identity(); n_windows as usize]; n_gpus];
         let mut cpu_padds: u64 = 0;
         let mut gpu_reduce_per_gpu = vec![0.0f64; n_gpus];
         for oc in &done {
             let (w, ops) = bucket_reduce_serial(&oc.sum.sums, oc.slice.bucket_lo);
-            window_results[oc.slice.window as usize] =
-                window_results[oc.slice.window as usize].padd(&w);
             if self.config.bucket_reduce_on_cpu {
+                window_results[oc.slice.window as usize] =
+                    window_results[oc.slice.window as usize].padd(&w);
                 cpu_padds += ops + 1;
             } else {
+                gpu_partials[oc.slice.gpu][oc.slice.window as usize] =
+                    gpu_partials[oc.slice.gpu][oc.slice.window as usize].padd(&w);
                 let stats = bucket_reduce_gpu_stats(
                     u64::from(oc.slice.len()),
                     s,
@@ -389,19 +408,36 @@ impl DistMsm {
             }
         }
 
+        // ---- communication ------------------------------------------------
+        let point_bytes = 4.0 * C::Base::LIMBS32 as f64 * 4.0; // XYZZ coords
+        let comm = if self.config.bucket_reduce_on_cpu {
+            // every bucket partial crosses to the host before the CPU
+            // reduce (previously charged as one flat-pipe transfer)
+            crate::comm::bucket_gather_schedule(&slices, point_bytes, &self.system)
+        } else {
+            // per-GPU window partials merge across the fabric with real
+            // PADDs; the host receives the reduced vector
+            let (merged, sched) = run_collective(
+                self.config.collective,
+                &gpu_partials,
+                |a, b| a.padd(b),
+                &self.system.fabric(),
+                &CommConfig::default(),
+                point_bytes,
+            );
+            window_results = merged;
+            sched
+        };
+        let transfer_s = comm.total_s;
+        // host-side combines implied by the collective (e.g. host-gather
+        // reduces (g−1)·n_windows pairs on the CPU)
+        let comm_host_s =
+            cpu_seconds_for_padds(comm.host_reduce_ops, &model, self.system.cpu.int_ops_per_sec);
+
         // ---- window-reduce ------------------------------------------------
         let (result, wr_ops) = window_reduce(&window_results, s);
 
         // ---- timing composition -------------------------------------------
-        let point_bytes = 4.0 * C::Base::LIMBS32 as f64 * 4.0; // XYZZ coords
-        let transfer_bytes = if self.config.bucket_reduce_on_cpu {
-            f64::from(n_windows) * f64::from(n_buckets) * point_bytes
-        } else {
-            // only per-window results come back
-            f64::from(n_windows) * point_bytes
-        };
-        let transfer_s = self.system.transfer_time(transfer_bytes);
-
         let cpu_reduce_s = cpu_seconds_for_padds(cpu_padds, &model, self.system.cpu.int_ops_per_sec);
         let window_reduce_s =
             cpu_seconds_for_padds(wr_ops, &model, self.system.cpu.int_ops_per_sec);
@@ -414,7 +450,7 @@ impl DistMsm {
         let bucket_reduce_s = if self.config.bucket_reduce_on_cpu {
             cpu_reduce_s
         } else {
-            gpu_reduce_per_gpu.iter().copied().fold(0.0, f64::max)
+            gpu_reduce_per_gpu.iter().copied().fold(0.0, f64::max) + comm_host_s
         };
 
         let total_s = if self.config.bucket_reduce_on_cpu && self.config.pipelined {
@@ -440,6 +476,7 @@ impl DistMsm {
             total_s,
             per_gpu_s,
             launches,
+            comm: Some(comm),
         })
     }
 }
@@ -571,6 +608,66 @@ mod tests {
             signed.phases.bucket_reduce_s,
             unsigned.phases.bucket_reduce_s
         );
+    }
+
+    #[test]
+    fn window_partial_gather_charged_and_monotone() {
+        // Satellite fix: the device→host gather of per-GPU window
+        // partials used to be free on the GPU-reduce path. It must now
+        // appear in the phase report and grow with GPU count and with
+        // point size.
+        fn transfer<C: Curve>(gpus: usize) -> f64 {
+            let mut rng = StdRng::seed_from_u64(77);
+            let inst = MsmInstance::<C>::random(128, &mut rng);
+            let engine = DistMsm::with_config(
+                MultiGpuSystem::dgx_a100(gpus),
+                DistMsmConfig {
+                    window_size: Some(8),
+                    scatter: Some(ScatterKind::Naive),
+                    bucket_reduce_on_cpu: false,
+                    ..DistMsmConfig::default()
+                },
+            );
+            let rep = engine.execute(&inst).expect("execution succeeds");
+            assert_eq!(rep.result, inst.reference_result());
+            let comm = rep.comm.expect("engine reports its comm schedule");
+            assert_eq!(comm.n_ranks, gpus);
+            rep.phases.transfer_s
+        }
+        // monotone in GPU count (more partial vectors cross the fabric)
+        let t1 = transfer::<Bn254G1>(1);
+        let t2 = transfer::<Bn254G1>(2);
+        let t4 = transfer::<Bn254G1>(4);
+        let t8 = transfer::<Bn254G1>(8);
+        assert!(t1 > 0.0, "gather must be charged, got {t1}");
+        assert!(t2 > t1 && t4 > t2 && t8 > t4, "{t1} {t2} {t4} {t8}");
+        // monotone in point size at equal window count: BLS12-381 points
+        // (12 limbs) outweigh BN254 (8); MNT4-753 (24 limbs, more
+        // windows) outweighs both
+        let bn = transfer::<Bn254G1>(4);
+        let bls = transfer::<Bls12381G1>(4);
+        let mnt = transfer::<Mnt4753G1>(4);
+        assert!(bls > bn && mnt > bls, "{bn} {bls} {mnt}");
+    }
+
+    #[test]
+    fn collective_strategies_all_bit_exact_in_engine() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let inst = MsmInstance::<Bn254G1>::random(160, &mut rng);
+        for strat in distmsm_comms::CollectiveStrategy::ALL {
+            let engine = DistMsm::with_config(
+                MultiGpuSystem::dgx_a100(4),
+                DistMsmConfig {
+                    window_size: Some(7),
+                    bucket_reduce_on_cpu: false,
+                    collective: strat,
+                    ..DistMsmConfig::default()
+                },
+            );
+            let rep = engine.execute(&inst).expect("execution succeeds");
+            assert_eq!(rep.result, inst.reference_result(), "{}", strat.name());
+            assert!(rep.phases.transfer_s > 0.0);
+        }
     }
 
     #[test]

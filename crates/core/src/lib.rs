@@ -21,6 +21,7 @@
 //! | precomputation tables + merged windows (§2.3.1) | [`precompute`] |
 //! | cuZK-style sparse-matrix MSM (baseline #2) | [`cuzk`] |
 //! | multi-MSM pipelining (§3.2.3) | [`pipeline`] |
+//! | topology-routed gathers and collectives (multi-node scaling) | [`comm`] |
 //!
 //! ## Example
 //!
@@ -44,6 +45,7 @@
 pub mod analytic;
 pub mod baseline;
 pub mod bucket_sum;
+pub mod comm;
 pub mod cuzk;
 pub mod engine;
 pub mod pipeline;
@@ -56,6 +58,7 @@ pub mod workload;
 
 pub use analytic::{estimate_best_baseline, estimate_distmsm, CurveDesc, MsmEstimate};
 pub use baseline::BestGpuBaseline;
+pub use distmsm_comms::CollectiveStrategy;
 pub use engine::{DistMsm, DistMsmConfig, MsmError, MsmReport};
 pub use scatter::ScatterKind;
 pub use workload::WorkloadParams;

@@ -22,6 +22,10 @@ pub struct PipelineReport<C: Curve> {
     pub pipelined_s: f64,
     /// Makespan if every MSM ran to completion before the next started.
     pub serial_s: f64,
+    /// Total fabric time across the batch: every per-MSM gather or
+    /// collective, routed through the system's interconnect topology by
+    /// the engine. Rides the GPU stage of the flow-shop.
+    pub comm_s: f64,
 }
 
 impl<C: Curve> PipelineReport<C> {
@@ -52,10 +56,12 @@ pub fn execute_batch<C: Curve>(
     );
     let mut results = Vec::with_capacity(batch.len());
     let mut stages = Vec::with_capacity(batch.len());
+    let mut comm_s = 0.0;
     for inst in batch {
         let rep = engine.execute(inst)?;
         let cpu = rep.phases.bucket_reduce_s + rep.phases.window_reduce_s;
         let gpu = rep.total_s - cpu;
+        comm_s += rep.phases.transfer_s;
         results.push(rep.result);
         stages.push((gpu, cpu));
     }
@@ -74,6 +80,7 @@ pub fn execute_batch<C: Curve>(
         stages,
         pipelined_s: cpu_done,
         serial_s,
+        comm_s,
     })
 }
 
@@ -119,6 +126,22 @@ mod tests {
         assert!(rep.pipelined_s <= rep.serial_s + 1e-12);
         // with >1 MSM and nonzero CPU stages there must be real overlap
         assert!(rep.saving() > 0.0, "saving {}", rep.saving());
+    }
+
+    #[test]
+    fn batch_comm_rides_the_topology() {
+        // The pod topology makes the batch's fabric time strictly larger
+        // than the flat-pool lie at the same GPU count.
+        let b = batch(96, 2, 953);
+        let cfg = DistMsmConfig {
+            window_size: Some(8),
+            ..DistMsmConfig::default()
+        };
+        let pod = execute_batch(&MultiGpuSystem::dgx_a100(16), &cfg, &b).unwrap();
+        let flat = execute_batch(&MultiGpuSystem::flat_pool(16), &cfg, &b).unwrap();
+        assert!(pod.comm_s > 0.0);
+        assert!(flat.comm_s > 0.0);
+        assert!(pod.comm_s > flat.comm_s, "pod {} vs flat {}", pod.comm_s, flat.comm_s);
     }
 
     #[test]

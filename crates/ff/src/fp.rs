@@ -455,7 +455,7 @@ mod tests {
         // find a non-residue and check
         let mut z = F::from_u64(2);
         while z.legendre() != -1 {
-            z = z + F::ONE;
+            z += F::ONE;
         }
         assert!(z.sqrt().is_none());
     }
@@ -477,12 +477,12 @@ mod tests {
         let w = Fr::root_of_unity(4).unwrap();
         let mut acc = Fr::ONE;
         for _ in 0..16 {
-            acc = acc * w;
+            acc *= w;
         }
         assert!(acc.is_one());
         let mut acc8 = Fr::ONE;
         for _ in 0..8 {
-            acc8 = acc8 * w;
+            acc8 *= w;
         }
         assert!(!acc8.is_one());
         assert!(Fr::root_of_unity(29).is_none());

@@ -154,6 +154,7 @@ mod tests {
     #[test]
     fn mnt4753_fr_two_adicity_supports_large_ntt() {
         // The MNT4-753 scalar field was designed for SNARK FFTs.
-        assert!(Mnt4753Fr::TWO_ADICITY >= 15, "{}", Mnt4753Fr::TWO_ADICITY);
+        let two_adicity = Mnt4753Fr::TWO_ADICITY;
+        assert!(two_adicity >= 15, "{two_adicity}");
     }
 }

@@ -1,7 +1,15 @@
 //! Multi-GPU system composition: device sets, the host CPU, and the
 //! interconnect used to gather per-GPU partial results.
+//!
+//! Two interconnect models coexist: the legacy *flat* scalars
+//! (`interconnect_gbps` / `peer_gbps`) and an optional explicit
+//! [`Topology`] graph. When a topology is present, transfer helpers and
+//! the comms collectives route through it (so multi-node systems show
+//! the cross-node knee); when absent, the flat formulas are preserved
+//! bit-for-bit for reproducibility of older tables.
 
 use crate::device::DeviceSpec;
+use distmsm_comms::{gather_to_host, CommConfig, Fabric, Topology};
 
 /// Host CPU description.
 ///
@@ -45,28 +53,68 @@ pub struct MultiGpuSystem {
     pub devices: Vec<DeviceSpec>,
     /// The host CPU that runs *bucket-reduce* and *window-reduce*.
     pub cpu: CpuSpec,
-    /// Host↔device interconnect bandwidth in GB/s (PCIe class).
+    /// Host↔device interconnect bandwidth in GB/s (PCIe class). Used by
+    /// the legacy flat transfer model when [`Self::topology`] is `None`.
     pub interconnect_gbps: f64,
-    /// GPU↔GPU peer bandwidth in GB/s (NVLink class on a DGX).
+    /// GPU↔GPU peer bandwidth in GB/s (NVLink class on a DGX). Used by
+    /// the legacy flat transfer model when [`Self::topology`] is `None`.
     pub peer_gbps: f64,
+    /// Explicit interconnect topology. `Some` routes every gather and
+    /// collective through the graph (node boundaries, NIC bottlenecks,
+    /// link contention); `None` keeps the flat two-scalar model.
+    pub topology: Option<Topology>,
 }
 
 impl MultiGpuSystem {
-    /// `n` identical devices with the default DGX host.
+    /// `n` identical devices with the default DGX host and the flat
+    /// interconnect model.
     pub fn homogeneous(spec: DeviceSpec, n: usize) -> Self {
         Self {
             devices: vec![spec; n],
             cpu: CpuSpec::dual_rome_7742(),
             interconnect_gbps: 64.0,
             peer_gbps: 600.0,
+            topology: None,
         }
     }
 
-    /// An `n`-GPU Nvidia DGX-A100-like system (the paper's testbed; for
-    /// n > 8 the paper runs multiple DGX boxes, which we model as one
-    /// larger pool with the same per-GPU links).
+    /// An `n`-GPU Nvidia DGX-A100 deployment (the paper's testbed),
+    /// wired with an explicit topology: one NVSwitch box for `n ≤ 8`,
+    /// and for `n > 8` — as in the paper's 16- and 32-GPU runs — a
+    /// multi-box pod whose boxes meet over an InfiniBand fabric, so
+    /// cross-node traffic pays the NIC bottleneck instead of pretending
+    /// to ride box-local NVLink.
     pub fn dgx_a100(n: usize) -> Self {
+        let topo = if n > 8 {
+            Topology::dgx_pod(n)
+        } else {
+            Topology::single_box(n.max(1))
+        };
+        Self {
+            topology: Some(topo),
+            ..Self::homogeneous(DeviceSpec::a100(), n)
+        }
+    }
+
+    /// The old `dgx_a100` behaviour: one flat pool where every GPU pair
+    /// gets full NVLink bandwidth and the host is a single shared pipe,
+    /// regardless of `n`. Physically wrong for n > 8 (it is how the
+    /// pre-topology tables were produced — kept for their
+    /// reproducibility), harmless for n ≤ 8.
+    pub fn flat_pool(n: usize) -> Self {
         Self::homogeneous(DeviceSpec::a100(), n)
+    }
+
+    /// An `n`-GPU PCIe-only RTX 4090 box (the paper's consumer-class
+    /// comparison point): no NVSwitch plane, peer traffic detours
+    /// through the PCIe hub at 32 GB/s.
+    pub fn rtx4090_box(n: usize) -> Self {
+        Self {
+            interconnect_gbps: 32.0,
+            peer_gbps: 32.0,
+            topology: Some(Topology::pcie_box(n.max(1))),
+            ..Self::homogeneous(DeviceSpec::rtx4090(), n)
+        }
     }
 
     /// Number of GPUs.
@@ -74,14 +122,50 @@ impl MultiGpuSystem {
         self.devices.len()
     }
 
-    /// Seconds to move `bytes` across the host interconnect.
+    /// The fabric collectives and gathers are costed against: the
+    /// explicit topology when present, the flat scalars otherwise.
+    pub fn fabric(&self) -> Fabric<'_> {
+        match &self.topology {
+            Some(t) => Fabric::Topology(t),
+            None => Fabric::Flat {
+                host_gbps: self.interconnect_gbps,
+                peer_gbps: self.peer_gbps,
+            },
+        }
+    }
+
+    /// Seconds to move `bytes` across the host interconnect under the
+    /// flat model (one shared pipe, no latency). Topology-aware call
+    /// sites should use [`Self::gather_to_host_time`] or the comms
+    /// collectives instead.
     pub fn transfer_time(&self, bytes: f64) -> f64 {
         bytes / (self.interconnect_gbps * 1e9)
     }
 
-    /// Seconds to move `bytes` between GPUs over the peer links.
+    /// Seconds to move `bytes` between GPUs over the peer links under
+    /// the flat model.
     pub fn peer_transfer_time(&self, bytes: f64) -> f64 {
         bytes / (self.peer_gbps * 1e9)
+    }
+
+    /// Seconds to gather `per_gpu_bytes[r]` from every GPU `r` to the
+    /// host, routed through [`Self::fabric`]. On a flat fabric with
+    /// equal payloads this reduces exactly to
+    /// `transfer_time(total_bytes)`; on a topology it meters root-port
+    /// and NIC contention.
+    pub fn gather_to_host_time(&self, per_gpu_bytes: &[f64]) -> f64 {
+        gather_to_host(per_gpu_bytes, &self.fabric(), &CommConfig::default()).total_s
+    }
+
+    /// Seconds to move `bytes` from GPU `a` to GPU `b` through the
+    /// fabric (uncontended).
+    pub fn peer_time(&self, a: usize, b: usize, bytes: f64) -> f64 {
+        use distmsm_comms::Endpoint;
+        let path = self.fabric().path(Endpoint::Rank(a), Endpoint::Rank(b));
+        if path.links.is_empty() {
+            return 0.0;
+        }
+        path.alpha_s + bytes / (path.min_gbps() * 1e9)
     }
 
     /// Total hardware thread capacity across all devices.
@@ -116,5 +200,44 @@ mod tests {
         let sys = MultiGpuSystem::dgx_a100(1);
         let t = sys.transfer_time(64e9);
         assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dgx_is_topology_wired_and_flat_pool_is_not() {
+        let multi = MultiGpuSystem::dgx_a100(16);
+        let topo = multi.topology.as_ref().expect("dgx gets a topology");
+        assert_eq!(topo.n_gpus(), 16);
+        assert!(topo.name.contains("pod"));
+        let flat = MultiGpuSystem::flat_pool(16);
+        assert!(flat.topology.is_none());
+        assert_eq!(flat.n_gpus(), 16);
+    }
+
+    #[test]
+    fn flat_gather_matches_legacy_transfer_time() {
+        let sys = MultiGpuSystem::flat_pool(4);
+        let per = vec![1e8; 4];
+        let gathered = sys.gather_to_host_time(&per);
+        let legacy = sys.transfer_time(4e8);
+        assert!((gathered - legacy).abs() < 1e-12 * legacy);
+    }
+
+    #[test]
+    fn pod_gather_slower_than_flat_pool_at_equal_gpus() {
+        let pod = MultiGpuSystem::dgx_a100(32);
+        let flat = MultiGpuSystem::flat_pool(32);
+        let per = vec![1e8; 32];
+        assert!(pod.gather_to_host_time(&per) > flat.gather_to_host_time(&per));
+    }
+
+    #[test]
+    fn rtx4090_box_shape() {
+        let sys = MultiGpuSystem::rtx4090_box(4);
+        assert_eq!(sys.n_gpus(), 4);
+        assert_eq!(sys.peer_gbps, 32.0);
+        assert!(sys.topology.is_some());
+        // peer traffic detours through the hub: slower than a DGX pair
+        let dgx = MultiGpuSystem::dgx_a100(4);
+        assert!(sys.peer_time(0, 1, 1e9) > dgx.peer_time(0, 1, 1e9));
     }
 }

@@ -412,7 +412,7 @@ mod tests {
     #[test]
     fn shuffle_is_a_permutation() {
         let perm = shuffled_columns(64);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for &p in &perm {
             assert!(!seen[p]);
             seen[p] = true;

@@ -187,9 +187,16 @@ pub fn ntt_time_single_gpu(d: u64, count: u32, system: &MultiGpuSystem) -> f64 {
 pub fn ntt_time_multi_gpu(d: u64, count: u32, system: &MultiGpuSystem) -> f64 {
     let g = system.n_gpus() as f64;
     let compute = ntt_time_single_gpu(d, count, system) / g;
-    // one all-to-all transpose per transform, over the NVLink peer mesh
-    let transpose = f64::from(count) * (d as f64 * 32.0) * system.peer_transfer_time(1.0)
-        * (g - 1.0).max(1.0) / g;
+    // One all-to-all transpose per transform over the peer fabric. The
+    // widest-spread pair prices the per-byte cost: on a multi-node pod
+    // that pair crosses the NIC, so the transpose slows at node
+    // boundaries instead of pretending to ride box-local NVLink.
+    let bytes = d as f64 * 32.0 * (g - 1.0).max(1.0) / g;
+    let transpose = if system.n_gpus() > 1 {
+        f64::from(count) * system.peer_time(0, system.n_gpus() - 1, bytes)
+    } else {
+        f64::from(count) * system.peer_transfer_time(bytes)
+    };
     compute + transpose
 }
 
