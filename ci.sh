@@ -4,9 +4,9 @@
 #   ./ci.sh            # build, test, lint, analyze
 #
 # Every step must pass; the analyze step runs the simulated-GPU race
-# detector, the kernel resource linter, and the comm-schedule checker
-# (crates/analyze) over traced executions and fails on any warning- or
-# error-level finding.
+# detector, the kernel resource linter, the comm-schedule checker, and
+# the fault-recovery checker (crates/analyze) over traced executions and
+# fails on any warning- or error-level finding.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,13 +19,18 @@ cargo test -q --workspace
 echo "== cargo test -p distmsm-comms -q =="
 cargo test -p distmsm-comms -q
 
+echo "== fault-injection tests (supervisor + cross-curve recovery props) =="
+cargo test -p distmsm -q --test fault_props
+cargo test -p distmsm -q --lib supervisor::
+cargo test -p distmsm-gpu-sim -q --lib fault::
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
 echo "== cargo doc --no-deps =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "== distmsm-analyze check (race + lint + comm schedules) =="
+echo "== distmsm-analyze check (race + lint + comm schedules + fault recovery) =="
 cargo run -p distmsm-analyze -- check
 
 echo "CI OK"

@@ -19,7 +19,12 @@
 //!   byte conservation, deadlock-free step ordering, and link
 //!   over-subscription (rules `COMM-00x`).
 //!
-//! Both report through the shared [`report::Report`] type (stable rule
+//! * A **fault-recovery checker** ([`fault`]): injects seeded fail-stop,
+//!   link-down, cascade and bit-flip faults into the engine and verifies
+//!   byte conservation under replay (`FAULT-001`) and exact re-plan
+//!   coverage with no orphaned work (`FAULT-002`).
+//!
+//! All report through the shared [`report::Report`] type (stable rule
 //! ids, severities, text and JSON rendering). The `distmsm-analyze`
 //! binary (`cargo run -p distmsm-analyze -- check`) runs everything and
 //! exits non-zero when any warning- or error-level finding survives.
@@ -27,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod fault;
 pub mod harness;
 pub mod lint;
 pub mod race;
 pub mod report;
 
 pub use comm::{check_comm_schedules, check_schedule};
+pub use fault::{check_fault_recovery, check_recovery_report};
 pub use race::{check_trace, check_traces, RaceConfig};
 pub use report::{Finding, Report, Severity};

@@ -5,12 +5,14 @@
 //! ```
 //!
 //! Runs the dynamic race checker over every shipped kernel scenario, the
-//! static linter over every kernel preset × device, and the comm-schedule
-//! checker over every captured collective, prints the combined report
+//! static linter over every kernel preset × device, the comm-schedule
+//! checker over every captured collective, and the fault-recovery
+//! checker over every seeded fault scenario, prints the combined report
 //! (text by default, `--json` for machine consumption), and exits with
 //! status 1 when any warning or error is found.
 
 use distmsm_analyze::comm::check_comm_schedules;
+use distmsm_analyze::fault::check_fault_recovery;
 use distmsm_analyze::harness::check_shipped_kernels;
 use distmsm_analyze::lint::lint_presets;
 use distmsm_analyze::{RaceConfig, Report};
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
     report.extend(check_shipped_kernels(&RaceConfig::default()));
     report.extend(lint_presets());
     report.extend(check_comm_schedules());
+    report.extend(check_fault_recovery());
 
     if json {
         print!("{}", report.render_json());

@@ -1,0 +1,5 @@
+//! Sweeps fault rate × GPU count and verifies bit-exact recovery.
+fn main() {
+    let (report, _) = distmsm_bench::runners::run_fault_sweep();
+    println!("{report}");
+}

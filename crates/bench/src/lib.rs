@@ -16,6 +16,7 @@
 //! | `fig10` | Figure 10 — optimisation-group breakdown |
 //! | `fig11` | Figure 11 — hierarchical vs naive bucket scatter |
 //! | `fig12` | Figure 12 — PADD-kernel optimisation waterfall |
+//! | `fault_sweep` | fault rate × GPU count sweep with verified recovery |
 //!
 //! Criterion microbenchmarks of the substrate itself (field multiply,
 //! point ops, MSM, NTT, scatter) live under `benches/`.

@@ -38,4 +38,4 @@ pub use schedule::{
     CommConfig, CommSchedule, CommStep, Endpoint, Fabric, Flow, LinkId, LinkLoad, PathCost,
     PathLink,
 };
-pub use topology::{Link, LinkRates, Node, NodeKind, Route, Topology};
+pub use topology::{Link, LinkRates, Node, NodeKind, Route, RouteError, Topology};

@@ -8,7 +8,7 @@
 //! multi-hop routes and per-link bandwidth division when several flows of
 //! the same step share a physical link.
 
-use crate::topology::Topology;
+use crate::topology::{RouteError, Topology};
 
 /// One endpoint of a flow: a GPU rank or the host (master host in
 /// multi-node topologies).
@@ -100,13 +100,22 @@ impl Fabric<'_> {
     ///
     /// Panics if a topology fabric has no route between the endpoints
     /// (disconnected graph or out-of-range rank) — schedules are only
-    /// built against presets where all routes exist.
+    /// built against fabrics where all routes exist. Use
+    /// [`Self::try_path`] against a faulted fabric.
     pub fn path(&self, src: Endpoint, dst: Endpoint) -> PathCost {
+        self.try_path(src, dst)
+            .expect("fabric endpoints must be connected")
+    }
+
+    /// Resolves the path between two endpoints, or reports the
+    /// disconnection — the expected outcome on a fabric carrying link
+    /// faults.
+    pub fn try_path(&self, src: Endpoint, dst: Endpoint) -> Result<PathCost, RouteError> {
         if src == dst {
-            return PathCost {
+            return Ok(PathCost {
                 alpha_s: 0.0,
                 links: Vec::new(),
-            };
+            });
         }
         match *self {
             Fabric::Flat {
@@ -124,17 +133,17 @@ impl Fabric<'_> {
                     }
                     _ => (LinkId::FlatHost, "flat-host".to_string(), host_gbps),
                 };
-                PathCost {
+                Ok(PathCost {
                     alpha_s: 0.0,
                     links: vec![PathLink { id, label, gbps }],
-                }
+                })
             }
             Fabric::Topology(topo) => {
                 let route = match (src, dst) {
-                    (Endpoint::Rank(a), Endpoint::Rank(b)) => topo.gpu_route(a, b),
-                    (Endpoint::Rank(a), Endpoint::Host) => topo.gpu_to_host_route(a),
+                    (Endpoint::Rank(a), Endpoint::Rank(b)) => topo.try_gpu_route(a, b)?,
+                    (Endpoint::Rank(a), Endpoint::Host) => topo.try_gpu_to_host_route(a)?,
                     (Endpoint::Host, Endpoint::Rank(b)) => {
-                        let mut r = topo.gpu_to_host_route(b);
+                        let mut r = topo.try_gpu_to_host_route(b)?;
                         r.nodes.reverse();
                         r.links.reverse();
                         r
@@ -150,10 +159,10 @@ impl Fabric<'_> {
                         gbps: topo.links[li].bandwidth_gbps,
                     })
                     .collect();
-                PathCost {
+                Ok(PathCost {
                     alpha_s: route.alpha_s,
                     links,
-                }
+                })
             }
         }
     }
@@ -370,14 +379,20 @@ pub mod trace {
         static CAPTURING: AtomicBool = AtomicBool::new(false);
         static SCHEDULES: Mutex<Vec<CommSchedule>> = Mutex::new(Vec::new());
 
+        // A panicking workload thread must not wedge the collector:
+        // recover the (plain-Vec) state from a poisoned lock.
+        fn schedules() -> std::sync::MutexGuard<'static, Vec<CommSchedule>> {
+            SCHEDULES.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
         pub fn begin_capture() {
-            SCHEDULES.lock().expect("comm trace lock").clear();
+            schedules().clear();
             CAPTURING.store(true, Ordering::SeqCst);
         }
 
         pub fn end_capture() -> Vec<CommSchedule> {
             CAPTURING.store(false, Ordering::SeqCst);
-            std::mem::take(&mut *SCHEDULES.lock().expect("comm trace lock"))
+            std::mem::take(&mut *schedules())
         }
 
         pub fn capturing() -> bool {
@@ -386,7 +401,7 @@ pub mod trace {
 
         pub fn submit(s: &CommSchedule) {
             if capturing() {
-                SCHEDULES.lock().expect("comm trace lock").push(s.clone());
+                schedules().push(s.clone());
             }
         }
     }

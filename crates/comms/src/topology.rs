@@ -65,7 +65,34 @@ pub struct Link {
     pub bandwidth_gbps: f64,
     /// Per-message latency in seconds.
     pub latency_s: f64,
+    /// Whether the link is operational. A downed link stays in the graph
+    /// (so link indices remain stable) but the router never crosses it.
+    pub up: bool,
 }
+
+/// Why a route could not be produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// No operational path joins the two endpoints.
+    Disconnected {
+        /// Source node label.
+        from: String,
+        /// Destination node label.
+        to: String,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Disconnected { from, to } => {
+                write!(f, "no operational route from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// A routed path between two endpoints under the α–β cost model.
 #[derive(Clone, Debug, PartialEq)]
@@ -149,8 +176,38 @@ impl Topology {
             b,
             bandwidth_gbps,
             latency_s,
+            up: true,
         });
         self.links.len() - 1
+    }
+
+    /// Index of the (first) link joining nodes `a` and `b`, in either
+    /// orientation.
+    pub fn link_between(&self, a: usize, b: usize) -> Option<usize> {
+        self.links
+            .iter()
+            .position(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+    }
+
+    /// Indices of all links incident to `node`.
+    pub fn links_of_node(&self, node: usize) -> Vec<usize> {
+        (0..self.links.len())
+            .filter(|&i| self.links[i].a == node || self.links[i].b == node)
+            .collect()
+    }
+
+    /// Marks link `id` down: it stays in the graph (indices are stable)
+    /// but the router never crosses it.
+    pub fn set_link_down(&mut self, id: usize) {
+        self.links[id].up = false;
+    }
+
+    /// Degrades link `id` to `factor` of its nominal bandwidth
+    /// (`0 < factor ≤ 1`). The link stays routable; every schedule
+    /// crossing it re-prices.
+    pub fn degrade_link(&mut self, id: usize, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "degrade factor must be in (0, 1]");
+        self.links[id].bandwidth_gbps *= factor;
     }
 
     /// Number of GPU endpoints.
@@ -222,6 +279,9 @@ impl Topology {
                 continue;
             }
             for (li, l) in self.links.iter().enumerate() {
+                if !l.up {
+                    continue;
+                }
                 let v = if l.a == u {
                     l.b
                 } else if l.b == u {
@@ -263,20 +323,43 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics when the GPUs are disconnected (a malformed topology).
+    /// Panics when the GPUs are disconnected (a malformed or faulted
+    /// topology) — use [`Self::try_gpu_route`] when disconnection is an
+    /// expected outcome.
     pub fn gpu_route(&self, a: usize, b: usize) -> Route {
-        self.route(self.gpu_node(a), self.gpu_node(b))
-            .expect("GPUs must be connected")
+        self.try_gpu_route(a, b).expect("GPUs must be connected")
+    }
+
+    /// Fallible route between two GPUs by rank: a faulted fabric can
+    /// legitimately partition a pair.
+    pub fn try_gpu_route(&self, a: usize, b: usize) -> Result<Route, RouteError> {
+        let (na, nb) = (self.gpu_node(a), self.gpu_node(b));
+        self.route(na, nb).ok_or_else(|| RouteError::Disconnected {
+            from: self.nodes[na].label.clone(),
+            to: self.nodes[nb].label.clone(),
+        })
     }
 
     /// Route from GPU `rank` to the master host.
     ///
     /// # Panics
     ///
-    /// Panics when the GPU cannot reach the host.
+    /// Panics when the GPU cannot reach the host — use
+    /// [`Self::try_gpu_to_host_route`] when disconnection is an expected
+    /// outcome.
     pub fn gpu_to_host_route(&self, rank: usize) -> Route {
-        self.route(self.gpu_node(rank), self.master_host())
-            .expect("GPU must reach the host")
+        self.try_gpu_to_host_route(rank).expect("GPU must reach the host")
+    }
+
+    /// Fallible route from GPU `rank` to the master host: a GPU whose
+    /// ports are all down cannot reach it, and the engine treats such a
+    /// rank as lost.
+    pub fn try_gpu_to_host_route(&self, rank: usize) -> Result<Route, RouteError> {
+        let (n, h) = (self.gpu_node(rank), self.master_host());
+        self.route(n, h).ok_or_else(|| RouteError::Disconnected {
+            from: self.nodes[n].label.clone(),
+            to: self.nodes[h].label.clone(),
+        })
     }
 
     // ---- presets --------------------------------------------------------
@@ -487,5 +570,86 @@ mod tests {
         let a = t.add_node(NodeKind::Gpu(0), "a");
         let b = t.add_node(NodeKind::Gpu(1), "b");
         assert_eq!(t.route(a, b), None);
+        assert!(matches!(
+            t.try_gpu_route(0, 1),
+            Err(RouteError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn downed_nvswitch_link_reroutes_via_host_hub() {
+        // Golden degraded-topology test: drop gpu0's NVLink port in a
+        // single box and its peer traffic must detour over PCIe through
+        // the hub — 2 hops, priced at the 64 GB/s root-plane bandwidth
+        // instead of 600 GB/s NVLink.
+        let mut t = Topology::dgx_a100_box();
+        let clean = t.gpu_route(0, 1);
+        assert_eq!(clean.min_gbps, 600.0);
+        let g0 = t.gpu_node(0);
+        let nvlink = t
+            .links_of_node(g0)
+            .into_iter()
+            .find(|&l| t.links[l].bandwidth_gbps == 600.0)
+            .expect("gpu0 has an NVLink port");
+        t.set_link_down(nvlink);
+        let r = t.gpu_route(0, 1);
+        assert_eq!(r.hops(), 2, "gpu0->hub->gpu1");
+        assert_eq!(r.min_gbps, 64.0, "detour is PCIe-priced");
+        assert!(
+            t.nodes[r.nodes[1]].kind == NodeKind::PcieHub,
+            "detour relays through the host hub, got {}",
+            t.nodes[r.nodes[1]].label
+        );
+        // unaffected pairs keep the NVSwitch plane
+        assert_eq!(t.gpu_route(1, 2).min_gbps, 600.0);
+        // gpu0 still reaches the host (its PCIe port is fine)
+        assert_eq!(t.gpu_to_host_route(0).min_gbps, 64.0);
+    }
+
+    #[test]
+    fn degraded_link_reprices_but_stays_routable() {
+        let mut t = Topology::dgx_a100_box();
+        let g0 = t.gpu_node(0);
+        let nvlink = t
+            .links_of_node(g0)
+            .into_iter()
+            .find(|&l| t.links[l].bandwidth_gbps == 600.0)
+            .expect("gpu0 has an NVLink port");
+        t.degrade_link(nvlink, 0.25);
+        let r = t.gpu_route(0, 1);
+        // at 150 GB/s the NVSwitch plane still beats the 64 GB/s detour
+        assert_eq!(r.hops(), 2);
+        assert_eq!(r.min_gbps, 150.0);
+        // degrade below PCIe and the router abandons the plane
+        t.degrade_link(nvlink, 0.1); // now 15 GB/s
+        let r = t.gpu_route(0, 1);
+        assert_eq!(r.min_gbps, 64.0, "router prefers the PCIe detour");
+    }
+
+    #[test]
+    fn fully_isolated_gpu_loses_host_reachability() {
+        let mut t = Topology::dgx_a100_box();
+        for l in t.links_of_node(t.gpu_node(3)) {
+            t.set_link_down(l);
+        }
+        assert!(t.try_gpu_to_host_route(3).is_err());
+        assert!(t.try_gpu_route(3, 4).is_err());
+        // the rest of the box is unaffected
+        assert!(t.try_gpu_to_host_route(2).is_ok());
+        let err = t.try_gpu_route(3, 4).unwrap_err();
+        assert!(err.to_string().contains("gpu3"), "{err}");
+    }
+
+    #[test]
+    fn link_between_finds_either_orientation() {
+        let t = Topology::dgx_a100_box();
+        let g0 = t.gpu_node(0);
+        let g1 = t.gpu_node(1);
+        assert!(t.link_between(g0, g1).is_none(), "no direct gpu-gpu link");
+        for l in t.links_of_node(g0) {
+            let link = &t.links[l];
+            let other = if link.a == g0 { link.b } else { link.a };
+            assert_eq!(t.link_between(other, g0), Some(l));
+        }
     }
 }

@@ -99,7 +99,8 @@ pub fn estimate_distmsm(
         Some(s) => estimate_distmsm_with_s(n, curve, system, config, s),
         None => (4..=22u32)
             .map(|s| estimate_distmsm_with_s(n, curve, system, config, s))
-            .min_by(|a, b| a.total_s.partial_cmp(&b.total_s).expect("finite or inf"))
+            .min_by(|a, b| a.total_s.total_cmp(&b.total_s))
+            // infallible: the literal range 4..=22 is non-empty
             .expect("non-empty window range"),
     }
 }
@@ -299,7 +300,8 @@ pub fn estimate_best_gpu(
     };
     (10..=22u32)
         .map(|s| estimate_distmsm((n / g).max(1), curve, &single, &base_config(s)))
-        .min_by(|a, b| a.total_s.partial_cmp(&b.total_s).expect("finite or inf"))
+        .min_by(|a, b| a.total_s.total_cmp(&b.total_s))
+        // infallible: the literal range 10..=22 is non-empty
         .expect("non-empty window range")
 }
 

@@ -182,6 +182,7 @@ impl BestGpuBaseline {
             per_gpu_s,
             launches,
             comm: Some(sched),
+            recovery: None,
         })
     }
 }
@@ -250,7 +251,9 @@ pub fn best_named_time(curve: &str, generic_time_s: f64, n_gpus: usize) -> (f64,
             let t = generic_time_s * b.single_gpu_factor * b.scaling_penalty.powf(doublings);
             (t, b.name, b.id)
         })
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        // infallible: named_baselines always returns at least the
+        // generic fallback entry
         .expect("non-empty baseline set")
 }
 

@@ -7,7 +7,7 @@
 //! the metered kernel statistics into a wall-time estimate.
 
 use crate::bucket_sum::{bucket_sum, threads_per_bucket};
-use crate::plan::{plan_slices, Slice};
+use crate::plan::{plan_slices, replan_slices, Slice};
 use crate::reduce::{
     bucket_reduce_gpu_stats, bucket_reduce_serial, cpu_seconds_for_padds, window_reduce,
 };
@@ -15,12 +15,26 @@ use crate::scatter::{
     scatter_hierarchical, scatter_naive, ScatterConfig, ScatterKind, ScatterOutcome,
     SharedMemoryOverflow,
 };
-use distmsm_comms::{run_collective, CollectiveStrategy, CommConfig, CommSchedule};
+use crate::supervisor::{
+    rlc_coefficients, rlc_fold, FaultObservation, RecoveryReport, RetryPolicy,
+    RLC_OPS_PER_PARTIAL,
+};
+use distmsm_comms::{
+    gather_to_host, run_collective, CollectiveStrategy, CommConfig, CommSchedule,
+};
 use distmsm_ec::{Curve, FieldElement, MsmInstance, XyzzPoint};
 use distmsm_gpu_sim::{
-    estimate_kernel_time, CostModelConfig, LaunchStats, MultiGpuSystem,
+    estimate_kernel_time, CostModelConfig, FaultPlan, LaunchStats, MultiGpuSystem,
 };
 use distmsm_kernel::{EcKernelModel, PaddOptimizations};
+
+/// Seed of the RLC self-check coefficient stream (device and host derive
+/// the same coefficients without communicating them).
+const RLC_SEED: u64 = 0x0005_e1fc_4ec4_u64;
+
+/// Per-GPU busy time above this multiple of the median flags the GPU as
+/// a straggler in the recovery report.
+const STRAGGLER_DETECT_RATIO: f64 = 1.25;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -53,6 +67,19 @@ pub struct DistMsmConfig {
     /// through `distmsm-comms` and its transfer cost is routed through
     /// the system's interconnect (topology-aware on DGX presets).
     pub collective: CollectiveStrategy,
+    /// Deterministic fault-injection plan. Non-empty plans turn the
+    /// supervisor on: window-level checkpoints, the RLC self-check,
+    /// bounded retries and degraded-mode re-planning, all charged
+    /// through the cost model and reported in [`MsmReport::recovery`].
+    /// The empty plan (default) executes exactly the fault-free path.
+    pub fault_plan: FaultPlan,
+    /// Bounded-retry policy the supervisor charges when probing faulted
+    /// devices and re-shipping corrupted partials.
+    pub retry: RetryPolicy,
+    /// Optional straggler SLA: when a GPU's busy time exceeds this
+    /// multiple of the median, execution fails with
+    /// [`MsmError::Straggler`] instead of merely recording the skew.
+    pub straggler_sla: Option<f64>,
 }
 
 impl Default for DistMsmConfig {
@@ -68,6 +95,9 @@ impl Default for DistMsmConfig {
             packed_coefficients: true,
             signed_digits: false,
             collective: CollectiveStrategy::HostGather,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            straggler_sla: None,
         }
     }
 }
@@ -109,15 +139,55 @@ pub struct MsmReport<C: Curve> {
     /// The communication schedule behind `phases.transfer_s` (`None`
     /// for reports composed without a fabric, e.g. merged baselines).
     pub comm: Option<CommSchedule>,
+    /// What the supervisor saw and what recovery cost. `Some` whenever
+    /// execution ran supervised (a non-empty fault plan), even if every
+    /// fault was recovered; `None` on the unsupervised fast path.
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Errors an MSM execution can report.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Marked `#[non_exhaustive]`: fault taxonomies grow, and adding a
+/// variant must not be a breaking change for downstream matchers.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum MsmError {
     /// Hierarchical scatter ran out of shared memory (paper: `s > 14`).
     ScatterOverflow(SharedMemoryOverflow),
     /// The instance was empty.
     EmptyInstance,
+    /// A planned slice produced no outcome and no recovery path claimed
+    /// it — the typed replacement for what used to be a panic.
+    SliceLost {
+        /// GPU the slice was planned on.
+        gpu: usize,
+        /// Window the slice belongs to.
+        window: u32,
+    },
+    /// Devices were lost and no survivor remained to re-plan onto.
+    DeviceLost {
+        /// Every device declared lost, in detection order.
+        devices: Vec<usize>,
+    },
+    /// The fabric is degraded beyond use (no GPU can reach the host).
+    LinkDown {
+        /// Human-readable description of the partition.
+        detail: String,
+    },
+    /// A GPU exceeded the configured straggler SLA.
+    Straggler {
+        /// The straggling device.
+        device: usize,
+        /// Its busy time as a multiple of the median GPU's.
+        slowdown: f64,
+    },
+    /// A transient fault persisted past the retry budget.
+    RetriesExhausted {
+        /// Device whose shipment kept failing.
+        device: usize,
+        /// Work-event index of the failing shipment.
+        event: u64,
+    },
 }
 
 impl core::fmt::Display for MsmError {
@@ -125,11 +195,41 @@ impl core::fmt::Display for MsmError {
         match self {
             Self::ScatterOverflow(e) => write!(f, "{e}"),
             Self::EmptyInstance => write!(f, "MSM instance has no points"),
+            Self::SliceLost { gpu, window } => {
+                write!(f, "slice of window {window} on GPU {gpu} was lost without recovery")
+            }
+            Self::DeviceLost { devices } => {
+                write!(f, "devices {devices:?} lost with no survivors to re-plan onto")
+            }
+            Self::LinkDown { detail } => write!(f, "interconnect down: {detail}"),
+            Self::Straggler { device, slowdown } => {
+                write!(f, "GPU {device} straggles at {slowdown:.2}x the median busy time")
+            }
+            Self::RetriesExhausted { device, event } => {
+                write!(f, "retry budget exhausted re-shipping event {event} of GPU {device}")
+            }
         }
     }
 }
 
 impl std::error::Error for MsmError {}
+
+impl MsmError {
+    /// True for errors the supervisor classifies as *faults* — conditions
+    /// a service-level retry (a later execution attempt) might clear —
+    /// as opposed to configuration or input errors that would recur
+    /// identically.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            Self::SliceLost { .. }
+                | Self::DeviceLost { .. }
+                | Self::LinkDown { .. }
+                | Self::Straggler { .. }
+                | Self::RetriesExhausted { .. }
+        )
+    }
+}
 
 /// The DistMSM engine bound to a system description.
 #[derive(Clone, Debug)]
@@ -187,17 +287,57 @@ impl DistMsm {
     }
 
     /// Executes an MSM, returning the verified-exact result and the
-    /// simulated timing.
+    /// simulated timing. Equivalent to [`Self::execute_attempt`] on
+    /// attempt 0.
     ///
     /// # Errors
     ///
     /// [`MsmError::ScatterOverflow`] when a forced hierarchical scatter
     /// does not fit in shared memory; [`MsmError::EmptyInstance`] for
-    /// zero-length input.
+    /// zero-length input; under a fault plan, the fault-class errors of
+    /// [`MsmError`] when recovery is impossible (no survivors, total
+    /// fabric partition, exhausted retry budget, SLA-breaching
+    /// straggler).
     pub fn execute<C: Curve>(&self, instance: &MsmInstance<C>) -> Result<MsmReport<C>, MsmError> {
+        self.execute_attempt(instance, 0)
+    }
+
+    /// Executes an MSM as service-level attempt `attempt`. Fault-plan
+    /// events are attempt-scoped: an event planned for attempt 0 stays
+    /// quiet on attempt 1, so a caller-level retry (e.g. the Groth16
+    /// prover after [`MsmError::is_fault`]) models a transient fault
+    /// clearing while re-running the same attempt reproduces it
+    /// bit-for-bit.
+    pub fn execute_attempt<C: Curve>(
+        &self,
+        instance: &MsmInstance<C>,
+        attempt: u32,
+    ) -> Result<MsmReport<C>, MsmError> {
         if instance.is_empty() {
             return Err(MsmError::EmptyInstance);
         }
+        let plan = &self.config.fault_plan;
+        let supervised = !plan.is_empty();
+
+        // Link faults damage a copy of the system; every route and
+        // schedule below re-prices against the degraded fabric.
+        let degraded_sys;
+        let system: &MultiGpuSystem = if plan.link_faults.is_empty() {
+            &self.system
+        } else {
+            degraded_sys = self.system.degraded(&plan.link_faults);
+            &degraded_sys
+        };
+        let n_gpus = system.n_gpus();
+        let reachable = system.ranks_reaching_host();
+        if reachable.is_empty() {
+            return Err(MsmError::LinkDown {
+                detail: "no GPU can reach the master host".into(),
+            });
+        }
+        let link_lost: Vec<usize> =
+            (0..n_gpus).filter(|g| !reachable.contains(g)).collect();
+
         let model = EcKernelModel::new(C::Base::LIMBS32, self.config.kernel_opts);
         let gpu_threads = self.gpu_threads(&model);
         let desc = crate::analytic::CurveDesc {
@@ -212,7 +352,7 @@ impl DistMsm {
         } else {
             (C::SCALAR_BITS.div_ceil(s), 1u32 << s)
         };
-        let slices = plan_slices(n_windows, n_buckets, self.system.n_gpus());
+        let slices = plan_slices(n_windows, n_buckets, n_gpus);
         // signed-digit recoding happens once, up front (like the packed
         // coefficient pre-pass; same memory-bound cost class)
         let digits: Option<Vec<Vec<i32>>> = self.config.signed_digits.then(|| {
@@ -223,133 +363,110 @@ impl DistMsm {
                 .collect()
         });
 
-        // decide scatter kind per slice (DistMSM: hierarchical when it fits)
-        let scatter_kind = |slice: &Slice| -> Result<ScatterKind, MsmError> {
-            match self.config.scatter {
-                Some(ScatterKind::Naive) => Ok(ScatterKind::Naive),
-                Some(ScatterKind::Hierarchical) => {
-                    let needed =
-                        crate::scatter::hierarchical_shared_bytes(slice.len(), &self.config.scatter_cfg);
-                    if needed > self.config.scatter_cfg.shared_mem_per_block {
-                        Err(MsmError::ScatterOverflow(SharedMemoryOverflow {
-                            needed,
-                            available: self.config.scatter_cfg.shared_mem_per_block,
-                        }))
-                    } else {
-                        Ok(ScatterKind::Hierarchical)
-                    }
-                }
-                None => {
-                    let needed =
-                        crate::scatter::hierarchical_shared_bytes(slice.len(), &self.config.scatter_cfg);
-                    if needed > self.config.scatter_cfg.shared_mem_per_block {
-                        Ok(ScatterKind::Naive)
-                    } else {
-                        Ok(ScatterKind::Hierarchical)
-                    }
-                }
-            }
+        // Per-device work-event counters: one event per scheduled slice,
+        // in plan order — the deterministic coordinate fault plans key
+        // on, independent of host-thread scheduling.
+        let mut next_event = vec![0u64; n_gpus];
+        let mut assign = |sl: Slice| -> (Slice, u64) {
+            let e = next_event[sl.gpu];
+            next_event[sl.gpu] += 1;
+            (sl, e)
         };
+        let jobs: Vec<(Slice, u64)> = slices.iter().copied().map(&mut assign).collect();
 
-        // ---- per-slice functional execution (host-parallel) -------------
-        struct SliceOutcome<C: Curve> {
-            slice: Slice,
-            scatter_stats: LaunchStats,
-            sum: crate::bucket_sum::BucketSumOutcome<C>,
+        let mut recovery = RecoveryReport {
+            n_windows,
+            n_buckets,
+            ..RecoveryReport::default()
+        };
+        let mut dead: Vec<usize> = link_lost.clone();
+        for &g in &link_lost {
+            recovery.faults.push(FaultObservation {
+                device: g,
+                event: 0,
+                kind: "link-down".into(),
+            });
         }
 
-        let mut outcomes: Vec<Option<Result<SliceOutcome<C>, MsmError>>> =
-            (0..slices.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let chunk = slices.len().div_ceil(
-                std::thread::available_parallelism().map_or(4, |p| p.get()),
-            );
-            for (slice_chunk, out_chunk) in
-                slices.chunks(chunk.max(1)).zip(outcomes.chunks_mut(chunk.max(1)))
-            {
-                let model = &model;
-                let config = &self.config;
-                let digits = &digits;
-                scope.spawn(move || {
-                    for (slice, out) in slice_chunk.iter().zip(out_chunk.iter_mut()) {
-                        let kind = match scatter_kind(slice) {
-                            Ok(k) => k,
-                            Err(e) => {
-                                *out = Some(Err(e));
-                                continue;
-                            }
-                        };
-                        let coeff_bytes = if config.packed_coefficients {
-                            4.0
-                        } else {
-                            f64::from(C::SCALAR_BITS.div_ceil(8))
-                        };
-                        let scattered: Result<ScatterOutcome, _> = match (&digits, kind) {
-                            (Some(d), kind) => crate::scatter::scatter_signed_digits(
-                                d,
-                                slice,
-                                kind,
-                                gpu_threads,
-                                &config.scatter_cfg,
-                                coeff_bytes,
-                            ),
-                            (None, ScatterKind::Naive) => Ok(scatter_naive(
-                                &instance.scalars,
-                                s,
-                                slice,
-                                gpu_threads,
-                                coeff_bytes,
-                            )),
-                            (None, ScatterKind::Hierarchical) => scatter_hierarchical(
-                                &instance.scalars,
-                                s,
-                                slice,
-                                &config.scatter_cfg,
-                                coeff_bytes,
-                            ),
-                        };
-                        let scattered = match scattered {
-                            Ok(sc) => sc,
-                            Err(e) => {
-                                *out = Some(Err(MsmError::ScatterOverflow(e)));
-                                continue;
-                            }
-                        };
-                        let tpb = threads_per_bucket(gpu_threads, u64::from(slice.len()));
-                        let sum = if digits.is_some() {
-                            crate::bucket_sum::bucket_sum_signed(
-                                &instance.points,
-                                &scattered.buckets,
-                                tpb,
-                                model,
-                                config.block_size,
-                            )
-                        } else {
-                            bucket_sum(
-                                &instance.points,
-                                &scattered.buckets,
-                                tpb,
-                                model,
-                                config.block_size,
-                            )
-                        };
-                        *out = Some(Ok(SliceOutcome {
-                            slice: *slice,
-                            scatter_stats: scattered.stats,
-                            sum,
-                        }));
-                    }
+        // ---- primary execution: every job a live device can still run ---
+        let is_lost =
+            |dead: &[usize], sl: &Slice, e: u64| -> bool {
+                dead.contains(&sl.gpu)
+                    || plan
+                        .fail_stop_event(sl.gpu, attempt)
+                        .is_some_and(|at| e >= at)
+            };
+        let (live, lost): (Jobs, Jobs) =
+            jobs.iter().partition(|(sl, e)| !is_lost(&dead, sl, *e));
+        self.note_fail_stops(&lost, &mut dead, &mut recovery);
+        let done = self.run_slices(instance, &digits, s, gpu_threads, &model, &live)?;
+
+        // ---- supervisor: probe, declare lost, re-plan, recompute --------
+        let mut recovered: Vec<SliceOutcome<C>> = Vec::new();
+        let mut lost_slices: Vec<Slice> = lost.iter().map(|(sl, _)| *sl).collect();
+        let mut rounds = 0usize;
+        while !lost_slices.is_empty() {
+            // bounded probes of each newly lost device, charged as
+            // exponential backoff, before the supervisor declares it lost
+            for &g in &dead {
+                if !recovery.lost_gpus.contains(&g) {
+                    recovery.retries += self.config.retry.max_retries;
+                    recovery.backoff_s += self.config.retry.total_backoff();
+                    recovery.lost_gpus.push(g);
+                }
+            }
+            let survivors: Vec<usize> =
+                (0..n_gpus).filter(|g| !dead.contains(g)).collect();
+            if survivors.is_empty() || rounds > n_gpus {
+                return Err(MsmError::DeviceLost {
+                    devices: recovery.lost_gpus.clone(),
                 });
             }
-        });
-
-        let mut done = Vec::with_capacity(slices.len());
-        for o in outcomes {
-            done.push(o.expect("all slices processed")?);
+            // checkpoint-time straggler detection steers the re-plan: a
+            // survivor already running slow would bottleneck the serial
+            // recovery phase, so prefer full-speed survivors whenever at
+            // least one remains (a straggler is still better than no
+            // device at all)
+            let full_speed: Vec<usize> = survivors
+                .iter()
+                .copied()
+                .filter(|&g| plan.straggler_from(g, attempt).is_none())
+                .collect();
+            let targets = if full_speed.is_empty() { &survivors } else { &full_speed };
+            let replanned = replan_slices(&lost_slices, targets);
+            recovery.replanned.extend(replanned.iter().copied());
+            let rejobs: Vec<(Slice, u64)> =
+                replanned.into_iter().map(&mut assign).collect();
+            // survivors may fail-stop mid-recovery (cascading faults):
+            // their recovery events are filtered exactly like primaries
+            let (rlive, rlost): (Jobs, Jobs) =
+                rejobs.iter().partition(|(sl, e)| !is_lost(&dead, sl, *e));
+            self.note_fail_stops(&rlost, &mut dead, &mut recovery);
+            // a re-planned slice lost to a cascading failure is
+            // superseded by the next round's re-plan: drop it from the
+            // log so `replanned` records only work that actually ran
+            recovery
+                .replanned
+                .retain(|s| !rlost.iter().any(|(lost, _)| lost == s));
+            recovered.extend(self.run_slices(instance, &digits, s, gpu_threads, &model, &rlive)?);
+            lost_slices = rlost.into_iter().map(|(sl, _)| sl).collect();
+            rounds += 1;
         }
+        recovery.completed = done
+            .iter()
+            .chain(&recovered)
+            .map(|oc| oc.slice)
+            .collect();
 
         // ---- compose per-GPU times --------------------------------------
-        let n_gpus = self.system.n_gpus();
+        // Straggler faults scale the affected device's kernel times from
+        // their trigger event on; recovery work is accounted separately
+        // as a serial recovery phase (recompute_s), not in the primary
+        // makespan.
+        let straggle = |g: usize, e: u64| -> f64 {
+            plan.straggler_from(g, attempt)
+                .map_or(1.0, |(at, slow)| if e >= at { slow } else { 1.0 })
+        };
         let prepass = if self.config.packed_coefficients {
             crate::scatter::scalar_prepass_seconds(
                 instance.len() as u64,
@@ -362,13 +479,24 @@ impl DistMsm {
         };
         let mut scatter_per_gpu = vec![prepass; n_gpus];
         let mut sum_per_gpu = vec![0.0f64; n_gpus];
+        let mut rec_per_gpu = vec![0.0f64; n_gpus];
         let mut launches = Vec::new();
         for oc in &done {
             let dev = &self.system.devices[oc.slice.gpu];
+            let f = straggle(oc.slice.gpu, oc.event);
             scatter_per_gpu[oc.slice.gpu] +=
-                estimate_kernel_time(dev, &oc.scatter_stats, &self.cost_cfg).total();
+                f * estimate_kernel_time(dev, &oc.scatter_stats, &self.cost_cfg).total();
             sum_per_gpu[oc.slice.gpu] +=
-                estimate_kernel_time(dev, &oc.sum.stats, &self.cost_cfg).total();
+                f * estimate_kernel_time(dev, &oc.sum.stats, &self.cost_cfg).total();
+            launches.push(oc.scatter_stats.clone());
+            launches.push(oc.sum.stats.clone());
+        }
+        for oc in &recovered {
+            let dev = &self.system.devices[oc.slice.gpu];
+            let f = straggle(oc.slice.gpu, oc.event);
+            rec_per_gpu[oc.slice.gpu] += f
+                * (estimate_kernel_time(dev, &oc.scatter_stats, &self.cost_cfg).total()
+                    + estimate_kernel_time(dev, &oc.sum.stats, &self.cost_cfg).total());
             launches.push(oc.scatter_stats.clone());
             launches.push(oc.sum.stats.clone());
         }
@@ -379,13 +507,72 @@ impl DistMsm {
         // path the host holds every partial (gathered below); on the GPU
         // path each GPU keeps its own window partials, merged by the
         // configured collective.
+        let all_done: Vec<&SliceOutcome<C>> = done.iter().chain(&recovered).collect();
+        let primary_count = done.len();
+        let mut contribs: Vec<(XyzzPoint<C>, u64)> = Vec::with_capacity(all_done.len());
+        for oc in &all_done {
+            contribs.push(bucket_reduce_serial(&oc.sum.sums, oc.slice.bucket_lo));
+        }
+
+        // ---- RLC self-check against silent corruption -------------------
+        // Each device folds Σ rᵢ·wᵢ over the partials it computed; the
+        // host folds the same combination over what it received. Planned
+        // bit-flips corrupt the shipped copy (modelled as a sign flip);
+        // a mismatch pins the corrupted shipments, which are re-shipped
+        // under the retry budget.
+        if supervised {
+            let coeffs = rlc_coefficients(RLC_SEED, all_done.len());
+            let true_vals: Vec<XyzzPoint<C>> = contribs.iter().map(|c| c.0).collect();
+            let recv_vals: Vec<XyzzPoint<C>> = all_done
+                .iter()
+                .zip(&true_vals)
+                .map(|(oc, w)| {
+                    if plan.bit_flip_events(oc.slice.gpu, attempt).contains(&oc.event) {
+                        w.neg()
+                    } else {
+                        *w
+                    }
+                })
+                .collect();
+            let device_sum = rlc_fold(&true_vals, &coeffs);
+            let host_sum = rlc_fold(&recv_vals, &coeffs);
+            if device_sum != host_sum {
+                for (oc, (t, r)) in all_done.iter().zip(true_vals.iter().zip(&recv_vals)) {
+                    if t != r {
+                        if self.config.retry.max_retries == 0 {
+                            return Err(MsmError::RetriesExhausted {
+                                device: oc.slice.gpu,
+                                event: oc.event,
+                            });
+                        }
+                        recovery.retries += 1;
+                        recovery.backoff_s += self.config.retry.backoff_for(0);
+                        recovery.faults.push(FaultObservation {
+                            device: oc.slice.gpu,
+                            event: oc.event,
+                            kind: "bit-flip".into(),
+                        });
+                    }
+                }
+            }
+            // host side of the check: one 64-bit scalar-mul fold per
+            // received partial, every supervised run (the guard is paid
+            // whether or not corruption occurs)
+            recovery.self_check_s = cpu_seconds_for_padds(
+                RLC_OPS_PER_PARTIAL * all_done.len() as u64,
+                &model,
+                self.system.cpu.int_ops_per_sec,
+            );
+        }
+
+        // the fold below uses the verified (re-shipped) partials
         let mut window_results = vec![XyzzPoint::<C>::identity(); n_windows as usize];
         let mut gpu_partials: Vec<Vec<XyzzPoint<C>>> =
             vec![vec![XyzzPoint::identity(); n_windows as usize]; n_gpus];
         let mut cpu_padds: u64 = 0;
         let mut gpu_reduce_per_gpu = vec![0.0f64; n_gpus];
-        for oc in &done {
-            let (w, ops) = bucket_reduce_serial(&oc.sum.sums, oc.slice.bucket_lo);
+        for (i, oc) in all_done.iter().enumerate() {
+            let (w, ops) = contribs[i];
             if self.config.bucket_reduce_on_cpu {
                 window_results[oc.slice.window as usize] =
                     window_results[oc.slice.window as usize].padd(&w);
@@ -402,18 +589,57 @@ impl DistMsm {
                     self.config.block_size,
                 );
                 let dev = &self.system.devices[oc.slice.gpu];
-                gpu_reduce_per_gpu[oc.slice.gpu] +=
-                    estimate_kernel_time(dev, &stats, &self.cost_cfg).total();
+                let t = straggle(oc.slice.gpu, oc.event)
+                    * estimate_kernel_time(dev, &stats, &self.cost_cfg).total();
+                if i < primary_count {
+                    gpu_reduce_per_gpu[oc.slice.gpu] += t;
+                } else {
+                    rec_per_gpu[oc.slice.gpu] += t;
+                }
                 launches.push(stats);
             }
         }
+        recovery.recompute_s = rec_per_gpu.iter().copied().fold(0.0, f64::max);
 
         // ---- communication ------------------------------------------------
         let point_bytes = 4.0 * C::Base::LIMBS32 as f64 * 4.0; // XYZZ coords
         let comm = if self.config.bucket_reduce_on_cpu {
             // every bucket partial crosses to the host before the CPU
-            // reduce (previously charged as one flat-pipe transfer)
-            crate::comm::bucket_gather_schedule(&slices, point_bytes, &self.system)
+            // reduce; under recovery the gather covers the slices that
+            // actually completed, shipped by whoever computed them
+            crate::comm::bucket_gather_schedule(
+                recovery_or_plan_slices(supervised, &recovery, &slices),
+                point_bytes,
+                system,
+            )
+        } else if !recovery.lost_gpus.is_empty() {
+            // a lost rank cannot take part in ring/tree exchanges, so the
+            // collective degrades to a survivors-only host gather; the
+            // dead ranks' pre-fault partials reached the host through the
+            // window-level checkpoints charged below
+            recovery.degraded_collective = true;
+            let per: Vec<f64> = (0..n_gpus)
+                .map(|g| {
+                    if dead.contains(&g) {
+                        0.0
+                    } else {
+                        f64::from(n_windows) * point_bytes
+                    }
+                })
+                .collect();
+            let mut sched =
+                gather_to_host(&per, &system.fabric(), &CommConfig::default());
+            sched.host_reduce_ops = (n_gpus as u64 - 1) * u64::from(n_windows);
+            for (g, partial) in gpu_partials.iter().enumerate() {
+                for (w, p) in partial.iter().enumerate() {
+                    if g == 0 {
+                        window_results[w] = *p;
+                    } else {
+                        window_results[w] = window_results[w].padd(p);
+                    }
+                }
+            }
+            sched
         } else {
             // per-GPU window partials merge across the fabric with real
             // PADDs; the host receives the reduced vector
@@ -421,7 +647,7 @@ impl DistMsm {
                 self.config.collective,
                 &gpu_partials,
                 |a, b| a.padd(b),
-                &self.system.fabric(),
+                &system.fabric(),
                 &CommConfig::default(),
                 point_bytes,
             );
@@ -433,6 +659,16 @@ impl DistMsm {
         // reduces (g−1)·n_windows pairs on the CPU)
         let comm_host_s =
             cpu_seconds_for_padds(comm.host_reduce_ops, &model, self.system.cpu.int_ops_per_sec);
+
+        // window-level checkpoints: on the CPU-reduce path the gather
+        // above already lands every partial on the host (the checkpoint
+        // is free); the GPU-reduce path charges an extra partial gather
+        // over the clean fabric (checkpoints stream while links are up)
+        if supervised && !self.config.bucket_reduce_on_cpu {
+            recovery.checkpoint_s = self
+                .system
+                .gather_to_host_time(&vec![f64::from(n_windows) * point_bytes; n_gpus]);
+        }
 
         // ---- window-reduce ------------------------------------------------
         let (result, wr_ops) = window_reduce(&window_results, s);
@@ -447,13 +683,52 @@ impl DistMsm {
             .collect();
         let gpu_makespan = per_gpu_s.iter().copied().fold(0.0, f64::max);
 
+        // ---- straggler detection ------------------------------------------
+        // the supervisor watches per-GPU busy time against the median;
+        // skew beyond the detection ratio is recorded, and beyond the
+        // configured SLA it is an error
+        if supervised {
+            let mut busy: Vec<f64> = per_gpu_s
+                .iter()
+                .copied()
+                .filter(|&t| t > 0.0)
+                .collect();
+            busy.sort_by(f64::total_cmp);
+            if !busy.is_empty() {
+                let median = busy[busy.len() / 2];
+                if median > 0.0 {
+                    for (g, &t) in per_gpu_s.iter().enumerate() {
+                        let ratio = t / median;
+                        if ratio > STRAGGLER_DETECT_RATIO {
+                            recovery.stragglers.push((g, ratio));
+                            recovery.faults.push(FaultObservation {
+                                device: g,
+                                event: plan
+                                    .straggler_from(g, attempt)
+                                    .map_or(0, |(at, _)| at),
+                                kind: "straggler".into(),
+                            });
+                            if let Some(sla) = self.config.straggler_sla {
+                                if ratio > sla {
+                                    return Err(MsmError::Straggler {
+                                        device: g,
+                                        slowdown: ratio,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         let bucket_reduce_s = if self.config.bucket_reduce_on_cpu {
             cpu_reduce_s
         } else {
             gpu_reduce_per_gpu.iter().copied().fold(0.0, f64::max) + comm_host_s
         };
 
-        let total_s = if self.config.bucket_reduce_on_cpu && self.config.pipelined {
+        let base_s = if self.config.bucket_reduce_on_cpu && self.config.pipelined {
             // §3.2.3: the CPU reduce streams behind the GPUs; only the
             // last window's reduce sits on the critical path.
             let tail = cpu_reduce_s / f64::from(n_windows.max(1));
@@ -461,6 +736,9 @@ impl DistMsm {
         } else {
             gpu_makespan + transfer_s + bucket_reduce_s + window_reduce_s
         };
+        // recovery runs as a serial phase after detection: probes back
+        // off, survivors recompute, the self-check and checkpoints guard
+        let total_s = base_s + if supervised { recovery.recovery_s() } else { 0.0 };
 
         Ok(MsmReport {
             result,
@@ -477,7 +755,196 @@ impl DistMsm {
             per_gpu_s,
             launches,
             comm: Some(comm),
+            recovery: supervised.then_some(recovery),
         })
+    }
+
+    /// Records fail-stop observations for devices that just lost jobs
+    /// and adds them to the dead set.
+    fn note_fail_stops(
+        &self,
+        lost: &[(Slice, u64)],
+        dead: &mut Vec<usize>,
+        recovery: &mut RecoveryReport,
+    ) {
+        for (sl, e) in lost {
+            if !dead.contains(&sl.gpu) {
+                dead.push(sl.gpu);
+                recovery.faults.push(FaultObservation {
+                    device: sl.gpu,
+                    event: *e,
+                    kind: "fail-stop".into(),
+                });
+            }
+        }
+    }
+
+    /// Chooses the scatter kind for one slice (DistMSM: hierarchical
+    /// whenever the slice fits in shared memory).
+    fn pick_scatter(&self, slice: &Slice) -> Result<ScatterKind, MsmError> {
+        let needed =
+            crate::scatter::hierarchical_shared_bytes(slice.len(), &self.config.scatter_cfg);
+        let fits = needed <= self.config.scatter_cfg.shared_mem_per_block;
+        match self.config.scatter {
+            Some(ScatterKind::Naive) => Ok(ScatterKind::Naive),
+            Some(ScatterKind::Hierarchical) if !fits => {
+                Err(MsmError::ScatterOverflow(SharedMemoryOverflow {
+                    needed,
+                    available: self.config.scatter_cfg.shared_mem_per_block,
+                }))
+            }
+            Some(ScatterKind::Hierarchical) => Ok(ScatterKind::Hierarchical),
+            None if fits => Ok(ScatterKind::Hierarchical),
+            None => Ok(ScatterKind::Naive),
+        }
+    }
+
+    /// Functionally executes one slice: scatter, then bucket-sum.
+    #[allow(clippy::too_many_arguments)] // kernel launch context, not state
+    fn run_one_slice<C: Curve>(
+        &self,
+        instance: &MsmInstance<C>,
+        digits: &Option<Vec<Vec<i32>>>,
+        s: u32,
+        gpu_threads: u64,
+        model: &EcKernelModel,
+        slice: Slice,
+        event: u64,
+    ) -> Result<SliceOutcome<C>, MsmError> {
+        let kind = self.pick_scatter(&slice)?;
+        let coeff_bytes = if self.config.packed_coefficients {
+            4.0
+        } else {
+            f64::from(C::SCALAR_BITS.div_ceil(8))
+        };
+        let scattered: ScatterOutcome = match (digits, kind) {
+            (Some(d), kind) => crate::scatter::scatter_signed_digits(
+                d,
+                &slice,
+                kind,
+                gpu_threads,
+                &self.config.scatter_cfg,
+                coeff_bytes,
+            )
+            .map_err(MsmError::ScatterOverflow)?,
+            (None, ScatterKind::Naive) => scatter_naive(
+                &instance.scalars,
+                s,
+                &slice,
+                gpu_threads,
+                coeff_bytes,
+            ),
+            (None, ScatterKind::Hierarchical) => scatter_hierarchical(
+                &instance.scalars,
+                s,
+                &slice,
+                &self.config.scatter_cfg,
+                coeff_bytes,
+            )
+            .map_err(MsmError::ScatterOverflow)?,
+        };
+        let tpb = threads_per_bucket(gpu_threads, u64::from(slice.len()));
+        let sum = if digits.is_some() {
+            crate::bucket_sum::bucket_sum_signed(
+                &instance.points,
+                &scattered.buckets,
+                tpb,
+                model,
+                self.config.block_size,
+            )
+        } else {
+            bucket_sum(
+                &instance.points,
+                &scattered.buckets,
+                tpb,
+                model,
+                self.config.block_size,
+            )
+        };
+        Ok(SliceOutcome {
+            slice,
+            event,
+            scatter_stats: scattered.stats,
+            sum,
+        })
+    }
+
+    /// Functionally executes `jobs` (slice + work-event id) in parallel
+    /// on host threads. A job that vanishes without an outcome reports
+    /// the typed [`MsmError::SliceLost`] instead of panicking.
+    fn run_slices<C: Curve>(
+        &self,
+        instance: &MsmInstance<C>,
+        digits: &Option<Vec<Vec<i32>>>,
+        s: u32,
+        gpu_threads: u64,
+        model: &EcKernelModel,
+        jobs: &[(Slice, u64)],
+    ) -> Result<Vec<SliceOutcome<C>>, MsmError> {
+        let mut outcomes: Vec<Option<Result<SliceOutcome<C>, MsmError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let chunk = jobs
+                .len()
+                .div_ceil(std::thread::available_parallelism().map_or(4, |p| p.get()))
+                .max(1);
+            for (job_chunk, out_chunk) in jobs.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for ((slice, event), out) in job_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = Some(self.run_one_slice(
+                            instance,
+                            digits,
+                            s,
+                            gpu_threads,
+                            model,
+                            *slice,
+                            *event,
+                        ));
+                    }
+                });
+            }
+        });
+        let mut done = Vec::with_capacity(jobs.len());
+        for (o, (slice, _)) in outcomes.into_iter().zip(jobs) {
+            match o {
+                Some(r) => done.push(r?),
+                None => {
+                    return Err(MsmError::SliceLost {
+                        gpu: slice.gpu,
+                        window: slice.window,
+                    })
+                }
+            }
+        }
+        Ok(done)
+    }
+}
+
+/// Slices paired with their per-device work-event ids, as scheduled by
+/// the supervisor's fault-injection event counters.
+type Jobs = Vec<(Slice, u64)>;
+
+/// One completed slice: its plan coordinates, per-device work-event id,
+/// metered kernel stats, and the functional bucket sums.
+struct SliceOutcome<C: Curve> {
+    slice: Slice,
+    event: u64,
+    scatter_stats: LaunchStats,
+    sum: crate::bucket_sum::BucketSumOutcome<C>,
+}
+
+/// The slice set the CPU-path bucket gather covers: under supervision
+/// the slices that actually completed (recovery moved ownership), on
+/// the fast path the original plan.
+fn recovery_or_plan_slices<'a>(
+    supervised: bool,
+    recovery: &'a RecoveryReport,
+    planned: &'a [Slice],
+) -> &'a [Slice] {
+    if supervised {
+        &recovery.completed
+    } else {
+        planned
     }
 }
 
@@ -712,5 +1179,365 @@ mod tests {
         );
         let report = engine.execute(&inst).expect("auto mode must not fail");
         assert_eq!(report.result, inst.reference_result());
+    }
+
+    // ---- fault injection and recovery ---------------------------------
+
+    use distmsm_gpu_sim::{FaultEvent, FaultKind, LinkFault};
+
+    fn coverage_exact(slices: &[Slice], n_windows: u32, n_buckets: u32) {
+        let mut seen = vec![0u32; (n_windows * n_buckets) as usize];
+        for s in slices {
+            for b in s.bucket_lo..s.bucket_hi {
+                seen[(s.window * n_buckets + b) as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "completed slices must tile");
+    }
+
+    #[test]
+    fn fail_stop_one_of_eight_recovers_bit_exact() {
+        // the acceptance scenario: a seeded fail-stop on GPU 3 of 8 must
+        // still produce the fault-free result, with a RecoveryReport
+        // showing the re-plan
+        let mut rng = StdRng::seed_from_u64(90);
+        let inst = MsmInstance::<Bn254G1>::random(256, &mut rng);
+        let clean = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(8),
+            DistMsmConfig {
+                window_size: Some(8),
+                ..DistMsmConfig::default()
+            },
+        )
+        .execute(&inst)
+        .expect("clean run");
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(8),
+            DistMsmConfig {
+                window_size: Some(8),
+                fault_plan: FaultPlan::fail_stop(3, 0),
+                // probe backoff scaled to the toy instance: the default
+                // millisecond constants are realistic at paper scale but
+                // would dwarf a 256-point MSM
+                retry: crate::supervisor::RetryPolicy {
+                    backoff_base_s: 1e-6,
+                    ..crate::supervisor::RetryPolicy::default()
+                },
+                ..DistMsmConfig::default()
+            },
+        );
+        let rep = engine.execute(&inst).expect("supervised run recovers");
+        assert_eq!(rep.result, clean.result, "recovered result must be bit-exact");
+        assert_eq!(rep.result, inst.reference_result());
+        let rec = rep.recovery.expect("supervised run reports recovery");
+        assert_eq!(rec.lost_gpus, vec![3]);
+        assert!(!rec.replanned.is_empty(), "lost work must be re-planned");
+        assert!(rec.replanned.iter().all(|s| s.gpu != 3));
+        assert!(rec.faults.iter().any(|f| f.kind == "fail-stop" && f.device == 3));
+        coverage_exact(&rec.completed, rec.n_windows, rec.n_buckets);
+        assert!(rec.recovery_s() > 0.0);
+        // recovery overhead strictly below a full re-run
+        assert!(
+            rep.total_s - clean.total_s < clean.total_s,
+            "overhead {} vs clean {}",
+            rep.total_s - clean.total_s,
+            clean.total_s
+        );
+    }
+
+    #[test]
+    fn fail_stop_on_gpu_reduce_path_degrades_collective() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let inst = MsmInstance::<Bn254G1>::random(200, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(4),
+            DistMsmConfig {
+                window_size: Some(7),
+                bucket_reduce_on_cpu: false,
+                fault_plan: FaultPlan::fail_stop(2, 0),
+                ..DistMsmConfig::default()
+            },
+        );
+        let rep = engine.execute(&inst).expect("recovers on GPU-reduce path");
+        assert_eq!(rep.result, inst.reference_result());
+        let rec = rep.recovery.unwrap();
+        assert!(rec.degraded_collective, "dead rank must degrade collective");
+        assert!(rec.checkpoint_s > 0.0, "GPU path charges checkpoints");
+        coverage_exact(&rec.completed, rec.n_windows, rec.n_buckets);
+    }
+
+    #[test]
+    fn cascading_fail_stop_mid_recovery() {
+        // GPU 3 dies at its first slice; GPU 4 dies later, mid-recovery,
+        // forcing a second re-plan round
+        let mut rng = StdRng::seed_from_u64(92);
+        let inst = MsmInstance::<Bn254G1>::random(256, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(8),
+            DistMsmConfig {
+                window_size: Some(4),
+                // window 4 gives every GPU 8 primary slices (events
+                // 0..8), so event 8 is GPU 4's first *recovery* job:
+                // it survives the primary pass and dies mid-recovery
+                fault_plan: FaultPlan::fail_stop(3, 0).with_event(FaultEvent {
+                    device: 4,
+                    at_event: 8,
+                    attempt: 0,
+                    kind: FaultKind::FailStop,
+                }),
+                ..DistMsmConfig::default()
+            },
+        );
+        let rep = engine.execute(&inst).expect("cascade recovers");
+        assert_eq!(rep.result, inst.reference_result());
+        let rec = rep.recovery.unwrap();
+        assert!(rec.lost_gpus.contains(&3) && rec.lost_gpus.contains(&4));
+        coverage_exact(&rec.completed, rec.n_windows, rec.n_buckets);
+    }
+
+    #[test]
+    fn bit_flip_detected_and_result_still_exact() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(2),
+            DistMsmConfig {
+                window_size: Some(8),
+                fault_plan: FaultPlan::bit_flip(1, 0),
+                ..DistMsmConfig::default()
+            },
+        );
+        let rep = engine.execute(&inst).expect("bit flip is recoverable");
+        assert_eq!(rep.result, inst.reference_result());
+        let rec = rep.recovery.unwrap();
+        assert!(rec.faults.iter().any(|f| f.kind == "bit-flip" && f.device == 1));
+        assert!(rec.retries >= 1, "re-shipment spends a retry");
+        assert!(rec.self_check_s > 0.0, "RLC check is charged");
+    }
+
+    #[test]
+    fn bit_flip_without_retry_budget_is_exhaustion() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(2),
+            DistMsmConfig {
+                window_size: Some(8),
+                fault_plan: FaultPlan::bit_flip(1, 0),
+                retry: crate::supervisor::RetryPolicy {
+                    max_retries: 0,
+                    ..crate::supervisor::RetryPolicy::default()
+                },
+                ..DistMsmConfig::default()
+            },
+        );
+        match engine.execute(&inst) {
+            Err(MsmError::RetriesExhausted { device, .. }) => assert_eq!(device, 1),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replan_avoids_straggling_survivors() {
+        // a fail-stop on GPU 1 while GPU 2 straggles: the re-plan must
+        // route lost work onto the full-speed survivors only
+        let mut rng = StdRng::seed_from_u64(91);
+        let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(4),
+            DistMsmConfig {
+                window_size: Some(6),
+                fault_plan: FaultPlan::fail_stop(1, 0).with_event(FaultEvent {
+                    device: 2,
+                    at_event: 0,
+                    attempt: 0,
+                    kind: FaultKind::Straggler { slowdown: 3.0 },
+                }),
+                ..DistMsmConfig::default()
+            },
+        );
+        let rep = engine.execute(&inst).expect("recovers");
+        assert_eq!(rep.result, inst.reference_result());
+        let rec = rep.recovery.expect("supervised");
+        assert!(!rec.replanned.is_empty());
+        assert!(
+            rec.replanned.iter().all(|sl| sl.gpu != 1 && sl.gpu != 2),
+            "re-plan must avoid the lost GPU and the straggler: {:?}",
+            rec.replanned
+        );
+    }
+
+    #[test]
+    fn straggler_detected_and_sla_enforced() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let inst = MsmInstance::<Bn254G1>::random(256, &mut rng);
+        let mk = |sla| {
+            DistMsm::with_config(
+                MultiGpuSystem::dgx_a100(8),
+                DistMsmConfig {
+                    window_size: Some(8),
+                    fault_plan: FaultPlan::straggler(2, 0, 4.0),
+                    straggler_sla: sla,
+                    ..DistMsmConfig::default()
+                },
+            )
+            .execute(&inst)
+        };
+        let rep = mk(None).expect("no SLA: detection only");
+        assert_eq!(rep.result, inst.reference_result());
+        let rec = rep.recovery.unwrap();
+        assert!(
+            rec.stragglers.iter().any(|&(g, r)| g == 2 && r > 2.0),
+            "stragglers {:?}",
+            rec.stragglers
+        );
+        match mk(Some(2.0)) {
+            Err(MsmError::Straggler { device, slowdown }) => {
+                assert_eq!(device, 2);
+                assert!(slowdown > 2.0);
+            }
+            other => panic!("expected Straggler, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isolated_rank_is_replanned_around() {
+        // both ports of rank 2 go down: it cannot reach the host even by
+        // transit, so the supervisor treats it as lost
+        let mut rng = StdRng::seed_from_u64(96);
+        let inst = MsmInstance::<Bn254G1>::random(160, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(4),
+            DistMsmConfig {
+                window_size: Some(8),
+                fault_plan: FaultPlan::none()
+                    .with_link_fault(LinkFault::PeerPortDown { rank: 2 })
+                    .with_link_fault(LinkFault::HostPortDown { rank: 2 }),
+                ..DistMsmConfig::default()
+            },
+        );
+        let rep = engine.execute(&inst).expect("partition recovers");
+        assert_eq!(rep.result, inst.reference_result());
+        let rec = rep.recovery.unwrap();
+        assert_eq!(rec.lost_gpus, vec![2]);
+        assert!(rec.faults.iter().any(|f| f.kind == "link-down"));
+        coverage_exact(&rec.completed, rec.n_windows, rec.n_buckets);
+    }
+
+    #[test]
+    fn degraded_link_reprices_but_stays_exact() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let inst = MsmInstance::<Bn254G1>::random(160, &mut rng);
+        let mk = |plan| {
+            DistMsm::with_config(
+                MultiGpuSystem::dgx_a100(4),
+                DistMsmConfig {
+                    window_size: Some(8),
+                    fault_plan: plan,
+                    ..DistMsmConfig::default()
+                },
+            )
+            .execute(&inst)
+            .expect("degraded link is not fatal")
+        };
+        let clean = mk(FaultPlan::none());
+        let slow = mk(FaultPlan::none().with_link_fault(LinkFault::PeerPortDegraded {
+            rank: 1,
+            factor: 0.05,
+        }));
+        assert_eq!(slow.result, clean.result);
+        assert!(slow.recovery.unwrap().lost_gpus.is_empty());
+        assert!(
+            slow.phases.transfer_s >= clean.phases.transfer_s,
+            "degraded fabric cannot be cheaper: {} vs {}",
+            slow.phases.transfer_s,
+            clean.phases.transfer_s
+        );
+    }
+
+    #[test]
+    fn total_partition_is_link_down_error() {
+        let mut rng = StdRng::seed_from_u64(98);
+        let inst = MsmInstance::<Bn254G1>::random(64, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(2),
+            DistMsmConfig {
+                fault_plan: FaultPlan::none()
+                    .with_link_fault(LinkFault::HostPortDown { rank: 0 })
+                    .with_link_fault(LinkFault::HostPortDown { rank: 1 }),
+                ..DistMsmConfig::default()
+            },
+        );
+        match engine.execute(&inst) {
+            Err(MsmError::LinkDown { .. }) => {}
+            other => panic!("expected LinkDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sole_gpu_fail_stop_is_device_lost() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let inst = MsmInstance::<Bn254G1>::random(64, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(1),
+            DistMsmConfig {
+                fault_plan: FaultPlan::fail_stop(0, 0),
+                ..DistMsmConfig::default()
+            },
+        );
+        match engine.execute(&inst) {
+            Err(MsmError::DeviceLost { devices }) => assert_eq!(devices, vec![0]),
+            other => panic!("expected DeviceLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faults_are_attempt_scoped() {
+        // the same plan that kills GPU 1 on attempt 0 stays quiet on
+        // attempt 1 — a service-level retry models the transient clearing
+        let mut rng = StdRng::seed_from_u64(100);
+        let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
+        let engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(4),
+            DistMsmConfig {
+                window_size: Some(8),
+                fault_plan: FaultPlan::fail_stop(1, 0),
+                ..DistMsmConfig::default()
+            },
+        );
+        let first = engine.execute(&inst).expect("attempt 0 recovers");
+        assert_eq!(first.recovery.as_ref().unwrap().lost_gpus, vec![1]);
+        let second = engine.execute_attempt(&inst, 1).expect("attempt 1 clean");
+        assert_eq!(second.result, first.result);
+        assert!(second.recovery.unwrap().lost_gpus.is_empty());
+        // and re-running attempt 0 reproduces the fault bit-for-bit
+        let replay = engine.execute_attempt(&inst, 0).expect("replay");
+        assert_eq!(replay.recovery.unwrap(), first.recovery.unwrap());
+    }
+
+    #[test]
+    fn random_fault_plans_always_recover_exactly() {
+        // sweep seeds: whatever mix of faults the plan draws, the result
+        // stays bit-exact (device 0 is never fail-stopped by random plans)
+        let mut rng = StdRng::seed_from_u64(101);
+        let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
+        for seed in 0..6u64 {
+            let plan = FaultPlan::random(seed, 8, 0.1, 16);
+            let engine = DistMsm::with_config(
+                MultiGpuSystem::dgx_a100(8),
+                DistMsmConfig {
+                    window_size: Some(6),
+                    fault_plan: plan,
+                    ..DistMsmConfig::default()
+                },
+            );
+            let rep = engine.execute(&inst).unwrap_or_else(|e| {
+                panic!("seed {seed}: random plan must be recoverable, got {e}")
+            });
+            assert_eq!(rep.result, inst.reference_result(), "seed {seed}");
+            if let Some(rec) = rep.recovery {
+                coverage_exact(&rec.completed, rec.n_windows, rec.n_buckets);
+            }
+        }
     }
 }

@@ -22,6 +22,7 @@
 //! | cuZK-style sparse-matrix MSM (baseline #2) | [`cuzk`] |
 //! | multi-MSM pipelining (§3.2.3) | [`pipeline`] |
 //! | topology-routed gathers and collectives (multi-node scaling) | [`comm`] |
+//! | fault supervision, re-planning, verified recovery | [`supervisor`] + [`engine`] |
 //!
 //! ## Example
 //!
@@ -54,6 +55,7 @@ pub mod precompute;
 pub mod reduce;
 pub mod scatter;
 pub mod signed;
+pub mod supervisor;
 pub mod workload;
 
 pub use analytic::{estimate_best_baseline, estimate_distmsm, CurveDesc, MsmEstimate};
@@ -61,4 +63,5 @@ pub use baseline::BestGpuBaseline;
 pub use distmsm_comms::CollectiveStrategy;
 pub use engine::{DistMsm, DistMsmConfig, MsmError, MsmReport};
 pub use scatter::ScatterKind;
+pub use supervisor::{FaultObservation, RecoveryReport, RetryPolicy};
 pub use workload::WorkloadParams;

@@ -26,6 +26,13 @@ pub struct PipelineReport<C: Curve> {
     /// collective, routed through the system's interconnect topology by
     /// the engine. Rides the GPU stage of the flow-shop.
     pub comm_s: f64,
+    /// Total recovery overhead across the batch (zero without a fault
+    /// plan): backoff, recompute, self-check and checkpoint seconds as
+    /// reported per MSM by the supervisor. Already contained in the
+    /// stage times — surfaced so batch callers can see what faults cost.
+    pub recovery_s: f64,
+    /// MSMs in the batch whose supervisor observed at least one fault.
+    pub faulted_msms: u32,
 }
 
 impl<C: Curve> PipelineReport<C> {
@@ -57,11 +64,19 @@ pub fn execute_batch<C: Curve>(
     let mut results = Vec::with_capacity(batch.len());
     let mut stages = Vec::with_capacity(batch.len());
     let mut comm_s = 0.0;
+    let mut recovery_s = 0.0;
+    let mut faulted_msms = 0u32;
     for inst in batch {
         let rep = engine.execute(inst)?;
         let cpu = rep.phases.bucket_reduce_s + rep.phases.window_reduce_s;
+        // recovery overhead is inside total_s and rides the GPU stage:
+        // re-planned slices recompute on GPUs before the reduce can close
         let gpu = rep.total_s - cpu;
         comm_s += rep.phases.transfer_s;
+        if let Some(rec) = &rep.recovery {
+            recovery_s += rec.recovery_s();
+            faulted_msms += u32::from(!rec.faults.is_empty());
+        }
         results.push(rep.result);
         stages.push((gpu, cpu));
     }
@@ -81,6 +96,8 @@ pub fn execute_batch<C: Curve>(
         pipelined_s: cpu_done,
         serial_s,
         comm_s,
+        recovery_s,
+        faulted_msms,
     })
 }
 
@@ -142,6 +159,31 @@ mod tests {
         assert!(pod.comm_s > 0.0);
         assert!(flat.comm_s > 0.0);
         assert!(pod.comm_s > flat.comm_s, "pod {} vs flat {}", pod.comm_s, flat.comm_s);
+    }
+
+    #[test]
+    fn faulted_batch_stays_exact_and_surfaces_recovery() {
+        let b = batch(96, 3, 954);
+        let clean_cfg = DistMsmConfig {
+            window_size: Some(8),
+            ..DistMsmConfig::default()
+        };
+        let faulted_cfg = DistMsmConfig {
+            fault_plan: distmsm_gpu_sim::FaultPlan::fail_stop(2, 0),
+            ..clean_cfg.clone()
+        };
+        let sys = MultiGpuSystem::dgx_a100(4);
+        let clean = execute_batch(&sys, &clean_cfg, &b).unwrap();
+        let rep = execute_batch(&sys, &faulted_cfg, &b).unwrap();
+        for (inst, got) in b.iter().zip(&rep.results) {
+            assert_eq!(*got, inst.reference_result());
+        }
+        assert_eq!(clean.recovery_s, 0.0);
+        assert_eq!(clean.faulted_msms, 0);
+        assert_eq!(rep.faulted_msms, 3, "every MSM sees the fail-stop");
+        assert!(rep.recovery_s > 0.0);
+        assert!(rep.pipelined_s > clean.pipelined_s, "recovery is not free");
+        assert!(rep.pipelined_s <= rep.serial_s + 1e-12);
     }
 
     #[test]

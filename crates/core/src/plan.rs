@@ -63,6 +63,53 @@ pub fn plan_slices(n_windows: u32, n_buckets: u32, n_gpus: usize) -> Vec<Slice> 
     out
 }
 
+/// Re-partitions slices lost with failed GPUs across the survivors.
+/// The concatenated lost bucket ranges are cut into `survivors.len()`
+/// near-equal contiguous shares (balanced to within one bucket), one
+/// per survivor — *not* one split per lost slice, because every
+/// recovery scatter re-scans all scalars and per-launch costs would
+/// multiply with the fan-out. Coverage is exact — the union of the
+/// returned slices tiles the union of `lost` — and every returned
+/// slice is non-empty and owned by a survivor.
+///
+/// # Panics
+///
+/// Panics when `survivors` is empty (total system loss is the caller's
+/// error to report).
+pub fn replan_slices(lost: &[Slice], survivors: &[usize]) -> Vec<Slice> {
+    assert!(!survivors.is_empty(), "re-planning needs at least one survivor");
+    let total: u64 = lost.iter().map(|s| u64::from(s.len())).sum();
+    let n = survivors.len() as u64;
+    let mut out = Vec::new();
+    let mut consumed = 0u64; // buckets handed out so far
+    let mut k = 0u64; // survivor currently being filled
+    for sl in lost {
+        let mut lo = u64::from(sl.bucket_lo);
+        let hi = u64::from(sl.bucket_hi);
+        while lo < hi {
+            // survivor k owns concatenated positions [total·k/n, total·(k+1)/n)
+            let quota_end = total * (k + 1) / n;
+            let take = (quota_end - consumed).min(hi - lo);
+            if take == 0 {
+                k += 1;
+                continue;
+            }
+            out.push(Slice {
+                gpu: survivors[k as usize],
+                window: sl.window,
+                bucket_lo: lo as u32,
+                bucket_hi: (lo + take) as u32,
+            });
+            lo += take;
+            consumed += take;
+            if consumed == quota_end && k + 1 < n {
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Number of GPUs cooperating on each window under a plan.
 pub fn gpus_per_window(slices: &[Slice], n_windows: u32) -> Vec<usize> {
     let mut counts = vec![0usize; n_windows as usize];
@@ -143,6 +190,65 @@ mod tests {
         let min = *loads.iter().min().unwrap();
         let max = *loads.iter().max().unwrap();
         assert!(max - min <= 1, "loads {loads:?}");
+    }
+
+    #[test]
+    fn replan_tiles_lost_work_exactly() {
+        // lose GPU 3 of 8, re-plan its slices onto the other seven
+        let n_windows = 16;
+        let n_buckets = 1u32 << 8;
+        let slices = plan_slices(n_windows, n_buckets, 8);
+        let (lost, kept): (Vec<Slice>, Vec<Slice>) =
+            slices.iter().partition(|s| s.gpu == 3);
+        let survivors: Vec<usize> = (0..8).filter(|&g| g != 3).collect();
+        let recovered = replan_slices(&lost, &survivors);
+        assert!(!recovered.is_empty());
+        assert!(recovered.iter().all(|s| s.gpu != 3 && !s.is_empty()));
+        // kept ∪ recovered covers every (window, bucket) exactly once
+        let mut seen = vec![0u32; (n_windows * n_buckets) as usize];
+        for s in kept.iter().chain(&recovered) {
+            for b in s.bucket_lo..s.bucket_hi {
+                seen[(s.window * n_buckets + b) as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "re-plan must tile exactly");
+    }
+
+    #[test]
+    fn replan_balances_across_survivors() {
+        let slices = plan_slices(8, 1 << 10, 8);
+        let lost: Vec<Slice> = slices.iter().filter(|s| s.gpu == 0).copied().collect();
+        let survivors: Vec<usize> = (1..8).collect();
+        let recovered = replan_slices(&lost, &survivors);
+        let loads: Vec<u64> = survivors
+            .iter()
+            .map(|&g| {
+                recovered
+                    .iter()
+                    .filter(|s| s.gpu == g)
+                    .map(|s| u64::from(s.len()))
+                    .sum()
+            })
+            .collect();
+        let min = *loads.iter().min().unwrap();
+        let max = *loads.iter().max().unwrap();
+        assert!(max - min <= 1, "loads {loads:?}");
+    }
+
+    #[test]
+    fn replan_tiny_slice_onto_many_survivors() {
+        // a 2-bucket slice across 7 survivors: only 2 sub-slices emerge
+        let lost = [Slice {
+            gpu: 0,
+            window: 3,
+            bucket_lo: 10,
+            bucket_hi: 12,
+        }];
+        let survivors: Vec<usize> = (1..8).collect();
+        let recovered = replan_slices(&lost, &survivors);
+        assert_eq!(recovered.len(), 2);
+        let covered: u32 = recovered.iter().map(Slice::len).sum();
+        assert_eq!(covered, 2);
     }
 
     #[test]

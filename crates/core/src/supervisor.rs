@@ -1,0 +1,215 @@
+//! Fault supervision for the engine: retry policy, recovery accounting,
+//! and the probabilistic self-check that guards against silent
+//! corruption.
+//!
+//! The supervisor state machine (DESIGN.md §10) lives in
+//! [`crate::engine`]; this module holds its vocabulary:
+//!
+//! * [`RetryPolicy`] — bounded retries with exponential backoff, charged
+//!   through the cost model like any other phase (a retry is simulated
+//!   wall-clock, not free);
+//! * [`FaultObservation`] / [`RecoveryReport`] — what the supervisor saw
+//!   and what recovering from it cost, attached to
+//!   [`crate::engine::MsmReport`];
+//! * the random-linear-combination (RLC) self-check: the host draws
+//!   seeded `u64` coefficients `r_i`, each device folds
+//!   `Σ r_i · w_i` over the window partials it *computed*, and the host
+//!   folds the same combination over the partials it *received*. A
+//!   transient bit-flip in flight makes the two fold values disagree
+//!   with overwhelming probability (the corruption would have to lie in
+//!   the kernel of a random functional), at the cost of one 64-bit
+//!   scalar multiplication per partial instead of a full recompute.
+
+use crate::plan::Slice;
+use distmsm_ec::{Curve, Scalar, XyzzPoint};
+use distmsm_gpu_sim::fault::splitmix64;
+
+/// Bounded-retry policy with exponential backoff. Backoff is *charged*:
+/// every retry adds simulated seconds to the recovery cost, so fault
+/// handling shows up in `total_s` instead of pretending to be free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries before a persistent fault escalates (device declared
+    /// lost, or [`crate::engine::MsmError::RetriesExhausted`] for
+    /// transient faults with no budget).
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier between consecutive backoffs.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_s: 1e-3,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retry `k` (0-based): `base · factor^k`.
+    pub fn backoff_for(&self, k: u32) -> f64 {
+        self.backoff_base_s * self.backoff_factor.powi(k as i32)
+    }
+
+    /// Total backoff charged when every retry is spent (the cost of
+    /// probing a dead device to exhaustion before declaring it lost).
+    pub fn total_backoff(&self) -> f64 {
+        (0..self.max_retries).map(|k| self.backoff_for(k)).sum()
+    }
+}
+
+/// One fault the supervisor observed and handled (or escalated).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultObservation {
+    /// Device the fault struck.
+    pub device: usize,
+    /// Per-device work-event index at which it was observed.
+    pub event: u64,
+    /// Stable fault-class label (`"fail-stop"`, `"straggler"`,
+    /// `"bit-flip"`, `"link-down"`).
+    pub kind: String,
+}
+
+/// What the supervisor saw and what recovery cost, attached to a report
+/// whenever execution ran supervised (a non-empty fault plan).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Faults observed, in detection order.
+    pub faults: Vec<FaultObservation>,
+    /// Devices declared lost (fail-stopped or fabric-partitioned).
+    pub lost_gpus: Vec<usize>,
+    /// `(device, slowdown)` for devices whose busy time exceeded the
+    /// straggler detection threshold relative to the median.
+    pub stragglers: Vec<(usize, f64)>,
+    /// Total retries spent (device probes + corrupt re-shipments).
+    pub retries: u32,
+    /// Slices re-planned onto survivors (empty when no device was
+    /// lost). Entries lost to a cascading failure before they could run
+    /// are superseded by the next round's re-plan and removed.
+    pub replanned: Vec<Slice>,
+    /// Every slice whose partial reached the final fold — the original
+    /// plan minus lost slices, plus `replanned`. Analyze's FAULT-002
+    /// verifies these tile the `n_windows × n_buckets` space exactly.
+    pub completed: Vec<Slice>,
+    /// True when a lost device forced the window-partial collective to
+    /// fall back to a survivors-only host gather.
+    pub degraded_collective: bool,
+    /// Simulated seconds spent in retry backoff.
+    pub backoff_s: f64,
+    /// Simulated seconds re-executing re-planned slices on survivors.
+    pub recompute_s: f64,
+    /// Simulated seconds in the host-side RLC self-check.
+    pub self_check_s: f64,
+    /// Simulated seconds checkpointing per-GPU window partials.
+    pub checkpoint_s: f64,
+    /// Window count of the plan the report refers to.
+    pub n_windows: u32,
+    /// Bucket count per window of the plan the report refers to.
+    pub n_buckets: u32,
+}
+
+impl RecoveryReport {
+    /// Total recovery overhead in simulated seconds — the cost the fault
+    /// plan added on top of a fault-free execution.
+    pub fn recovery_s(&self) -> f64 {
+        self.backoff_s + self.recompute_s + self.self_check_s + self.checkpoint_s
+    }
+}
+
+/// Host-side padd-equivalent operations per partial checked by the RLC
+/// self-check: one 64-bit double-and-add scalar multiplication
+/// (≈64 PDBLs + ≈32 PADDs) plus the fold PADD.
+pub const RLC_OPS_PER_PARTIAL: u64 = 97;
+
+/// Seeded nonzero `u64` RLC coefficients, one per checked partial.
+/// Deterministic in `(seed, n)` so device and host draw identical
+/// coefficient streams without communicating them.
+pub fn rlc_coefficients(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed ^ 0x5bf0_3635_d1f4_b0e5;
+    (0..n).map(|_| splitmix64(&mut state) | 1).collect()
+}
+
+/// Folds `Σ coeffs[i] · points[i]` — the RLC checksum. Device side runs
+/// it over computed partials, host side over received ones; inequality
+/// exposes in-flight corruption.
+pub fn rlc_fold<C: Curve>(points: &[XyzzPoint<C>], coeffs: &[u64]) -> XyzzPoint<C> {
+    assert_eq!(points.len(), coeffs.len(), "one coefficient per partial");
+    let mut acc = XyzzPoint::<C>::identity();
+    for (p, &c) in points.iter().zip(coeffs) {
+        acc = acc.padd(&p.scalar_mul(&C::Scalar::from_u64(c)));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distmsm_ec::curves::Bn254G1;
+    use distmsm_ec::MsmInstance;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn backoff_is_exponential_and_bounded() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_for(0), 1e-3);
+        assert_eq!(p.backoff_for(2), 4e-3);
+        assert!((p.total_backoff() - 7e-3).abs() < 1e-12);
+        let none = RetryPolicy {
+            max_retries: 0,
+            ..p
+        };
+        assert_eq!(none.total_backoff(), 0.0);
+    }
+
+    #[test]
+    fn rlc_coefficients_deterministic_and_nonzero() {
+        let a = rlc_coefficients(9, 32);
+        let b = rlc_coefficients(9, 32);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| c != 0));
+        assert_ne!(a, rlc_coefficients(10, 32));
+    }
+
+    #[test]
+    fn rlc_detects_a_negated_partial() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = MsmInstance::<Bn254G1>::random(6, &mut rng);
+        let partials: Vec<_> = inst.points.iter().map(|p| p.to_xyzz()).collect();
+        let coeffs = rlc_coefficients(5, partials.len());
+        let device = rlc_fold(&partials, &coeffs);
+        let mut corrupted = partials.clone();
+        corrupted[3] = corrupted[3].neg();
+        let host = rlc_fold(&corrupted, &coeffs);
+        assert_ne!(device, host, "negation must break the RLC checksum");
+        // and the clean re-shipment matches
+        assert_eq!(device, rlc_fold(&partials, &coeffs));
+    }
+
+    #[test]
+    fn rlc_passes_identity_partials() {
+        // identity partials are fixed points of negation: nothing to
+        // detect, nothing corrupted
+        let partials = vec![distmsm_ec::XyzzPoint::<Bn254G1>::identity(); 4];
+        let coeffs = rlc_coefficients(1, 4);
+        assert_eq!(
+            rlc_fold(&partials, &coeffs),
+            distmsm_ec::XyzzPoint::identity()
+        );
+    }
+
+    #[test]
+    fn recovery_report_totals_its_parts() {
+        let rep = RecoveryReport {
+            backoff_s: 1.0,
+            recompute_s: 2.0,
+            self_check_s: 0.25,
+            checkpoint_s: 0.5,
+            ..RecoveryReport::default()
+        };
+        assert_eq!(rep.recovery_s(), 3.75);
+    }
+}

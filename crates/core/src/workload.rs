@@ -72,12 +72,9 @@ impl WorkloadParams {
     /// The window size minimising [`Self::per_thread_cost`] over
     /// `1 ..= max_s`.
     pub fn optimal_window_size(&self, max_s: u32) -> u32 {
-        (1..=max_s)
-            .min_by(|&a, &b| {
-                self.per_thread_cost(a)
-                    .partial_cmp(&self.per_thread_cost(b))
-                    .expect("costs are finite")
-            })
+        (1..=max_s.max(1))
+            .min_by(|&a, &b| self.per_thread_cost(a).total_cmp(&self.per_thread_cost(b)))
+            // infallible: the clamped range 1..=max(max_s,1) is never empty
             .expect("non-empty range")
     }
 

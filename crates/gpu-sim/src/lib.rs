@@ -24,6 +24,7 @@
 
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod system;
 pub mod trace;
 
@@ -31,4 +32,5 @@ pub use cost::{
     estimate_kernel_time, CostModelConfig, KernelProfile, KernelTime, LaunchStats, ThreadCost,
 };
 pub use device::DeviceSpec;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkFault};
 pub use system::{CpuSpec, MultiGpuSystem};

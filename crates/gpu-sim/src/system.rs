@@ -172,6 +172,92 @@ impl MultiGpuSystem {
     pub fn total_threads(&self) -> u64 {
         self.devices.iter().map(DeviceSpec::max_concurrent_threads).sum()
     }
+
+    /// A copy of this system with `faults` applied to its topology:
+    /// peer/host ports of the named ranks go down or degrade, so every
+    /// route and schedule built against the copy re-prices around the
+    /// damage. On a flat (no-topology) system peer-port faults scale the
+    /// shared `peer_gbps` scalar and host-port faults have no
+    /// representable effect (the flat model has a single anonymous host
+    /// pipe) — explicit topologies are where link faults bite.
+    pub fn degraded(&self, faults: &[crate::fault::LinkFault]) -> Self {
+        use crate::fault::LinkFault;
+        let mut sys = self.clone();
+        match &mut sys.topology {
+            Some(topo) => {
+                for f in faults {
+                    match *f {
+                        LinkFault::PeerPortDown { rank } => {
+                            if let Some(l) = peer_port(topo, rank) {
+                                topo.set_link_down(l);
+                            }
+                        }
+                        LinkFault::PeerPortDegraded { rank, factor } => {
+                            if let Some(l) = peer_port(topo, rank) {
+                                topo.degrade_link(l, factor);
+                            }
+                        }
+                        LinkFault::HostPortDown { rank } => {
+                            if let Some(l) = host_port(topo, rank) {
+                                topo.set_link_down(l);
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for f in faults {
+                    if let LinkFault::PeerPortDegraded { factor, .. } = *f {
+                        sys.peer_gbps *= factor;
+                    }
+                }
+            }
+        }
+        sys
+    }
+
+    /// GPU ranks that can still reach the master host over the (possibly
+    /// degraded) fabric. On a flat fabric every rank always can.
+    pub fn ranks_reaching_host(&self) -> Vec<usize> {
+        match &self.topology {
+            Some(topo) => (0..self.n_gpus())
+                .filter(|&r| topo.try_gpu_to_host_route(r).is_ok())
+                .collect(),
+            None => (0..self.n_gpus()).collect(),
+        }
+    }
+}
+
+/// The highest-bandwidth link on `rank`'s node: its peer (NVLink) port
+/// when one exists, otherwise its only (PCIe) port.
+fn peer_port(topo: &Topology, rank: usize) -> Option<usize> {
+    if rank >= topo.n_gpus() {
+        return None;
+    }
+    let node = topo.gpu_node(rank);
+    topo.links_of_node(node)
+        .into_iter()
+        .max_by(|&x, &y| {
+            topo.links[x]
+                .bandwidth_gbps
+                .total_cmp(&topo.links[y].bandwidth_gbps)
+        })
+}
+
+/// The lowest-bandwidth link on `rank`'s node: its PCIe/host port (on a
+/// PCIe-only box this is its only port, same as the peer port).
+fn host_port(topo: &Topology, rank: usize) -> Option<usize> {
+    if rank >= topo.n_gpus() {
+        return None;
+    }
+    let node = topo.gpu_node(rank);
+    topo.links_of_node(node)
+        .into_iter()
+        .min_by(|&x, &y| {
+            topo.links[x]
+                .bandwidth_gbps
+                .total_cmp(&topo.links[y].bandwidth_gbps)
+        })
 }
 
 #[cfg(test)]
@@ -228,6 +314,42 @@ mod tests {
         let flat = MultiGpuSystem::flat_pool(32);
         let per = vec![1e8; 32];
         assert!(pod.gather_to_host_time(&per) > flat.gather_to_host_time(&per));
+    }
+
+    #[test]
+    fn degraded_peer_port_reroutes_and_reprices() {
+        use crate::fault::LinkFault;
+        let clean = MultiGpuSystem::dgx_a100(8);
+        let hurt = clean.degraded(&[LinkFault::PeerPortDown { rank: 2 }]);
+        // the faulted pair detours over PCIe and slows down
+        assert!(hurt.peer_time(2, 3, 1e9) > clean.peer_time(2, 3, 1e9));
+        // other pairs keep the NVSwitch plane
+        assert!((hurt.peer_time(0, 1, 1e9) - clean.peer_time(0, 1, 1e9)).abs() < 1e-15);
+        // everyone still reaches the host
+        assert_eq!(hurt.ranks_reaching_host().len(), 8);
+        // the original system is untouched
+        assert_eq!(clean.ranks_reaching_host().len(), 8);
+    }
+
+    #[test]
+    fn fully_downed_rank_drops_from_host_reachability() {
+        use crate::fault::LinkFault;
+        let sys = MultiGpuSystem::dgx_a100(8).degraded(&[
+            LinkFault::PeerPortDown { rank: 5 },
+            LinkFault::HostPortDown { rank: 5 },
+        ]);
+        let reach = sys.ranks_reaching_host();
+        assert_eq!(reach.len(), 7);
+        assert!(!reach.contains(&5));
+    }
+
+    #[test]
+    fn flat_system_degrades_peer_scalar() {
+        use crate::fault::LinkFault;
+        let sys = MultiGpuSystem::flat_pool(4)
+            .degraded(&[LinkFault::PeerPortDegraded { rank: 1, factor: 0.5 }]);
+        assert_eq!(sys.peer_gbps, 300.0);
+        assert_eq!(sys.ranks_reaching_host().len(), 4);
     }
 
     #[test]

@@ -146,8 +146,14 @@ mod imp {
         LAUNCH_SEQ.fetch_add(1, Ordering::Relaxed)
     }
 
+    // A panicking workload thread must not wedge the collector: recover
+    // the (plain-Vec) state from a poisoned lock.
+    pub(super) fn traces() -> std::sync::MutexGuard<'static, Vec<LaunchTrace>> {
+        TRACES.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     pub(super) fn submit(trace: LaunchTrace) {
-        TRACES.lock().expect("trace collector poisoned").push(trace);
+        traces().push(trace);
     }
 }
 
@@ -156,7 +162,7 @@ mod imp {
 pub fn begin_capture() {
     #[cfg(feature = "trace")]
     {
-        imp::TRACES.lock().expect("trace collector poisoned").clear();
+        imp::traces().clear();
         imp::CAPTURING.store(true, std::sync::atomic::Ordering::SeqCst);
     }
 }
@@ -167,7 +173,7 @@ pub fn end_capture() -> Vec<LaunchTrace> {
     #[cfg(feature = "trace")]
     {
         imp::CAPTURING.store(false, std::sync::atomic::Ordering::SeqCst);
-        return std::mem::take(&mut *imp::TRACES.lock().expect("trace collector poisoned"));
+        return std::mem::take(&mut *imp::traces());
     }
     #[cfg(not(feature = "trace"))]
     Vec::new()

@@ -10,7 +10,7 @@
 
 use crate::qap::{check_qap_identity, qap_witness, QapWitness};
 use crate::r1cs::ConstraintSystem;
-use distmsm::engine::{DistMsm, DistMsmConfig, MsmError};
+use distmsm::engine::{DistMsm, DistMsmConfig, MsmError, MsmReport};
 use distmsm_ec::curves::{Bn254G1, Bn254G2};
 use distmsm_ec::sample::generator_multiples;
 use distmsm_ec::{Curve, MsmInstance, XyzzPoint};
@@ -67,6 +67,11 @@ pub struct ProveOutcome {
     pub timing: ProverTiming,
     /// The QAP witness (kept for verification).
     pub qap: QapWitness<Bn254Fr, 4>,
+    /// Service-level MSM retries the prover spent: each time an MSM
+    /// failed with a fault-class error, the prover re-ran it as the next
+    /// attempt (fault plans are attempt-scoped, so a transient fault
+    /// clears on re-run).
+    pub msm_retries: u32,
 }
 
 /// The Groth16-shaped prover bound to a multi-GPU system.
@@ -74,14 +79,44 @@ pub struct ProveOutcome {
 pub struct Groth16Prover {
     msm: DistMsm,
     system: MultiGpuSystem,
+    retry_budget: u32,
 }
 
 impl Groth16Prover {
     /// Builds a prover whose MSMs run on `system` with DistMSM defaults.
     pub fn new(system: MultiGpuSystem) -> Self {
+        Self::with_config(system, DistMsmConfig::default())
+    }
+
+    /// Builds a prover with an explicit engine configuration — the way a
+    /// fault plan (and its retry policy) reaches proof generation.
+    pub fn with_config(system: MultiGpuSystem, config: DistMsmConfig) -> Self {
+        let retry_budget = config.retry.max_retries;
         Self {
-            msm: DistMsm::with_config(system.clone(), DistMsmConfig::default()),
+            msm: DistMsm::with_config(system.clone(), config),
             system,
+            retry_budget,
+        }
+    }
+
+    /// Runs one MSM with service-level retries: a fault-class failure
+    /// (lost device, partitioned fabric, exhausted in-run budget) re-runs
+    /// the MSM as the next attempt, up to the engine's retry budget.
+    /// Non-fault errors propagate immediately.
+    fn msm_with_retry<C: Curve>(
+        &self,
+        inst: &MsmInstance<C>,
+        retries: &mut u32,
+    ) -> Result<MsmReport<C>, MsmError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.msm.execute_attempt(inst, attempt) {
+                Err(e) if e.is_fault() && attempt < self.retry_budget => {
+                    attempt += 1;
+                    *retries += 1;
+                }
+                other => return other,
+            }
         }
     }
 
@@ -112,22 +147,35 @@ impl Groth16Prover {
         let h_scalars: Vec<<Bn254G1 as Curve>::Scalar> =
             qap.h.iter().map(Fp::to_uint).collect();
 
-        let a_msm = self.msm.execute(&MsmInstance::<Bn254G1> {
-            points: g1_bases[..m].to_vec(),
-            scalars: z.clone(),
-        })?;
-        let b_msm = self.msm.execute(&MsmInstance::<Bn254G2> {
-            points: g2_bases,
-            scalars: z.clone(),
-        })?;
-        let c_base = self.msm.execute(&MsmInstance::<Bn254G1> {
-            points: g1_bases[..m].to_vec(),
-            scalars: z,
-        })?;
-        let h_msm = self.msm.execute(&MsmInstance::<Bn254G1> {
-            points: g1_bases[..d].to_vec(),
-            scalars: h_scalars,
-        })?;
+        let mut msm_retries = 0u32;
+        let a_msm = self.msm_with_retry(
+            &MsmInstance::<Bn254G1> {
+                points: g1_bases[..m].to_vec(),
+                scalars: z.clone(),
+            },
+            &mut msm_retries,
+        )?;
+        let b_msm = self.msm_with_retry(
+            &MsmInstance::<Bn254G2> {
+                points: g2_bases,
+                scalars: z.clone(),
+            },
+            &mut msm_retries,
+        )?;
+        let c_base = self.msm_with_retry(
+            &MsmInstance::<Bn254G1> {
+                points: g1_bases[..m].to_vec(),
+                scalars: z,
+            },
+            &mut msm_retries,
+        )?;
+        let h_msm = self.msm_with_retry(
+            &MsmInstance::<Bn254G1> {
+                points: g1_bases[..d].to_vec(),
+                scalars: h_scalars,
+            },
+            &mut msm_retries,
+        )?;
 
         let proof = Proof {
             a: a_msm.result,
@@ -153,6 +201,7 @@ impl Groth16Prover {
                 others_s,
             },
             qap,
+            msm_retries,
         })
     }
 
@@ -256,6 +305,50 @@ mod tests {
             &distmsm::DistMsmConfig::default(),
         );
         assert!(msm.total_s > ntt, "msm {} vs ntt {ntt}", msm.total_s);
+    }
+
+    #[test]
+    fn prover_retries_through_transient_device_loss() {
+        // a sole GPU fail-stops on attempt 0: unrecoverable in-run, but
+        // the service-level retry re-runs as attempt 1 where the
+        // (attempt-scoped) fault has cleared
+        let mut rng = StdRng::seed_from_u64(41);
+        let cs = synthetic_circuit::<Bn254Fr, 4, _>(48, &mut rng);
+        let prover = Groth16Prover::with_config(
+            MultiGpuSystem::dgx_a100(1),
+            DistMsmConfig {
+                fault_plan: distmsm_gpu_sim::FaultPlan::fail_stop(0, 0),
+                ..DistMsmConfig::default()
+            },
+        );
+        let outcome = prover.prove(&cs).expect("retry clears the fault");
+        assert!(prover.verify(&outcome));
+        assert!(outcome.msm_retries >= 1, "retries {}", outcome.msm_retries);
+
+        // the reference prover on the same circuit agrees bit-for-bit
+        let clean = Groth16Prover::new(MultiGpuSystem::dgx_a100(1));
+        let reference = clean.prove(&cs).expect("clean prove");
+        assert_eq!(outcome.proof, reference.proof);
+        assert_eq!(reference.msm_retries, 0);
+    }
+
+    #[test]
+    fn prover_without_budget_surfaces_fault() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cs = synthetic_circuit::<Bn254Fr, 4, _>(32, &mut rng);
+        let prover = Groth16Prover::with_config(
+            MultiGpuSystem::dgx_a100(1),
+            DistMsmConfig {
+                fault_plan: distmsm_gpu_sim::FaultPlan::fail_stop(0, 0),
+                retry: distmsm::RetryPolicy {
+                    max_retries: 0,
+                    ..distmsm::RetryPolicy::default()
+                },
+                ..DistMsmConfig::default()
+            },
+        );
+        let err = prover.prove(&cs).expect_err("no budget, fault surfaces");
+        assert!(err.is_fault(), "expected a fault-class error, got {err:?}");
     }
 
     #[test]
