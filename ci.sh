@@ -13,6 +13,14 @@ cd "$(dirname "$0")"
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== telemetry: default build carries no telemetry symbols =="
+# feature-off must mean compiled out, not merely inactive (the positive
+# control for this grep runs after the feature smoke run below)
+if grep -qa distmsm_telemetry target/release/fault_sweep; then
+    echo "FAIL: default-feature fault_sweep binary contains telemetry symbols" >&2
+    exit 1
+fi
+
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
@@ -30,7 +38,22 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo doc --no-deps =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "== distmsm-analyze check (race + lint + comm schedules + fault recovery) =="
+echo "== telemetry feature tests (span sums + golden trace) =="
+cargo test -p distmsm-telemetry -q
+cargo test -p distmsm -q --features telemetry --test telemetry
+
+echo "== telemetry smoke run (fault_sweep --telemetry + trace validation) =="
+TRACE="$(mktemp /tmp/distmsm_ci_trace.XXXXXX.json)"
+cargo run --release -q -p distmsm-bench --features telemetry --bin fault_sweep -- \
+    --telemetry "$TRACE" > /dev/null
+grep -q '"producer":"distmsm_telemetry"' "$TRACE"
+# positive control: the same grep that must fail on the default build
+# does detect the feature build it just produced
+grep -qa distmsm_telemetry target/release/fault_sweep
+cargo run --release -q -p distmsm-analyze -- trace "$TRACE"
+rm -f "$TRACE"
+
+echo "== distmsm-analyze check (race + lint + comm + fault recovery + telemetry) =="
 cargo run -p distmsm-analyze -- check
 
 echo "CI OK"

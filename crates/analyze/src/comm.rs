@@ -223,22 +223,22 @@ pub fn capture_comm_scenario(scenario: &str) -> Vec<CommSchedule> {
         s if s.starts_with("collective-") => {
             let strat = distmsm::CollectiveStrategy::parse(&s["collective-".len()..])
                 .expect("strategy name");
-            let cfg = DistMsmConfig {
-                window_size: Some(8),
-                bucket_reduce_on_cpu: false,
-                collective: strat,
-                ..DistMsmConfig::default()
-            };
+            let cfg = DistMsmConfig::builder()
+                .window_size(8)
+                .bucket_reduce_on_cpu(false)
+                .collective(strat)
+                .build()
+                .unwrap();
             // 12 GPUs → two-box dgx pod: routes cross the NIC tier.
             DistMsm::with_config(MultiGpuSystem::dgx_a100(12), cfg)
                 .execute(&instance)
                 .expect(scenario);
         }
         "cpu-bucket-gather" => {
-            let cfg = DistMsmConfig {
-                window_size: Some(8),
-                ..DistMsmConfig::default()
-            };
+            let cfg = DistMsmConfig::builder()
+                .window_size(8)
+                .build()
+                .unwrap();
             DistMsm::with_config(MultiGpuSystem::dgx_a100(4), cfg)
                 .execute(&instance)
                 .expect(scenario);

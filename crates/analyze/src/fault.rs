@@ -44,63 +44,48 @@ pub const FAULT_SCENARIOS: [&str; 5] = [
 ///
 /// Panics on an unknown scenario name (a bug in this crate).
 fn scenario_setup(scenario: &str) -> (MultiGpuSystem, DistMsmConfig, DistMsmConfig) {
-    let clean = DistMsmConfig {
-        window_size: Some(8),
-        ..DistMsmConfig::default()
-    };
+    let base = DistMsmConfig::builder().window_size(8);
     let (system, faulted) = match scenario {
         "fail-stop-cpu-gather" => (
             MultiGpuSystem::dgx_a100(8),
-            DistMsmConfig {
-                fault_plan: FaultPlan::fail_stop(3, 0),
-                ..clean.clone()
-            },
+            base.fault_plan(FaultPlan::fail_stop(3, 0)),
         ),
         "fail-stop-degraded-collective" => (
             MultiGpuSystem::dgx_a100(4),
-            DistMsmConfig {
-                bucket_reduce_on_cpu: false,
-                fault_plan: FaultPlan::fail_stop(2, 0),
-                ..clean.clone()
-            },
+            base.bucket_reduce_on_cpu(false)
+                .fault_plan(FaultPlan::fail_stop(2, 0)),
         ),
         "isolated-rank" => (
             MultiGpuSystem::dgx_a100(4),
-            DistMsmConfig {
-                fault_plan: FaultPlan::none()
+            base.fault_plan(
+                FaultPlan::none()
                     .with_link_fault(LinkFault::PeerPortDown { rank: 2 })
                     .with_link_fault(LinkFault::HostPortDown { rank: 2 }),
-                ..clean.clone()
-            },
+            ),
         ),
         "cascading-fail-stop" => (
             MultiGpuSystem::dgx_a100(8),
-            DistMsmConfig {
-                window_size: Some(4),
-                fault_plan: FaultPlan::fail_stop(3, 0).with_event(FaultEvent {
+            base.window_size(4)
+                .fault_plan(FaultPlan::fail_stop(3, 0).with_event(FaultEvent {
                     device: 4,
                     at_event: 8,
                     attempt: 0,
                     kind: FaultKind::FailStop,
-                }),
-                ..clean.clone()
-            },
+                })),
         ),
         "bit-flip-self-check" => (
             MultiGpuSystem::dgx_a100(4),
-            DistMsmConfig {
-                fault_plan: FaultPlan::bit_flip(1, 0),
-                ..clean.clone()
-            },
+            base.fault_plan(FaultPlan::bit_flip(1, 0)),
         ),
         other => panic!("unknown fault scenario `{other}`"),
     };
+    let faulted = faulted.build().expect("scenario config is valid");
     // the clean reference must use the same path flags as the faulted run
-    let clean = DistMsmConfig {
-        window_size: faulted.window_size,
-        bucket_reduce_on_cpu: faulted.bucket_reduce_on_cpu,
-        ..clean
-    };
+    let clean = faulted
+        .to_builder()
+        .fault_plan(FaultPlan::none())
+        .build()
+        .expect("clean twin of a valid config is valid");
     (system, faulted, clean)
 }
 

@@ -46,40 +46,40 @@ pub fn capture_scenario(scenario: &str, size: usize) -> Vec<LaunchTrace> {
     let guard = CAPTURE_GUARD.lock().unwrap_or_else(|e| e.into_inner());
     let mut rng = StdRng::seed_from_u64(0xD157_0000 ^ size as u64);
     let instance = MsmInstance::<Bn254G1>::random(size, &mut rng);
-    let window = Some(8);
+    const WINDOW: u32 = 8;
     begin_capture();
     match scenario {
         "distmsm-default" => {
-            let cfg = DistMsmConfig {
-                window_size: window,
-                ..DistMsmConfig::default()
-            };
+            let cfg = DistMsmConfig::builder()
+                .window_size(WINDOW)
+                .build()
+                .unwrap();
             DistMsm::with_config(MultiGpuSystem::dgx_a100(4), cfg)
                 .execute(&instance)
                 .expect("distmsm-default");
         }
         "distmsm-naive" => {
-            let cfg = DistMsmConfig {
-                window_size: window,
-                scatter: Some(ScatterKind::Naive),
-                ..DistMsmConfig::default()
-            };
+            let cfg = DistMsmConfig::builder()
+                .window_size(WINDOW)
+                .scatter(ScatterKind::Naive)
+                .build()
+                .unwrap();
             DistMsm::with_config(MultiGpuSystem::dgx_a100(4), cfg)
                 .execute(&instance)
                 .expect("distmsm-naive");
         }
         "distmsm-signed" => {
-            let cfg = DistMsmConfig {
-                window_size: window,
-                signed_digits: true,
-                ..DistMsmConfig::default()
-            };
+            let cfg = DistMsmConfig::builder()
+                .window_size(WINDOW)
+                .signed_digits(true)
+                .build()
+                .unwrap();
             DistMsm::with_config(MultiGpuSystem::dgx_a100(4), cfg)
                 .execute(&instance)
                 .expect("distmsm-signed");
         }
         "cuzk" => {
-            cuzk::execute(&instance, &MultiGpuSystem::dgx_a100(2), window);
+            cuzk::execute(&instance, &MultiGpuSystem::dgx_a100(2), Some(WINDOW));
         }
         "baseline" => {
             BestGpuBaseline::new(MultiGpuSystem::dgx_a100(1))

@@ -24,6 +24,13 @@
 //!   byte conservation under replay (`FAULT-001`) and exact re-plan
 //!   coverage with no orphaned work (`FAULT-002`).
 //!
+//! * A **telemetry checker** ([`tel`]): runs the engine with a live
+//!   `distmsm-telemetry` session and verifies the emitted span timeline
+//!   is well-nested and sum-consistent with the engine's own phase
+//!   report (`TEL-001`), and that the Chrome-trace export round-trips
+//!   through the crate's validator (`TEL-002`, also available against
+//!   trace files on disk via `distmsm-analyze trace <file>`).
+//!
 //! All report through the shared [`report::Report`] type (stable rule
 //! ids, severities, text and JSON rendering). The `distmsm-analyze`
 //! binary (`cargo run -p distmsm-analyze -- check`) runs everything and
@@ -37,8 +44,10 @@ pub mod harness;
 pub mod lint;
 pub mod race;
 pub mod report;
+pub mod tel;
 
 pub use comm::{check_comm_schedules, check_schedule};
 pub use fault::{check_fault_recovery, check_recovery_report};
+pub use tel::{check_telemetry, check_trace_file};
 pub use race::{check_trace, check_traces, RaceConfig};
 pub use report::{Finding, Report, Severity};

@@ -2,24 +2,29 @@
 //!
 //! ```text
 //! distmsm-analyze check [--json]
+//! distmsm-analyze trace <file.json> [--json]
 //! ```
 //!
-//! Runs the dynamic race checker over every shipped kernel scenario, the
-//! static linter over every kernel preset × device, the comm-schedule
-//! checker over every captured collective, and the fault-recovery
-//! checker over every seeded fault scenario, prints the combined report
-//! (text by default, `--json` for machine consumption), and exits with
-//! status 1 when any warning or error is found.
+//! `check` runs the dynamic race checker over every shipped kernel
+//! scenario, the static linter over every kernel preset × device, the
+//! comm-schedule checker over every captured collective, the
+//! fault-recovery checker over every seeded fault scenario, and the
+//! telemetry checker over every traced engine scenario. `trace`
+//! validates an exported Chrome-trace JSON file. Both print the combined
+//! report (text by default, `--json` for machine consumption) and exit
+//! with status 1 when any warning or error is found.
 
 use distmsm_analyze::comm::check_comm_schedules;
 use distmsm_analyze::fault::check_fault_recovery;
 use distmsm_analyze::harness::check_shipped_kernels;
 use distmsm_analyze::lint::lint_presets;
+use distmsm_analyze::tel::{check_telemetry, check_trace_file};
 use distmsm_analyze::{RaceConfig, Report};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: distmsm-analyze check [--json]");
+    eprintln!("       distmsm-analyze trace <file.json> [--json]");
     ExitCode::from(2)
 }
 
@@ -27,22 +32,37 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut command = None;
+    let mut trace_path = None;
     for a in &args {
         match a.as_str() {
             "--json" => json = true,
-            "check" if command.is_none() => command = Some("check"),
+            "check" | "trace" if command.is_none() => command = Some(a.clone()),
+            other if command.as_deref() == Some("trace") && trace_path.is_none() => {
+                trace_path = Some(other.to_owned());
+            }
             _ => return usage(),
         }
     }
-    if command != Some("check") {
-        return usage();
-    }
 
-    let mut report = Report::new();
-    report.extend(check_shipped_kernels(&RaceConfig::default()));
-    report.extend(lint_presets());
-    report.extend(check_comm_schedules());
-    report.extend(check_fault_recovery());
+    let report = match (command.as_deref(), trace_path) {
+        (Some("check"), None) => {
+            let mut report = Report::new();
+            report.extend(check_shipped_kernels(&RaceConfig::default()));
+            report.extend(lint_presets());
+            report.extend(check_comm_schedules());
+            report.extend(check_fault_recovery());
+            report.extend(check_telemetry());
+            report
+        }
+        (Some("trace"), Some(path)) => match check_trace_file(&path) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("distmsm-analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => return usage(),
+    };
 
     if json {
         print!("{}", report.render_json());

@@ -279,10 +279,10 @@ pub fn run_fig9() -> (String, Vec<(&'static str, f64)>) {
                 ..PaddOptimizations::all()
             }
         };
-        let cfg = DistMsmConfig {
-            kernel_opts: opts,
-            ..DistMsmConfig::default()
-        };
+        let cfg = DistMsmConfig::builder()
+                .kernel_opts(opts)
+                .build()
+                .unwrap();
         let dist = estimate_distmsm(n, &curve, &sys, &cfg);
         let generic = estimate_best_gpu(n, &curve, &sys, tuned_baseline_kernel());
         let bell = generic.total_s * bellperson_factor;
@@ -323,12 +323,12 @@ pub fn run_fig9_scaling() -> (String, Vec<(usize, f64, f64)>) {
     let expect = inst.reference_result();
     let mut t = Table::new(["strategy", "steps", "flows", "comm"]);
     for strat in CollectiveStrategy::ALL {
-        let cfg = DistMsmConfig {
-            window_size: Some(8),
-            bucket_reduce_on_cpu: false,
-            collective: strat,
-            ..DistMsmConfig::default()
-        };
+        let cfg = DistMsmConfig::builder()
+                .window_size(8)
+                .bucket_reduce_on_cpu(false)
+                .collective(strat)
+                .build()
+                .unwrap();
         let rep = DistMsm::with_config(MultiGpuSystem::dgx_a100(12), cfg)
             .execute(&inst)
             .expect("scaling MSM");
@@ -357,11 +357,11 @@ pub fn run_fig9_scaling() -> (String, Vec<(usize, f64, f64)>) {
         "gpus", "nodes", "host-gather", "ring", "tree", "rs-gather", "best pod", "1-box ideal",
         "pod eff",
     ]);
-    let strategy_cfg = |strat: CollectiveStrategy| DistMsmConfig {
-        bucket_reduce_on_cpu: false,
-        collective: strat,
-        ..DistMsmConfig::default()
-    };
+    let strategy_cfg = |strat: CollectiveStrategy| DistMsmConfig::builder()
+                .bucket_reduce_on_cpu(false)
+                .collective(strat)
+                .build()
+                .unwrap();
     let base = estimate_distmsm(
         n,
         &curve,
@@ -425,10 +425,10 @@ pub fn run_fig10() -> (String, Vec<(usize, f64, f64, f64)>) {
         // NO-OPT: single-GPU algorithm (N-dim split), no kernel opts
         let noopt = estimate_best_gpu(n, &curve, &sys, PaddOptimizations::none());
         // + multi-GPU Pippenger only
-        let algo_cfg = DistMsmConfig {
-            kernel_opts: PaddOptimizations::none(),
-            ..DistMsmConfig::default()
-        };
+        let algo_cfg = DistMsmConfig::builder()
+                .kernel_opts(PaddOptimizations::none())
+                .build()
+                .unwrap();
         let algo = estimate_distmsm(n, &curve, &sys, &algo_cfg);
         // + PADD opts only (on the single-GPU algorithm)
         let padd = estimate_best_gpu(n, &curve, &sys, PaddOptimizations::all());
@@ -635,10 +635,10 @@ pub fn run_ablations() -> String {
         .collect();
     let rep = distmsm::pipeline::execute_batch(
         &MultiGpuSystem::dgx_a100(8),
-        &DistMsmConfig {
-            window_size: Some(9),
-            ..DistMsmConfig::default()
-        },
+        &DistMsmConfig::builder()
+                .window_size(9)
+                .build()
+                .unwrap(),
         &batch,
     )
     .expect("pipeline");
@@ -716,15 +716,14 @@ pub fn run_fault_sweep() -> (String, f64) {
     // probe backoff scaled to the toy instance: the default millisecond
     // constants are realistic at paper scale but would dwarf a
     // 256-point MSM
-    let retry = RetryPolicy {
-        backoff_base_s: 1e-6,
-        ..RetryPolicy::default()
-    };
-    let cfg = |plan: FaultPlan| DistMsmConfig {
-        window_size: Some(8),
-        fault_plan: plan,
-        retry,
-        ..DistMsmConfig::default()
+    let retry = RetryPolicy::default().with_backoff_base_s(1e-6);
+    let cfg = |plan: FaultPlan| {
+        DistMsmConfig::builder()
+            .window_size(8)
+            .fault_plan(plan)
+            .retry(retry)
+            .build()
+            .expect("valid config")
     };
 
     // Acceptance demo: a seeded fail-stop on 1 of 8 GPUs recovers

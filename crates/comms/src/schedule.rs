@@ -253,6 +253,10 @@ pub struct CommSchedule {
     /// Modelled wall-clock of the schedule in seconds (set by
     /// [`CommSchedule::finalize`]).
     pub total_s: f64,
+    /// Modelled wall-clock of each step in seconds, indexed like
+    /// [`CommSchedule::steps`] (set by [`CommSchedule::finalize`]; sums
+    /// to [`CommSchedule::total_s`]).
+    pub step_s: Vec<f64>,
     /// Per-link aggregate loads (set by [`CommSchedule::finalize`]).
     pub link_loads: Vec<LinkLoad>,
 }
@@ -269,6 +273,7 @@ impl CommSchedule {
             steps: Vec::new(),
             host_reduce_ops: 0,
             total_s: 0.0,
+            step_s: Vec::new(),
             link_loads: Vec::new(),
         }
     }
@@ -298,6 +303,7 @@ impl CommSchedule {
     /// and a step completes when its slowest flow does.
     pub fn finalize(&mut self, fabric: &Fabric<'_>, cfg: &CommConfig) {
         let mut total_s = 0.0;
+        let mut per_step_s: Vec<f64> = Vec::with_capacity(self.steps.len());
         let mut loads: Vec<LinkLoad> = Vec::new();
         for step in &self.steps {
             let paths: Vec<PathCost> = step
@@ -355,10 +361,94 @@ impl CommSchedule {
                 }
             }
             total_s += step_s;
+            per_step_s.push(step_s);
         }
         loads.sort_by_key(|l| l.link);
         self.total_s = total_s;
+        self.step_s = per_step_s;
         self.link_loads = loads;
+    }
+}
+
+/// Feature-gated emission of a finalized schedule onto the fabric lane
+/// of the active `distmsm-telemetry` session.
+#[cfg(feature = "telemetry")]
+pub mod telemetry {
+    use super::{CommSchedule, Endpoint};
+    use distmsm_telemetry::{session, Lane, Span};
+
+    fn endpoint_name(e: Endpoint) -> String {
+        match e {
+            Endpoint::Rank(r) => format!("gpu{r}"),
+            Endpoint::Host => "host".into(),
+        }
+    }
+
+    /// Emits `sched` starting at simulated time `t0_s`: one structural
+    /// `"collective"` parent span covering the whole schedule, one
+    /// `"transfer"` child span per step (durations from
+    /// [`CommSchedule::step_s`], so children sum exactly to
+    /// [`CommSchedule::total_s`]), a cumulative `fabric-bytes` counter
+    /// sample at each step boundary, and a `flow-bytes` histogram
+    /// entry per flow. No-op when no session is active or the schedule
+    /// was never finalized.
+    pub fn emit_schedule(sched: &CommSchedule, t0_s: f64) {
+        if !session::active() || sched.step_s.len() != sched.steps.len() {
+            return;
+        }
+        session::push_span(Span {
+            name: format!("{}({} ranks)", sched.strategy, sched.n_ranks),
+            cat: "collective".into(),
+            lane: Lane::Fabric,
+            t0_s,
+            t1_s: t0_s + sched.total_s,
+            args: vec![
+                ("strategy".into(), sched.strategy.clone()),
+                ("steps".into(), sched.steps.len().to_string()),
+                ("flows".into(), sched.n_flows().to_string()),
+                ("bytes".into(), format!("{}", sched.total_bytes())),
+            ],
+        });
+        let mut cursor = t0_s;
+        let mut cum_bytes = 0.0;
+        for (i, (step, &dur)) in sched.steps.iter().zip(&sched.step_s).enumerate() {
+            let step_bytes: f64 = step.flows.iter().map(|f| f.bytes).sum();
+            cum_bytes += step_bytes;
+            let mut args = vec![
+                ("flows".into(), step.flows.len().to_string()),
+                ("bytes".into(), format!("{step_bytes}")),
+            ];
+            if let Some(f) = step.flows.first() {
+                args.push((
+                    "first-flow".into(),
+                    format!(
+                        "{}->{} [{}, {})",
+                        endpoint_name(f.src),
+                        endpoint_name(f.dst),
+                        f.lo,
+                        f.hi
+                    ),
+                ));
+            }
+            session::push_span(Span {
+                name: format!("step{}/{}", i, sched.steps.len()),
+                cat: "transfer".into(),
+                lane: Lane::Fabric,
+                t0_s: cursor,
+                t1_s: cursor + dur,
+                args,
+            });
+            cursor += dur;
+            session::push_counter(distmsm_telemetry::CounterSample {
+                name: "fabric-bytes".into(),
+                lane: Lane::Fabric,
+                t_s: cursor,
+                value: cum_bytes,
+            });
+            for f in &step.flows {
+                session::record_histogram("flow-bytes", f.bytes);
+            }
+        }
     }
 }
 

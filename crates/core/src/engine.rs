@@ -37,7 +37,13 @@ const RLC_SEED: u64 = 0x0005_e1fc_4ec4_u64;
 const STRAGGLER_DETECT_RATIO: f64 = 1.25;
 
 /// Engine configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it through
+/// [`DistMsmConfig::builder`] / [`DistMsmConfig::to_builder`] (see
+/// [`crate::config`]), which also validate the combination. Struct
+/// literals and functional-update syntax are reserved to this crate.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct DistMsmConfig {
     /// Window size `s`; `None` selects the §3.1 optimum for the system.
     pub window_size: Option<u32>,
@@ -740,7 +746,7 @@ impl DistMsm {
         // off, survivors recompute, the self-check and checkpoints guard
         let total_s = base_s + if supervised { recovery.recovery_s() } else { 0.0 };
 
-        Ok(MsmReport {
+        let report = MsmReport {
             result,
             window_size: s,
             n_windows,
@@ -756,7 +762,288 @@ impl DistMsm {
             launches,
             comm: Some(comm),
             recovery: supervised.then_some(recovery),
-        })
+        };
+        #[cfg(feature = "telemetry")]
+        self.emit_telemetry(
+            &report,
+            &done,
+            &recovered,
+            attempt,
+            &TelemetryPhases {
+                scatter_per_gpu: &scatter_per_gpu,
+                sum_per_gpu: &sum_per_gpu,
+                gpu_reduce_per_gpu: &gpu_reduce_per_gpu,
+                rec_per_gpu: &rec_per_gpu,
+                prepass,
+                cpu_reduce_s,
+                comm_host_s,
+                gpu_makespan,
+            },
+        );
+        Ok(report)
+    }
+
+    /// Lays the just-composed report out on the telemetry session's
+    /// timeline, then advances the session clock by `total_s` so
+    /// sequential MSMs line up end to end.
+    ///
+    /// The layout mirrors the timing composition above exactly — each
+    /// phase category's aggregate over the emitted spans reproduces the
+    /// corresponding [`PhaseBreakdown`] field (the TEL-001 analyze rule
+    /// holds the trace to that) and the latest span ends at
+    /// `clock + total_s`.
+    #[cfg(feature = "telemetry")]
+    #[allow(clippy::too_many_lines)] // one linear timeline layout pass
+    fn emit_telemetry<C: Curve>(
+        &self,
+        report: &MsmReport<C>,
+        done: &[SliceOutcome<C>],
+        recovered: &[SliceOutcome<C>],
+        attempt: u32,
+        ph: &TelemetryPhases<'_>,
+    ) {
+        use distmsm_gpu_sim::telemetry::{device_span, fault_instant, kernel_span};
+        use distmsm_telemetry::{session, Instant, Lane, Span};
+        if !session::active() {
+            return;
+        }
+        let t0 = session::clock_s();
+        let n_gpus = ph.scatter_per_gpu.len();
+        let plan = &self.config.fault_plan;
+        let straggle = |g: usize, e: u64| -> f64 {
+            plan.straggler_from(g, attempt)
+                .map_or(1.0, |(at, slow)| if e >= at { slow } else { 1.0 })
+        };
+        let kernel_s = |oc: &SliceOutcome<C>, stats: &LaunchStats| -> f64 {
+            straggle(oc.slice.gpu, oc.event)
+                * estimate_kernel_time(&self.system.devices[oc.slice.gpu], stats, &self.cost_cfg)
+                    .total()
+        };
+
+        // ---- device lanes: structural phase containers with kernel
+        // children carrying the attributed categories ----
+        for g in 0..n_gpus {
+            let sc_end = t0 + ph.scatter_per_gpu[g];
+            device_span(g, "scatter", "phase", t0, sc_end);
+            if ph.prepass > 0.0 {
+                device_span(g, "coeff-prepass", "scatter", t0, t0 + ph.prepass);
+            }
+            let mut cursor = t0 + ph.prepass;
+            for oc in done.iter().filter(|oc| oc.slice.gpu == g) {
+                let t = kernel_s(oc, &oc.scatter_stats);
+                kernel_span(
+                    g,
+                    &format!(
+                        "scatter:w{}[{},{})",
+                        oc.slice.window, oc.slice.bucket_lo, oc.slice.bucket_hi
+                    ),
+                    "scatter",
+                    cursor,
+                    cursor + t,
+                    &oc.scatter_stats,
+                );
+                cursor += t;
+            }
+            let su_end = sc_end + ph.sum_per_gpu[g];
+            device_span(g, "bucket-sum", "phase", sc_end, su_end);
+            let mut cursor = sc_end;
+            for oc in done.iter().filter(|oc| oc.slice.gpu == g) {
+                let t = kernel_s(oc, &oc.sum.stats);
+                kernel_span(
+                    g,
+                    &format!(
+                        "bucket-sum:w{}[{},{})",
+                        oc.slice.window, oc.slice.bucket_lo, oc.slice.bucket_hi
+                    ),
+                    "bucket-sum",
+                    cursor,
+                    cursor + t,
+                    &oc.sum.stats,
+                );
+                cursor += t;
+            }
+        }
+
+        // ---- fabric lane: the comm schedule's collective + steps ----
+        let pipelined_cpu = self.config.bucket_reduce_on_cpu && self.config.pipelined;
+        let fabric_t0 = t0
+            + if pipelined_cpu {
+                ph.gpu_makespan.max(ph.cpu_reduce_s)
+            } else {
+                ph.gpu_makespan
+            };
+        let transfer_s = report.phases.transfer_s;
+        if let Some(comm) = &report.comm {
+            distmsm_comms::schedule::telemetry::emit_schedule(comm, fabric_t0);
+        }
+
+        // ---- host lane: bucket-reduce / pipeline tail / window-reduce ----
+        let wr_t0 = if self.config.bucket_reduce_on_cpu {
+            if self.config.pipelined {
+                // §3.2.3: the reduce streams behind the GPUs from t0;
+                // only the last window's tail follows the transfer
+                if ph.cpu_reduce_s > 0.0 {
+                    session::push_span(Span {
+                        name: "bucket-reduce(cpu,pipelined)".into(),
+                        cat: "bucket-reduce".into(),
+                        lane: Lane::Host,
+                        t0_s: t0,
+                        t1_s: t0 + ph.cpu_reduce_s,
+                        args: Vec::new(),
+                    });
+                }
+                let tail = ph.cpu_reduce_s / f64::from(report.n_windows.max(1));
+                if tail > 0.0 {
+                    session::push_span(Span {
+                        name: "pipeline-tail".into(),
+                        cat: "pipeline-tail".into(),
+                        lane: Lane::Host,
+                        t0_s: fabric_t0 + transfer_s,
+                        t1_s: fabric_t0 + transfer_s + tail,
+                        args: Vec::new(),
+                    });
+                }
+                fabric_t0 + transfer_s + tail
+            } else {
+                if ph.cpu_reduce_s > 0.0 {
+                    session::push_span(Span {
+                        name: "bucket-reduce(cpu)".into(),
+                        cat: "bucket-reduce".into(),
+                        lane: Lane::Host,
+                        t0_s: fabric_t0 + transfer_s,
+                        t1_s: fabric_t0 + transfer_s + ph.cpu_reduce_s,
+                        args: Vec::new(),
+                    });
+                }
+                fabric_t0 + transfer_s + ph.cpu_reduce_s
+            }
+        } else {
+            // GPU path: per-device reduce segments, then the host-side
+            // combine the collective implies
+            let gr_t0 = fabric_t0 + transfer_s;
+            let max_gr = ph.gpu_reduce_per_gpu.iter().copied().fold(0.0, f64::max);
+            for g in 0..n_gpus {
+                if ph.gpu_reduce_per_gpu[g] > 0.0 {
+                    device_span(
+                        g,
+                        "bucket-reduce(gpu)",
+                        "bucket-reduce",
+                        gr_t0,
+                        gr_t0 + ph.gpu_reduce_per_gpu[g],
+                    );
+                }
+            }
+            if ph.comm_host_s > 0.0 {
+                session::push_span(Span {
+                    name: "host-combine".into(),
+                    cat: "bucket-reduce".into(),
+                    lane: Lane::Host,
+                    t0_s: gr_t0 + max_gr,
+                    t1_s: gr_t0 + max_gr + ph.comm_host_s,
+                    args: Vec::new(),
+                });
+            }
+            gr_t0 + max_gr + ph.comm_host_s
+        };
+        if report.phases.window_reduce_s > 0.0 {
+            session::push_span(Span {
+                name: "window-reduce".into(),
+                cat: "window-reduce".into(),
+                lane: Lane::Host,
+                t0_s: wr_t0,
+                t1_s: wr_t0 + report.phases.window_reduce_s,
+                args: Vec::new(),
+            });
+        }
+
+        // ---- supervisor + recovery tail ----
+        if let Some(rec) = &report.recovery {
+            let rec_t0 = t0 + report.total_s - rec.recovery_s();
+            for ev in plan.events.iter().filter(|e| e.attempt == attempt) {
+                fault_instant(ev, rec_t0);
+            }
+            for f in rec.faults.iter().filter(|f| f.kind == "link-down") {
+                session::push_instant(Instant {
+                    name: "fault:link-down".into(),
+                    cat: "fault".into(),
+                    lane: Lane::Device(f.device),
+                    t_s: t0,
+                    args: vec![("device".into(), f.device.to_string())],
+                });
+            }
+            if !rec.replanned.is_empty() {
+                session::push_instant(Instant {
+                    name: "re-plan".into(),
+                    cat: "supervisor".into(),
+                    lane: Lane::Supervisor,
+                    t_s: rec_t0,
+                    args: vec![
+                        ("slices".into(), rec.replanned.len().to_string()),
+                        ("lost_gpus".into(), format!("{:?}", rec.lost_gpus)),
+                    ],
+                });
+            }
+            if rec.degraded_collective {
+                session::push_instant(Instant {
+                    name: "route-degraded".into(),
+                    cat: "supervisor".into(),
+                    lane: Lane::Fabric,
+                    t_s: fabric_t0,
+                    args: vec![(
+                        "detail".into(),
+                        "collective degraded to survivors-only gather".into(),
+                    )],
+                });
+            }
+            if rec.backoff_s > 0.0 {
+                session::push_span(Span {
+                    name: "retry-backoff".into(),
+                    cat: "recovery".into(),
+                    lane: Lane::Supervisor,
+                    t0_s: rec_t0,
+                    t1_s: rec_t0 + rec.backoff_s,
+                    args: vec![("retries".into(), rec.retries.to_string())],
+                });
+            }
+            let recompute_t0 = rec_t0 + rec.backoff_s;
+            for g in 0..n_gpus {
+                if ph.rec_per_gpu[g] > 0.0 {
+                    device_span(
+                        g,
+                        "recompute",
+                        "recovery",
+                        recompute_t0,
+                        recompute_t0 + ph.rec_per_gpu[g],
+                    );
+                }
+            }
+            let check_t0 = recompute_t0 + rec.recompute_s;
+            if rec.self_check_s > 0.0 {
+                session::push_span(Span {
+                    name: "self-check(rlc)".into(),
+                    cat: "recovery".into(),
+                    lane: Lane::Host,
+                    t0_s: check_t0,
+                    t1_s: check_t0 + rec.self_check_s,
+                    args: Vec::new(),
+                });
+            }
+            if rec.checkpoint_s > 0.0 {
+                session::push_span(Span {
+                    name: "checkpoint".into(),
+                    cat: "recovery".into(),
+                    lane: Lane::Host,
+                    t0_s: check_t0 + rec.self_check_s,
+                    t1_s: check_t0 + rec.self_check_s + rec.checkpoint_s,
+                    args: Vec::new(),
+                });
+            }
+            // recovered slices are re-run inside the recompute segments;
+            // annotate them without separate spans (they'd double-count)
+            let _ = recovered;
+        }
+
+        session::advance_s(report.total_s);
     }
 
     /// Records fail-stop observations for devices that just lost jobs
@@ -933,6 +1220,21 @@ struct SliceOutcome<C: Curve> {
     sum: crate::bucket_sum::BucketSumOutcome<C>,
 }
 
+/// Per-phase timing internals `execute_attempt` hands to the telemetry
+/// emitter: everything the timeline layout needs that the public
+/// [`MsmReport`] does not carry.
+#[cfg(feature = "telemetry")]
+struct TelemetryPhases<'a> {
+    scatter_per_gpu: &'a [f64],
+    sum_per_gpu: &'a [f64],
+    gpu_reduce_per_gpu: &'a [f64],
+    rec_per_gpu: &'a [f64],
+    prepass: f64,
+    cpu_reduce_s: f64,
+    comm_host_s: f64,
+    gpu_makespan: f64,
+}
+
 /// The slice set the CPU-path bucket gather covers: under supervision
 /// the slices that actually completed (recovery moved ownership), on
 /// the fast path the original plan.
@@ -979,10 +1281,10 @@ mod tests {
             256,
             4,
             3,
-            DistMsmConfig {
-                window_size: Some(5),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(5)
+                .build()
+                .unwrap(),
         );
     }
 
@@ -992,11 +1294,11 @@ mod tests {
             128,
             2,
             4,
-            DistMsmConfig {
-                scatter: Some(ScatterKind::Naive),
-                bucket_reduce_on_cpu: false,
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .scatter(ScatterKind::Naive)
+                .bucket_reduce_on_cpu(false)
+                .build()
+                .unwrap(),
         );
     }
 
@@ -1011,10 +1313,10 @@ mod tests {
             50,
             4,
             6,
-            DistMsmConfig {
-                window_size: Some(8),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(8)
+                .build()
+                .unwrap(),
         );
     }
 
@@ -1025,26 +1327,22 @@ mod tests {
             200,
             32,
             7,
-            DistMsmConfig {
-                window_size: Some(4),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(4)
+                .build()
+                .unwrap(),
         );
     }
 
     #[test]
     fn signed_digits_engine_is_correct() {
         for (gpus, s) in [(1usize, None), (4, Some(9u32)), (8, Some(6))] {
-            check_correct::<Bn254G1>(
-                220,
-                gpus,
-                40 + gpus as u64,
-                DistMsmConfig {
-                    window_size: s,
-                    signed_digits: true,
-                    ..DistMsmConfig::default()
-                },
-            );
+            let builder = DistMsmConfig::builder().signed_digits(true);
+            let builder = match s {
+                Some(s) => builder.window_size(s),
+                None => builder.auto_window_size(),
+            };
+            check_correct::<Bn254G1>(220, gpus, 40 + gpus as u64, builder.build().unwrap());
         }
     }
 
@@ -1055,11 +1353,11 @@ mod tests {
         let mk = |signed| {
             DistMsm::with_config(
                 MultiGpuSystem::dgx_a100(2),
-                DistMsmConfig {
-                    window_size: Some(10),
-                    signed_digits: signed,
-                    ..DistMsmConfig::default()
-                },
+                DistMsmConfig::builder()
+                    .window_size(10)
+                    .signed_digits(signed)
+                    .build()
+                    .unwrap(),
             )
             .execute(&inst)
             .unwrap()
@@ -1088,12 +1386,12 @@ mod tests {
             let inst = MsmInstance::<C>::random(128, &mut rng);
             let engine = DistMsm::with_config(
                 MultiGpuSystem::dgx_a100(gpus),
-                DistMsmConfig {
-                    window_size: Some(8),
-                    scatter: Some(ScatterKind::Naive),
-                    bucket_reduce_on_cpu: false,
-                    ..DistMsmConfig::default()
-                },
+                DistMsmConfig::builder()
+                    .window_size(8)
+                    .scatter(ScatterKind::Naive)
+                    .bucket_reduce_on_cpu(false)
+                    .build()
+                    .unwrap(),
             );
             let rep = engine.execute(&inst).expect("execution succeeds");
             assert_eq!(rep.result, inst.reference_result());
@@ -1124,12 +1422,12 @@ mod tests {
         for strat in distmsm_comms::CollectiveStrategy::ALL {
             let engine = DistMsm::with_config(
                 MultiGpuSystem::dgx_a100(4),
-                DistMsmConfig {
-                    window_size: Some(7),
-                    bucket_reduce_on_cpu: false,
-                    collective: strat,
-                    ..DistMsmConfig::default()
-                },
+                DistMsmConfig::builder()
+                    .window_size(7)
+                    .bucket_reduce_on_cpu(false)
+                    .collective(strat)
+                    .build()
+                    .unwrap(),
             );
             let rep = engine.execute(&inst).expect("execution succeeds");
             assert_eq!(rep.result, inst.reference_result(), "{}", strat.name());
@@ -1143,11 +1441,11 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(64, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(1),
-            DistMsmConfig {
-                window_size: Some(16),
-                scatter: Some(ScatterKind::Hierarchical),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(16)
+                .scatter(ScatterKind::Hierarchical)
+                .build()
+                .unwrap(),
         );
         match engine.execute(&inst) {
             Err(MsmError::ScatterOverflow(e)) => assert!(e.needed > e.available),
@@ -1171,11 +1469,11 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(64, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(1),
-            DistMsmConfig {
-                window_size: Some(18),
-                scatter: None,
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(18)
+                .auto_scatter()
+                .build()
+                .unwrap(),
         );
         let report = engine.execute(&inst).expect("auto mode must not fail");
         assert_eq!(report.result, inst.reference_result());
@@ -1204,27 +1502,24 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(256, &mut rng);
         let clean = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(8),
-            DistMsmConfig {
-                window_size: Some(8),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(8)
+                .build()
+                .unwrap(),
         )
         .execute(&inst)
         .expect("clean run");
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(8),
-            DistMsmConfig {
-                window_size: Some(8),
-                fault_plan: FaultPlan::fail_stop(3, 0),
+            DistMsmConfig::builder()
+                .window_size(8)
+                .fault_plan(FaultPlan::fail_stop(3, 0))
                 // probe backoff scaled to the toy instance: the default
                 // millisecond constants are realistic at paper scale but
                 // would dwarf a 256-point MSM
-                retry: crate::supervisor::RetryPolicy {
-                    backoff_base_s: 1e-6,
-                    ..crate::supervisor::RetryPolicy::default()
-                },
-                ..DistMsmConfig::default()
-            },
+                .retry(crate::supervisor::RetryPolicy::default().with_backoff_base_s(1e-6))
+                .build()
+                .unwrap(),
         );
         let rep = engine.execute(&inst).expect("supervised run recovers");
         assert_eq!(rep.result, clean.result, "recovered result must be bit-exact");
@@ -1251,12 +1546,12 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(200, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(4),
-            DistMsmConfig {
-                window_size: Some(7),
-                bucket_reduce_on_cpu: false,
-                fault_plan: FaultPlan::fail_stop(2, 0),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(7)
+                .bucket_reduce_on_cpu(false)
+                .fault_plan(FaultPlan::fail_stop(2, 0))
+                .build()
+                .unwrap(),
         );
         let rep = engine.execute(&inst).expect("recovers on GPU-reduce path");
         assert_eq!(rep.result, inst.reference_result());
@@ -1274,19 +1569,14 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(256, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(8),
-            DistMsmConfig {
-                window_size: Some(4),
+            DistMsmConfig::builder()
+                .window_size(4)
                 // window 4 gives every GPU 8 primary slices (events
                 // 0..8), so event 8 is GPU 4's first *recovery* job:
                 // it survives the primary pass and dies mid-recovery
-                fault_plan: FaultPlan::fail_stop(3, 0).with_event(FaultEvent {
-                    device: 4,
-                    at_event: 8,
-                    attempt: 0,
-                    kind: FaultKind::FailStop,
-                }),
-                ..DistMsmConfig::default()
-            },
+                .fault_plan(FaultPlan::fail_stop(3, 0).with_event(FaultEvent { device: 4, at_event: 8, attempt: 0, kind: FaultKind::FailStop, }))
+                .build()
+                .unwrap(),
         );
         let rep = engine.execute(&inst).expect("cascade recovers");
         assert_eq!(rep.result, inst.reference_result());
@@ -1301,11 +1591,11 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(2),
-            DistMsmConfig {
-                window_size: Some(8),
-                fault_plan: FaultPlan::bit_flip(1, 0),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(8)
+                .fault_plan(FaultPlan::bit_flip(1, 0))
+                .build()
+                .unwrap(),
         );
         let rep = engine.execute(&inst).expect("bit flip is recoverable");
         assert_eq!(rep.result, inst.reference_result());
@@ -1321,15 +1611,12 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(2),
-            DistMsmConfig {
-                window_size: Some(8),
-                fault_plan: FaultPlan::bit_flip(1, 0),
-                retry: crate::supervisor::RetryPolicy {
-                    max_retries: 0,
-                    ..crate::supervisor::RetryPolicy::default()
-                },
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(8)
+                .fault_plan(FaultPlan::bit_flip(1, 0))
+                .retry(crate::supervisor::RetryPolicy::default().with_max_retries(0))
+                .build()
+                .unwrap(),
         );
         match engine.execute(&inst) {
             Err(MsmError::RetriesExhausted { device, .. }) => assert_eq!(device, 1),
@@ -1345,16 +1632,11 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(4),
-            DistMsmConfig {
-                window_size: Some(6),
-                fault_plan: FaultPlan::fail_stop(1, 0).with_event(FaultEvent {
-                    device: 2,
-                    at_event: 0,
-                    attempt: 0,
-                    kind: FaultKind::Straggler { slowdown: 3.0 },
-                }),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(6)
+                .fault_plan(FaultPlan::fail_stop(1, 0).with_event(FaultEvent { device: 2, at_event: 0, attempt: 0, kind: FaultKind::Straggler { slowdown: 3.0 }, }))
+                .build()
+                .unwrap(),
         );
         let rep = engine.execute(&inst).expect("recovers");
         assert_eq!(rep.result, inst.reference_result());
@@ -1371,17 +1653,16 @@ mod tests {
     fn straggler_detected_and_sla_enforced() {
         let mut rng = StdRng::seed_from_u64(95);
         let inst = MsmInstance::<Bn254G1>::random(256, &mut rng);
-        let mk = |sla| {
-            DistMsm::with_config(
-                MultiGpuSystem::dgx_a100(8),
-                DistMsmConfig {
-                    window_size: Some(8),
-                    fault_plan: FaultPlan::straggler(2, 0, 4.0),
-                    straggler_sla: sla,
-                    ..DistMsmConfig::default()
-                },
-            )
-            .execute(&inst)
+        let mk = |sla: Option<f64>| {
+            let builder = DistMsmConfig::builder()
+                .window_size(8)
+                .fault_plan(FaultPlan::straggler(2, 0, 4.0));
+            let builder = match sla {
+                Some(sla) => builder.straggler_sla(sla),
+                None => builder.no_straggler_sla(),
+            };
+            DistMsm::with_config(MultiGpuSystem::dgx_a100(8), builder.build().unwrap())
+                .execute(&inst)
         };
         let rep = mk(None).expect("no SLA: detection only");
         assert_eq!(rep.result, inst.reference_result());
@@ -1408,13 +1689,11 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(160, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(4),
-            DistMsmConfig {
-                window_size: Some(8),
-                fault_plan: FaultPlan::none()
-                    .with_link_fault(LinkFault::PeerPortDown { rank: 2 })
-                    .with_link_fault(LinkFault::HostPortDown { rank: 2 }),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(8)
+                .fault_plan(FaultPlan::none() .with_link_fault(LinkFault::PeerPortDown { rank: 2 }) .with_link_fault(LinkFault::HostPortDown { rank: 2 }))
+                .build()
+                .unwrap(),
         );
         let rep = engine.execute(&inst).expect("partition recovers");
         assert_eq!(rep.result, inst.reference_result());
@@ -1431,11 +1710,11 @@ mod tests {
         let mk = |plan| {
             DistMsm::with_config(
                 MultiGpuSystem::dgx_a100(4),
-                DistMsmConfig {
-                    window_size: Some(8),
-                    fault_plan: plan,
-                    ..DistMsmConfig::default()
-                },
+                DistMsmConfig::builder()
+                    .window_size(8)
+                    .fault_plan(plan)
+                    .build()
+                    .unwrap(),
             )
             .execute(&inst)
             .expect("degraded link is not fatal")
@@ -1461,12 +1740,10 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(64, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(2),
-            DistMsmConfig {
-                fault_plan: FaultPlan::none()
-                    .with_link_fault(LinkFault::HostPortDown { rank: 0 })
-                    .with_link_fault(LinkFault::HostPortDown { rank: 1 }),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .fault_plan(FaultPlan::none() .with_link_fault(LinkFault::HostPortDown { rank: 0 }) .with_link_fault(LinkFault::HostPortDown { rank: 1 }))
+                .build()
+                .unwrap(),
         );
         match engine.execute(&inst) {
             Err(MsmError::LinkDown { .. }) => {}
@@ -1480,10 +1757,10 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(64, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(1),
-            DistMsmConfig {
-                fault_plan: FaultPlan::fail_stop(0, 0),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .fault_plan(FaultPlan::fail_stop(0, 0))
+                .build()
+                .unwrap(),
         );
         match engine.execute(&inst) {
             Err(MsmError::DeviceLost { devices }) => assert_eq!(devices, vec![0]),
@@ -1499,11 +1776,11 @@ mod tests {
         let inst = MsmInstance::<Bn254G1>::random(128, &mut rng);
         let engine = DistMsm::with_config(
             MultiGpuSystem::dgx_a100(4),
-            DistMsmConfig {
-                window_size: Some(8),
-                fault_plan: FaultPlan::fail_stop(1, 0),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .window_size(8)
+                .fault_plan(FaultPlan::fail_stop(1, 0))
+                .build()
+                .unwrap(),
         );
         let first = engine.execute(&inst).expect("attempt 0 recovers");
         assert_eq!(first.recovery.as_ref().unwrap().lost_gpus, vec![1]);
@@ -1525,11 +1802,11 @@ mod tests {
             let plan = FaultPlan::random(seed, 8, 0.1, 16);
             let engine = DistMsm::with_config(
                 MultiGpuSystem::dgx_a100(8),
-                DistMsmConfig {
-                    window_size: Some(6),
-                    fault_plan: plan,
-                    ..DistMsmConfig::default()
-                },
+                DistMsmConfig::builder()
+                    .window_size(6)
+                    .fault_plan(plan)
+                    .build()
+                    .unwrap(),
             );
             let rep = engine.execute(&inst).unwrap_or_else(|e| {
                 panic!("seed {seed}: random plan must be recoverable, got {e}")

@@ -24,21 +24,24 @@
 //! | topology-routed gathers and collectives (multi-node scaling) | [`comm`] |
 //! | fault supervision, re-planning, verified recovery | [`supervisor`] + [`engine`] |
 //!
+//! Cross-cutting surfaces: [`prelude`] (one-import user API), [`config`]
+//! (the validating [`DistMsmConfigBuilder`]), [`report`] (the unified
+//! [`Report`] trait over engine/recovery/comms timing artefacts).
+//!
 //! ## Example
 //!
 //! ```
-//! use distmsm::engine::DistMsm;
-//! use distmsm_ec::{curves::Bn254G1, MsmInstance};
-//! use distmsm_gpu_sim::MultiGpuSystem;
+//! use distmsm::prelude::*;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let instance = MsmInstance::<Bn254G1>::random(256, &mut rng);
-//! let engine = DistMsm::new(MultiGpuSystem::dgx_a100(8));
+//! let config = DistMsmConfig::builder().window_size(8).build()?;
+//! let engine = DistMsm::with_config(MultiGpuSystem::dgx_a100(8), config);
 //! let report = engine.execute(&instance)?;
 //! assert_eq!(report.result, instance.reference_result());
 //! println!("simulated time: {:.3} ms", report.total_s * 1e3);
-//! # Ok::<(), distmsm::engine::MsmError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -47,12 +50,15 @@ pub mod analytic;
 pub mod baseline;
 pub mod bucket_sum;
 pub mod comm;
+pub mod config;
 pub mod cuzk;
 pub mod engine;
 pub mod pipeline;
 pub mod plan;
 pub mod precompute;
+pub mod prelude;
 pub mod reduce;
+pub mod report;
 pub mod scatter;
 pub mod signed;
 pub mod supervisor;
@@ -60,8 +66,10 @@ pub mod workload;
 
 pub use analytic::{estimate_best_baseline, estimate_distmsm, CurveDesc, MsmEstimate};
 pub use baseline::BestGpuBaseline;
+pub use config::{ConfigError, DistMsmConfigBuilder};
 pub use distmsm_comms::CollectiveStrategy;
-pub use engine::{DistMsm, DistMsmConfig, MsmError, MsmReport};
+pub use engine::{DistMsm, DistMsmConfig, MsmError, MsmReport, PhaseBreakdown};
+pub use report::{Phase, Report};
 pub use scatter::ScatterKind;
 pub use supervisor::{FaultObservation, RecoveryReport, RetryPolicy};
 pub use workload::WorkloadParams;

@@ -27,7 +27,12 @@ use distmsm_gpu_sim::fault::splitmix64;
 /// Bounded-retry policy with exponential backoff. Backoff is *charged*:
 /// every retry adds simulated seconds to the recovery cost, so fault
 /// handling shows up in `total_s` instead of pretending to be free.
+///
+/// Marked `#[non_exhaustive]`: build variants with the `with_*` setters
+/// starting from [`RetryPolicy::default`] (validation happens when the
+/// policy enters a [`crate::config::DistMsmConfigBuilder`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct RetryPolicy {
     /// Retries before a persistent fault escalates (device declared
     /// lost, or [`crate::engine::MsmError::RetriesExhausted`] for
@@ -50,6 +55,27 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Returns the policy with `max_retries` replaced.
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Returns the policy with `backoff_base_s` replaced.
+    #[must_use]
+    pub fn with_backoff_base_s(mut self, seconds: f64) -> Self {
+        self.backoff_base_s = seconds;
+        self
+    }
+
+    /// Returns the policy with `backoff_factor` replaced.
+    #[must_use]
+    pub fn with_backoff_factor(mut self, factor: f64) -> Self {
+        self.backoff_factor = factor;
+        self
+    }
+
     /// Backoff charged before retry `k` (0-based): `base · factor^k`.
     pub fn backoff_for(&self, k: u32) -> f64 {
         self.backoff_base_s * self.backoff_factor.powi(k as i32)
@@ -158,10 +184,7 @@ mod tests {
         assert_eq!(p.backoff_for(0), 1e-3);
         assert_eq!(p.backoff_for(2), 4e-3);
         assert!((p.total_backoff() - 7e-3).abs() < 1e-12);
-        let none = RetryPolicy {
-            max_retries: 0,
-            ..p
-        };
+        let none = p.with_max_retries(0);
         assert_eq!(none.total_backoff(), 0.0);
     }
 

@@ -14,11 +14,11 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn config(plan: FaultPlan) -> DistMsmConfig {
-    DistMsmConfig {
-        window_size: Some(6),
-        fault_plan: plan,
-        ..DistMsmConfig::default()
-    }
+    DistMsmConfig::builder()
+        .window_size(6)
+        .fault_plan(plan)
+        .build()
+        .expect("valid config")
 }
 
 /// Recovered result == fault-free result, bit for bit, and the slices

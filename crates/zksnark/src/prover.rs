@@ -148,34 +148,62 @@ impl Groth16Prover {
             qap.h.iter().map(Fp::to_uint).collect();
 
         let mut msm_retries = 0u32;
-        let a_msm = self.msm_with_retry(
-            &MsmInstance::<Bn254G1> {
-                points: g1_bases[..m].to_vec(),
-                scalars: z.clone(),
-            },
-            &mut msm_retries,
-        )?;
-        let b_msm = self.msm_with_retry(
-            &MsmInstance::<Bn254G2> {
-                points: g2_bases,
-                scalars: z.clone(),
-            },
-            &mut msm_retries,
-        )?;
-        let c_base = self.msm_with_retry(
-            &MsmInstance::<Bn254G1> {
-                points: g1_bases[..m].to_vec(),
-                scalars: z,
-            },
-            &mut msm_retries,
-        )?;
-        let h_msm = self.msm_with_retry(
-            &MsmInstance::<Bn254G1> {
-                points: g1_bases[..d].to_vec(),
-                scalars: h_scalars,
-            },
-            &mut msm_retries,
-        )?;
+        let a_msm = {
+            #[cfg(feature = "telemetry")]
+            let t0 = distmsm_telemetry::session::clock_s();
+            let rep = self.msm_with_retry(
+                &MsmInstance::<Bn254G1> {
+                    points: g1_bases[..m].to_vec(),
+                    scalars: z.clone(),
+                },
+                &mut msm_retries,
+            )?;
+            #[cfg(feature = "telemetry")]
+            telem::msm_span("msm:a(G1)", t0);
+            rep
+        };
+        let b_msm = {
+            #[cfg(feature = "telemetry")]
+            let t0 = distmsm_telemetry::session::clock_s();
+            let rep = self.msm_with_retry(
+                &MsmInstance::<Bn254G2> {
+                    points: g2_bases,
+                    scalars: z.clone(),
+                },
+                &mut msm_retries,
+            )?;
+            #[cfg(feature = "telemetry")]
+            telem::msm_span("msm:b(G2)", t0);
+            rep
+        };
+        let c_base = {
+            #[cfg(feature = "telemetry")]
+            let t0 = distmsm_telemetry::session::clock_s();
+            let rep = self.msm_with_retry(
+                &MsmInstance::<Bn254G1> {
+                    points: g1_bases[..m].to_vec(),
+                    scalars: z,
+                },
+                &mut msm_retries,
+            )?;
+            #[cfg(feature = "telemetry")]
+            telem::msm_span("msm:c(G1)", t0);
+            rep
+        };
+        let h_msm = {
+            #[cfg(feature = "telemetry")]
+            let t0 = distmsm_telemetry::session::clock_s();
+            let rep = self.msm_with_retry(
+                &MsmInstance::<Bn254G1> {
+                    points: g1_bases[..d].to_vec(),
+                    scalars: h_scalars,
+                },
+                &mut msm_retries,
+            )?;
+            #[cfg(feature = "telemetry")]
+            telem::msm_span("msm:h(G1)", t0);
+            rep
+        };
 
         let proof = Proof {
             a: a_msm.result,
@@ -192,6 +220,11 @@ impl Groth16Prover {
             .map(|c| (c.a.len() + c.b.len() + c.c.len()) as u64)
             .sum();
         let others_s = others_time_cpu(nnz, d as u64, &self.system);
+        #[cfg(feature = "telemetry")]
+        {
+            telem::serial_stage("ntt(single-gpu)", "ntt", ntt_s);
+            telem::serial_stage("witness+others(cpu)", "others", others_s);
+        }
 
         Ok(ProveOutcome {
             proof,
@@ -258,6 +291,49 @@ pub fn others_time_cpu(nnz: u64, d: u64, system: &MultiGpuSystem) -> f64 {
     system.cpu.compute_time(ops)
 }
 
+/// Prover-lane telemetry: structural `"msm"` wrapper spans around the
+/// engine emissions (which advance the session clock themselves) and
+/// serial NTT/"others" stage spans that advance the clock by their own
+/// duration.
+#[cfg(feature = "telemetry")]
+mod telem {
+    use distmsm_telemetry::{session, Lane, Span};
+
+    /// Closes a structural MSM wrapper opened at `t0_s`: the engine's
+    /// emission advanced the clock to the MSM's end.
+    pub(crate) fn msm_span(name: &str, t0_s: f64) {
+        if !session::active() {
+            return;
+        }
+        session::push_span(Span {
+            name: name.into(),
+            cat: "msm".into(),
+            lane: Lane::Prover,
+            t0_s,
+            t1_s: session::clock_s(),
+            args: Vec::new(),
+        });
+    }
+
+    /// Emits one serial prover stage at the clock cursor and advances
+    /// the cursor past it.
+    pub(crate) fn serial_stage(name: &str, cat: &str, dur_s: f64) {
+        if !session::active() || dur_s <= 0.0 {
+            return;
+        }
+        let t0 = session::clock_s();
+        session::push_span(Span {
+            name: name.into(),
+            cat: cat.into(),
+            lane: Lane::Prover,
+            t0_s: t0,
+            t1_s: t0 + dur_s,
+            args: Vec::new(),
+        });
+        session::advance_s(dur_s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,10 +392,10 @@ mod tests {
         let cs = synthetic_circuit::<Bn254Fr, 4, _>(48, &mut rng);
         let prover = Groth16Prover::with_config(
             MultiGpuSystem::dgx_a100(1),
-            DistMsmConfig {
-                fault_plan: distmsm_gpu_sim::FaultPlan::fail_stop(0, 0),
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .fault_plan(distmsm_gpu_sim::FaultPlan::fail_stop(0, 0))
+                .build()
+                .unwrap(),
         );
         let outcome = prover.prove(&cs).expect("retry clears the fault");
         assert!(prover.verify(&outcome));
@@ -338,14 +414,11 @@ mod tests {
         let cs = synthetic_circuit::<Bn254Fr, 4, _>(32, &mut rng);
         let prover = Groth16Prover::with_config(
             MultiGpuSystem::dgx_a100(1),
-            DistMsmConfig {
-                fault_plan: distmsm_gpu_sim::FaultPlan::fail_stop(0, 0),
-                retry: distmsm::RetryPolicy {
-                    max_retries: 0,
-                    ..distmsm::RetryPolicy::default()
-                },
-                ..DistMsmConfig::default()
-            },
+            DistMsmConfig::builder()
+                .fault_plan(distmsm_gpu_sim::FaultPlan::fail_stop(0, 0))
+                .retry(distmsm::RetryPolicy::default().with_max_retries(0))
+                .build()
+                .unwrap(),
         );
         let err = prover.prove(&cs).expect_err("no budget, fault surfaces");
         assert!(err.is_fault(), "expected a fault-class error, got {err:?}");

@@ -10,9 +10,8 @@
 //! ```
 
 use distmsm::analytic::{estimate_distmsm, estimate_distmsm_with_s, CurveDesc};
+use distmsm::prelude::*;
 use distmsm::workload::WorkloadParams;
-use distmsm::DistMsmConfig;
-use distmsm_gpu_sim::MultiGpuSystem;
 
 fn main() {
     let curve = CurveDesc::BLS12_381;

@@ -5,11 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use distmsm::engine::DistMsm;
-use distmsm::{estimate_distmsm, CurveDesc, DistMsmConfig};
-use distmsm_ec::curves::Bn254G1;
-use distmsm_ec::MsmInstance;
-use distmsm_gpu_sim::MultiGpuSystem;
+use distmsm::prelude::*;
+use distmsm::{estimate_distmsm, CurveDesc};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
@@ -19,9 +16,12 @@ fn main() {
     println!("Generating {n} BN254 points + scalars ...");
     let instance = MsmInstance::<Bn254G1>::random(n, &mut rng);
 
-    // 2. Run DistMSM on a simulated 8×A100 system.
+    // 2. Run DistMSM on a simulated 8×A100 system. The builder
+    //    validates the configuration (window bounds, warp-multiple
+    //    block sizes, retry policy) before the engine ever sees it.
     let system = MultiGpuSystem::dgx_a100(8);
-    let engine = DistMsm::new(system.clone());
+    let config = DistMsmConfig::builder().build().expect("defaults are valid");
+    let engine = DistMsm::with_config(system.clone(), config);
     let report = engine.execute(&instance).expect("MSM executes");
 
     // 3. The result is bit-exact: compare with double-and-add.
@@ -30,11 +30,10 @@ fn main() {
     println!();
     println!("window size          : {} ({} windows)", report.window_size, report.n_windows);
     println!("simulated wall time  : {:.3} ms", report.total_s * 1e3);
-    println!("  bucket scatter     : {:.3} ms", report.phases.scatter_s * 1e3);
-    println!("  bucket sum         : {:.3} ms", report.phases.bucket_sum_s * 1e3);
-    println!("  bucket reduce (CPU): {:.3} ms", report.phases.bucket_reduce_s * 1e3);
-    println!("  window reduce      : {:.3} ms", report.phases.window_reduce_s * 1e3);
-    println!("  transfer           : {:.3} ms", report.phases.transfer_s * 1e3);
+    // every timing artefact answers through the same `Report` trait
+    for phase in report.phase_breakdown() {
+        println!("  {:<19}: {:.3} ms", phase.name, phase.seconds * 1e3);
+    }
 
     // 4. Paper-scale projection without functional execution.
     let est = estimate_distmsm(1 << 26, &CurveDesc::BN254, &system, &DistMsmConfig::default());

@@ -23,10 +23,10 @@ fn compare<C: distmsm_ec::Curve>(
     let mut rng = StdRng::seed_from_u64(seed);
     let inst = MsmInstance::<C>::random(n, &mut rng);
     let sys = MultiGpuSystem::dgx_a100(gpus);
-    let cfg = DistMsmConfig {
-        window_size: Some(s),
-        ..DistMsmConfig::default()
-    };
+    let cfg = DistMsmConfig::builder()
+                .window_size(s)
+                .build()
+                .unwrap();
     let engine = DistMsm::with_config(sys.clone(), cfg.clone());
     let functional = engine.execute(&inst).expect("functional run");
     let analytic = estimate_distmsm_with_s(n as u64, desc, &sys, &cfg, s);

@@ -25,14 +25,17 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let inst = MsmInstance::<Bn254G1>::random(n, &mut rng);
-        let cfg = DistMsmConfig {
-            window_size: Some(s),
-            scatter: naive.then_some(ScatterKind::Naive),
-            bucket_reduce_on_cpu: cpu_reduce,
-            signed_digits: signed,
-            packed_coefficients: packed,
-            ..DistMsmConfig::default()
+        let builder = DistMsmConfig::builder()
+            .window_size(s)
+            .bucket_reduce_on_cpu(cpu_reduce)
+            .signed_digits(signed)
+            .packed_coefficients(packed);
+        let builder = if naive {
+            builder.scatter(ScatterKind::Naive)
+        } else {
+            builder.auto_scatter()
         };
+        let cfg = builder.build().expect("valid config");
         let engine = DistMsm::with_config(MultiGpuSystem::dgx_a100(gpus), cfg);
         let report = engine.execute(&inst).expect("small windows always fit");
         prop_assert_eq!(report.result, inst.reference_result());

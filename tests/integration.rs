@@ -82,11 +82,12 @@ fn window_size_invariance() {
     let expect = inst.reference_result();
     for s in [2u32, 5, 9, 13] {
         for scatter in [Some(ScatterKind::Naive), None] {
-            let cfg = DistMsmConfig {
-                window_size: Some(s),
-                scatter,
-                ..DistMsmConfig::default()
+            let builder = DistMsmConfig::builder().window_size(s);
+            let builder = match scatter {
+                Some(kind) => builder.scatter(kind),
+                None => builder.auto_scatter(),
             };
+            let cfg = builder.build().expect("valid config");
             let engine = DistMsm::with_config(MultiGpuSystem::dgx_a100(3), cfg);
             assert_eq!(engine.execute(&inst).unwrap().result, expect, "s={s}");
         }
