@@ -4,9 +4,12 @@
 #   ./ci.sh            # build, test, lint, analyze
 #
 # Every step must pass; the analyze step runs the simulated-GPU race
-# detector, the kernel resource linter, the comm-schedule checker, and
-# the fault-recovery checker (crates/analyze) over traced executions and
-# fails on any warning- or error-level finding.
+# detector, the kernel resource linter, the comm-schedule checker, the
+# fault-recovery checker, and the service-invariant checker
+# (crates/analyze) over traced executions and fails on any warning- or
+# error-level finding. The soak smoke replays a seeded chaos scenario
+# through the multi-tenant service and diffs its byte-stable report
+# against a golden (BLESS=1 ./ci.sh regenerates it).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,10 +19,12 @@ cargo build --release
 echo "== telemetry: default build carries no telemetry symbols =="
 # feature-off must mean compiled out, not merely inactive (the positive
 # control for this grep runs after the feature smoke run below)
-if grep -qa distmsm_telemetry target/release/fault_sweep; then
-    echo "FAIL: default-feature fault_sweep binary contains telemetry symbols" >&2
-    exit 1
-fi
+for bin in fault_sweep soak; do
+    if grep -qa distmsm_telemetry "target/release/$bin"; then
+        echo "FAIL: default-feature $bin binary contains telemetry symbols" >&2
+        exit 1
+    fi
+done
 
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
@@ -31,6 +36,18 @@ echo "== fault-injection tests (supervisor + cross-curve recovery props) =="
 cargo test -p distmsm -q --test fault_props
 cargo test -p distmsm -q --lib supervisor::
 cargo test -p distmsm-gpu-sim -q --lib fault::
+
+echo "== service soak smoke (seeded chaos, zero violations) + golden =="
+SOAK_JSON="$(mktemp /tmp/distmsm_ci_soak.XXXXXX.json)"
+target/release/soak --smoke --json "$SOAK_JSON"
+GOLDEN="crates/bench/golden/soak_smoke.json"
+if [[ "${BLESS:-0}" == "1" ]]; then
+    cp "$SOAK_JSON" "$GOLDEN"
+    echo "blessed $GOLDEN"
+fi
+# the ServiceReport JSON is byte-stable: any drift is a behaviour change
+diff -u "$GOLDEN" "$SOAK_JSON"
+rm -f "$SOAK_JSON"
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
@@ -53,7 +70,7 @@ grep -qa distmsm_telemetry target/release/fault_sweep
 cargo run --release -q -p distmsm-analyze -- trace "$TRACE"
 rm -f "$TRACE"
 
-echo "== distmsm-analyze check (race + lint + comm + fault recovery + telemetry) =="
+echo "== distmsm-analyze check (race + lint + comm + fault + service + telemetry) =="
 cargo run -p distmsm-analyze -- check
 
 echo "CI OK"

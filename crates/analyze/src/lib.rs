@@ -24,6 +24,11 @@
 //!   byte conservation under replay (`FAULT-001`) and exact re-plan
 //!   coverage with no orphaned work (`FAULT-002`).
 //!
+//! * A **service-invariant checker** ([`svc`]): runs seeded chaos
+//!   soaks of the `distmsm-service` front-end and replays the event
+//!   streams for conservation of admitted jobs (`SVC-001`) and the
+//!   no-dispatch-to-an-open-breaker health gate (`SVC-002`).
+//!
 //! * A **telemetry checker** ([`tel`]): runs the engine with a live
 //!   `distmsm-telemetry` session and verifies the emitted span timeline
 //!   is well-nested and sum-consistent with the engine's own phase
@@ -44,10 +49,12 @@ pub mod harness;
 pub mod lint;
 pub mod race;
 pub mod report;
+pub mod svc;
 pub mod tel;
 
 pub use comm::{check_comm_schedules, check_schedule};
 pub use fault::{check_fault_recovery, check_recovery_report};
+pub use svc::{check_conservation, check_open_dispatch, check_svc};
 pub use tel::{check_telemetry, check_trace_file};
 pub use race::{check_trace, check_traces, RaceConfig};
 pub use report::{Finding, Report, Severity};

@@ -18,6 +18,7 @@ use distmsm_analyze::comm::check_comm_schedules;
 use distmsm_analyze::fault::check_fault_recovery;
 use distmsm_analyze::harness::check_shipped_kernels;
 use distmsm_analyze::lint::lint_presets;
+use distmsm_analyze::svc::check_svc;
 use distmsm_analyze::tel::{check_telemetry, check_trace_file};
 use distmsm_analyze::{RaceConfig, Report};
 use std::process::ExitCode;
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
             report.extend(lint_presets());
             report.extend(check_comm_schedules());
             report.extend(check_fault_recovery());
+            report.extend(check_svc());
             report.extend(check_telemetry());
             report
         }

@@ -1,0 +1,285 @@
+//! Service-invariant checker: runs seeded chaos soaks of the
+//! `distmsm-service` front-end and replays the resulting
+//! [`ServiceEvent`] streams against the service's accounting rules.
+//!
+//! Two rule families, checked independently of the service's own
+//! counters (the analyzer trusts only the event stream):
+//!
+//! * **SVC-001 — conservation of admitted jobs.** At every prefix of
+//!   the stream, `admitted = completed + failed + shed + in-flight`
+//!   with a non-negative in-flight count; at end of stream the
+//!   in-flight count drains to zero and every admitted job id carries
+//!   exactly one terminal event. A job that vanishes (or terminates
+//!   twice) means the dispatcher leaked or double-freed work.
+//! * **SVC-002 — no dispatch to an open breaker.** Replaying the
+//!   `Breaker` transitions as the authoritative per-device state, no
+//!   `Dispatched` event may name a device whose most recent transition
+//!   left it open. A violation means the health gate is advisory, not
+//!   enforced — exactly the failure mode the circuit breaker exists to
+//!   prevent.
+//!
+//! Each seeded scenario also emits an `SVC-000` info finding
+//! summarising what the soak exercised, mirroring `FAULT-000`.
+
+use crate::report::{Finding, Report, Severity};
+use distmsm_service::breaker::BreakerState;
+use distmsm_service::service::{ServiceEvent, ServiceEventKind};
+use distmsm_service::soak::{build_chaos, build_jobs, service_config, SoakSpec};
+use distmsm_service::ProverService;
+
+/// The three seeded soak scenarios the checker replays: a calm pool, a
+/// chaotic pool with an always-faulty device, and a small overloaded
+/// pool that forces shedding and degraded dispatch.
+pub const SVC_SCENARIOS: [(&str, SoakSpec); 3] = [
+    (
+        "calm-pool",
+        SoakSpec {
+            arrival_seed: 101,
+            fault_seed: 1,
+            n_jobs: 24,
+            n_fault_windows: 0,
+            n_link_windows: 0,
+            horizon_s: 120.0,
+            n_devices: 4,
+            msm_size: 24,
+            always_faulty: None,
+        },
+    ),
+    (
+        "chaotic-pool",
+        SoakSpec {
+            arrival_seed: 202,
+            fault_seed: 17,
+            n_jobs: 32,
+            n_fault_windows: 6,
+            n_link_windows: 2,
+            horizon_s: 150.0,
+            n_devices: 4,
+            msm_size: 24,
+            always_faulty: Some(3),
+        },
+    ),
+    (
+        "overloaded-pool",
+        SoakSpec {
+            arrival_seed: 303,
+            fault_seed: 23,
+            n_jobs: 48,
+            n_fault_windows: 4,
+            n_link_windows: 1,
+            horizon_s: 40.0,
+            n_devices: 2,
+            msm_size: 24,
+            always_faulty: None,
+        },
+    ),
+];
+
+/// Replays one event stream against SVC-001 (conservation at every
+/// prefix, drain at end, exactly-once termination per admitted id).
+pub fn check_conservation(scenario: &str, events: &[ServiceEvent]) -> Report {
+    let mut report = Report::new();
+    let mut admitted = 0i64;
+    let mut terminated = 0i64;
+    let mut terminal_count: std::collections::BTreeMap<u64, u32> = Default::default();
+    let mut admitted_ids: std::collections::BTreeSet<u64> = Default::default();
+
+    for ev in events {
+        match &ev.kind {
+            ServiceEventKind::Admitted { .. } => {
+                admitted += 1;
+                if let Some(id) = ev.job {
+                    admitted_ids.insert(id);
+                }
+            }
+            ServiceEventKind::Completed { .. }
+            | ServiceEventKind::Failed { .. }
+            | ServiceEventKind::Shed { .. } => {
+                terminated += 1;
+                if let Some(id) = ev.job {
+                    *terminal_count.entry(id).or_insert(0) += 1;
+                }
+            }
+            _ => {}
+        }
+        if admitted - terminated < 0 {
+            report.push(Finding::new(
+                "SVC-001",
+                Severity::Error,
+                scenario.to_owned(),
+                format!(
+                    "at t={:.6}: {terminated} terminations exceed {admitted} admissions",
+                    ev.t_s
+                ),
+            ));
+        }
+    }
+    if admitted != terminated {
+        report.push(Finding::new(
+            "SVC-001",
+            Severity::Error,
+            scenario.to_owned(),
+            format!(
+                "stream ended with {admitted} admissions but {terminated} terminations \
+                 — {} job(s) leaked in flight",
+                admitted - terminated
+            ),
+        ));
+    }
+    for id in &admitted_ids {
+        let n = terminal_count.get(id).copied().unwrap_or(0);
+        if n != 1 {
+            report.push(Finding::new(
+                "SVC-001",
+                Severity::Error,
+                scenario.to_owned(),
+                format!("admitted job {id} terminated {n} times (want exactly once)"),
+            ));
+        }
+    }
+    report
+}
+
+/// Replays one event stream against SVC-002 (no `Dispatched` event may
+/// name a device whose most recent `Breaker` transition left it open).
+pub fn check_open_dispatch(scenario: &str, events: &[ServiceEvent]) -> Report {
+    let mut report = Report::new();
+    let mut breaker: std::collections::BTreeMap<usize, BreakerState> = Default::default();
+    for ev in events {
+        match &ev.kind {
+            ServiceEventKind::Breaker { transition } => {
+                breaker.insert(transition.device, transition.to);
+            }
+            ServiceEventKind::Dispatched { devices, .. } => {
+                for d in devices {
+                    if breaker.get(d) == Some(&BreakerState::Open) {
+                        report.push(Finding::new(
+                            "SVC-002",
+                            Severity::Error,
+                            scenario.to_owned(),
+                            format!(
+                                "job {:?} dispatched to device {d} at t={:.6} \
+                                 while its breaker was open",
+                                ev.job, ev.t_s
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+/// Runs every seeded scenario end to end and replays both SVC rules
+/// over its event stream. A scenario that produced no events at all is
+/// itself an error (`SVC-000`): the service went silent.
+pub fn check_svc() -> Report {
+    let mut report = Report::new();
+    for (scenario, spec) in SVC_SCENARIOS {
+        let jobs = build_jobs(&spec);
+        let chaos = build_chaos(&spec);
+        let mut service = ProverService::new(service_config(&spec));
+        let outcome = service.run(jobs, &chaos);
+        let events = &outcome.events;
+        let dispatched = events
+            .iter()
+            .filter(|e| matches!(e.kind, ServiceEventKind::Dispatched { .. }))
+            .count();
+        let transitions = events
+            .iter()
+            .filter(|e| matches!(e.kind, ServiceEventKind::Breaker { .. }))
+            .count();
+        report.push(Finding::new(
+            "SVC-000",
+            Severity::Info,
+            scenario.to_owned(),
+            format!(
+                "{} event(s): {} admitted, {} completed, {} shed, {} dispatch(es), \
+                 {} breaker transition(s)",
+                events.len(),
+                outcome.report.admitted(),
+                outcome.report.completed(),
+                outcome.report.shed(),
+                dispatched,
+                transitions,
+            ),
+        ));
+        if events.is_empty() {
+            report.push(Finding::new(
+                "SVC-000",
+                Severity::Error,
+                scenario.to_owned(),
+                "soak produced no service events — the front-end went silent".to_owned(),
+            ));
+        }
+        report.extend(check_conservation(scenario, events));
+        report.extend(check_open_dispatch(scenario, events));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_scenarios_replay_clean() {
+        let r = check_svc();
+        assert_eq!(r.actionable(), 0, "{}", r.render_text());
+        // All three scenarios reported their SVC-000 summary.
+        assert_eq!(
+            r.findings.iter().filter(|f| f.rule == "SVC-000").count(),
+            SVC_SCENARIOS.len()
+        );
+    }
+
+    #[test]
+    fn dropped_terminal_event_breaks_conservation() {
+        let (_, spec) = SVC_SCENARIOS[0];
+        let mut service = ProverService::new(service_config(&spec));
+        let outcome = service.run(build_jobs(&spec), &build_chaos(&spec));
+        let mut events = outcome.events;
+        let idx = events
+            .iter()
+            .position(|e| matches!(e.kind, ServiceEventKind::Completed { .. }))
+            .expect("calm scenario completes at least one job");
+        events.remove(idx);
+        let r = check_conservation("tampered", &events);
+        assert!(r.actionable() > 0, "dropped completion must be flagged");
+    }
+
+    #[test]
+    fn forged_open_dispatch_is_flagged() {
+        use distmsm_service::breaker::PoolTransition;
+        let events = vec![
+            ServiceEvent {
+                t_s: 1.0,
+                job: None,
+                tenant: None,
+                kind: ServiceEventKind::Breaker {
+                    transition: PoolTransition {
+                        device: 0,
+                        t_s: 1.0,
+                        from: BreakerState::Closed,
+                        to: BreakerState::Open,
+                        cause: "fault-threshold",
+                    },
+                },
+            },
+            ServiceEvent {
+                t_s: 2.0,
+                job: Some(7),
+                tenant: Some(0),
+                kind: ServiceEventKind::Dispatched {
+                    devices: vec![0],
+                    attempt: 0,
+                    degraded: false,
+                },
+            },
+        ];
+        let r = check_open_dispatch("forged", &events);
+        assert_eq!(r.actionable(), 1, "{}", r.render_text());
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic chaos soak of the multi-tenant prover front-end.
+//!
+//! Replays a seeded arrival trace against a seeded chaos schedule on the
+//! simulated clock, checks the service invariants (exactly-once
+//! termination, conservation, bit-exact results, starvation bounds, no
+//! dispatch to an open breaker, quarantine of the always-faulty device,
+//! the completion-rate floor), and on violation shrinks the scenario to
+//! a minimal reproducer printed as a re-runnable seed tuple.
+//!
+//! ```text
+//! soak                  # full acceptance scenario (16 GPUs, 500 jobs, 2000 s)
+//! soak --smoke          # bounded CI scenario (~seconds)
+//! soak --json out.json  # also write the byte-stable ServiceReport JSON
+//! soak --arrival-seed 11 --fault-seed 3 --jobs 120 ...   # explicit spec
+//! soak --telemetry t.json   # (telemetry builds) Chrome-trace export
+//! ```
+//!
+//! Exits non-zero when any invariant is violated.
+
+use distmsm_service::soak::{run_soak, shrink, SoakOptions, SoakSpec};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return Some(
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .clone(),
+            );
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    flag_value(args, flag)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad {flag} value {v}: {e:?}")))
+        .unwrap_or(default)
+}
+
+fn spec_from_args(args: &[String]) -> SoakSpec {
+    let base = if args.iter().any(|a| a == "--smoke") {
+        SoakSpec::smoke()
+    } else {
+        SoakSpec::full()
+    };
+    let mut spec = SoakSpec {
+        arrival_seed: parse(args, "--arrival-seed", base.arrival_seed),
+        fault_seed: parse(args, "--fault-seed", base.fault_seed),
+        n_jobs: parse(args, "--jobs", base.n_jobs),
+        n_fault_windows: parse(args, "--fault-windows", base.n_fault_windows),
+        n_link_windows: parse(args, "--link-windows", base.n_link_windows),
+        horizon_s: parse(args, "--horizon", base.horizon_s),
+        n_devices: parse(args, "--devices", base.n_devices),
+        msm_size: parse(args, "--msm-size", base.msm_size),
+        always_faulty: base.always_faulty,
+    };
+    if let Some(d) = flag_value(args, "--always-faulty") {
+        spec.always_faulty = Some(d.parse().expect("bad --always-faulty value"));
+    }
+    if args.iter().any(|a| a == "--no-always-faulty") {
+        spec.always_faulty = None;
+    }
+    spec
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = distmsm_bench::telemetry_path(&args);
+    let spec = spec_from_args(&args);
+    let opts = SoakOptions::default();
+
+    println!("soak: {}", spec.seed_tuple());
+    let outcome = distmsm_bench::run_with_telemetry(trace.as_deref(), || run_soak(&spec, &opts));
+
+    print!("{}", outcome.report.render());
+    println!("events processed: {}", outcome.n_events);
+
+    if let Some(path) = flag_value(&args, "--json") {
+        std::fs::write(&path, outcome.report.to_detailed_json())
+            .unwrap_or_else(|e| panic!("cannot write report to {path}: {e}"));
+        println!("wrote ServiceReport JSON to {path}");
+    }
+
+    if outcome.violations.is_empty() {
+        println!("invariants: all hold (zero violations)");
+        return;
+    }
+
+    println!("invariants VIOLATED ({}):", outcome.violations.len());
+    for v in &outcome.violations {
+        println!("  [{}] {}", v.invariant, v.detail);
+    }
+    println!("shrinking to a minimal reproducer...");
+    let (min, min_outcome) = shrink(&spec, &opts, 64);
+    println!(
+        "minimal reproducer ({} violations): {}",
+        min_outcome.violations.len(),
+        min.seed_tuple()
+    );
+    println!("re-run with: soak {}", min.cli());
+    std::process::exit(1);
+}

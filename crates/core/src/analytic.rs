@@ -33,6 +33,18 @@ pub struct CurveDesc {
 }
 
 impl CurveDesc {
+    /// The descriptor matching a statically-known [`distmsm_ec::Curve`]
+    /// type, so generic callers (e.g. the service front-end estimating
+    /// deadlines) can obtain analytic timings without a lookup table.
+    pub fn of<C: distmsm_ec::Curve>() -> Self {
+        Self {
+            name: C::NAME,
+            limbs32: <C::Base as distmsm_ec::FieldElement>::LIMBS32,
+            scalar_bits: C::SCALAR_BITS,
+            a_is_zero: C::A_IS_ZERO,
+        }
+    }
+
     /// BN254 (Table 1: 254-bit scalars and points).
     pub const BN254: Self = Self {
         name: "BN254",

@@ -238,6 +238,14 @@ impl DistMsmConfigBuilder {
                 ),
             });
         }
+        if !cfg.retry.backoff_cap_s.is_finite() || cfg.retry.backoff_cap_s < 0.0 {
+            return Err(ConfigError::Retry {
+                detail: format!(
+                    "backoff_cap_s {} must be finite and >= 0",
+                    cfg.retry.backoff_cap_s
+                ),
+            });
+        }
         Ok(cfg)
     }
 }

@@ -235,6 +235,23 @@ impl MsmError {
                 | Self::RetriesExhausted { .. }
         )
     }
+
+    /// The devices this error implicates, as indices into the system the
+    /// failing engine ran on. Device-health consumers (the
+    /// `distmsm-service` circuit breakers) charge these devices with the
+    /// failure; an empty vector means the error names no specific device
+    /// (a total fabric partition, a config/input error) and the caller
+    /// decides how widely to spread the blame.
+    pub fn implicated_devices(&self) -> Vec<usize> {
+        match self {
+            Self::SliceLost { gpu, .. } => vec![*gpu],
+            Self::DeviceLost { devices } => devices.clone(),
+            Self::Straggler { device, .. } | Self::RetriesExhausted { device, .. } => {
+                vec![*device]
+            }
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// The DistMSM engine bound to a system description.
@@ -290,6 +307,16 @@ impl DistMsm {
             crate::analytic::estimate_distmsm(n as u64, curve, &self.system, &self.config)
                 .window_size
         })
+    }
+
+    /// Job-level admission estimate: the analytic cost-model projection
+    /// for an `n`-point MSM on this engine's system and configuration,
+    /// in simulated seconds, without executing anything. Service
+    /// front-ends use this to price deadline feasibility before
+    /// admitting a job (`distmsm-service`'s
+    /// `AdmissionError::DeadlineInfeasible`).
+    pub fn estimate_seconds(&self, n: usize, curve: &crate::analytic::CurveDesc) -> f64 {
+        crate::analytic::estimate_distmsm(n as u64, curve, &self.system, &self.config).total_s
     }
 
     /// Executes an MSM, returning the verified-exact result and the

@@ -42,6 +42,12 @@ pub struct RetryPolicy {
     pub backoff_base_s: f64,
     /// Multiplier between consecutive backoffs.
     pub backoff_factor: f64,
+    /// Saturation ceiling for a single backoff, seconds. Exponential
+    /// doubling reaches `f64::INFINITY` within ~1100 doublings from any
+    /// positive base; an adversarial `max_retries` must charge a large
+    /// finite cost, not poison every downstream sum with `inf`/NaN, so
+    /// [`RetryPolicy::backoff_for`] clamps here.
+    pub backoff_cap_s: f64,
 }
 
 impl Default for RetryPolicy {
@@ -50,6 +56,7 @@ impl Default for RetryPolicy {
             max_retries: 3,
             backoff_base_s: 1e-3,
             backoff_factor: 2.0,
+            backoff_cap_s: 60.0,
         }
     }
 }
@@ -76,15 +83,57 @@ impl RetryPolicy {
         self
     }
 
-    /// Backoff charged before retry `k` (0-based): `base · factor^k`.
+    /// Returns the policy with `backoff_cap_s` replaced.
+    #[must_use]
+    pub fn with_backoff_cap_s(mut self, seconds: f64) -> Self {
+        self.backoff_cap_s = seconds;
+        self
+    }
+
+    /// Backoff charged before retry `k` (0-based): `base · factor^k`,
+    /// saturating at [`RetryPolicy::backoff_cap_s`]. The raw exponential
+    /// overflows `f64` for large `k`; saturation keeps every charge
+    /// finite and monotone in `k`.
     pub fn backoff_for(&self, k: u32) -> f64 {
-        self.backoff_base_s * self.backoff_factor.powi(k as i32)
+        let raw = self.backoff_base_s * self.backoff_factor.powi(k.min(i32::MAX as u32) as i32);
+        if raw.is_finite() {
+            raw.min(self.backoff_cap_s)
+        } else {
+            self.backoff_cap_s
+        }
     }
 
     /// Total backoff charged when every retry is spent (the cost of
     /// probing a dead device to exhaustion before declaring it lost).
+    ///
+    /// Evaluated without iterating `max_retries` times: an adversarial
+    /// `max_retries` of `u32::MAX` must not hang the supervisor, so past
+    /// a small exact prefix the geometric series is summed in closed
+    /// form with every saturated term charged at the cap.
     pub fn total_backoff(&self) -> f64 {
-        (0..self.max_retries).map(|k| self.backoff_for(k)).sum()
+        if self.max_retries <= 64 {
+            // exact (and bit-identical to the historical iteration) for
+            // every realistic configuration
+            return (0..self.max_retries).map(|k| self.backoff_for(k)).sum();
+        }
+        let n = f64::from(self.max_retries);
+        let first = self.backoff_for(0);
+        let cap = self.backoff_cap_s;
+        let f = self.backoff_factor;
+        if first <= 0.0 {
+            return 0.0;
+        }
+        if f <= 1.0 || first >= cap {
+            // constant series: no growth, or already saturated
+            return first.min(cap) * n;
+        }
+        // smallest k with first · f^k ≥ cap
+        let k_sat = ((cap / first).ln() / f.ln()).ceil().max(0.0);
+        if k_sat >= n {
+            first * (f.powf(n) - 1.0) / (f - 1.0)
+        } else {
+            first * (f.powf(k_sat) - 1.0) / (f - 1.0) + cap * (n - k_sat)
+        }
     }
 }
 
@@ -186,6 +235,53 @@ mod tests {
         assert!((p.total_backoff() - 7e-3).abs() < 1e-12);
         let none = p.with_max_retries(0);
         assert_eq!(none.total_backoff(), 0.0);
+    }
+
+    #[test]
+    fn backoff_doubling_saturates_at_the_cap() {
+        // default: base 1e-3, factor 2, cap 60 → the raw exponential
+        // crosses the cap between k=15 (32.768 s) and k=16 (65.536 s)
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_for(15), 1e-3 * (1 << 15) as f64);
+        assert_eq!(p.backoff_for(16), 60.0, "k=16 is the saturation point");
+        // far past any representable exponent: still the cap, never inf
+        for k in [17, 64, 1100, u32::MAX] {
+            let b = p.backoff_for(k);
+            assert!(b.is_finite(), "backoff_for({k}) = {b} must be finite");
+            assert_eq!(b, 60.0);
+        }
+    }
+
+    #[test]
+    fn total_backoff_is_finite_for_adversarial_retry_counts() {
+        let p = RetryPolicy::default().with_max_retries(u32::MAX);
+        let total = p.total_backoff();
+        assert!(total.is_finite(), "total_backoff must saturate, got {total}");
+        // almost every term is the 60 s cap
+        assert!(total > 0.9 * 60.0 * f64::from(u32::MAX));
+        // non-growing factor takes the constant-series path, not a
+        // u32::MAX-iteration loop
+        let flat = RetryPolicy::default()
+            .with_backoff_factor(1.0)
+            .with_max_retries(u32::MAX);
+        assert_eq!(flat.total_backoff(), 1e-3 * f64::from(u32::MAX));
+        // zero base charges nothing no matter the count
+        let free = RetryPolicy::default()
+            .with_backoff_base_s(0.0)
+            .with_max_retries(u32::MAX);
+        assert_eq!(free.total_backoff(), 0.0);
+    }
+
+    #[test]
+    fn closed_form_total_matches_iteration_past_the_exact_prefix() {
+        // 65 retries forces the closed form; compare against the naive sum
+        let p = RetryPolicy::default().with_max_retries(65);
+        let naive: f64 = (0..65).map(|k| p.backoff_for(k)).sum();
+        let got = p.total_backoff();
+        assert!(
+            ((got - naive) / naive).abs() < 1e-9,
+            "closed form {got} vs iterated {naive}"
+        );
     }
 
     #[test]

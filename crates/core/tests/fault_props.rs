@@ -83,3 +83,28 @@ proptest! {
         check_recovery::<Mnt4753G1>(n, gpus, seed);
     }
 }
+
+/// A pod whose fabric is fully partitioned (every rank's host and peer
+/// ports down) must surface as `MsmError::LinkDown` — a typed, caller-
+/// visible verdict the service layer can classify — never a panic deep
+/// in route planning.
+#[test]
+fn fully_partitioned_pod_reports_link_down() {
+    use distmsm::engine::MsmError;
+    use distmsm_gpu_sim::LinkFault;
+
+    let gpus = 4;
+    let mut plan = FaultPlan::none();
+    for rank in 0..gpus {
+        plan = plan
+            .with_link_fault(LinkFault::HostPortDown { rank })
+            .with_link_fault(LinkFault::PeerPortDown { rank });
+    }
+    let mut rng = StdRng::seed_from_u64(17);
+    let inst = MsmInstance::<Bn254G1>::random(48, &mut rng);
+    let engine = DistMsm::with_config(MultiGpuSystem::dgx_a100(gpus), config(plan));
+    match engine.execute(&inst) {
+        Err(MsmError::LinkDown { .. }) => {}
+        other => panic!("fully partitioned pod must be LinkDown, got {other:?}"),
+    }
+}

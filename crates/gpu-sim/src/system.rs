@@ -344,6 +344,30 @@ mod tests {
     }
 
     #[test]
+    fn all_host_links_down_is_a_route_error_not_a_panic() {
+        use crate::fault::LinkFault;
+        // Sever both planes of every rank: no GPU can reach the host and
+        // no pair can reach each other, yet routing stays total — every
+        // query returns a RouteError instead of panicking.
+        let n = 4;
+        let faults: Vec<LinkFault> = (0..n)
+            .flat_map(|rank| {
+                [
+                    LinkFault::HostPortDown { rank },
+                    LinkFault::PeerPortDown { rank },
+                ]
+            })
+            .collect();
+        let sys = MultiGpuSystem::dgx_a100(n).degraded(&faults);
+        assert!(sys.ranks_reaching_host().is_empty());
+        let topo = sys.topology.as_ref().expect("dgx gets a topology");
+        for r in 0..n {
+            assert!(topo.try_gpu_to_host_route(r).is_err(), "rank {r}");
+        }
+        assert!(topo.try_gpu_route(0, 1).is_err());
+    }
+
+    #[test]
     fn flat_system_degrades_peer_scalar() {
         use crate::fault::LinkFault;
         let sys = MultiGpuSystem::flat_pool(4)

@@ -1,0 +1,180 @@
+//! Admission control: bounded per-tenant queues, a typed rejection
+//! error, and the explicit shed policy that trades batch work for
+//! interactive survival under overload.
+
+use crate::job::JobClass;
+
+/// Why the service refused a job at the door.
+///
+/// Marked `#[non_exhaustive]`: admission policies grow (quota classes,
+/// priority preemption) and a new rejection reason must not be a
+/// breaking change for downstream matchers.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The tenant's bounded queue is at capacity.
+    QueueFull {
+        /// Tenant whose queue is full.
+        tenant: String,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The shed policy is refusing this job class while system pressure
+    /// exceeds the shed threshold.
+    Shedding {
+        /// Tenant whose job was shed.
+        tenant: String,
+        /// Queue pressure (0 = idle, 1 = every queue full) at refusal.
+        pressure: f64,
+    },
+    /// The analytic cost estimate says the job cannot finish by its
+    /// deadline even if dispatched immediately.
+    DeadlineInfeasible {
+        /// Estimated execution seconds on the configured partition.
+        needed_s: f64,
+        /// Seconds remaining until the deadline at arrival.
+        available_s: f64,
+    },
+}
+
+impl AdmissionError {
+    /// Short stable label used in events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::QueueFull { .. } => "queue-full",
+            Self::Shedding { .. } => "shedding",
+            Self::DeadlineInfeasible { .. } => "deadline-infeasible",
+        }
+    }
+}
+
+impl core::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::QueueFull { tenant, capacity } => {
+                write!(f, "tenant {tenant}: queue full ({capacity} jobs)")
+            }
+            Self::Shedding { tenant, pressure } => {
+                write!(f, "tenant {tenant}: shedding batch work at pressure {pressure:.2}")
+            }
+            Self::DeadlineInfeasible { needed_s, available_s } => {
+                write!(
+                    f,
+                    "deadline infeasible: needs {needed_s:.3e}s, {available_s:.3e}s available"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// One tenant of the service: a named bounded queue with a dispatch
+/// weight.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// Display name (stable across runs; keys the per-tenant report).
+    pub name: String,
+    /// Maximum number of queued (admitted, not yet dispatched) jobs.
+    pub queue_capacity: usize,
+    /// Dispatch tie-break weight: among jobs with equal effective
+    /// deadlines, higher-weight tenants go first.
+    pub weight: f64,
+}
+
+impl TenantConfig {
+    /// A tenant with the given name, an 8-job queue and weight 1.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            queue_capacity: 8,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Sets the dispatch weight.
+    #[must_use]
+    pub fn with_weight(mut self, w: f64) -> Self {
+        self.weight = w;
+        self
+    }
+}
+
+/// The explicit load-shed policy: *when* the service starts refusing
+/// work and *what* it refuses, instead of silent drops.
+///
+/// Pressure is total queued jobs over total queue capacity, in `[0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ShedPolicy {
+    /// Pressure at or above which batch-class jobs are refused at the
+    /// door ([`AdmissionError::Shedding`]). Interactive jobs are never
+    /// door-shed; their protection is the queue bound itself.
+    pub shed_pressure: f64,
+    /// Pressure at or above which dispatch trades latency for survival:
+    /// jobs run on the degraded (smaller) partition size so more jobs
+    /// run concurrently.
+    pub degrade_pressure: f64,
+    /// The completion-rate floor the policy promises: the soak asserts
+    /// `completed / admitted` stays at or above this under chaos.
+    pub min_completion_rate: f64,
+    /// Starvation bound for interactive jobs, seconds of continuous
+    /// queue wait.
+    pub interactive_bound_s: f64,
+    /// Starvation bound for batch jobs, seconds of continuous queue
+    /// wait.
+    pub batch_bound_s: f64,
+}
+
+impl ShedPolicy {
+    /// The starvation bound for a job class, in seconds.
+    pub fn class_bound(&self, class: JobClass) -> f64 {
+        match class {
+            JobClass::Interactive => self.interactive_bound_s,
+            JobClass::Batch => self.batch_bound_s,
+        }
+    }
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self {
+            shed_pressure: 0.75,
+            degrade_pressure: 0.5,
+            min_completion_rate: 0.5,
+            interactive_bound_s: 2.0,
+            batch_bound_s: 30.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_error_displays_and_labels() {
+        let e = AdmissionError::QueueFull { tenant: "a".into(), capacity: 4 };
+        assert_eq!(e.label(), "queue-full");
+        assert!(e.to_string().contains("queue full"));
+        let e = AdmissionError::Shedding { tenant: "b".into(), pressure: 0.9 };
+        assert_eq!(e.label(), "shedding");
+        assert!(e.to_string().contains("0.90"));
+        let e = AdmissionError::DeadlineInfeasible { needed_s: 2.0, available_s: 1.0 };
+        assert_eq!(e.label(), "deadline-infeasible");
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn shed_policy_bounds_by_class() {
+        let p = ShedPolicy::default();
+        assert!(p.class_bound(JobClass::Interactive) < p.class_bound(JobClass::Batch));
+        assert!(p.shed_pressure > p.degrade_pressure);
+    }
+}

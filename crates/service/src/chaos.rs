@@ -1,0 +1,221 @@
+//! Wall-clock chaos schedules: fault *windows* on the simulated clock
+//! that the service lowers to the engine's per-attempt [`FaultPlan`]
+//! coordinates at each dispatch.
+//!
+//! The engine's fault plans are event-indexed (device, work event,
+//! attempt) — perfect for reproducing one MSM, but a service soak needs
+//! faults that exist *in time*: a device that is broken from t=100s to
+//! t=300s fails every attempt dispatched in that interval and none
+//! after. [`ChaosSchedule::fault_plan_for`] does the lowering: a window
+//! active at the dispatch time becomes an attempt-scoped `FaultEvent`
+//! (or `LinkFault`) against the dispatched partition, with global device
+//! ids mapped to partition-local ranks.
+//!
+//! All generation is **prefix-stable**: `random` draws a fixed number of
+//! values per window in sequence, so shrinking the window count keeps
+//! every earlier window bit-identical — the property the soak shrinker
+//! relies on.
+
+use distmsm_gpu_sim::fault::splitmix64;
+use distmsm_gpu_sim::{FaultEvent, FaultKind, FaultPlan, LinkFault};
+
+/// A device fault active over a simulated-clock interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceFaultWindow {
+    /// Global device id the window strikes.
+    pub device: usize,
+    /// Window start (inclusive), simulated seconds.
+    pub t0_s: f64,
+    /// Window end (exclusive), simulated seconds.
+    pub t1_s: f64,
+    /// What happens to dispatches overlapping the window.
+    pub kind: FaultKind,
+}
+
+/// A link fault active over a simulated-clock interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaultWindow {
+    /// Global GPU rank whose port fails.
+    pub rank: usize,
+    /// Window start (inclusive), simulated seconds.
+    pub t0_s: f64,
+    /// Window end (exclusive), simulated seconds.
+    pub t1_s: f64,
+    /// `true` → the host/PCIe port fails, `false` → the peer port.
+    pub host_port: bool,
+}
+
+/// A deterministic chaos schedule: device and link fault windows on the
+/// simulated clock.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChaosSchedule {
+    /// Device fault windows.
+    pub device_windows: Vec<DeviceFaultWindow>,
+    /// Link fault windows.
+    pub link_windows: Vec<LinkFaultWindow>,
+}
+
+impl ChaosSchedule {
+    /// The empty schedule: nothing ever fails.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule where one device fail-stops on every dispatch, forever
+    /// — the soak's "always-faulty device must end quarantined" probe.
+    pub fn always_faulty(device: usize) -> Self {
+        Self {
+            device_windows: vec![DeviceFaultWindow {
+                device,
+                t0_s: 0.0,
+                t1_s: f64::INFINITY,
+                kind: FaultKind::FailStop,
+            }],
+            link_windows: Vec::new(),
+        }
+    }
+
+    /// Merges another schedule's windows into this one.
+    #[must_use]
+    pub fn merged(mut self, other: Self) -> Self {
+        self.device_windows.extend(other.device_windows);
+        self.link_windows.extend(other.link_windows);
+        self
+    }
+
+    /// A seeded random schedule: `n_device_windows` device faults (half
+    /// fail-stop, a quarter stragglers, a quarter bit-flips) and
+    /// `n_link_windows` link faults, uniformly started over
+    /// `[0, horizon_s)` with durations up to ~8% of the horizon.
+    ///
+    /// Prefix-stable: window `i` always consumes the same PRNG draws, so
+    /// reducing either count leaves the surviving windows unchanged.
+    pub fn random(
+        seed: u64,
+        n_devices: usize,
+        n_device_windows: usize,
+        n_link_windows: usize,
+        horizon_s: f64,
+    ) -> Self {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut u = || splitmix64(&mut state) as f64 / u64::MAX as f64;
+        let n_devices = n_devices.max(1);
+        let mut device_windows = Vec::with_capacity(n_device_windows);
+        for _ in 0..n_device_windows {
+            // Fixed draw count per window (device, start, duration, kind
+            // selector) keeps the stream prefix-stable.
+            let device = (u() * n_devices as f64) as usize % n_devices;
+            let t0_s = u() * horizon_s;
+            let dur = (0.005 + 0.075 * u()) * horizon_s;
+            let sel = u();
+            let kind = if sel < 0.5 {
+                FaultKind::FailStop
+            } else if sel < 0.75 {
+                FaultKind::Straggler { slowdown: 4.0 + 4.0 * sel }
+            } else {
+                FaultKind::BitFlip
+            };
+            device_windows.push(DeviceFaultWindow { device, t0_s, t1_s: t0_s + dur, kind });
+        }
+        let mut link_windows = Vec::with_capacity(n_link_windows);
+        for _ in 0..n_link_windows {
+            let rank = (u() * n_devices as f64) as usize % n_devices;
+            let t0_s = u() * horizon_s;
+            let dur = (0.005 + 0.045 * u()) * horizon_s;
+            let host_port = u() < 0.5;
+            link_windows.push(LinkFaultWindow { rank, t0_s, t1_s: t0_s + dur, host_port });
+        }
+        Self { device_windows, link_windows }
+    }
+
+    /// True when a window covers time `t` (start inclusive, end
+    /// exclusive; an infinite end covers everything after start).
+    fn covers(t0: f64, t1: f64, t: f64) -> bool {
+        t >= t0 && t < t1
+    }
+
+    /// Lowers the schedule to an engine [`FaultPlan`] for a dispatch of
+    /// `devices` (global ids, in partition-rank order) starting at
+    /// `t_s`, as execution attempt `attempt`.
+    ///
+    /// Device ids in the returned plan are **partition-local ranks**
+    /// (indices into `devices`), matching the `MultiGpuSystem` the
+    /// dispatch builds. Windows covering devices outside the partition
+    /// contribute nothing.
+    pub fn fault_plan_for(&self, devices: &[usize], t_s: f64, attempt: u32) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for w in &self.device_windows {
+            if !Self::covers(w.t0_s, w.t1_s, t_s) {
+                continue;
+            }
+            if let Some(local) = devices.iter().position(|&d| d == w.device) {
+                plan.events.push(FaultEvent {
+                    device: local,
+                    at_event: 0,
+                    attempt,
+                    kind: w.kind,
+                });
+            }
+        }
+        for w in &self.link_windows {
+            if !Self::covers(w.t0_s, w.t1_s, t_s) {
+                continue;
+            }
+            if let Some(local) = devices.iter().position(|&d| d == w.rank) {
+                plan.link_faults.push(if w.host_port {
+                    LinkFault::HostPortDown { rank: local }
+                } else {
+                    LinkFault::PeerPortDown { rank: local }
+                });
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_prefix_stable_under_shrinking() {
+        let full = ChaosSchedule::random(7, 8, 12, 6, 1000.0);
+        let fewer_links = ChaosSchedule::random(7, 8, 12, 3, 1000.0);
+        assert_eq!(full.device_windows, fewer_links.device_windows);
+        assert_eq!(&full.link_windows[..3], &fewer_links.link_windows[..]);
+        let fewer_devs = ChaosSchedule::random(7, 8, 6, 6, 1000.0);
+        assert_eq!(&full.device_windows[..6], &fewer_devs.device_windows[..]);
+    }
+
+    #[test]
+    fn lowering_maps_global_devices_to_partition_ranks() {
+        let chaos = ChaosSchedule {
+            device_windows: vec![DeviceFaultWindow {
+                device: 6,
+                t0_s: 10.0,
+                t1_s: 20.0,
+                kind: FaultKind::FailStop,
+            }],
+            link_windows: vec![LinkFaultWindow { rank: 2, t0_s: 0.0, t1_s: 100.0, host_port: true }],
+        };
+        // Device 6 is rank 1 of the partition [4, 6]; rank 2 is absent.
+        let plan = chaos.fault_plan_for(&[4, 6], 15.0, 3);
+        assert_eq!(plan.events.len(), 1);
+        assert_eq!(plan.events[0].device, 1);
+        assert_eq!(plan.events[0].attempt, 3);
+        assert!(plan.link_faults.is_empty());
+        // Outside the window nothing fires.
+        assert!(chaos.fault_plan_for(&[4, 6], 25.0, 0).is_empty());
+        // Device 6 not in partition → nothing fires.
+        assert!(chaos.fault_plan_for(&[0, 1], 15.0, 0).is_empty());
+    }
+
+    #[test]
+    fn always_faulty_covers_every_time() {
+        let chaos = ChaosSchedule::always_faulty(3);
+        for t in [0.0, 1.0, 1e9] {
+            let plan = chaos.fault_plan_for(&[3], t, 0);
+            assert_eq!(plan.events.len(), 1, "t={t}");
+        }
+    }
+}

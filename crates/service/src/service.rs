@@ -1,0 +1,847 @@
+//! The multi-tenant prover front-end: a deterministic discrete-event
+//! loop on the simulated clock that admits, queues, dispatches, retries
+//! and sheds MSM jobs against a health-gated device pool.
+//!
+//! Everything is simulated time: arrivals come stamped, executions take
+//! the engine's modelled duration, and the event heap orders
+//! (time, sequence) pairs — two runs with the same inputs produce
+//! byte-identical event streams.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, VecDeque};
+
+use distmsm::engine::{DistMsm, MsmError, MsmReport};
+use distmsm::CurveDesc;
+use distmsm_ec::{Curve, XyzzPoint};
+use distmsm_gpu_sim::MultiGpuSystem;
+
+use crate::admission::{AdmissionError, ShedPolicy, TenantConfig};
+use crate::breaker::{BreakerConfig, PoolTransition};
+use crate::chaos::ChaosSchedule;
+use crate::job::{JobClass, JobSpec, ShedReason};
+use crate::pool::DevicePool;
+use crate::report::{ServiceReport, TenantStats};
+
+/// Configuration of the service front-end.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Devices in the shared pool.
+    pub n_devices: usize,
+    /// Partition size for a normal dispatch.
+    pub gpus_per_job: usize,
+    /// Partition size once pressure crosses
+    /// [`ShedPolicy::degrade_pressure`] — smaller partitions mean more
+    /// jobs run concurrently: latency traded for survival.
+    pub degraded_gpus_per_job: usize,
+    /// The tenants sharing the pool.
+    pub tenants: Vec<TenantConfig>,
+    /// The load-shed policy.
+    pub shed: ShedPolicy,
+    /// The per-device circuit-breaker tunables.
+    pub breaker: BreakerConfig,
+    /// Service-level execution attempts per job (1 = no retry).
+    pub max_attempts: u32,
+    /// Pippenger window size every dispatch uses.
+    pub window_size: u32,
+    /// Straggler SLA forwarded to the engine (`None` disables).
+    pub straggler_sla: Option<f64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            n_devices: 16,
+            gpus_per_job: 4,
+            degraded_gpus_per_job: 1,
+            tenants: vec![
+                TenantConfig::new("alice").with_weight(2.0),
+                TenantConfig::new("bob"),
+            ],
+            shed: ShedPolicy::default(),
+            breaker: BreakerConfig::default(),
+            max_attempts: 3,
+            window_size: 8,
+            straggler_sla: Some(3.0),
+        }
+    }
+}
+
+/// What happened, when, to which job — the service's replayable event
+/// stream. Every invariant the soak and the `SVC-00x` analyzer rules
+/// check is a property of this stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceEventKind {
+    /// A job arrived at the door.
+    Arrival {
+        /// Its service class.
+        class: JobClass,
+    },
+    /// The job passed admission and joined its tenant queue.
+    Admitted {
+        /// Queue length after the push.
+        queue_len: usize,
+    },
+    /// The job was refused at the door.
+    Rejected {
+        /// Why.
+        error: AdmissionError,
+    },
+    /// The job started executing on a partition.
+    Dispatched {
+        /// Global device ids of the partition, ascending.
+        devices: Vec<usize>,
+        /// Service-level attempt (0 = first).
+        attempt: u32,
+        /// True when the pressure-degraded partition size was used.
+        degraded: bool,
+    },
+    /// A failed attempt re-joined the queue for another try.
+    Requeued {
+        /// The attempt the job will run next.
+        attempt: u32,
+    },
+    /// The job finished with a verified result.
+    Completed {
+        /// Whether it met its deadline (true when it had none).
+        deadline_met: bool,
+        /// Arrival-to-completion time, seconds.
+        sojourn_s: f64,
+        /// Attempts consumed (1 = no retry needed).
+        attempts: u32,
+    },
+    /// The job exhausted its attempts.
+    Failed {
+        /// Display form of the final [`MsmError`].
+        error: String,
+    },
+    /// The admitted job was dropped by the shed policy.
+    Shed {
+        /// Why.
+        reason: ShedReason,
+    },
+    /// A device breaker changed state.
+    Breaker {
+        /// The transition.
+        transition: PoolTransition,
+    },
+}
+
+/// One timestamped service event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceEvent {
+    /// Simulated time.
+    pub t_s: f64,
+    /// Job the event concerns (`None` for pool-level events).
+    pub job: Option<u64>,
+    /// Tenant index (`None` for pool-level events).
+    pub tenant: Option<usize>,
+    /// What happened.
+    pub kind: ServiceEventKind,
+}
+
+/// A completed job's verifiable outcome, kept separately from the
+/// event stream so soaks can check bit-exactness against a reference.
+#[derive(Clone, Debug)]
+pub struct CompletedJob<C: Curve> {
+    /// Job id.
+    pub id: u64,
+    /// Tenant index.
+    pub tenant: usize,
+    /// The MSM value the service returned.
+    pub result: XyzzPoint<C>,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// True when the completing partition contained a device that had
+    /// previously been quarantined (breaker tripped at least once) —
+    /// the re-admission path the cross-curve proptest pins.
+    pub used_readmitted_device: bool,
+}
+
+/// Everything one [`ProverService::run`] produces.
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome<C: Curve> {
+    /// Aggregated per-tenant and pool statistics.
+    pub report: ServiceReport,
+    /// The full replayable event stream, in emission order.
+    pub events: Vec<ServiceEvent>,
+    /// Verified results of every completed job.
+    pub completed: Vec<CompletedJob<C>>,
+}
+
+/// A job waiting in its tenant queue.
+#[derive(Clone, Debug)]
+struct QueuedJob<C: Curve> {
+    spec: JobSpec<C>,
+    /// Next execution attempt.
+    attempt: u32,
+    /// When this queue epoch started (admission or requeue).
+    enqueued_s: f64,
+    /// When this epoch's starvation bound expires.
+    expire_s: f64,
+}
+
+/// A job currently executing.
+#[derive(Debug)]
+struct InFlight<C: Curve> {
+    spec: JobSpec<C>,
+    attempt: u32,
+    devices: Vec<usize>,
+    outcome: Result<MsmReport<C>, MsmError>,
+    used_readmitted_device: bool,
+}
+
+/// Heap entry: the service's future work.
+#[derive(Clone, Debug, PartialEq)]
+enum PendingKind {
+    /// Index into the sorted arrival vector.
+    Arrival(usize),
+    /// An in-flight job finishes.
+    Completion(u64),
+    /// A queued job's starvation bound may have expired.
+    Expire(u64),
+    /// A breaker probation window may have elapsed.
+    Poll,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Pending {
+    t_s: f64,
+    seq: u64,
+    kind: PendingKind,
+}
+
+impl Eq for Pending {}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.t_s
+            .total_cmp(&other.t_s)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-tenant accumulation while the run executes.
+#[derive(Clone, Debug, Default)]
+struct TenantAccum {
+    arrivals: u64,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    shed: u64,
+    deadline_missed: u64,
+    sojourns_s: Vec<f64>,
+}
+
+/// The multi-tenant prover front-end.
+pub struct ProverService<C: Curve> {
+    config: ServiceConfig,
+    pool: DevicePool,
+    queues: Vec<VecDeque<QueuedJob<C>>>,
+    in_flight: BTreeMap<u64, InFlight<C>>,
+    heap: std::collections::BinaryHeap<Reverse<Pending>>,
+    seq: u64,
+    clock_s: f64,
+    events: Vec<ServiceEvent>,
+    completed: Vec<CompletedJob<C>>,
+    accum: Vec<TenantAccum>,
+    /// Round-robin placement cursor: the device id the next dispatch
+    /// starts filling from, so traffic spreads across the pool instead
+    /// of pinning the lowest ids.
+    rr_cursor: usize,
+    curve: CurveDesc,
+    /// Fault-free engine on a normal-size partition, used to price
+    /// deadline feasibility at admission.
+    admission_engine: DistMsm,
+}
+
+impl<C: Curve> ProverService<C> {
+    /// A service over a fresh pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is degenerate (no tenants, no
+    /// devices, zero partition sizes or attempts).
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(!config.tenants.is_empty(), "service needs at least one tenant");
+        assert!(config.n_devices > 0, "service needs at least one device");
+        assert!(
+            config.gpus_per_job > 0 && config.degraded_gpus_per_job > 0,
+            "partition sizes must be positive"
+        );
+        assert!(config.max_attempts > 0, "jobs need at least one attempt");
+        let pool = DevicePool::new(config.n_devices, config.breaker);
+        let queues = config.tenants.iter().map(|_| VecDeque::new()).collect();
+        let accum = config.tenants.iter().map(|_| TenantAccum::default()).collect();
+        let k = config.gpus_per_job.min(config.n_devices);
+        let admission_engine = DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(k),
+            Self::engine_config(&config, distmsm_gpu_sim::FaultPlan::none())
+                .expect("service engine config is valid"),
+        );
+        Self {
+            config,
+            pool,
+            queues,
+            in_flight: BTreeMap::new(),
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+            clock_s: 0.0,
+            events: Vec::new(),
+            completed: Vec::new(),
+            accum,
+            rr_cursor: 0,
+            curve: CurveDesc::of::<C>(),
+            admission_engine,
+        }
+    }
+
+    fn engine_config(
+        config: &ServiceConfig,
+        plan: distmsm_gpu_sim::FaultPlan,
+    ) -> Result<distmsm::DistMsmConfig, distmsm::ConfigError> {
+        let mut b = distmsm::DistMsmConfig::builder()
+            .window_size(config.window_size)
+            .fault_plan(plan);
+        b = match config.straggler_sla {
+            Some(sla) => b.straggler_sla(sla),
+            None => b.no_straggler_sla(),
+        };
+        b.build()
+    }
+
+    /// The pool (breaker states, timeline) as of now.
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    fn push_pending(&mut self, t_s: f64, kind: PendingKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Pending { t_s, seq, kind }));
+    }
+
+    fn emit(&mut self, job: Option<u64>, tenant: Option<usize>, kind: ServiceEventKind) {
+        self.events.push(ServiceEvent { t_s: self.clock_s, job, tenant, kind });
+    }
+
+    /// Emits a telemetry instant on the `service` lane (no-op unless the
+    /// `telemetry` feature is on and a session is active).
+    #[allow(unused_variables)]
+    fn instant(&self, name: &str, args: Vec<(String, String)>) {
+        #[cfg(feature = "telemetry")]
+        {
+            if distmsm_telemetry::session::active() {
+                distmsm_telemetry::session::push_instant(distmsm_telemetry::Instant {
+                    name: name.to_string(),
+                    cat: "service".to_string(),
+                    lane: distmsm_telemetry::Lane::Service,
+                    t_s: self.clock_s,
+                    args,
+                });
+            }
+        }
+    }
+
+    fn record_transitions(&mut self, transitions: Vec<PoolTransition>) {
+        for t in transitions {
+            self.instant(
+                &format!("breaker:{}", t.to.label()),
+                vec![
+                    ("device".into(), t.device.to_string()),
+                    ("from".into(), t.from.label().into()),
+                    ("cause".into(), t.cause.into()),
+                ],
+            );
+            self.emit(None, None, ServiceEventKind::Breaker { transition: t });
+        }
+    }
+
+    fn total_queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Wakes the loop when an open breaker's probation elapses — but
+    /// only while jobs are actually waiting. With empty queues there is
+    /// nothing a probation end could unblock (later arrivals poll the
+    /// pool themselves), and an unconditional wake would flip an idle
+    /// quarantined device to half-open right at the end of a run.
+    fn wake_at_probation_end(&mut self) {
+        if self.total_queued() == 0 {
+            return;
+        }
+        if let Some(end) = self.pool.next_probation_end() {
+            if end > self.clock_s {
+                self.push_pending(end, PendingKind::Poll);
+            }
+        }
+    }
+
+    /// Total queued jobs over total queue capacity, in `[0, 1]`.
+    fn pressure(&self) -> f64 {
+        let queued = self.total_queued();
+        let capacity: usize = self.config.tenants.iter().map(|t| t.queue_capacity).sum();
+        if capacity == 0 {
+            1.0
+        } else {
+            (queued as f64 / capacity as f64).min(1.0)
+        }
+    }
+
+    /// Runs the service to completion over a set of stamped jobs under a
+    /// chaos schedule: every event is processed in simulated-time order
+    /// until nothing is pending, so every admitted job has terminated
+    /// when this returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a job names a tenant outside the configured table.
+    pub fn run(&mut self, mut jobs: Vec<JobSpec<C>>, chaos: &ChaosSchedule) -> ServiceOutcome<C> {
+        jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        for job in &jobs {
+            assert!(
+                job.tenant < self.config.tenants.len(),
+                "job {} names unknown tenant {}",
+                job.id,
+                job.tenant
+            );
+        }
+        for (i, job) in jobs.iter().enumerate() {
+            self.push_pending(job.arrival_s, PendingKind::Arrival(i));
+        }
+
+        while let Some(Reverse(p)) = self.heap.pop() {
+            self.clock_s = self.clock_s.max(p.t_s);
+            match p.kind {
+                PendingKind::Arrival(i) => self.on_arrival(jobs[i].clone()),
+                PendingKind::Completion(id) => self.on_completion(id),
+                PendingKind::Expire(id) => self.on_expire(id),
+                PendingKind::Poll => {}
+            }
+            self.try_dispatch(chaos);
+        }
+
+        ServiceOutcome {
+            report: self.build_report(),
+            events: std::mem::take(&mut self.events),
+            completed: std::mem::take(&mut self.completed),
+        }
+    }
+
+    fn on_arrival(&mut self, spec: JobSpec<C>) {
+        let tenant = spec.tenant;
+        self.accum[tenant].arrivals += 1;
+        self.emit(Some(spec.id), Some(tenant), ServiceEventKind::Arrival { class: spec.class });
+
+        let pressure = self.pressure();
+        let tcfg = &self.config.tenants[tenant];
+        let error = if spec.class == JobClass::Batch && pressure >= self.config.shed.shed_pressure {
+            Some(AdmissionError::Shedding { tenant: tcfg.name.clone(), pressure })
+        } else if self.queues[tenant].len() >= tcfg.queue_capacity {
+            Some(AdmissionError::QueueFull { tenant: tcfg.name.clone(), capacity: tcfg.queue_capacity })
+        } else if let Some(deadline) = spec.deadline_s {
+            let needed_s = self.admission_engine.estimate_seconds(spec.instance.len(), &self.curve);
+            let available_s = deadline - self.clock_s;
+            if needed_s > available_s {
+                Some(AdmissionError::DeadlineInfeasible { needed_s, available_s })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        if let Some(error) = error {
+            self.accum[tenant].rejected += 1;
+            self.instant(
+                &format!("reject:{}", error.label()),
+                vec![("job".into(), spec.id.to_string()), ("tenant".into(), tcfg.name.clone())],
+            );
+            self.emit(Some(spec.id), Some(tenant), ServiceEventKind::Rejected { error });
+            return;
+        }
+
+        self.accum[tenant].admitted += 1;
+        let bound = self.config.shed.class_bound(spec.class);
+        let expire_s = self.clock_s + bound;
+        let id = spec.id;
+        self.queues[tenant].push_back(QueuedJob {
+            spec,
+            attempt: 0,
+            enqueued_s: self.clock_s,
+            expire_s,
+        });
+        let queue_len = self.queues[tenant].len();
+        self.emit(Some(id), Some(tenant), ServiceEventKind::Admitted { queue_len });
+        self.push_pending(expire_s, PendingKind::Expire(id));
+    }
+
+    /// Picks the queued job with the earliest effective deadline
+    /// (explicit deadline, else queue-epoch start plus class bound),
+    /// breaking ties by tenant weight (heavier first), then id.
+    fn pick_edf(&mut self) -> Option<QueuedJob<C>> {
+        let mut best: Option<(f64, f64, u64, usize, usize)> = None;
+        for (tenant, queue) in self.queues.iter().enumerate() {
+            let weight = self.config.tenants[tenant].weight;
+            for (pos, q) in queue.iter().enumerate() {
+                let bound = self.config.shed.class_bound(q.spec.class);
+                let eff = q
+                    .spec
+                    .deadline_s
+                    .unwrap_or(f64::INFINITY)
+                    .min(q.enqueued_s + bound);
+                let better = match &best {
+                    None => true,
+                    Some((b_eff, b_w, b_id, _, _)) => {
+                        match eff.total_cmp(b_eff) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Greater => false,
+                            std::cmp::Ordering::Equal => match weight.total_cmp(b_w) {
+                                std::cmp::Ordering::Greater => true,
+                                std::cmp::Ordering::Less => false,
+                                std::cmp::Ordering::Equal => q.spec.id < *b_id,
+                            },
+                        }
+                    }
+                };
+                if better {
+                    best = Some((eff, weight, q.spec.id, tenant, pos));
+                }
+            }
+        }
+        let (_, _, _, tenant, pos) = best?;
+        self.queues[tenant].remove(pos)
+    }
+
+    fn try_dispatch(&mut self, chaos: &ChaosSchedule) {
+        if self.total_queued() == 0 {
+            return;
+        }
+        // Probation ends are observed lazily, by traffic: breakers are
+        // polled only when a dispatch is attempted, so an idle
+        // quarantined device stays quarantined instead of drifting to
+        // half-open with nothing to probe it.
+        let polled = self.pool.poll(self.clock_s);
+        self.record_transitions(polled);
+        loop {
+            let (closed, half_open) = self.pool.allocatable(self.clock_s);
+            if closed.is_empty() && half_open.is_empty() {
+                // Jobs are stuck behind quarantines: make sure the loop
+                // wakes when the next probation window elapses.
+                self.wake_at_probation_end();
+                return;
+            }
+            let pressure = self.pressure();
+            let Some(job) = self.pick_edf() else { return };
+
+            let degraded = pressure >= self.config.shed.degrade_pressure;
+            let target = if degraded {
+                self.config.degraded_gpus_per_job
+            } else {
+                self.config.gpus_per_job
+            };
+            // Round-robin placement: start filling from the cursor so
+            // every device (including high ids) sees regular traffic.
+            let split = closed.partition_point(|&d| d < self.rr_cursor);
+            let mut devices: Vec<usize> = closed[split..]
+                .iter()
+                .chain(closed[..split].iter())
+                .copied()
+                .take(target)
+                .collect();
+            if let Some(&last) = devices.last() {
+                self.rr_cursor = (last + 1) % self.config.n_devices;
+            }
+            // At most one half-open device rides along as the probe —
+            // replacing a closed rank when the partition is already
+            // full, so probation devices see real traffic. The most
+            // frequently tripped device probes first: it is the one
+            // whose health the pool is least sure about.
+            let probe = half_open
+                .iter()
+                .copied()
+                .max_by_key(|&d| (self.pool.open_spells(d), std::cmp::Reverse(d)));
+            if let Some(probe) = probe {
+                if devices.len() >= target {
+                    devices.pop();
+                }
+                devices.push(probe);
+            }
+            devices.sort_unstable();
+            self.dispatch(job, devices, degraded, chaos);
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        job: QueuedJob<C>,
+        devices: Vec<usize>,
+        degraded: bool,
+        chaos: &ChaosSchedule,
+    ) {
+        let attempt = job.attempt;
+        let plan = chaos.fault_plan_for(&devices, self.clock_s, attempt);
+        let system = MultiGpuSystem::dgx_a100(devices.len());
+        let engine = DistMsm::with_config(
+            system,
+            Self::engine_config(&self.config, plan).expect("service engine config is valid"),
+        );
+        let outcome = engine.execute_attempt(&job.spec.instance, attempt);
+        let duration_s = match &outcome {
+            Ok(report) => report.total_s,
+            // A failed attempt still occupied its partition: charge the
+            // analytic estimate as the detection latency.
+            Err(_) => engine.estimate_seconds(job.spec.instance.len(), &self.curve),
+        }
+        .max(1e-9);
+
+        let used_readmitted_device = devices.iter().any(|&d| self.pool.open_spells(d) > 0);
+        self.pool.allocate(&devices, self.clock_s + duration_s);
+        self.push_pending(self.clock_s + duration_s, PendingKind::Completion(job.spec.id));
+        self.emit(
+            Some(job.spec.id),
+            Some(job.spec.tenant),
+            ServiceEventKind::Dispatched { devices: devices.clone(), attempt, degraded },
+        );
+        self.in_flight.insert(
+            job.spec.id,
+            InFlight { spec: job.spec, attempt, devices, outcome, used_readmitted_device },
+        );
+    }
+
+    fn on_completion(&mut self, id: u64) {
+        let Some(fl) = self.in_flight.remove(&id) else { return };
+        let tenant = fl.spec.tenant;
+        match fl.outcome {
+            Ok(report) => {
+                // A recovered execution still names the devices the
+                // supervisor had to work around: charge them. Bit-flips
+                // are transient in-flight corruption (the self-check
+                // caught and re-shipped them), so they do not count
+                // against device health.
+                let mut faulty: Vec<usize> = report
+                    .recovery
+                    .as_ref()
+                    .map(|rec| {
+                        rec.faults
+                            .iter()
+                            .filter(|f| f.kind != "bit-flip")
+                            .filter_map(|f| fl.devices.get(f.device).copied())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                faulty.sort_unstable();
+                faulty.dedup();
+                let mut transitions = Vec::new();
+                for &d in &fl.devices {
+                    if faulty.contains(&d) {
+                        transitions.extend(self.pool.record_fault(d, self.clock_s));
+                    } else {
+                        transitions.extend(self.pool.record_success(d, self.clock_s));
+                    }
+                }
+                if transitions.iter().any(|t| t.to == crate::breaker::BreakerState::Open) {
+                    self.wake_at_probation_end();
+                }
+                self.record_transitions(transitions);
+                let sojourn_s = self.clock_s - fl.spec.arrival_s;
+                let deadline_met = fl.spec.deadline_s.is_none_or(|d| self.clock_s <= d);
+                self.accum[tenant].completed += 1;
+                if !deadline_met {
+                    self.accum[tenant].deadline_missed += 1;
+                }
+                self.accum[tenant].sojourns_s.push(sojourn_s);
+                self.emit(
+                    Some(id),
+                    Some(tenant),
+                    ServiceEventKind::Completed {
+                        deadline_met,
+                        sojourn_s,
+                        attempts: fl.attempt + 1,
+                    },
+                );
+                self.completed.push(CompletedJob {
+                    id,
+                    tenant,
+                    result: report.result,
+                    attempts: fl.attempt + 1,
+                    used_readmitted_device: fl.used_readmitted_device,
+                });
+            }
+            Err(error) => {
+                // Map partition-local blame back to global device ids;
+                // an error naming no device (total partition, config)
+                // charges the whole partition.
+                let local = error.implicated_devices();
+                let blamed: Vec<usize> = if local.is_empty() {
+                    fl.devices.clone()
+                } else {
+                    local.iter().filter_map(|&l| fl.devices.get(l).copied()).collect()
+                };
+                let mut transitions = Vec::new();
+                for &d in &blamed {
+                    transitions.extend(self.pool.record_fault(d, self.clock_s));
+                }
+                if transitions.iter().any(|t| t.to == crate::breaker::BreakerState::Open) {
+                    self.wake_at_probation_end();
+                }
+                self.record_transitions(transitions);
+
+                let next_attempt = fl.attempt + 1;
+                if next_attempt < self.config.max_attempts {
+                    let bound = self.config.shed.class_bound(fl.spec.class);
+                    let expire_s = self.clock_s + bound;
+                    self.emit(
+                        Some(id),
+                        Some(tenant),
+                        ServiceEventKind::Requeued { attempt: next_attempt },
+                    );
+                    self.queues[tenant].push_front(QueuedJob {
+                        spec: fl.spec,
+                        attempt: next_attempt,
+                        enqueued_s: self.clock_s,
+                        expire_s,
+                    });
+                    self.push_pending(expire_s, PendingKind::Expire(id));
+                } else {
+                    self.accum[tenant].failed += 1;
+                    self.instant(
+                        "job:failed",
+                        vec![("job".into(), id.to_string()), ("error".into(), error.to_string())],
+                    );
+                    self.emit(
+                        Some(id),
+                        Some(tenant),
+                        ServiceEventKind::Failed { error: error.to_string() },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_expire(&mut self, id: u64) {
+        // The job may have been dispatched, completed, or requeued with
+        // a fresher bound since this expiry was scheduled.
+        for tenant in 0..self.queues.len() {
+            if let Some(pos) = self.queues[tenant]
+                .iter()
+                .position(|q| q.spec.id == id && q.expire_s <= self.clock_s + 1e-9)
+            {
+                self.queues[tenant].remove(pos);
+                let reason = if self.pool.fully_quarantined() {
+                    ShedReason::PoolQuarantined
+                } else {
+                    ShedReason::Starvation
+                };
+                self.accum[tenant].shed += 1;
+                self.instant(
+                    &format!("shed:{}", reason.label()),
+                    vec![("job".into(), id.to_string())],
+                );
+                self.emit(Some(id), Some(tenant), ServiceEventKind::Shed { reason });
+                return;
+            }
+        }
+    }
+
+    fn build_report(&mut self) -> ServiceReport {
+        let tenants = self
+            .config
+            .tenants
+            .iter()
+            .zip(&mut self.accum)
+            .map(|(cfg, a)| {
+                let mut sojourns = std::mem::take(&mut a.sojourns_s);
+                sojourns.sort_by(f64::total_cmp);
+                TenantStats {
+                    name: cfg.name.clone(),
+                    arrivals: a.arrivals,
+                    admitted: a.admitted,
+                    rejected: a.rejected,
+                    completed: a.completed,
+                    failed: a.failed,
+                    shed: a.shed,
+                    deadline_missed: a.deadline_missed,
+                    sojourn_p50_s: crate::report::percentile(&sojourns, 0.50),
+                    sojourn_p95_s: crate::report::percentile(&sojourns, 0.95),
+                    sojourn_p99_s: crate::report::percentile(&sojourns, 0.99),
+                }
+            })
+            .collect();
+        ServiceReport {
+            tenants,
+            pool_timeline: self.pool.timeline().to_vec(),
+            final_states: self.pool.final_states(),
+            horizon_s: self.clock_s,
+            n_devices: self.config.n_devices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerState;
+    use distmsm_ec::curves::Bn254G1;
+    use distmsm_ec::MsmInstance;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn job(id: u64, tenant: usize, class: JobClass, arrival_s: f64) -> JobSpec<Bn254G1> {
+        let mut rng = StdRng::seed_from_u64(1000 + id);
+        JobSpec {
+            id,
+            tenant,
+            class,
+            arrival_s,
+            deadline_s: None,
+            instance: MsmInstance::random(24, &mut rng),
+        }
+    }
+
+    /// When every device in the pool fail-stops forever, the service
+    /// must classify the stuck queue correctly: breakers all end open,
+    /// nothing completes, and the queued work is shed as
+    /// `PoolQuarantined` (not misreported as mere starvation).
+    #[test]
+    fn fully_quarantined_pool_sheds_with_pool_quarantined() {
+        let config = ServiceConfig {
+            n_devices: 2,
+            gpus_per_job: 2,
+            degraded_gpus_per_job: 1,
+            ..ServiceConfig::default()
+        };
+        let chaos =
+            ChaosSchedule::always_faulty(0).merged(ChaosSchedule::always_faulty(1));
+        let jobs: Vec<_> = (0..8)
+            .map(|i| job(i, i as usize % 2, JobClass::Batch, 0.001 * i as f64))
+            .collect();
+        let mut service = ProverService::new(config);
+        let out = service.run(jobs, &chaos);
+
+        assert!(
+            out.report.final_states.iter().all(|s| *s == BreakerState::Open),
+            "every breaker must end open: {:?}",
+            out.report.final_states
+        );
+        assert_eq!(out.report.completed(), 0, "nothing can complete on a dead pool");
+        assert!(
+            out.events.iter().any(|e| matches!(
+                e.kind,
+                ServiceEventKind::Shed { reason: ShedReason::PoolQuarantined }
+            )),
+            "stuck work must be shed as pool-quarantined: {:#?}",
+            out.report.render()
+        );
+        // Conservation still holds on the all-fault path.
+        assert_eq!(
+            out.report.admitted(),
+            out.report.completed() + out.report.failed() + out.report.shed()
+        );
+    }
+}

@@ -1,0 +1,588 @@
+//! The deterministic chaos soak: seeded Poisson-like arrival traces
+//! replayed against randomized fault schedules for thousands of
+//! simulated seconds, with the service invariants checked over the
+//! event stream — and, on violation, greedy shrinking of the
+//! (arrival trace, fault plan) pair to a minimal reproducer printed as
+//! a re-runnable seed tuple.
+//!
+//! Everything is derived from the [`SoakSpec`] alone (no wall clock, no
+//! global state), and all generation is prefix-stable: shrinking a
+//! count re-runs a strict subset of the original scenario.
+
+use distmsm::engine::DistMsm;
+use distmsm_ec::curves::Bn254G1;
+use distmsm_ec::MsmInstance;
+use distmsm_gpu_sim::fault::splitmix64;
+use distmsm_gpu_sim::MultiGpuSystem;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::breaker::BreakerState;
+use crate::chaos::ChaosSchedule;
+use crate::job::{JobClass, JobSpec};
+use crate::service::{
+    CompletedJob, ProverService, ServiceConfig, ServiceEvent, ServiceEventKind, ServiceOutcome,
+};
+
+/// Everything that defines one soak scenario. Two equal specs produce
+/// byte-identical runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoakSpec {
+    /// Seed of the arrival trace (times, classes, deadlines, scalars).
+    pub arrival_seed: u64,
+    /// Seed of the chaos schedule (device + link fault windows).
+    pub fault_seed: u64,
+    /// Jobs in the arrival trace.
+    pub n_jobs: usize,
+    /// Random device-fault windows.
+    pub n_fault_windows: usize,
+    /// Random link-fault windows.
+    pub n_link_windows: usize,
+    /// Arrival horizon, simulated seconds.
+    pub horizon_s: f64,
+    /// Devices in the pool.
+    pub n_devices: usize,
+    /// Upper bound on per-job MSM size (jobs draw from `[size/2, size)`).
+    pub msm_size: usize,
+    /// A device that fail-stops on every dispatch for the whole run —
+    /// the quarantine probe. Must end the run with an open breaker.
+    pub always_faulty: Option<usize>,
+}
+
+impl SoakSpec {
+    /// The acceptance-scale scenario: a 16-GPU pod, 500 jobs over 2000
+    /// simulated seconds, randomized device and link faults, one
+    /// always-faulty device.
+    pub fn full() -> Self {
+        Self {
+            arrival_seed: 2024,
+            fault_seed: 7,
+            n_jobs: 500,
+            n_fault_windows: 24,
+            n_link_windows: 8,
+            horizon_s: 2000.0,
+            n_devices: 16,
+            msm_size: 96,
+            always_faulty: Some(15),
+        }
+    }
+
+    /// The CI smoke scenario: small enough to run in seconds, still
+    /// exercising shedding, retries and the breaker cycle.
+    pub fn smoke() -> Self {
+        Self {
+            arrival_seed: 11,
+            fault_seed: 3,
+            n_jobs: 120,
+            n_fault_windows: 10,
+            n_link_windows: 4,
+            horizon_s: 600.0,
+            n_devices: 8,
+            msm_size: 64,
+            always_faulty: Some(7),
+        }
+    }
+
+    /// The spec as a re-runnable seed tuple (the shrinker's output
+    /// format).
+    pub fn seed_tuple(&self) -> String {
+        format!(
+            "(arrival_seed={}, fault_seed={}, n_jobs={}, n_fault_windows={}, \
+             n_link_windows={}, horizon_s={}, n_devices={}, msm_size={}, always_faulty={:?})",
+            self.arrival_seed,
+            self.fault_seed,
+            self.n_jobs,
+            self.n_fault_windows,
+            self.n_link_windows,
+            self.horizon_s,
+            self.n_devices,
+            self.msm_size,
+            self.always_faulty,
+        )
+    }
+
+    /// The spec as `soak` binary flags, for copy-paste reproduction.
+    pub fn cli(&self) -> String {
+        let mut s = format!(
+            "--arrival-seed {} --fault-seed {} --jobs {} --fault-windows {} \
+             --link-windows {} --horizon {} --devices {} --msm-size {}",
+            self.arrival_seed,
+            self.fault_seed,
+            self.n_jobs,
+            self.n_fault_windows,
+            self.n_link_windows,
+            self.horizon_s,
+            self.n_devices,
+            self.msm_size,
+        );
+        if let Some(d) = self.always_faulty {
+            s.push_str(&format!(" --always-faulty {d}"));
+        }
+        s
+    }
+}
+
+/// Test-only event-stream corruption, used to demonstrate that the
+/// invariant checker catches violations and the shrinker minimizes
+/// them. Never wired into a production path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sabotage {
+    /// No corruption: the honest run.
+    #[default]
+    None,
+    /// Drops every third `Completed` event before the invariant check —
+    /// admitted jobs appear to vanish, breaking conservation and
+    /// exactly-once termination.
+    DropCompletions,
+}
+
+/// Options for one soak run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SoakOptions {
+    /// Event-stream corruption (tests only).
+    pub sabotage: Sabotage,
+}
+
+/// One detected invariant violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Stable invariant id (`"exactly-once"`, `"conservation"`,
+    /// `"bit-exact"`, `"starvation-bound"`, `"open-dispatch"`,
+    /// `"quarantine"`, `"completion-floor"`).
+    pub invariant: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// The outcome of one soak run.
+#[derive(Clone, Debug)]
+pub struct SoakOutcome {
+    /// The service report.
+    pub report: crate::report::ServiceReport,
+    /// Detected invariant violations (empty on a healthy run).
+    pub violations: Vec<Violation>,
+    /// Events processed (after any sabotage).
+    pub n_events: usize,
+}
+
+fn unit(state: &mut u64) -> f64 {
+    splitmix64(state) as f64 / u64::MAX as f64
+}
+
+/// Builds the seeded arrival trace: bursty Poisson-like arrivals (five
+/// tightly-packed jobs, then exponential gaps) of mixed-class,
+/// mixed-size MSM jobs over two tenants.
+///
+/// Prefix-stable: job `i` consumes a fixed number of PRNG draws and its
+/// instance is seeded per-id, so shrinking `n_jobs` keeps every
+/// surviving job identical.
+pub fn build_jobs(spec: &SoakSpec) -> Vec<JobSpec<Bn254G1>> {
+    let mut state = spec.arrival_seed ^ 0x1234_5678_9abc_def0;
+    // Pacing depends on the horizon only — never on `n_jobs` — so
+    // shrinking the job count keeps every surviving arrival identical.
+    let mean_long_gap = spec.horizon_s / 150.0;
+    let mut t = 0.0;
+    let mut jobs = Vec::with_capacity(spec.n_jobs);
+    for i in 0..spec.n_jobs {
+        // Fixed draw count per job keeps the stream prefix-stable.
+        let u_gap = unit(&mut state);
+        let u_class = unit(&mut state);
+        let u_deadline = unit(&mut state);
+        let u_size = unit(&mut state);
+        t += if i % 8 < 5 {
+            // Burst: arrivals far tighter than a service time.
+            0.0002 + 0.0018 * u_gap
+        } else {
+            -((u_gap.max(1e-12)).ln()) * mean_long_gap
+        };
+        let (tenant, class) = if u_class < 0.6 {
+            (0, JobClass::Interactive)
+        } else {
+            (1, JobClass::Batch)
+        };
+        let deadline_s = match class {
+            JobClass::Interactive => Some(t + 0.05 + 0.45 * u_deadline),
+            JobClass::Batch => None,
+        };
+        let half = (spec.msm_size / 2).max(1);
+        let n = half + (u_size * half as f64) as usize;
+        let mut rng = StdRng::seed_from_u64(spec.arrival_seed.wrapping_add(0x5eed + i as u64));
+        jobs.push(JobSpec {
+            id: i as u64,
+            tenant,
+            class,
+            arrival_s: t,
+            deadline_s,
+            instance: MsmInstance::random(n, &mut rng),
+        });
+    }
+    jobs
+}
+
+/// Builds the seeded chaos schedule, merging the always-faulty probe
+/// device when the spec names one.
+pub fn build_chaos(spec: &SoakSpec) -> ChaosSchedule {
+    let mut chaos = ChaosSchedule::random(
+        spec.fault_seed,
+        spec.n_devices,
+        spec.n_fault_windows,
+        spec.n_link_windows,
+        spec.horizon_s,
+    );
+    if let Some(d) = spec.always_faulty {
+        chaos = chaos.merged(ChaosSchedule::always_faulty(d));
+    }
+    chaos
+}
+
+/// The service configuration a soak runs (devices from the spec,
+/// partition sizes clamped to the pool).
+pub fn service_config(spec: &SoakSpec) -> ServiceConfig {
+    let mut cfg = ServiceConfig {
+        n_devices: spec.n_devices,
+        ..ServiceConfig::default()
+    };
+    cfg.gpus_per_job = cfg.gpus_per_job.min(spec.n_devices);
+    cfg.degraded_gpus_per_job = cfg.degraded_gpus_per_job.min(spec.n_devices);
+    cfg
+}
+
+/// Runs one soak scenario end to end: build, execute, corrupt (if
+/// sabotaged), check invariants.
+pub fn run_soak(spec: &SoakSpec, opts: &SoakOptions) -> SoakOutcome {
+    let jobs = build_jobs(spec);
+    let chaos = build_chaos(spec);
+    let config = service_config(spec);
+    let mut service = ProverService::new(config.clone());
+    let ServiceOutcome { report, mut events, completed } = service.run(jobs.clone(), &chaos);
+
+    if opts.sabotage == Sabotage::DropCompletions {
+        let mut kept = 0u64;
+        events.retain(|e| {
+            if matches!(e.kind, ServiceEventKind::Completed { .. }) {
+                kept += 1;
+                !kept.is_multiple_of(3)
+            } else {
+                true
+            }
+        });
+    }
+
+    let mut violations = check_invariants(&jobs, &events, &completed, &config);
+    if let Some(d) = spec.always_faulty {
+        if !report.quarantined(d) {
+            violations.push(Violation {
+                invariant: "quarantine",
+                detail: format!(
+                    "always-faulty device {d} ended the run {:?} instead of open",
+                    report.final_states.get(d)
+                ),
+            });
+        }
+    }
+    if report.completion_rate() < config.shed.min_completion_rate {
+        violations.push(Violation {
+            invariant: "completion-floor",
+            detail: format!(
+                "completion rate {:.3} fell below the shed-policy floor {:.3}",
+                report.completion_rate(),
+                config.shed.min_completion_rate
+            ),
+        });
+    }
+    SoakOutcome { report, violations, n_events: events.len() }
+}
+
+/// Checks the service invariants over a replayed event stream:
+///
+/// 1. **exactly-once** — every admitted job terminates exactly once, as
+///    completed, failed or shed.
+/// 2. **conservation** — at every prefix of the stream,
+///    `admitted = completed + failed + shed + in-flight` with a
+///    non-negative in-flight count, and in-flight drains to zero.
+/// 3. **bit-exact** — every completed result equals the fault-free
+///    single-GPU reference for its instance (affine-canonical compare).
+/// 4. **starvation-bound** — no job waits in queue longer than its
+///    class bound (each queue epoch measured separately).
+/// 5. **open-dispatch** — no dispatch names a device whose breaker was
+///    open at dispatch time (the SVC-002 property).
+pub fn check_invariants(
+    jobs: &[JobSpec<Bn254G1>],
+    events: &[ServiceEvent],
+    completed: &[CompletedJob<Bn254G1>],
+    config: &ServiceConfig,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let by_id: std::collections::BTreeMap<u64, &JobSpec<Bn254G1>> =
+        jobs.iter().map(|j| (j.id, j)).collect();
+
+    // 1 + 2: termination accounting and conservation, replayed.
+    let mut admitted = 0i64;
+    let mut terminated = 0i64;
+    let mut terminal_count: std::collections::BTreeMap<u64, u32> = Default::default();
+    let mut admitted_ids: std::collections::BTreeSet<u64> = Default::default();
+    // 4: open queue epochs (job → epoch start), 5: breaker states.
+    let mut queued_since: std::collections::BTreeMap<u64, f64> = Default::default();
+    let mut breaker: std::collections::BTreeMap<usize, BreakerState> = Default::default();
+    const EPS: f64 = 1e-6;
+
+    for ev in events {
+        match &ev.kind {
+            ServiceEventKind::Admitted { .. } => {
+                admitted += 1;
+                admitted_ids.insert(ev.job.unwrap_or(u64::MAX));
+                if let Some(id) = ev.job {
+                    queued_since.insert(id, ev.t_s);
+                }
+            }
+            ServiceEventKind::Requeued { .. } => {
+                if let Some(id) = ev.job {
+                    queued_since.insert(id, ev.t_s);
+                }
+            }
+            ServiceEventKind::Dispatched { devices, .. } => {
+                if let Some(id) = ev.job {
+                    if let Some(since) = queued_since.remove(&id) {
+                        check_wait(&mut violations, &by_id, config, id, since, ev.t_s, EPS);
+                    }
+                }
+                for d in devices {
+                    if breaker.get(d) == Some(&BreakerState::Open) {
+                        violations.push(Violation {
+                            invariant: "open-dispatch",
+                            detail: format!(
+                                "job {:?} dispatched to device {d} at t={} while its breaker was open",
+                                ev.job, ev.t_s
+                            ),
+                        });
+                    }
+                }
+            }
+            ServiceEventKind::Completed { .. }
+            | ServiceEventKind::Failed { .. }
+            | ServiceEventKind::Shed { .. } => {
+                terminated += 1;
+                if let Some(id) = ev.job {
+                    *terminal_count.entry(id).or_insert(0) += 1;
+                    if matches!(ev.kind, ServiceEventKind::Shed { .. }) {
+                        if let Some(since) = queued_since.remove(&id) {
+                            check_wait(&mut violations, &by_id, config, id, since, ev.t_s, EPS);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let ServiceEventKind::Breaker { transition } = &ev.kind {
+            breaker.insert(transition.device, transition.to);
+        }
+        let in_flight = admitted - terminated;
+        if in_flight < 0 {
+            violations.push(Violation {
+                invariant: "conservation",
+                detail: format!(
+                    "at t={}: {terminated} terminations exceed {admitted} admissions",
+                    ev.t_s
+                ),
+            });
+        }
+    }
+    if admitted != terminated {
+        violations.push(Violation {
+            invariant: "conservation",
+            detail: format!(
+                "run ended with {} jobs admitted but only {} terminated",
+                admitted, terminated
+            ),
+        });
+    }
+    for id in &admitted_ids {
+        match terminal_count.get(id).copied().unwrap_or(0) {
+            1 => {}
+            n => violations.push(Violation {
+                invariant: "exactly-once",
+                detail: format!("admitted job {id} terminated {n} times"),
+            }),
+        }
+    }
+
+    // 3: bit-exactness against the fault-free single-GPU reference.
+    let reference = DistMsm::new(MultiGpuSystem::dgx_a100(1));
+    for c in completed {
+        let Some(job) = by_id.get(&c.id) else {
+            violations.push(Violation {
+                invariant: "bit-exact",
+                detail: format!("completed job {} is not in the arrival trace", c.id),
+            });
+            continue;
+        };
+        let expect = reference
+            .execute(&job.instance)
+            .expect("fault-free reference execution succeeds");
+        if expect.result.to_affine() != c.result.to_affine() {
+            violations.push(Violation {
+                invariant: "bit-exact",
+                detail: format!("job {} completed with a wrong MSM value", c.id),
+            });
+        }
+    }
+    violations
+}
+
+fn check_wait(
+    violations: &mut Vec<Violation>,
+    by_id: &std::collections::BTreeMap<u64, &JobSpec<Bn254G1>>,
+    config: &ServiceConfig,
+    id: u64,
+    since: f64,
+    until: f64,
+    eps: f64,
+) {
+    let Some(job) = by_id.get(&id) else { return };
+    let bound = config.shed.class_bound(job.class);
+    let waited = until - since;
+    if waited > bound + eps {
+        violations.push(Violation {
+            invariant: "starvation-bound",
+            detail: format!(
+                "{} job {id} waited {waited:.3}s in queue, past its {bound:.3}s bound",
+                job.class.label()
+            ),
+        });
+    }
+}
+
+/// Greedily shrinks a violating spec to a minimal reproducer: tries the
+/// cheapest reductions (halve the trace, halve the chaos, drop the
+/// probe device, halve the horizon) and keeps any that still violates
+/// **the same invariant** as the original failure (so shrinking cannot
+/// drift onto an unrelated violation), until a fixpoint or `max_runs`
+/// soak executions.
+///
+/// Returns the minimal spec and its outcome. The caller prints
+/// [`SoakSpec::seed_tuple`] / [`SoakSpec::cli`] as the reproducer.
+///
+/// # Panics
+///
+/// Panics when called with a spec that does not violate — there is
+/// nothing to shrink.
+pub fn shrink(spec: &SoakSpec, opts: &SoakOptions, max_runs: usize) -> (SoakSpec, SoakOutcome) {
+    let mut current = *spec;
+    let mut outcome = run_soak(&current, opts);
+    assert!(
+        !outcome.violations.is_empty(),
+        "shrink needs a violating spec; {} is healthy",
+        spec.seed_tuple()
+    );
+    let target = outcome.violations[0].invariant;
+    let mut runs = 0;
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if runs >= max_runs {
+                break 'outer;
+            }
+            runs += 1;
+            let c_outcome = run_soak(&candidate, opts);
+            if c_outcome.violations.iter().any(|v| v.invariant == target) {
+                current = candidate;
+                outcome = c_outcome;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, outcome)
+}
+
+/// Reduction candidates for one shrink round, strictly smaller than the
+/// input along one axis each.
+fn candidates(spec: &SoakSpec) -> Vec<SoakSpec> {
+    let mut out = Vec::new();
+    if spec.n_jobs > 1 {
+        out.push(SoakSpec { n_jobs: spec.n_jobs / 2, ..*spec });
+        out.push(SoakSpec { n_jobs: spec.n_jobs - 1, ..*spec });
+    }
+    if spec.n_fault_windows > 0 {
+        out.push(SoakSpec { n_fault_windows: spec.n_fault_windows / 2, ..*spec });
+        out.push(SoakSpec { n_fault_windows: spec.n_fault_windows - 1, ..*spec });
+    }
+    if spec.n_link_windows > 0 {
+        out.push(SoakSpec { n_link_windows: spec.n_link_windows / 2, ..*spec });
+        out.push(SoakSpec { n_link_windows: spec.n_link_windows - 1, ..*spec });
+    }
+    if spec.always_faulty.is_some() {
+        out.push(SoakSpec { always_faulty: None, ..*spec });
+    }
+    if spec.horizon_s > 1.0 {
+        out.push(SoakSpec { horizon_s: spec.horizon_s / 2.0, ..*spec });
+    }
+    out.retain(|c| c != spec);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SoakSpec {
+        SoakSpec {
+            arrival_seed: 5,
+            fault_seed: 9,
+            n_jobs: 16,
+            n_fault_windows: 3,
+            n_link_windows: 1,
+            horizon_s: 60.0,
+            n_devices: 4,
+            msm_size: 24,
+            always_faulty: Some(3),
+        }
+    }
+
+    #[test]
+    fn jobs_are_prefix_stable() {
+        let spec = tiny();
+        let all = build_jobs(&spec);
+        let fewer = build_jobs(&SoakSpec { n_jobs: 8, ..spec });
+        for (a, b) in fewer.iter().zip(&all) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival_s, b.arrival_s);
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.instance.len(), b.instance.len());
+            assert_eq!(a.instance.scalars, b.instance.scalars);
+        }
+    }
+
+    #[test]
+    fn tiny_soak_has_no_violations() {
+        let out = run_soak(&tiny(), &SoakOptions::default());
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.report.quarantined(3), "always-faulty device quarantined");
+        assert_eq!(
+            out.report.admitted(),
+            out.report.completed() + out.report.failed() + out.report.shed(),
+            "conservation at end of run"
+        );
+    }
+
+    #[test]
+    fn sabotage_is_caught_and_shrinks_to_a_minimal_reproducer() {
+        let spec = tiny();
+        let opts = SoakOptions { sabotage: Sabotage::DropCompletions };
+        let out = run_soak(&spec, &opts);
+        assert!(
+            out.violations.iter().any(|v| v.invariant == "conservation"),
+            "dropped completions must break conservation: {:?}",
+            out.violations
+        );
+        let (min, min_out) = shrink(&spec, &opts, 40);
+        assert!(!min_out.violations.is_empty());
+        assert!(
+            min.n_jobs < spec.n_jobs || min.n_fault_windows < spec.n_fault_windows,
+            "shrinker made no progress: {}",
+            min.seed_tuple()
+        );
+        // The reproducer is printable and re-runnable.
+        let replay = run_soak(&min, &opts);
+        assert!(!replay.violations.is_empty(), "reproducer must replay: {}", min.cli());
+    }
+}

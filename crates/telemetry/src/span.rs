@@ -15,6 +15,9 @@ pub enum Lane {
     Fabric,
     /// The fault supervisor (backoff, self-check, checkpoints, re-plans).
     Supervisor,
+    /// The multi-tenant service front-end (admission decisions, shed
+    /// events, device-pool circuit-breaker transitions).
+    Service,
     /// Simulated GPU `0..n`.
     Device(usize),
 }
@@ -28,6 +31,7 @@ impl Lane {
             Lane::Host => 2,
             Lane::Fabric => 3,
             Lane::Supervisor => 4,
+            Lane::Service => 5,
             Lane::Device(g) => 10 + g,
         }
     }
@@ -40,6 +44,7 @@ impl Lane {
             Lane::Host => "host-cpu".into(),
             Lane::Fabric => "fabric".into(),
             Lane::Supervisor => "supervisor".into(),
+            Lane::Service => "service".into(),
             Lane::Device(g) => format!("gpu{g}"),
         }
     }
@@ -452,6 +457,7 @@ mod tests {
             Lane::Host,
             Lane::Fabric,
             Lane::Supervisor,
+            Lane::Service,
             Lane::Device(0),
             Lane::Device(7),
         ];
@@ -460,5 +466,6 @@ mod tests {
         tids.dedup();
         assert_eq!(tids.len(), lanes.len());
         assert_eq!(Lane::Device(3).name(), "gpu3");
+        assert_eq!(Lane::Service.name(), "service");
     }
 }
