@@ -7,14 +7,23 @@
 # detector, the kernel resource linter, the comm-schedule checker, the
 # fault-recovery checker, and the service-invariant checker
 # (crates/analyze) over traced executions and fails on any warning- or
-# error-level finding. The soak smoke replays a seeded chaos scenario
-# through the multi-tenant service and diffs its byte-stable report
-# against a golden (BLESS=1 ./ci.sh regenerates it).
+# error-level finding. The verify step runs the static plan verifier:
+# symbolic write-set disjointness/coverage proofs, static collective
+# deadlock checks over every topology preset, the mutant corpus and the
+# workspace determinism lint — no execution, all N/window/GPU shapes.
+# The soak smoke replays a seeded chaos scenario through the
+# multi-tenant service and diffs its byte-stable report against a
+# golden (BLESS=1 ./ci.sh regenerates it).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release (suite + bench binaries) =="
+# The root is itself a package (distmsm-suite), so a bare build on a
+# fresh target skips the bench binaries the later steps run; bench is
+# selected explicitly. Not --workspace: that would unify the analyze
+# crate's unconditional telemetry dependency into the default-feature
+# bench binaries and defeat the zero-symbol gate below.
+cargo build --release -p distmsm-suite -p distmsm-bench
 
 echo "== telemetry: default build carries no telemetry symbols =="
 # feature-off must mean compiled out, not merely inactive (the positive
@@ -72,5 +81,21 @@ rm -f "$TRACE"
 
 echo "== distmsm-analyze check (race + lint + comm + fault + service + telemetry) =="
 cargo run -p distmsm-analyze -- check
+
+echo "== distmsm-analyze verify --all-presets (static proofs + mutants + det lint) =="
+cargo run --release -q -p distmsm-analyze -- verify --all-presets
+
+echo "== unsafe audit: every crate root must forbid unsafe_code =="
+for lib in crates/*/src/lib.rs; do
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$lib"; then
+        echo "FAIL: $lib does not carry #![forbid(unsafe_code)]" >&2
+        exit 1
+    fi
+done
+
+echo "== fig9 scaling smoke + BENCH_msm.json trajectory artefact =="
+cargo run --release -q -p distmsm-bench --bin fig9_scaling -- \
+    --smoke --bench-json BENCH_msm.json
+grep -q '"bench": "fig9_scaling"' BENCH_msm.json
 
 echo "CI OK"

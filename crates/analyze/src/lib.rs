@@ -36,25 +36,47 @@
 //!   through the crate's validator (`TEL-002`, also available against
 //!   trace files on disk via `distmsm-analyze trace <file>`).
 //!
+//! * A **static plan verifier** ([`verify`], backed by the [`symbolic`]
+//!   prover): proves — for all `N`, window sizes and GPU counts, via
+//!   interval + congruence arithmetic over the index-expression IR the
+//!   schedule builders emit — that per-device and per-kernel write
+//!   regions are pairwise disjoint and cover the bucket space
+//!   (`VRF-001`/`VRF-002`), statically checks every collective
+//!   schedule the planner can emit for deadlock-freedom, port
+//!   feasibility and host coverage (`VRF-003`), and validates itself
+//!   against a built-in mutant corpus (`VRF-900`).
+//!
+//! * A **determinism linter** ([`det`]): a lightweight source walk over
+//!   the workspace flagging order-sensitive hash-collection iteration,
+//!   float-ordering hazards and wall-clock leaks (`DET-001/002/003`).
+//!
 //! All report through the shared [`report::Report`] type (stable rule
 //! ids, severities, text and JSON rendering). The `distmsm-analyze`
 //! binary (`cargo run -p distmsm-analyze -- check`) runs everything and
-//! exits non-zero when any warning- or error-level finding survives.
+//! exits non-zero when any warning- or error-level finding survives;
+//! `distmsm-analyze verify [--all-presets]` runs just the static
+//! proofs.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod comm;
+pub mod det;
 pub mod fault;
 pub mod harness;
 pub mod lint;
 pub mod race;
 pub mod report;
 pub mod svc;
+pub mod symbolic;
 pub mod tel;
+pub mod verify;
 
 pub use comm::{check_comm_schedules, check_schedule};
+pub use det::{lint_source, lint_workspace};
 pub use fault::{check_fault_recovery, check_recovery_report};
 pub use svc::{check_conservation, check_open_dispatch, check_svc};
 pub use tel::{check_telemetry, check_trace_file};
 pub use race::{check_trace, check_traces, RaceConfig};
 pub use report::{Finding, Report, Severity};
+pub use verify::{check_grounding, check_mutants, check_schedule_static, check_verify, verify_plan};

@@ -22,7 +22,7 @@
 use crate::report::{Finding, Report, Severity};
 use distmsm_gpu_sim::DeviceSpec;
 use distmsm_kernel::{EcKernelModel, KernelSchedule, PaddOptimizations, SpillAction};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Block sizes the linter probes, largest (the engine's nominal launch
 /// configuration) first.
@@ -129,7 +129,7 @@ pub fn lint_schedule(label: &str, schedule: &KernelSchedule) -> Report {
     let g = &schedule.graph;
 
     // DAG-001: backward reachability from the declared outputs.
-    let mut needed: HashSet<usize> = g.outputs().iter().copied().collect();
+    let mut needed: BTreeSet<usize> = g.outputs().iter().copied().collect();
     for op in g.ops().iter().rev() {
         if needed.contains(&op.dest) {
             needed.extend(op.srcs.iter().copied());
@@ -179,10 +179,10 @@ pub fn lint_schedule(label: &str, schedule: &KernelSchedule) -> Report {
     // reload event) stay in our set — harmless, because a dead variable
     // is by definition never a source again.
     let ops = g.ops();
-    let mut shm: HashSet<&str> = HashSet::new();
+    let mut shm: BTreeSet<&str> = BTreeSet::new();
     let mut ev = spill.events.iter().peekable();
     for (pos, &op_idx) in schedule.order.iter().enumerate() {
-        let shm_before: HashSet<&str> = shm.clone();
+        let shm_before: BTreeSet<&str> = shm.clone();
         while let Some(e) = ev.peek() {
             if e.pos != pos {
                 break;

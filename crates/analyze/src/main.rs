@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! distmsm-analyze check [--json]
+//! distmsm-analyze verify [--all-presets] [--json]
 //! distmsm-analyze trace <file.json> [--json]
 //! ```
 //!
@@ -9,8 +10,13 @@
 //! scenario, the static linter over every kernel preset × device, the
 //! comm-schedule checker over every captured collective, the
 //! fault-recovery checker over every seeded fault scenario, and the
-//! telemetry checker over every traced engine scenario. `trace`
-//! validates an exported Chrome-trace JSON file. Both print the combined
+//! telemetry checker over every traced engine scenario. `verify` runs
+//! the static plan verifier instead: symbolic write-set proofs
+//! (`VRF-001`/`VRF-002`), static collective-schedule checks over the
+//! topology presets (`VRF-003`, widened by `--all-presets`), the
+//! built-in mutant corpus (`VRF-900`) and the workspace determinism
+//! lint (`DET-00x`) — no engine execution, no trace capture. `trace`
+//! validates an exported Chrome-trace JSON file. All print the combined
 //! report (text by default, `--json` for machine consumption) and exit
 //! with status 1 when any warning or error is found.
 
@@ -20,11 +26,13 @@ use distmsm_analyze::harness::check_shipped_kernels;
 use distmsm_analyze::lint::lint_presets;
 use distmsm_analyze::svc::check_svc;
 use distmsm_analyze::tel::{check_telemetry, check_trace_file};
+use distmsm_analyze::verify::check_verify;
 use distmsm_analyze::{RaceConfig, Report};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: distmsm-analyze check [--json]");
+    eprintln!("       distmsm-analyze verify [--all-presets] [--json]");
     eprintln!("       distmsm-analyze trace <file.json> [--json]");
     ExitCode::from(2)
 }
@@ -32,12 +40,14 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
+    let mut all_presets = false;
     let mut command = None;
     let mut trace_path = None;
     for a in &args {
         match a.as_str() {
             "--json" => json = true,
-            "check" | "trace" if command.is_none() => command = Some(a.clone()),
+            "--all-presets" if command.as_deref() == Some("verify") => all_presets = true,
+            "check" | "trace" | "verify" if command.is_none() => command = Some(a.clone()),
             other if command.as_deref() == Some("trace") && trace_path.is_none() => {
                 trace_path = Some(other.to_owned());
             }
@@ -56,6 +66,7 @@ fn main() -> ExitCode {
             report.extend(check_telemetry());
             report
         }
+        (Some("verify"), None) => check_verify(all_presets),
         (Some("trace"), Some(path)) => match check_trace_file(&path) {
             Ok(report) => report,
             Err(e) => {

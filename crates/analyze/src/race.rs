@@ -32,7 +32,7 @@
 
 use crate::report::{Finding, Report, Severity};
 use distmsm_gpu_sim::trace::{Access, AccessKind, LaunchTrace, SimThread, Space};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tunables of the dynamic checker.
 #[derive(Clone, Debug)]
@@ -93,7 +93,7 @@ fn conflicts(a: AccessKind, b: AccessKind) -> bool {
 /// entry per (thread, kind) suffices for exact race detection.
 #[derive(Default)]
 struct LocState {
-    last: HashMap<(SimThread, u8), Epoch>,
+    last: BTreeMap<(SimThread, u8), Epoch>,
 }
 
 fn kind_tag(k: AccessKind) -> u8 {
@@ -110,7 +110,7 @@ fn kind_name(tag: u8) -> &'static str {
 
 /// Location identity: global addresses are device-wide; shared addresses
 /// only alias within one block.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Loc {
     device: u16,
     shared_block: u32, // u32::MAX for global
@@ -134,7 +134,7 @@ pub fn check_trace(trace: &LaunchTrace, cfg: &RaceConfig) -> Report {
     let loc_label = format!("{}#{}", trace.kernel, trace.launch);
 
     // --- barrier structure -----------------------------------------------
-    let mut declared: HashMap<u32, u32> = HashMap::new();
+    let mut declared: BTreeMap<u32, u32> = BTreeMap::new();
     for b in &trace.barriers {
         if let Some(&prev) = declared.get(&b.block) {
             if prev != b.count {
@@ -166,7 +166,7 @@ pub fn check_trace(trace: &LaunchTrace, cfg: &RaceConfig) -> Report {
             ));
         }
     }
-    let distinct_counts: HashSet<u32> = declared.values().copied().collect();
+    let distinct_counts: BTreeSet<u32> = declared.values().copied().collect();
     if distinct_counts.len() > 1 {
         report.push(Finding::new(
             "BAR-002",
@@ -215,8 +215,8 @@ pub fn check_trace(trace: &LaunchTrace, cfg: &RaceConfig) -> Report {
     }
 
     // --- races -------------------------------------------------------------
-    let mut locs: HashMap<Loc, LocState> = HashMap::new();
-    let mut atomic_writers: HashMap<(u16, u64), HashSet<SimThread>> = HashMap::new();
+    let mut locs: BTreeMap<Loc, LocState> = BTreeMap::new();
+    let mut atomic_writers: BTreeMap<(u16, u64), BTreeSet<SimThread>> = BTreeMap::new();
     let mut races = 0usize;
     for a in &trace.accesses {
         if a.space == Space::Global && a.kind == AccessKind::Atomic {

@@ -1,0 +1,365 @@
+//! The symbolic inequality prover behind `verify` (rules `VRF-00x`).
+//!
+//! Works over the index-expression IR of `distmsm_kernel::ir`: integer
+//! polynomials closed under floor division and `min`/`max`. The prover
+//! establishes facts of the form `a ≤ b`, `a = b` and `p ≥ 0` that hold
+//! for **all** admissible values of the plan symbols — not sampled ones
+//! — which is what lets `verify` certify bucket partitions for every
+//! `N`, window size and GPU count at once.
+//!
+//! Three mechanisms, each individually sound:
+//!
+//! 1. **Normalisation / structural equality.** Polynomials are kept in
+//!    canonical form, and `IndexExpr::normalize` collapses exact floor
+//!    divisions (`⌊T·G/G⌋ → T`). Most coverage endpoints and quota-tile
+//!    adjacency obligations reduce to *identical* expressions after a
+//!    parameter substitution — equality by construction.
+//! 2. **Floor-division elimination.** Where one side of `≤` is a plain
+//!    polynomial, `⌊n/d⌋ ≤ a ⇔ n ≤ a·d + d − 1` and
+//!    `a ≤ ⌊n/d⌋ ⇔ a·d ≤ n` (exact for `d ≥ 1`); same-denominator
+//!    comparisons use monotonicity. Symbolic counts (`⌈N/P⌉`) are
+//!    *skolemised*: the division is replaced by a fresh symbol `q`
+//!    carrying the defining facts `n − q·d ≥ 0` and
+//!    `q·d + d − 1 − n ≥ 0`.
+//! 3. **Positivstellensatz-lite.** `p ≥ 0` is proved by shifting every
+//!    bounded symbol to its lower bound (so all symbols range over
+//!    `ℕ`), then searching for a small conic combination: repeatedly
+//!    subtract `fact · monomial` products (facts are known-nonnegative
+//!    polynomials) until every coefficient is non-negative. The search
+//!    is depth- and reuse-bounded; failure to find a certificate is
+//!    reported as *unproven*, never as *holds*.
+//!
+//! `min`/`max` are handled by sound case splits in [`Ctx::prove_le`].
+
+use distmsm_kernel::ir::{IndexExpr, PlanIr, Poly, Sym, SymBound};
+use std::collections::BTreeMap;
+
+/// Pool of skolem symbol names for eliminated floor divisions. The IR
+/// uses short uppercase-ish names, so the `__q` prefix cannot collide.
+const SKOLEM_POOL: [Sym; 8] = [
+    "__q0", "__q1", "__q2", "__q3", "__q4", "__q5", "__q6", "__q7",
+];
+
+/// Maximum fact-subtraction depth of the non-negativity search.
+const MAX_DEPTH: usize = 5;
+/// Maximum times one fact may be subtracted along a single search path.
+const MAX_FACT_USES: usize = 2;
+
+/// A proof context: symbol lower/upper bounds plus polynomials known to
+/// be non-negative for all admissible symbol values.
+#[derive(Clone, Debug, Default)]
+pub struct Ctx {
+    /// Known facts, each `≥ 0`.
+    pub facts: Vec<Poly>,
+    /// Per-symbol `(min, max)` domains.
+    pub bounds: BTreeMap<Sym, (i128, Option<i128>)>,
+    next_skolem: usize,
+}
+
+impl Ctx {
+    /// Context from a plan's declared bounds and emitter assumptions.
+    pub fn from_plan(ir: &PlanIr) -> Self {
+        let mut ctx = Ctx::default();
+        for b in &ir.bounds {
+            ctx.bound(b.clone());
+        }
+        for a in &ir.assumptions {
+            ctx.facts.push(a.clone());
+        }
+        ctx
+    }
+
+    /// Adds a symbol domain.
+    pub fn bound(&mut self, b: SymBound) {
+        self.bounds.insert(b.sym, (b.min, b.max));
+    }
+
+    /// Adds a fact `p ≥ 0`.
+    pub fn fact(&mut self, p: Poly) {
+        self.facts.push(p);
+    }
+
+    /// Eliminates floor divisions from `e`, returning an equivalent
+    /// polynomial over (possibly fresh skolem) symbols whose defining
+    /// facts are added to the context. Returns `None` for `min`/`max`
+    /// expressions, which have no polynomial form.
+    pub fn skolemize(&mut self, e: &IndexExpr) -> Option<Poly> {
+        match e.normalize() {
+            IndexExpr::Poly(p) => Some(p),
+            IndexExpr::FloorDiv(n, d) => {
+                let q = *SKOLEM_POOL.get(self.next_skolem)?;
+                self.next_skolem += 1;
+                let qp = Poly::var(q);
+                // q = ⌊n/d⌋ for d ≥ 1 and n ≥ 0 (plan index expressions
+                // are non-negative by construction):
+                //   n − q·d ≥ 0   and   q·d + d − 1 − n ≥ 0   and   q ≥ 0
+                self.facts.push(n.sub(&qp.mul(&d)));
+                self.facts
+                    .push(qp.mul(&d).add(&d).sub(&Poly::con(1)).sub(&n));
+                self.bounds.insert(q, (0, None));
+                Some(qp)
+            }
+            IndexExpr::Min(..) | IndexExpr::Max(..) => None,
+        }
+    }
+
+    /// Proves `a ≤ b` for all admissible symbol values. Sound; returns
+    /// `false` when no certificate is found (which does **not** mean the
+    /// inequality is violated).
+    pub fn prove_le(&self, a: &IndexExpr, b: &IndexExpr) -> bool {
+        use IndexExpr::{FloorDiv, Max, Min};
+        let one = Poly::con(1);
+        let (a, b) = (a.normalize(), b.normalize());
+        if a == b {
+            return true;
+        }
+        match (&a, &b) {
+            // case splits (each sound):
+            //   min(x,y) ≤ b ⇐ x ≤ b ∨ y ≤ b
+            (Min(x, y), _) => self.prove_le(x, &b) || self.prove_le(y, &b),
+            //   a ≤ min(x,y) ⇔ a ≤ x ∧ a ≤ y
+            (_, Min(x, y)) => self.prove_le(&a, x) && self.prove_le(&a, y),
+            //   max(x,y) ≤ b ⇔ x ≤ b ∧ y ≤ b
+            (Max(x, y), _) => self.prove_le(x, &b) && self.prove_le(y, &b),
+            //   a ≤ max(x,y) ⇐ a ≤ x ∨ a ≤ y
+            (_, Max(x, y)) => self.prove_le(&a, x) || self.prove_le(&a, y),
+            (IndexExpr::Poly(p), IndexExpr::Poly(q)) => self.prove_nonneg(&q.sub(p)),
+            // ⌊n/d⌋ ≤ p ⇔ n ≤ p·d + d − 1 (d ≥ 1)
+            (FloorDiv(n, d), IndexExpr::Poly(p)) => {
+                self.prove_nonneg(&p.mul(d).add(d).sub(&one).sub(n))
+            }
+            // p ≤ ⌊n/d⌋ ⇔ p·d ≤ n (d ≥ 1)
+            (IndexExpr::Poly(p), FloorDiv(n, d)) => self.prove_nonneg(&n.sub(&p.mul(d))),
+            // same-denominator monotonicity: ⌊n1/d⌋ ≤ ⌊n2/d⌋ ⇐ n1 ≤ n2
+            (FloorDiv(n1, d1), FloorDiv(n2, d2)) if d1 == d2 => {
+                self.prove_nonneg(&n2.sub(n1))
+            }
+            (FloorDiv(..), FloorDiv(..)) => false,
+        }
+    }
+
+    /// Proves `a = b`: structural equality after normalisation, or `≤`
+    /// in both directions.
+    pub fn prove_eq(&self, a: &IndexExpr, b: &IndexExpr) -> bool {
+        a.normalize() == b.normalize()
+            || (self.prove_le(a, b) && self.prove_le(b, a))
+    }
+
+    /// Proves `p ≥ 0` for all admissible symbol values.
+    pub fn prove_nonneg(&self, p: &Poly) -> bool {
+        // Shift every bounded symbol to its lower bound: sym := sym' + min
+        // with sym' ≥ 0. In the shifted space every symbol is ≥ 0, so a
+        // polynomial with only non-negative coefficients is trivially
+        // non-negative.
+        let shift = |q: &Poly| -> Poly {
+            let mut out = q.clone();
+            for (&s, &(min, _)) in &self.bounds {
+                if min != 0 {
+                    out = out.subst(s, &Poly::var(s).add(&Poly::con(min)));
+                }
+            }
+            out
+        };
+        let target = shift(p);
+        let mut facts: Vec<Poly> = self.facts.iter().map(&shift).collect();
+        // Upper bounds become facts: sym ≤ max ⇒ (max − min) − sym ≥ 0.
+        for (&s, &(min, max)) in &self.bounds {
+            if let Some(mx) = max {
+                facts.push(Poly::con(mx - min).sub(&Poly::var(s)));
+            }
+        }
+        let mut used = vec![0usize; facts.len()];
+        search(&target, &facts, &mut used, MAX_DEPTH)
+    }
+}
+
+/// True when every coefficient of `p` is non-negative (then `p ≥ 0` over
+/// symbols ranging in `ℕ`).
+fn conic(p: &Poly) -> bool {
+    p.0.values().all(|&c| c >= 0)
+}
+
+/// Candidate multiplier polynomials for one fact-subtraction step:
+/// `1`, each symbol of the target or facts, and each distinct absolute
+/// coefficient of the target (strides like `2^24` enter this way).
+fn multipliers(target: &Poly, facts: &[Poly]) -> Vec<Poly> {
+    let mut out = vec![Poly::con(1)];
+    let mut syms: Vec<Sym> = target.symbols();
+    for f in facts {
+        for s in f.symbols() {
+            if !syms.contains(&s) {
+                syms.push(s);
+            }
+        }
+    }
+    for s in syms {
+        out.push(Poly::var(s));
+    }
+    let mut consts: Vec<i128> = target.0.values().map(|c| c.abs()).collect();
+    consts.sort_unstable();
+    consts.dedup();
+    for c in consts {
+        if c > 1 {
+            out.push(Poly::con(c));
+        }
+    }
+    out
+}
+
+/// Depth-bounded search for a conic certificate: subtract
+/// `fact · multiplier` products (each fact at most [`MAX_FACT_USES`]
+/// times per path) until all coefficients are non-negative. A
+/// subtraction is only explored when it cancels negativity: some
+/// monomial with a negative coefficient in the target also has a
+/// negative coefficient in the subtracted product.
+fn search(target: &Poly, facts: &[Poly], used: &mut [usize], depth: usize) -> bool {
+    if conic(target) {
+        return true;
+    }
+    if depth == 0 {
+        return false;
+    }
+    let mults = multipliers(target, facts);
+    for fi in 0..facts.len() {
+        if used[fi] >= MAX_FACT_USES {
+            continue;
+        }
+        for m in &mults {
+            let prod = facts[fi].mul(m);
+            let helps = target
+                .0
+                .iter()
+                .any(|(mono, &c)| c < 0 && prod.0.get(mono).is_some_and(|&pc| pc < 0));
+            if !helps {
+                continue;
+            }
+            let next = target.sub(&prod);
+            used[fi] += 1;
+            if search(&next, facts, used, depth - 1) {
+                used[fi] -= 1;
+                return true;
+            }
+            used[fi] -= 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distmsm_kernel::ir::quota_tile_family;
+    use distmsm_kernel::ir::Region;
+
+    fn ctx(bounds: &[(Sym, i128)], facts: &[Poly]) -> Ctx {
+        let mut c = Ctx::default();
+        for &(s, min) in bounds {
+            c.bound(SymBound::at_least(s, min));
+        }
+        for f in facts {
+            c.fact(f.clone());
+        }
+        c
+    }
+
+    #[test]
+    fn trivial_nonneg_via_shift() {
+        // G − 1 ≥ 0 when G ≥ 1
+        let c = ctx(&[("G", 1)], &[]);
+        assert!(c.prove_nonneg(&Poly::var("G").sub(&Poly::con(1))));
+        // G − 2 is NOT provable when only G ≥ 1
+        assert!(!c.prove_nonneg(&Poly::var("G").sub(&Poly::con(2))));
+    }
+
+    #[test]
+    fn product_of_bounded_syms_nonneg() {
+        // W·B − 1 ≥ 0 when W ≥ 1, B ≥ 1
+        let c = ctx(&[("W", 1), ("B", 1)], &[]);
+        let t = Poly::var("W").mul(&Poly::var("B")).sub(&Poly::con(1));
+        assert!(c.prove_nonneg(&t));
+    }
+
+    #[test]
+    fn fact_subtraction_with_constant_multiplier() {
+        // NB·2^24 − p·2^24 − S ≥ 0 given p ≤ NB−1 and S ≤ 2^24
+        let band = Poly::con(1 << 24);
+        let c = ctx(
+            &[("NB", 1), ("S", 1), ("p", 0)],
+            &[
+                Poly::var("NB").sub(&Poly::con(1)).sub(&Poly::var("p")),
+                band.sub(&Poly::var("S")),
+            ],
+        );
+        let t = Poly::var("NB")
+            .mul(&band)
+            .sub(&Poly::var("p").mul(&band))
+            .sub(&Poly::var("S"));
+        assert!(c.prove_nonneg(&t));
+    }
+
+    #[test]
+    fn quota_tile_adjacency_is_structural() {
+        let total = Poly::var("W").mul(&Poly::var("B"));
+        let fam = quota_tile_family("device", "g", &total, &Poly::var("G"));
+        let (lo, hi) = match &fam.region {
+            Region::Interval { lo, hi } => (lo.clone(), hi.clone()),
+            _ => unreachable!(),
+        };
+        let c = ctx(&[("W", 1), ("B", 1), ("G", 1), ("g", 0)], &[]);
+        let lo_next = lo.subst("g", &Poly::var("g").add(&Poly::con(1)));
+        assert!(c.prove_eq(&hi, &lo_next), "quota adjacency");
+        // width: lo(g) ≤ hi(g) by same-denominator monotonicity
+        assert!(c.prove_le(&lo, &hi), "quota width");
+    }
+
+    #[test]
+    fn strided_tile_coverage_endpoint() {
+        // count = ⌈N/P⌉ skolemised; prove min(CNT·P, N) = N.
+        let mut c = ctx(&[("N", 1), ("P", 1)], &[]);
+        let cnt = c
+            .skolemize(&IndexExpr::ceil_div(&Poly::var("N"), &Poly::var("P")))
+            .unwrap();
+        let last_hi = IndexExpr::Min(
+            Box::new(IndexExpr::Poly(cnt.mul(&Poly::var("P")))),
+            Box::new(IndexExpr::var("N")),
+        );
+        assert!(c.prove_eq(&last_hi, &IndexExpr::var("N")));
+    }
+
+    #[test]
+    fn strided_tile_adjacency_under_param_facts() {
+        // hi(p) = min((p+1)P, N) equals lo(p+1) = (p+1)P for p ≤ CNT−2.
+        let mut c = ctx(&[("N", 1), ("P", 1), ("p", 0)], &[]);
+        let cnt = c
+            .skolemize(&IndexExpr::ceil_div(&Poly::var("N"), &Poly::var("P")))
+            .unwrap();
+        c.fact(cnt.sub(&Poly::con(2)).sub(&Poly::var("p")));
+        let p1 = Poly::var("p").add(&Poly::con(1));
+        let hi = IndexExpr::Min(
+            Box::new(IndexExpr::Poly(p1.mul(&Poly::var("P")))),
+            Box::new(IndexExpr::var("N")),
+        );
+        let lo_next = IndexExpr::Poly(p1.mul(&Poly::var("P")));
+        assert!(c.prove_eq(&hi, &lo_next), "clip is inactive below the last tile");
+    }
+
+    #[test]
+    fn floor_div_le_poly_rules() {
+        let c = ctx(&[("T", 1), ("G", 1), ("p", 0)], &[Poly::var("G").sub(&Poly::con(1)).sub(&Poly::var("p"))]);
+        // ⌊T·p/G⌋ ≤ T·p (d ≥ 1): T·p ≤ T·p·G + G − 1
+        let fd = IndexExpr::floor_div(&Poly::var("T").mul(&Poly::var("p")), &Poly::var("G"));
+        assert!(c.prove_le(&fd, &IndexExpr::Poly(Poly::var("T").mul(&Poly::var("p")))));
+        // 0 ≤ ⌊T·p/G⌋
+        assert!(c.prove_le(&IndexExpr::con(0), &fd));
+    }
+
+    #[test]
+    fn unsound_claims_rejected() {
+        let c = ctx(&[("N", 1), ("P", 1)], &[]);
+        // N ≤ P is not provable
+        assert!(!c.prove_le(&IndexExpr::var("N"), &IndexExpr::var("P")));
+        // ⌊N/P⌋ = N is not provable (P may exceed 1)
+        let fd = IndexExpr::floor_div(&Poly::var("N"), &Poly::var("P"));
+        assert!(!c.prove_eq(&fd, &IndexExpr::var("N")));
+    }
+}

@@ -1,7 +1,44 @@
 //! Regenerates the multi-node scaling extension of Figure 9: EC
 //! collective strategies compared functionally on a two-box pod, then the
 //! analytic 8 → 16 → 32-GPU scaling table with node boundaries.
+//!
+//! ```text
+//! fig9_scaling [--smoke] [--bench-json <path>]
+//! ```
+//!
+//! `--smoke` skips the functional engine run and evaluates only the
+//! analytic rows (fast enough for a CI gate). `--bench-json <path>`
+//! writes the byte-stable `BENCH_msm.json` trajectory artefact (curve,
+//! N, per-GPU-count modelled seconds, git revision); with `--smoke` and
+//! no path the JSON goes to stdout.
 fn main() {
-    let (report, _) = distmsm_bench::runners::run_fig9_scaling();
-    println!("{report}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--bench-json" {
+            json_path = Some(
+                it.next()
+                    .expect("--bench-json needs a path")
+                    .to_owned(),
+            );
+        } else if let Some(p) = a.strip_prefix("--bench-json=") {
+            json_path = Some(p.to_owned());
+        }
+    }
+
+    if !smoke {
+        let (report, _) = distmsm_bench::runners::run_fig9_scaling();
+        println!("{report}");
+    }
+    let json = distmsm_bench::runners::bench_msm_json();
+    match json_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write bench json");
+            eprintln!("wrote {p}");
+        }
+        None if smoke => print!("{json}"),
+        None => {}
+    }
 }

@@ -22,6 +22,7 @@
 //! point ops, MSM, NTT, scatter) live under `benches/`.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod paper;
 pub mod runners;

@@ -311,7 +311,6 @@ pub fn run_fig9() -> (String, Vec<(&'static str, f64)>) {
 /// Panics if any collective strategy changes the MSM result.
 pub fn run_fig9_scaling() -> (String, Vec<(usize, f64, f64)>) {
     use distmsm::CollectiveStrategy;
-    use distmsm_comms::Topology;
 
     let mut out = String::from(
         "Figure 9 (scaling): EC collectives across node boundaries\n\n",
@@ -347,57 +346,32 @@ pub fn run_fig9_scaling() -> (String, Vec<(usize, f64, f64)>) {
     out.push_str(&t.render());
 
     // ---- analytic mode: 8 → 16 → 32 GPUs over node boundaries ---------
-    let n = 1u64 << 26;
-    let curve = CurveDesc::BLS12_381;
     out.push_str(&format!(
         "\nAnalytic scaling ({}, N = 2^26, GPU bucket-reduce): pod topology vs an\nidealised NVSwitch box of the same GPU count.\n\n",
-        curve.name
+        CurveDesc::BLS12_381.name
     ));
     let mut t = Table::new([
         "gpus", "nodes", "host-gather", "ring", "tree", "rs-gather", "best pod", "1-box ideal",
         "pod eff",
     ]);
-    let strategy_cfg = |strat: CollectiveStrategy| DistMsmConfig::builder()
-                .bucket_reduce_on_cpu(false)
-                .collective(strat)
-                .build()
-                .unwrap();
-    let base = estimate_distmsm(
-        n,
-        &curve,
-        &MultiGpuSystem::dgx_a100(8),
-        &strategy_cfg(CollectiveStrategy::default()),
-    )
-    .total_s;
+    let (_, _, srows) = fig9_scaling_rows();
+    // base: the 8-GPU single-node default-strategy time (host-gather at
+    // gpus = 8 — the first cell of the first scaling row).
+    let base = srows[0].pod_s[0];
     let mut rows = Vec::new();
-    for gpus in [8usize, 16, 32] {
-        let pod = MultiGpuSystem::dgx_a100(gpus);
-        let mut one_box = MultiGpuSystem::flat_pool(gpus);
-        one_box.topology = Some(Topology::single_box(gpus));
-        let time = |sys: &MultiGpuSystem, strat| {
-            estimate_distmsm(n, &curve, sys, &strategy_cfg(strat)).total_s
-        };
-        let pod_times: Vec<f64> = CollectiveStrategy::ALL
-            .iter()
-            .map(|&s| time(&pod, s))
-            .collect();
-        let best_pod = pod_times.iter().copied().fold(f64::INFINITY, f64::min);
-        let best_box = CollectiveStrategy::ALL
-            .iter()
-            .map(|&s| time(&one_box, s))
-            .fold(f64::INFINITY, f64::min);
+    for r in &srows {
         // parallel efficiency of the pod vs the 8-GPU box, linear = 1.0
-        let eff = base * 8.0 / (best_pod * gpus as f64);
-        rows.push((gpus, best_pod, best_box));
+        let eff = base * 8.0 / (r.best_pod_s * r.gpus as f64);
+        rows.push((r.gpus, r.best_pod_s, r.one_box_s));
         t.row([
-            gpus.to_string(),
-            gpus.div_ceil(8).to_string(),
-            fmt_ms(pod_times[0]),
-            fmt_ms(pod_times[1]),
-            fmt_ms(pod_times[2]),
-            fmt_ms(pod_times[3]),
-            fmt_ms(best_pod),
-            fmt_ms(best_box),
+            r.gpus.to_string(),
+            r.gpus.div_ceil(8).to_string(),
+            fmt_ms(r.pod_s[0]),
+            fmt_ms(r.pod_s[1]),
+            fmt_ms(r.pod_s[2]),
+            fmt_ms(r.pod_s[3]),
+            fmt_ms(r.best_pod_s),
+            fmt_ms(r.one_box_s),
             format!("{:.0}%", eff * 100.0),
         ]);
     }
@@ -406,6 +380,99 @@ pub fn run_fig9_scaling() -> (String, Vec<(usize, f64, f64)>) {
         "\nThe knee at the node boundary: past 8 GPUs every collective crosses the\nNIC/IB tier, so pod efficiency drops strictly below the single-box ideal\nat equal GPU count (the flat-pool model used to hide this).\n",
     );
     (out, rows)
+}
+
+/// One row of the multi-node scaling trajectory: modelled seconds per
+/// collective strategy on the pod topology, plus the best pod and
+/// idealised single-box times.
+pub struct ScalingRow {
+    /// GPU count (nodes of 8).
+    pub gpus: usize,
+    /// Pod time per strategy, indexed like [`distmsm::CollectiveStrategy::ALL`].
+    pub pod_s: [f64; 4],
+    /// Fastest strategy on the pod topology.
+    pub best_pod_s: f64,
+    /// Fastest strategy on an idealised NVSwitch box of the same size.
+    pub one_box_s: f64,
+}
+
+/// The analytic scaling rows behind [`run_fig9_scaling`]'s table and the
+/// `BENCH_msm.json` trajectory artefact: `(curve name, N, rows)` for
+/// 8 → 16 → 32 GPUs at `N = 2^26` on BLS12-381. Pure cost model — no
+/// engine execution — so it is fast enough for a CI smoke run and
+/// byte-stable for a fixed source tree.
+pub fn fig9_scaling_rows() -> (&'static str, u64, Vec<ScalingRow>) {
+    use distmsm::CollectiveStrategy;
+    use distmsm_comms::Topology;
+    let n = 1u64 << 26;
+    let curve = CurveDesc::BLS12_381;
+    let strategy_cfg = |strat: CollectiveStrategy| DistMsmConfig::builder()
+                .bucket_reduce_on_cpu(false)
+                .collective(strat)
+                .build()
+                .unwrap();
+    let mut rows = Vec::new();
+    for gpus in [8usize, 16, 32] {
+        let pod = MultiGpuSystem::dgx_a100(gpus);
+        let mut one_box = MultiGpuSystem::flat_pool(gpus);
+        one_box.topology = Some(Topology::single_box(gpus));
+        let time = |sys: &MultiGpuSystem, strat| {
+            estimate_distmsm(n, &curve, sys, &strategy_cfg(strat)).total_s
+        };
+        let pod_s: [f64; 4] = CollectiveStrategy::ALL.map(|s| time(&pod, s));
+        let best_pod_s = pod_s.iter().copied().fold(f64::INFINITY, f64::min);
+        let one_box_s = CollectiveStrategy::ALL
+            .iter()
+            .map(|&s| time(&one_box, s))
+            .fold(f64::INFINITY, f64::min);
+        rows.push(ScalingRow {
+            gpus,
+            pod_s,
+            best_pod_s,
+            one_box_s,
+        });
+    }
+    (curve.name, n, rows)
+}
+
+/// Renders the `BENCH_msm.json` trajectory artefact: the modelled
+/// multi-node MSM scaling of [`fig9_scaling_rows`] plus the source
+/// revision, as hand-rolled JSON with exponent-notation floats —
+/// byte-stable for a fixed source tree, so CI can diff trajectories
+/// across commits.
+pub fn bench_msm_json() -> String {
+    let (curve, n, rows) = fig9_scaling_rows();
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"fig9_scaling\",\n");
+    s.push_str(&format!("  \"curve\": \"{curve}\",\n"));
+    s.push_str(&format!("  \"n\": {n},\n"));
+    s.push_str(&format!("  \"git\": \"{}\",\n", git_describe()));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"gpus\": {}, \"best_pod_s\": {:.9e}, \"one_box_s\": {:.9e}}}{}\n",
+            r.gpus,
+            r.best_pod_s,
+            r.one_box_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// `git describe --always --dirty` of the workspace this binary was
+/// built from, or `"unknown"` outside a git checkout.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|out| out.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 /// Figure 10: breakdown of the two optimisation groups. Returns
@@ -609,10 +676,10 @@ pub fn run_ablations() -> String {
     // ---- batch-affine accumulation ----------------------------------------
     use std::time::Instant;
     let pts = generator_multiples::<Bn254G1>(4096);
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // det-ok: harness measures real host time
     let batched = sum_affine_batched(&pts);
     let t_batch = t0.elapsed();
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // det-ok: harness measures real host time
     let mut acc = distmsm_ec::XyzzPoint::<Bn254G1>::identity();
     for p in &pts {
         acc.pacc(p);
@@ -671,14 +738,14 @@ pub fn run_trace_overhead(n: usize, reps: usize) -> String {
     };
 
     let mut out = format!("Trace-hook overhead (N={n}, {reps} runs, 4 GPUs, BN254):\n");
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // det-ok: harness measures real host time
     run_all();
     let off = t0.elapsed();
 
     #[cfg(feature = "analyze")]
     {
         distmsm_gpu_sim::trace::begin_capture();
-        let t1 = Instant::now();
+        let t1 = Instant::now(); // det-ok: harness measures real host time
         run_all();
         let on = t1.elapsed();
         let traces = distmsm_gpu_sim::trace::end_capture();
@@ -838,6 +905,19 @@ mod tests {
                 assert!((pod - one_box).abs() < 1e-12 * one_box.abs().max(1.0));
             }
         }
+    }
+
+    #[test]
+    fn bench_msm_json_is_byte_stable() {
+        let a = bench_msm_json();
+        let b = bench_msm_json();
+        assert_eq!(a, b, "trajectory artefact must be byte-stable");
+        for key in ["\"bench\": \"fig9_scaling\"", "\"curve\": \"BLS12-381\"", "\"n\": 67108864", "\"git\": \"", "\"gpus\": 32"] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+        // exponent-notation floats (two per row, three rows), valid tail
+        assert!(a.matches("e-").count() >= 6, "floats must use exponent notation: {a}");
+        assert!(a.ends_with("  ]\n}\n"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! workspace graph.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod collective;
 pub mod schedule;

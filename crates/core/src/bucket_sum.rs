@@ -5,6 +5,7 @@
 use distmsm_ec::{Affine, Curve, XyzzPoint};
 use distmsm_gpu_sim::trace::LaunchRecorder;
 use distmsm_gpu_sim::LaunchStats;
+use distmsm_kernel::ir::PlanIr;
 use distmsm_kernel::EcKernelModel;
 
 /// Trace address namespaces (see `distmsm_gpu_sim::trace`).
@@ -114,6 +115,23 @@ pub struct BucketSumOutcome<C: Curve> {
     pub sums: Vec<XyzzPoint<C>>,
     /// Metered launch statistics.
     pub stats: LaunchStats,
+}
+
+/// Symbolic IR of the intra-bucket lane interleave: lane `l ∈ 0..tpb`
+/// accumulates exactly the bucket positions `≡ l (mod tpb)` of the
+/// bucket's `Z` points. The residue classes partition `[0, Z)` — every
+/// position is read by exactly one lane, so phase 0 needs no
+/// synchronisation below the `log2(tpb)` reduction tree.
+pub fn lane_residue_ir() -> PlanIr {
+    use distmsm_kernel::ir::{residue_partition_family, IndexExpr, Poly, SymBound};
+    PlanIr {
+        name: "bucket-sum-lanes".into(),
+        space: (IndexExpr::con(0), IndexExpr::var("Z")),
+        cover: true,
+        families: vec![residue_partition_family("lane", "l", &Poly::var("tpb"))],
+        bounds: vec![SymBound::at_least("Z", 1), SymBound::at_least("tpb", 1)],
+        assumptions: Vec::new(),
+    }
 }
 
 /// Picks the number of threads cooperating on each bucket: a multiple of

@@ -19,6 +19,7 @@ use distmsm_gpu_sim::trace::LaunchRecorder;
 use distmsm_gpu_sim::{
     estimate_kernel_time, CostModelConfig, KernelProfile, LaunchStats, MultiGpuSystem, ThreadCost,
 };
+use distmsm_kernel::ir::{IndexExpr, PlanIr, Poly, Region, RegionFamily, SymBound};
 use distmsm_kernel::{EcKernelModel, PaddOptimizations};
 
 /// Trace address namespaces (see `distmsm_gpu_sim::trace`).
@@ -247,6 +248,73 @@ pub fn execute<C: Curve>(
         result,
         window_size: s,
         total_s,
+    }
+}
+
+/// Thread bits of the `HIST` namespace: thread `t` of bucket `b` owns
+/// the private histogram column cell `HIST + (b << HIST_BITS | t)`.
+pub const HIST_BITS: u32 = 20;
+
+/// Slot bits of the `CELL` namespace: the transposed cell of slot
+/// `slot` in bucket `b` lives at `CELL + (b << CELL_BITS | slot)`.
+pub const CELL_BITS: u32 = 24;
+
+/// Symbolic IR of the cuZK histogram pass: bucket `bkt` of `NB` owns
+/// the per-thread column band `[bkt·2^20, bkt·2^20 + T)` of the `HIST`
+/// namespace, `T` the thread count. Each thread writes only its own
+/// column cell, so the pass needs no atomics — which is exactly the
+/// property the band disjointness (under `2^20 − T ≥ 0`) certifies.
+pub fn histogram_ir() -> PlanIr {
+    let band = Poly::con(1 << HIST_BITS);
+    let bkt = Poly::var("bkt");
+    PlanIr {
+        name: "cuzk-histogram".into(),
+        space: (
+            IndexExpr::con(0),
+            IndexExpr::Poly(Poly::var("NB").mul(&band)),
+        ),
+        cover: false,
+        families: vec![RegionFamily {
+            writer: "bucket-column",
+            param: "bkt",
+            count: IndexExpr::var("NB"),
+            region: Region::Interval {
+                lo: IndexExpr::Poly(bkt.mul(&band)),
+                hi: IndexExpr::Poly(bkt.mul(&band).add(&Poly::var("T"))),
+            },
+        }],
+        bounds: vec![SymBound::at_least("NB", 1), SymBound::at_least("T", 1)],
+        // T ≤ 2^20: thread ids never reach the bucket shift.
+        assumptions: vec![band.sub(&Poly::var("T"))],
+    }
+}
+
+/// Symbolic IR of the cuZK transpose scatter: bucket `bkt` writes its
+/// sorted cells into the stride-`2^24` band `[bkt·2^24, bkt·2^24 + S)`
+/// of the `CELL` namespace, `S` bounding per-bucket occupancy. The
+/// prefix-sum offsets claim unique slots, so disjoint bands (under
+/// `2^24 − S ≥ 0`) make the whole scatter conflict-free.
+pub fn transpose_cell_ir() -> PlanIr {
+    let band = Poly::con(1 << CELL_BITS);
+    let bkt = Poly::var("bkt");
+    PlanIr {
+        name: "cuzk-transpose".into(),
+        space: (
+            IndexExpr::con(0),
+            IndexExpr::Poly(Poly::var("NB").mul(&band)),
+        ),
+        cover: false,
+        families: vec![RegionFamily {
+            writer: "bucket",
+            param: "bkt",
+            count: IndexExpr::var("NB"),
+            region: Region::Interval {
+                lo: IndexExpr::Poly(bkt.mul(&band)),
+                hi: IndexExpr::Poly(bkt.mul(&band).add(&Poly::var("S"))),
+            },
+        }],
+        bounds: vec![SymBound::at_least("NB", 1), SymBound::at_least("S", 1)],
+        assumptions: vec![band.sub(&Poly::var("S"))],
     }
 }
 

@@ -28,6 +28,40 @@ use distmsm_gpu_sim::{
 };
 use distmsm_kernel::{EcKernelModel, PaddOptimizations};
 
+/// Window/bucket shape of a plan: `(n_windows, n_buckets)` for scalar
+/// width `scalar_bits`, window size `s`, and digit encoding. Signed
+/// digits add one carry window and halve the bucket count (§3.1); this
+/// is the single source of truth the engine, the analytic model, and
+/// the `distmsm-analyze verify` grounding pass all share.
+pub fn window_shape(scalar_bits: u32, s: u32, signed_digits: bool) -> (u32, u32) {
+    if signed_digits {
+        (scalar_bits.div_ceil(s) + 1, (1u32 << (s - 1)) + 1)
+    } else {
+        (scalar_bits.div_ceil(s), 1u32 << s)
+    }
+}
+
+/// The engine's partition plan plus its symbolic description: the
+/// concrete [`Slice`]s of [`plan_slices`], the
+/// [`PlanIr`](distmsm_kernel::ir::PlanIr)
+/// (quota tiling over the flat `W·B` bucket range) and the concrete
+/// symbol environment for grounding. This is the exact planning path
+/// [`DistMsm::execute`] runs — exposed so `distmsm-analyze verify` can
+/// prove and cross-check the very plan the engine would execute.
+pub fn partition_plan(
+    scalar_bits: u32,
+    s: u32,
+    signed_digits: bool,
+    n_gpus: usize,
+) -> (
+    Vec<Slice>,
+    distmsm_kernel::ir::PlanIr,
+    std::collections::BTreeMap<distmsm_kernel::ir::Sym, i128>,
+) {
+    let (n_windows, n_buckets) = window_shape(scalar_bits, s, signed_digits);
+    crate::plan::plan_slices_with_ir(n_windows, n_buckets, n_gpus)
+}
+
 /// Seed of the RLC self-check coefficient stream (device and host derive
 /// the same coefficients without communicating them).
 const RLC_SEED: u64 = 0x0005_e1fc_4ec4_u64;
@@ -380,11 +414,7 @@ impl DistMsm {
             a_is_zero: C::A_IS_ZERO,
         };
         let s = self.window_size_for(instance.len(), &desc);
-        let (n_windows, n_buckets) = if self.config.signed_digits {
-            (C::SCALAR_BITS.div_ceil(s) + 1, (1u32 << (s - 1)) + 1)
-        } else {
-            (C::SCALAR_BITS.div_ceil(s), 1u32 << s)
-        };
+        let (n_windows, n_buckets) = window_shape(C::SCALAR_BITS, s, self.config.signed_digits);
         let slices = plan_slices(n_windows, n_buckets, n_gpus);
         // signed-digit recoding happens once, up front (like the packed
         // coefficient pre-pass; same memory-bound cost class)

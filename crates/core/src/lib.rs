@@ -45,6 +45,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod analytic;
 pub mod baseline;
@@ -68,7 +69,8 @@ pub use analytic::{estimate_best_baseline, estimate_distmsm, CurveDesc, MsmEstim
 pub use baseline::BestGpuBaseline;
 pub use config::{ConfigError, DistMsmConfigBuilder};
 pub use distmsm_comms::CollectiveStrategy;
-pub use engine::{DistMsm, DistMsmConfig, MsmError, MsmReport, PhaseBreakdown};
+pub use engine::{partition_plan, window_shape, DistMsm, DistMsmConfig, MsmError, MsmReport, PhaseBreakdown};
+pub use plan::{partition_ir, plan_slices_with_ir, replan_ir, window_merge_ir};
 pub use report::{Phase, Report};
 pub use scatter::ScatterKind;
 pub use supervisor::{FaultObservation, RecoveryReport, RetryPolicy};

@@ -6,6 +6,9 @@
 //! paper's example: three GPUs on two windows → two GPUs take ⅔ of a
 //! window each, the third handles the remaining ⅓ of both).
 
+use distmsm_kernel::ir::{self, IndexExpr, PlanIr, Poly, Region, RegionFamily, Sym, SymBound};
+use std::collections::BTreeMap;
+
 /// One GPU's responsibility: a bucket range of one window.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Slice {
@@ -108,6 +111,92 @@ pub fn replan_slices(lost: &[Slice], survivors: &[usize]) -> Vec<Slice> {
         }
     }
     out
+}
+
+/// Symbolic IR of the flexible-distribution bucket partition: over the
+/// flat space `[0, W·B)`, device `g ∈ 0..G` owns the quota tile
+/// `[⌊W·B·g/G⌋, ⌊W·B·(g+1)/G⌋)`. Disjointness and exact coverage of
+/// this family — for **all** window counts `W`, bucket counts `B` and
+/// GPU counts `G` — is what `distmsm-analyze verify` proves (VRF-001 /
+/// VRF-002); [`plan_slices`] is the concrete instantiation the
+/// grounding pass cross-checks against.
+pub fn partition_ir() -> PlanIr {
+    let total = Poly::var("W").mul(&Poly::var("B"));
+    PlanIr {
+        name: "bucket-partition".into(),
+        space: (IndexExpr::con(0), IndexExpr::Poly(total.clone())),
+        cover: true,
+        families: vec![ir::quota_tile_family("device", "g", &total, &Poly::var("G"))],
+        bounds: vec![
+            SymBound::at_least("W", 1),
+            SymBound::at_least("B", 1),
+            SymBound::at_least("G", 1),
+        ],
+        assumptions: Vec::new(),
+    }
+}
+
+/// Symbolic IR of the window-merge split: the flat range `[0, W·B)` cut
+/// at window boundaries, window `w ∈ 0..W` owning `[w·B, w·B + B)`.
+/// This is the second axis [`plan_slices`] splits along — the verifier
+/// proves the per-window merge regions tile the bucket space exactly.
+pub fn window_merge_ir() -> PlanIr {
+    let w = Poly::var("w");
+    let b = Poly::var("B");
+    PlanIr {
+        name: "window-merge".into(),
+        space: (
+            IndexExpr::con(0),
+            IndexExpr::Poly(Poly::var("W").mul(&b)),
+        ),
+        cover: true,
+        families: vec![RegionFamily {
+            writer: "window",
+            param: "w",
+            count: IndexExpr::var("W"),
+            region: Region::Interval {
+                lo: IndexExpr::Poly(w.mul(&b)),
+                hi: IndexExpr::Poly(w.mul(&b).add(&b)),
+            },
+        }],
+        bounds: vec![SymBound::at_least("W", 1), SymBound::at_least("B", 1)],
+        assumptions: Vec::new(),
+    }
+}
+
+/// Symbolic IR of [`replan_slices`]'s survivor quotas: the `T` lost
+/// buckets, concatenated, are re-tiled across `K` survivors with the
+/// same quota rule as the primary partition.
+pub fn replan_ir() -> PlanIr {
+    let total = Poly::var("T");
+    PlanIr {
+        name: "replan-survivor-quota".into(),
+        space: (IndexExpr::con(0), IndexExpr::Poly(total.clone())),
+        cover: true,
+        families: vec![ir::quota_tile_family(
+            "survivor",
+            "k",
+            &total,
+            &Poly::var("K"),
+        )],
+        bounds: vec![SymBound::at_least("T", 1), SymBound::at_least("K", 1)],
+        assumptions: Vec::new(),
+    }
+}
+
+/// [`plan_slices`] plus the symbolic [`PlanIr`] describing it, with the
+/// concrete symbol environment for grounding cross-checks.
+pub fn plan_slices_with_ir(
+    n_windows: u32,
+    n_buckets: u32,
+    n_gpus: usize,
+) -> (Vec<Slice>, PlanIr, BTreeMap<Sym, i128>) {
+    let slices = plan_slices(n_windows, n_buckets, n_gpus);
+    let mut env = BTreeMap::new();
+    env.insert("W", i128::from(n_windows));
+    env.insert("B", i128::from(n_buckets));
+    env.insert("G", n_gpus as i128);
+    (slices, partition_ir(), env)
 }
 
 /// Number of GPUs cooperating on each window under a plan.
@@ -249,6 +338,52 @@ mod tests {
         assert_eq!(recovered.len(), 2);
         let covered: u32 = recovered.iter().map(Slice::len).sum();
         assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn partition_ir_grounds_against_plan_slices() {
+        // the symbolic quota tiles must agree with the concrete planner
+        for &(w, b, g) in &[
+            (8u32, 1u32 << 10, 8usize),
+            (2, 999, 3),
+            (23, 1 << 11, 16),
+            (13, 64, 1),
+            (17, 33, 5),
+        ] {
+            let (slices, ir, env) = plan_slices_with_ir(w, b, g);
+            assert_eq!(ir.member_count(0, &env), g as i128);
+            for gpu in 0..g {
+                let (lo, hi) = ir.member_interval(0, gpu as i128, &env).unwrap();
+                let covered: i128 = slices
+                    .iter()
+                    .filter(|s| s.gpu == gpu)
+                    .map(|s| i128::from(s.len()))
+                    .sum();
+                assert_eq!(hi - lo, covered, "gpu {gpu} quota width");
+                if let Some(first) = slices.iter().find(|s| s.gpu == gpu) {
+                    let flat = i128::from(first.window) * i128::from(b)
+                        + i128::from(first.bucket_lo);
+                    assert_eq!(flat, lo, "gpu {gpu} quota start");
+                }
+            }
+            assert_eq!(ir.space.1.eval(&env), i128::from(w) * i128::from(b));
+        }
+    }
+
+    #[test]
+    fn window_merge_ir_tiles_flat_range() {
+        let ir = window_merge_ir();
+        let mut env = BTreeMap::new();
+        env.insert("W", 7i128);
+        env.insert("B", 33i128);
+        let mut cursor = 0;
+        for w in 0..7 {
+            let (lo, hi) = ir.member_interval(0, w, &env).unwrap();
+            assert_eq!(lo, cursor);
+            assert_eq!(hi - lo, 33);
+            cursor = hi;
+        }
+        assert_eq!(cursor, ir.space.1.eval(&env));
     }
 
     #[test]

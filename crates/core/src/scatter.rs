@@ -13,6 +13,7 @@ use crate::plan::Slice;
 use distmsm_ec::Scalar;
 use distmsm_gpu_sim::trace::LaunchRecorder;
 use distmsm_gpu_sim::{KernelProfile, LaunchStats, ThreadCost};
+use distmsm_kernel::ir::{self, IndexExpr, PlanIr, Poly, Region, RegionFamily, SymBound};
 
 /// Simulated address namespaces for the access trace (see
 /// `distmsm_gpu_sim::trace`). Each launch gets its own trace, so bases only
@@ -493,6 +494,63 @@ pub fn scatter_signed_digits(
     rec.commit();
 
     Ok(ScatterOutcome { buckets, stats })
+}
+
+/// Slot bits of the `DATA` payload namespace: bucket `abs` writes slot
+/// `slot` at `DATA + (abs << SLOT_BITS | slot)`, so each bucket owns a
+/// band of `2^SLOT_BITS` addresses.
+pub const SLOT_BITS: u32 = 24;
+
+/// Symbolic IR of the bucket-payload commit phase: bucket `bkt` of
+/// `NB` appends its entries into the stride-`2^24` address band
+/// `[bkt·2^24, bkt·2^24 + S)`, where `S` bounds the per-bucket slot
+/// count. The bands are pairwise disjoint for **all** bucket counts
+/// given the emitter-guaranteed side condition `2^24 − S ≥ 0` (the
+/// append cursor claims unique slots strictly below the shift). The
+/// write set is sparse by design — no coverage obligation.
+pub fn commit_write_ir() -> PlanIr {
+    let band = Poly::con(1 << SLOT_BITS);
+    let bkt = Poly::var("bkt");
+    PlanIr {
+        name: "scatter-commit".into(),
+        space: (
+            IndexExpr::con(0),
+            IndexExpr::Poly(Poly::var("NB").mul(&band)),
+        ),
+        cover: false,
+        families: vec![RegionFamily {
+            writer: "bucket",
+            param: "bkt",
+            count: IndexExpr::var("NB"),
+            region: Region::Interval {
+                lo: IndexExpr::Poly(bkt.mul(&band)),
+                hi: IndexExpr::Poly(bkt.mul(&band).add(&Poly::var("S"))),
+            },
+        }],
+        bounds: vec![SymBound::at_least("NB", 1), SymBound::at_least("S", 1)],
+        // S ≤ 2^24: slot counts never reach the bucket shift.
+        assumptions: vec![band.sub(&Poly::var("S"))],
+    }
+}
+
+/// Symbolic IR of the hierarchical scatter's block tiling (Algorithm 3
+/// phase 0): block `blk` of `⌈N/P⌉` consumes points
+/// `[blk·P, min((blk+1)·P, N))`, `P = block_size · points_per_thread`.
+/// Disjoint and exactly covering `[0, N)` for all `N` and `P`.
+pub fn scatter_block_ir() -> PlanIr {
+    PlanIr {
+        name: "scatter-block-tile".into(),
+        space: (IndexExpr::con(0), IndexExpr::var("N")),
+        cover: true,
+        families: vec![ir::strided_tile_family(
+            "block",
+            "blk",
+            &Poly::var("N"),
+            &Poly::var("P"),
+        )],
+        bounds: vec![SymBound::at_least("N", 1), SymBound::at_least("P", 1)],
+        assumptions: Vec::new(),
+    }
 }
 
 #[cfg(test)]

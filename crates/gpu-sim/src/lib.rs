@@ -21,6 +21,7 @@
 //! register-pressure-driven occupancy.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cost;
 pub mod device;

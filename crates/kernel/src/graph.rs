@@ -9,7 +9,7 @@
 //! equivalent to the paper's brute force over its 12 scheduling units but
 //! run at single-operation granularity).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Variable identifier within one [`OpGraph`] (SSA: defined at most once).
 pub type VarId = usize;
@@ -57,7 +57,7 @@ pub struct OpGraphBuilder {
     inputs: Vec<VarId>,
     outputs: Vec<VarId>,
     ops: Vec<Op>,
-    by_name: HashMap<String, VarId>,
+    by_name: BTreeMap<String, VarId>,
 }
 
 impl OpGraphBuilder {
@@ -336,9 +336,9 @@ impl OpGraph {
         let full: u64 = if n == 64 { !0 } else { (1 << n) - 1 };
 
         // memo: done-set -> minimal achievable peak for the remaining ops
-        let mut memo: HashMap<u64, usize> = HashMap::new();
+        let mut memo: BTreeMap<u64, usize> = BTreeMap::new();
         // best-choice memo for order reconstruction
-        let mut choice: HashMap<u64, usize> = HashMap::new();
+        let mut choice: BTreeMap<u64, usize> = BTreeMap::new();
 
         #[allow(clippy::too_many_arguments)]
         fn solve(
@@ -350,8 +350,8 @@ impl OpGraph {
             defs: &[Option<usize>],
             outs: &[bool],
             policy: AllocPolicy,
-            memo: &mut HashMap<u64, usize>,
-            choice: &mut HashMap<u64, usize>,
+            memo: &mut BTreeMap<u64, usize>,
+            choice: &mut BTreeMap<u64, usize>,
         ) -> usize {
             if done == full {
                 return 0;
@@ -482,6 +482,28 @@ mod tests {
         b.input("a");
         b.op("c", OpKind::Mul, "a", "a");
         b.op("c", OpKind::Add, "a", "a");
+    }
+
+    #[test]
+    fn witness_order_is_pinned_golden() {
+        // The DP memo and choice tables are BTreeMaps keyed by done-set,
+        // and ties break on the lowest op index, so the witness order is a
+        // pure function of the graph — no hash-iteration or allocation
+        // order can leak in. Pin the shipped formulas' witnesses: a drift
+        // here means the search became nondeterministic (or the formula
+        // graphs changed, in which case re-pin deliberately).
+        let (peak, order) = crate::formulas::padd_graph().optimal_order(AllocPolicy::InPlace);
+        assert_eq!(peak, 8);
+        assert_eq!(
+            order,
+            [0, 1, 2, 3, 4, 5, 17, 19, 6, 7, 8, 15, 18, 9, 10, 11, 12, 13, 14, 16, 20]
+        );
+        let (peak, order) = crate::formulas::pacc_graph().optimal_order(AllocPolicy::InPlace);
+        assert_eq!(peak, 7);
+        assert_eq!(order, [0, 1, 2, 3, 4, 5, 6, 13, 15, 7, 8, 9, 10, 11, 12, 14, 16]);
+        // And the search is repeatable within one process.
+        let again = crate::formulas::pacc_graph().optimal_order(AllocPolicy::InPlace);
+        assert_eq!(again.1, order);
     }
 
     #[test]

@@ -1,0 +1,739 @@
+//! Typed index-expression IR for symbolic write-set verification.
+//!
+//! The schedule builders of `distmsm` (bucket partition, scatter commit,
+//! cuZK transpose, window merge) and of this crate (tensor-lane
+//! compaction) emit, *alongside* each concrete schedule, a small symbolic
+//! description of the index regions the schedule writes: affine
+//! polynomials over plan symbols (`N`, window count `W`, bucket count
+//! `B`, GPU count `G`, …) combined with floor division, `min`/`max`
+//! clipping and residue classes. `distmsm-analyze`'s `verify` pass does
+//! interval + congruence arithmetic over these expressions to prove —
+//! for **all** values of the symbols, not sampled ones — that per-device
+//! and per-kernel write regions are pairwise disjoint and (where
+//! declared) jointly cover the target index space.
+//!
+//! The IR is deliberately tiny: a normalised integer polynomial
+//! ([`Poly`]), an index expression ([`IndexExpr`]) closing it under
+//! `⌊·/·⌋`, `min` and `max`, and a parametric region family
+//! ([`RegionFamily`]) — "for parameter `p` in `0..count`, writer `p`
+//! touches region `R(p)`". A [`PlanIr`] bundles the families with the
+//! symbol domains and builder-guaranteed side conditions, and can be
+//! instantiated numerically so the analyzer can cross-check the symbolic
+//! model against the concrete schedule builder it describes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A plan symbol. Builders use short conventional names: `"N"` (points),
+/// `"W"` (windows), `"B"` (buckets per window), `"G"` (GPUs), and a
+/// per-family parameter such as `"g"` or `"blk"`.
+pub type Sym = &'static str;
+
+/// A monomial: a product of symbols with positive integer powers.
+/// The empty monomial is the constant `1`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Monomial(pub BTreeMap<Sym, u32>);
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn one() -> Self {
+        Self::default()
+    }
+
+    /// The monomial consisting of a single symbol.
+    pub fn var(s: Sym) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(s, 1);
+        Self(m)
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Self) -> Self {
+        let mut m = self.0.clone();
+        for (s, p) in &other.0 {
+            *m.entry(s).or_insert(0) += p;
+        }
+        Self(m)
+    }
+
+    /// Whether this monomial is divisible by `other`; returns the
+    /// quotient monomial if so.
+    pub fn div(&self, other: &Self) -> Option<Self> {
+        let mut m = self.0.clone();
+        for (s, p) in &other.0 {
+            let have = m.get_mut(s)?;
+            if *have < *p {
+                return None;
+            }
+            *have -= p;
+            if *have == 0 {
+                m.remove(s);
+            }
+        }
+        Some(Self(m))
+    }
+
+    /// True for the constant monomial.
+    pub fn is_one(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (s, p) in &self.0 {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if *p == 1 {
+                write!(f, "{s}")?;
+            } else {
+                write!(f, "{s}^{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A normalised integer polynomial `Σ coeff · monomial`. Zero
+/// coefficients are never stored, so structural equality is semantic
+/// equality.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Poly(pub BTreeMap<Monomial, i128>);
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant polynomial.
+    pub fn con(c: i128) -> Self {
+        let mut m = BTreeMap::new();
+        if c != 0 {
+            m.insert(Monomial::one(), c);
+        }
+        Self(m)
+    }
+
+    /// A single symbol.
+    pub fn var(s: Sym) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(Monomial::var(s), 1);
+        Self(m)
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut m = self.0.clone();
+        for (mono, c) in &other.0 {
+            let e = m.entry(mono.clone()).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                m.remove(mono);
+            }
+        }
+        Self(m)
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Self(self.0.iter().map(|(m, c)| (m.clone(), -c)).collect())
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &Self) -> Self {
+        let mut out: BTreeMap<Monomial, i128> = BTreeMap::new();
+        for (ma, ca) in &self.0 {
+            for (mb, cb) in &other.0 {
+                let m = ma.mul(mb);
+                let e = out.entry(m).or_insert(0);
+                *e += ca * cb;
+            }
+        }
+        out.retain(|_, c| *c != 0);
+        Self(out)
+    }
+
+    /// Scales by an integer.
+    pub fn scale(&self, k: i128) -> Self {
+        if k == 0 {
+            return Self::zero();
+        }
+        Self(self.0.iter().map(|(m, c)| (m.clone(), c * k)).collect())
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The constant value, if the polynomial is constant.
+    pub fn as_const(&self) -> Option<i128> {
+        match self.0.len() {
+            0 => Some(0),
+            1 => {
+                let (m, c) = self.0.iter().next().unwrap();
+                m.is_one().then_some(*c)
+            }
+            _ => None,
+        }
+    }
+
+    /// Exact polynomial division by `den` when `den` is a single term;
+    /// `None` when any numerator term is not divisible.
+    pub fn exact_div(&self, den: &Poly) -> Option<Poly> {
+        if den.0.len() != 1 {
+            return None;
+        }
+        let (dm, dc) = den.0.iter().next().unwrap();
+        let mut out = BTreeMap::new();
+        for (m, c) in &self.0 {
+            if c % dc != 0 {
+                return None;
+            }
+            out.insert(m.div(dm)?, c / dc);
+        }
+        Some(Poly(out))
+    }
+
+    /// Substitutes `sym := rep` (polynomial replacement) everywhere.
+    pub fn subst(&self, sym: Sym, rep: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.0 {
+            let mut term = Poly::con(*c);
+            for (s, p) in &m.0 {
+                let base = if *s == sym {
+                    rep.clone()
+                } else {
+                    Poly::var(s)
+                };
+                for _ in 0..*p {
+                    term = term.mul(&base);
+                }
+            }
+            out = out.add(&term);
+        }
+        out
+    }
+
+    /// Evaluates under a symbol environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a symbol is missing from `env`.
+    pub fn eval(&self, env: &BTreeMap<Sym, i128>) -> i128 {
+        let mut total = 0i128;
+        for (m, c) in &self.0 {
+            let mut v = *c;
+            for (s, p) in &m.0 {
+                let x = *env
+                    .get(s)
+                    .unwrap_or_else(|| panic!("symbol {s} missing from environment"));
+                for _ in 0..*p {
+                    v *= x;
+                }
+            }
+            total += v;
+        }
+        total
+    }
+
+    /// All symbols appearing in the polynomial.
+    pub fn symbols(&self) -> Vec<Sym> {
+        let mut out: Vec<Sym> = Vec::new();
+        for m in self.0.keys() {
+            for s in m.0.keys() {
+                if !out.contains(s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.0 {
+            let sign = if *c < 0 {
+                "-"
+            } else if first {
+                ""
+            } else {
+                "+"
+            };
+            let mag = c.unsigned_abs();
+            if m.is_one() {
+                write!(f, "{sign}{mag}")?;
+            } else if mag == 1 {
+                write!(f, "{sign}{m}")?;
+            } else {
+                write!(f, "{sign}{mag}·{m}")?;
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// An index expression: polynomials closed under floor division and
+/// `min`/`max` clipping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexExpr {
+    /// An exact polynomial.
+    Poly(Poly),
+    /// `⌊num / den⌋` with `den ≥ 1` guaranteed by the emitter.
+    FloorDiv(Poly, Poly),
+    /// The smaller of two expressions.
+    Min(Box<IndexExpr>, Box<IndexExpr>),
+    /// The larger of two expressions.
+    Max(Box<IndexExpr>, Box<IndexExpr>),
+}
+
+impl IndexExpr {
+    /// Constant.
+    pub fn con(c: i128) -> Self {
+        IndexExpr::Poly(Poly::con(c))
+    }
+
+    /// Symbol.
+    pub fn var(s: Sym) -> Self {
+        IndexExpr::Poly(Poly::var(s))
+    }
+
+    /// `⌈num / den⌉` encoded as `⌊(num + den − 1) / den⌋`.
+    pub fn ceil_div(num: &Poly, den: &Poly) -> Self {
+        IndexExpr::FloorDiv(num.add(den).sub(&Poly::con(1)), den.clone()).normalize()
+    }
+
+    /// `⌊num / den⌋`, normalised.
+    pub fn floor_div(num: &Poly, den: &Poly) -> Self {
+        IndexExpr::FloorDiv(num.clone(), den.clone()).normalize()
+    }
+
+    /// Normalises: exact floor divisions collapse to polynomials,
+    /// `min`/`max` of equal arms collapse to the arm.
+    pub fn normalize(&self) -> IndexExpr {
+        match self {
+            IndexExpr::Poly(p) => IndexExpr::Poly(p.clone()),
+            IndexExpr::FloorDiv(num, den) => {
+                if num.is_zero() {
+                    return IndexExpr::Poly(Poly::zero());
+                }
+                if den.as_const() == Some(1) {
+                    return IndexExpr::Poly(num.clone());
+                }
+                if let Some(q) = num.exact_div(den) {
+                    return IndexExpr::Poly(q);
+                }
+                IndexExpr::FloorDiv(num.clone(), den.clone())
+            }
+            IndexExpr::Min(a, b) => {
+                let (a, b) = (a.normalize(), b.normalize());
+                if a == b {
+                    a
+                } else {
+                    IndexExpr::Min(Box::new(a), Box::new(b))
+                }
+            }
+            IndexExpr::Max(a, b) => {
+                let (a, b) = (a.normalize(), b.normalize());
+                if a == b {
+                    a
+                } else {
+                    IndexExpr::Max(Box::new(a), Box::new(b))
+                }
+            }
+        }
+    }
+
+    /// Substitutes `sym := rep` and renormalises.
+    pub fn subst(&self, sym: Sym, rep: &Poly) -> IndexExpr {
+        match self {
+            IndexExpr::Poly(p) => IndexExpr::Poly(p.subst(sym, rep)),
+            IndexExpr::FloorDiv(n, d) => {
+                IndexExpr::FloorDiv(n.subst(sym, rep), d.subst(sym, rep))
+            }
+            IndexExpr::Min(a, b) => IndexExpr::Min(
+                Box::new(a.subst(sym, rep)),
+                Box::new(b.subst(sym, rep)),
+            ),
+            IndexExpr::Max(a, b) => IndexExpr::Max(
+                Box::new(a.subst(sym, rep)),
+                Box::new(b.subst(sym, rep)),
+            ),
+        }
+        .normalize()
+    }
+
+    /// Evaluates under an environment (floor division is Euclidean for
+    /// the non-negative ranges plans use).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing symbol or a zero denominator.
+    pub fn eval(&self, env: &BTreeMap<Sym, i128>) -> i128 {
+        match self {
+            IndexExpr::Poly(p) => p.eval(env),
+            IndexExpr::FloorDiv(n, d) => {
+                let dv = d.eval(env);
+                assert!(dv > 0, "floor division by non-positive {dv}");
+                n.eval(env).div_euclid(dv)
+            }
+            IndexExpr::Min(a, b) => a.eval(env).min(b.eval(env)),
+            IndexExpr::Max(a, b) => a.eval(env).max(b.eval(env)),
+        }
+    }
+
+    /// All symbols appearing in the expression.
+    pub fn symbols(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        let mut push = |v: Vec<Sym>| {
+            for s in v {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        };
+        match self {
+            IndexExpr::Poly(p) => push(p.symbols()),
+            IndexExpr::FloorDiv(n, d) => {
+                push(n.symbols());
+                push(d.symbols());
+            }
+            IndexExpr::Min(a, b) | IndexExpr::Max(a, b) => {
+                push(a.symbols());
+                push(b.symbols());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexExpr::Poly(p) => write!(f, "{p}"),
+            IndexExpr::FloorDiv(n, d) => write!(f, "⌊({n})/({d})⌋"),
+            IndexExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            IndexExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+/// The shape of the region one family member writes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Half-open interval `[lo(p), hi(p))` in the index space.
+    Interval {
+        /// First index written (inclusive), in terms of the parameter.
+        lo: IndexExpr,
+        /// One past the last index written.
+        hi: IndexExpr,
+    },
+    /// The residue class `{ i : i ≡ residue(p) (mod modulus) }`
+    /// intersected with the plan's index space.
+    Residue {
+        /// The congruence modulus (emitter guarantees ≥ 1).
+        modulus: Poly,
+        /// The class representative, in terms of the parameter.
+        residue: Poly,
+    },
+}
+
+/// A parametric family of write regions: writer `param ∈ 0..count`
+/// touches `region(param)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionFamily {
+    /// What the parameter indexes — `"device"`, `"block"`, `"bucket"`,
+    /// `"lane"`, … Used verbatim in verifier diagnostics.
+    pub writer: &'static str,
+    /// The family parameter symbol.
+    pub param: Sym,
+    /// Number of family members; `param` ranges over `0..count`.
+    pub count: IndexExpr,
+    /// The region written by member `param`.
+    pub region: Region,
+}
+
+/// Inclusive domain of one plan symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymBound {
+    /// The symbol.
+    pub sym: Sym,
+    /// Smallest admissible value.
+    pub min: i128,
+    /// Largest admissible value, if bounded.
+    pub max: Option<i128>,
+}
+
+impl SymBound {
+    /// `sym ≥ min`, unbounded above.
+    pub fn at_least(sym: Sym, min: i128) -> Self {
+        Self { sym, min, max: None }
+    }
+
+    /// `min ≤ sym ≤ max`.
+    pub fn range(sym: Sym, min: i128, max: i128) -> Self {
+        Self {
+            sym,
+            min,
+            max: Some(max),
+        }
+    }
+}
+
+/// A symbolic plan: the write-region families of one schedule builder,
+/// the index space they live in, the symbol domains, and side conditions
+/// (each a polynomial guaranteed `≥ 0` by the builder — validated
+/// numerically by the analyzer's grounding pass).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanIr {
+    /// Stable plan name, e.g. `"bucket-partition"`.
+    pub name: String,
+    /// The index space `[lo, hi)` the families write into.
+    pub space: (IndexExpr, IndexExpr),
+    /// Whether the families must jointly cover the space exactly
+    /// (coverage is only meaningful for single-family interval tilings
+    /// and residue partitions; sparse write sets set this to `false`).
+    pub cover: bool,
+    /// The write-region families.
+    pub families: Vec<RegionFamily>,
+    /// Symbol domains.
+    pub bounds: Vec<SymBound>,
+    /// Builder-guaranteed facts, each a polynomial `≥ 0`.
+    pub assumptions: Vec<Poly>,
+}
+
+impl PlanIr {
+    /// Instantiates one interval family member numerically: the
+    /// `[lo, hi)` pair of member `p` of family `fi` under `env`.
+    /// Residue families return `None`.
+    pub fn member_interval(
+        &self,
+        fi: usize,
+        p: i128,
+        env: &BTreeMap<Sym, i128>,
+    ) -> Option<(i128, i128)> {
+        let fam = &self.families[fi];
+        let mut env = env.clone();
+        env.insert(fam.param, p);
+        match &fam.region {
+            Region::Interval { lo, hi } => Some((lo.eval(&env), hi.eval(&env))),
+            Region::Residue { .. } => None,
+        }
+    }
+
+    /// Number of members of family `fi` under `env`.
+    pub fn member_count(&self, fi: usize, env: &BTreeMap<Sym, i128>) -> i128 {
+        let fam = &self.families[fi];
+        let mut env = env.clone();
+        // The count itself may not reference the parameter, but keep the
+        // environment total so shared helpers evaluate uniformly.
+        env.insert(fam.param, 0);
+        fam.count.eval(&env)
+    }
+}
+
+/// Builds the canonical *quota tiling*: member `p` of `parts` owns
+/// `[⌊total·p/parts⌋, ⌊total·(p+1)/parts⌋)` of `[0, total)` — the form
+/// `plan_slices` and `replan_slices` use. Disjointness and exact
+/// coverage hold for **all** positive `total` and `parts`.
+pub fn quota_tile_family(writer: &'static str, param: Sym, total: &Poly, parts: &Poly) -> RegionFamily {
+    let p = Poly::var(param);
+    RegionFamily {
+        writer,
+        param,
+        count: IndexExpr::Poly(parts.clone()),
+        region: Region::Interval {
+            lo: IndexExpr::floor_div(&total.mul(&p), parts),
+            hi: IndexExpr::floor_div(&total.mul(&p.add(&Poly::con(1))), parts),
+        },
+    }
+}
+
+/// Builds the *clipped strided tiling*: member `p` of `⌈n/stride⌉` owns
+/// `[p·stride, min((p+1)·stride, n))` — the per-block point tiling of
+/// the hierarchical scatter and the cuZK transpose passes.
+pub fn strided_tile_family(writer: &'static str, param: Sym, n: &Poly, stride: &Poly) -> RegionFamily {
+    let p = Poly::var(param);
+    let lo = p.mul(stride);
+    let hi_unclipped = p.add(&Poly::con(1)).mul(stride);
+    RegionFamily {
+        writer,
+        param,
+        count: IndexExpr::ceil_div(n, stride),
+        region: Region::Interval {
+            lo: IndexExpr::Poly(lo),
+            hi: IndexExpr::Min(
+                Box::new(IndexExpr::Poly(hi_unclipped)),
+                Box::new(IndexExpr::Poly(n.clone())),
+            ),
+        },
+    }
+}
+
+/// Builds the *residue partition*: member `l` of `modulus` owns the
+/// residue class `l (mod modulus)` — the bucket-sum lane interleaving.
+pub fn residue_partition_family(writer: &'static str, param: Sym, modulus: &Poly) -> RegionFamily {
+    RegionFamily {
+        writer,
+        param,
+        count: IndexExpr::Poly(modulus.clone()),
+        region: Region::Residue {
+            modulus: modulus.clone(),
+            residue: Poly::var(param),
+        },
+    }
+}
+
+/// The §4.3 on-the-fly compaction plan of [`crate::tensor`]: compaction
+/// group `k` consumes the four resolved lanes `[4k, 4k+4)` of a
+/// `4·K`-lane vector — a stride-4 tiling that must be disjoint and
+/// exactly cover the lane space for every group count `K ≥ 1`.
+pub fn compaction_plan_ir() -> PlanIr {
+    let k = Poly::var("K");
+    let four_k = k.scale(4);
+    PlanIr {
+        name: "tensor-lane-compaction".into(),
+        space: (IndexExpr::con(0), IndexExpr::Poly(four_k)),
+        cover: true,
+        families: vec![RegionFamily {
+            writer: "compaction-group",
+            param: "k",
+            count: IndexExpr::Poly(k.clone()),
+            region: Region::Interval {
+                lo: IndexExpr::Poly(Poly::var("k").scale(4)),
+                hi: IndexExpr::Poly(Poly::var("k").scale(4).add(&Poly::con(4))),
+            },
+        }],
+        bounds: vec![SymBound::at_least("K", 1)],
+        assumptions: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(Sym, i128)]) -> BTreeMap<Sym, i128> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn poly_arithmetic_normalises() {
+        let a = Poly::var("x").add(&Poly::con(3));
+        let b = Poly::var("x").neg().add(&Poly::con(-3));
+        assert!(a.add(&b).is_zero());
+        let sq = a.mul(&a);
+        assert_eq!(sq.eval(&env(&[("x", 4)])), 49);
+        assert_eq!(format!("{}", Poly::var("x").scale(2).sub(&Poly::con(1))), "-1+2·x");
+    }
+
+    #[test]
+    fn exact_division_collapses_floor_div() {
+        // ⌊T·G/G⌋ = T
+        let t = Poly::var("T");
+        let g = Poly::var("G");
+        let e = IndexExpr::floor_div(&t.mul(&g), &g);
+        assert_eq!(e, IndexExpr::Poly(t));
+        // ⌊0/G⌋ = 0
+        assert_eq!(IndexExpr::floor_div(&Poly::zero(), &g), IndexExpr::con(0));
+        // ⌊x/1⌋ = x
+        assert_eq!(
+            IndexExpr::floor_div(&Poly::var("x"), &Poly::con(1)),
+            IndexExpr::var("x")
+        );
+        // ⌊(2x+1)/2⌋ does not collapse
+        let odd = Poly::var("x").scale(2).add(&Poly::con(1));
+        assert!(matches!(
+            IndexExpr::floor_div(&odd, &Poly::con(2)),
+            IndexExpr::FloorDiv(..)
+        ));
+    }
+
+    #[test]
+    fn subst_shifts_quota_tile_bounds_into_alignment() {
+        // hi(p) and lo(p+1) of the quota tiling are the same expression.
+        let fam = quota_tile_family("device", "p", &Poly::var("T"), &Poly::var("P"));
+        let (lo, hi) = match &fam.region {
+            Region::Interval { lo, hi } => (lo.clone(), hi.clone()),
+            _ => unreachable!(),
+        };
+        let shifted_lo = lo.subst("p", &Poly::var("p").add(&Poly::con(1)));
+        assert_eq!(shifted_lo, hi.normalize());
+    }
+
+    #[test]
+    fn eval_matches_concrete_quota_tiling() {
+        let fam = quota_tile_family("device", "p", &Poly::con(100), &Poly::con(7));
+        let ir = PlanIr {
+            name: "t".into(),
+            space: (IndexExpr::con(0), IndexExpr::con(100)),
+            cover: true,
+            families: vec![fam],
+            bounds: vec![],
+            assumptions: vec![],
+        };
+        let e = env(&[]);
+        let mut cursor = 0;
+        for p in 0..7 {
+            let (lo, hi) = ir.member_interval(0, p, &e).unwrap();
+            assert_eq!(lo, cursor);
+            assert_eq!(lo, 100 * p / 7);
+            cursor = hi;
+        }
+        assert_eq!(cursor, 100);
+    }
+
+    #[test]
+    fn strided_tile_clips_last_member() {
+        let fam = strided_tile_family("block", "b", &Poly::con(10), &Poly::con(4));
+        let ir = PlanIr {
+            name: "t".into(),
+            space: (IndexExpr::con(0), IndexExpr::con(10)),
+            cover: true,
+            families: vec![fam],
+            bounds: vec![],
+            assumptions: vec![],
+        };
+        let e = env(&[]);
+        assert_eq!(ir.member_count(0, &e), 3);
+        assert_eq!(ir.member_interval(0, 0, &e), Some((0, 4)));
+        assert_eq!(ir.member_interval(0, 2, &e), Some((8, 10)));
+    }
+
+    #[test]
+    fn compaction_plan_instantiates() {
+        let ir = compaction_plan_ir();
+        let e = env(&[("K", 5)]);
+        assert_eq!(ir.member_count(0, &e), 5);
+        assert_eq!(ir.member_interval(0, 4, &e), Some((16, 20)));
+        assert_eq!(ir.space.1.eval(&e), 20);
+    }
+
+    #[test]
+    fn min_max_eval_and_normalize() {
+        let a = IndexExpr::var("x");
+        let m = IndexExpr::Min(Box::new(a.clone()), Box::new(a.clone()));
+        assert_eq!(m.normalize(), a);
+        let m = IndexExpr::Max(Box::new(IndexExpr::con(3)), Box::new(IndexExpr::var("x")));
+        assert_eq!(m.eval(&env(&[("x", 1)])), 3);
+        assert_eq!(m.eval(&env(&[("x", 9)])), 9);
+    }
+}

@@ -13,7 +13,10 @@
 //!   (§4.3): banded byte matrices, the warp column shuffle, on-the-fly
 //!   45-bit compaction — validated bit-exactly against the u32 SOS kernel;
 //! * [`profile`] — synthesis of registers/shared-memory/op-cost profiles
-//!   per curve and optimisation set (the Figure 12 waterfall).
+//!   per curve and optimisation set (the Figure 12 waterfall);
+//! * [`ir`] — the typed index-expression IR schedule builders emit
+//!   alongside concrete schedules, consumed by `distmsm-analyze verify`
+//!   to prove write-set disjointness and coverage for all plan sizes.
 //!
 //! ## Example
 //!
@@ -29,14 +32,17 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod formulas;
 pub mod graph;
+pub mod ir;
 pub mod profile;
 pub mod spill;
 pub mod tensor;
 
 pub use graph::{AllocPolicy, OpGraph, OpGraphBuilder, OpKind};
+pub use ir::{IndexExpr, PlanIr, Poly, Region, RegionFamily, SymBound};
 pub use profile::{EcKernelModel, KernelSchedule, PaddOptimizations};
 pub use spill::{spill_schedule, SpillAction, SpillEvent, SpillSchedule};
 pub use tensor::TcMontgomery;

@@ -8,7 +8,7 @@
 //! policy, and reports the traffic that decision costs.
 
 use crate::graph::{AllocPolicy, OpGraph};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Direction of one register↔shared-memory move.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,7 +108,7 @@ pub fn spill_schedule(
             uses[s].push(pos);
         }
     }
-    let outputs: HashSet<usize> = (0..n_vars)
+    let outputs: BTreeSet<usize> = (0..n_vars)
         .filter(|&v| {
             // an output is any var with no consumer that the graph marks
             // live at the end; OpGraph doesn't expose outputs directly, so
@@ -130,8 +130,8 @@ pub fn spill_schedule(
             })
     };
 
-    let mut in_reg: HashSet<usize> = HashSet::new();
-    let mut in_shm: HashSet<usize> = HashSet::new();
+    let mut in_reg: BTreeSet<usize> = BTreeSet::new();
+    let mut in_shm: BTreeSet<usize> = BTreeSet::new();
     // inputs start in registers
     for op in ops {
         for &s in &op.srcs {
@@ -144,7 +144,7 @@ pub fn spill_schedule(
     let mut transfers = 0usize;
     let mut shared_peak = in_shm.len();
     let mut reg_peak = in_reg.len();
-    let mut spilled_set: HashSet<usize> = HashSet::new();
+    let mut spilled_set: BTreeSet<usize> = BTreeSet::new();
     let mut events_idx: Vec<(usize, usize, SpillAction)> = Vec::new();
 
     for (pos, &i) in order.iter().enumerate() {
@@ -262,10 +262,10 @@ fn evict_to_fit(
     room_for: usize,
     protected: &[usize],
     pos: usize,
-    in_reg: &mut HashSet<usize>,
-    in_shm: &mut HashSet<usize>,
+    in_reg: &mut BTreeSet<usize>,
+    in_shm: &mut BTreeSet<usize>,
     transfers: &mut usize,
-    spilled_set: &mut HashSet<usize>,
+    spilled_set: &mut BTreeSet<usize>,
     events_idx: &mut Vec<(usize, usize, SpillAction)>,
     next_use: &dyn Fn(usize, usize) -> usize,
 ) -> Result<(), usize> {

@@ -33,6 +33,7 @@
 //! | [`json`] | minimal JSON parser and the Chrome-trace schema validator |
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod export;
 pub mod json;
