@@ -11,9 +11,10 @@
 # symbolic write-set disjointness/coverage proofs, static collective
 # deadlock checks over every topology preset, the mutant corpus and the
 # workspace determinism lint — no execution, all N/window/GPU shapes.
-# The soak smoke replays a seeded chaos scenario through the
-# multi-tenant service and diffs its byte-stable report against a
-# golden (BLESS=1 ./ci.sh regenerates it).
+# The soak smokes replay seeded chaos scenarios through the
+# multi-tenant service and the multi-pod fleet coordinator (whole-pod
+# loss plus a byzantine pod caught by the 2G2T check) and diff their
+# byte-stable reports against goldens (BLESS=1 ./ci.sh regenerates).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -28,7 +29,7 @@ cargo build --release -p distmsm-suite -p distmsm-bench
 echo "== telemetry: default build carries no telemetry symbols =="
 # feature-off must mean compiled out, not merely inactive (the positive
 # control for this grep runs after the feature smoke run below)
-for bin in fault_sweep soak; do
+for bin in fault_sweep soak fleet_soak; do
     if grep -qa distmsm_telemetry "target/release/$bin"; then
         echo "FAIL: default-feature $bin binary contains telemetry symbols" >&2
         exit 1
@@ -58,6 +59,18 @@ fi
 diff -u "$GOLDEN" "$SOAK_JSON"
 rm -f "$SOAK_JSON"
 
+echo "== fleet soak smoke (4 pods, 1024 tenants, byzantine + pod loss) + golden =="
+FLEET_JSON="$(mktemp /tmp/distmsm_ci_fleet_soak.XXXXXX.json)"
+target/release/fleet_soak --smoke --json "$FLEET_JSON"
+FLEET_GOLDEN="crates/bench/golden/fleet_soak_smoke.json"
+if [[ "${BLESS:-0}" == "1" ]]; then
+    cp "$FLEET_JSON" "$FLEET_GOLDEN"
+    echo "blessed $FLEET_GOLDEN"
+fi
+# the FleetReport JSON is byte-stable: any drift is a behaviour change
+diff -u "$FLEET_GOLDEN" "$FLEET_JSON"
+rm -f "$FLEET_JSON"
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
@@ -79,10 +92,10 @@ grep -qa distmsm_telemetry target/release/fault_sweep
 cargo run --release -q -p distmsm-analyze -- trace "$TRACE"
 rm -f "$TRACE"
 
-echo "== distmsm-analyze check (race + lint + comm + fault + service + telemetry) =="
+echo "== distmsm-analyze check (race + lint + comm + fault + service + fleet + telemetry) =="
 cargo run -p distmsm-analyze -- check
 
-echo "== distmsm-analyze verify --all-presets (static proofs + mutants + det lint) =="
+echo "== distmsm-analyze verify --all-presets (static proofs incl. fleet plans + mutants + det lint) =="
 cargo run --release -q -p distmsm-analyze -- verify --all-presets
 
 echo "== unsafe audit: every crate root must forbid unsafe_code =="
@@ -97,5 +110,6 @@ echo "== fig9 scaling smoke + BENCH_msm.json trajectory artefact =="
 cargo run --release -q -p distmsm-bench --bin fig9_scaling -- \
     --smoke --bench-json BENCH_msm.json
 grep -q '"bench": "fig9_scaling"' BENCH_msm.json
+grep -q '"pods": 4' BENCH_msm.json
 
 echo "CI OK"

@@ -24,6 +24,14 @@
 //!   byte conservation under replay (`FAULT-001`) and exact re-plan
 //!   coverage with no orphaned work (`FAULT-002`).
 //!
+//! * A **fleet-invariant checker** ([`fleet`]): grounds the cross-pod
+//!   shard and quarantine re-placement planners against their symbolic
+//!   IRs (`FLT-001`), replays the 2G2T blinded-twin outsourcing check
+//!   over seeded corruptions (`FLT-002`), re-runs a byzantine sharded
+//!   MSM end to end — detection, quarantine, bit-exact re-placement —
+//!   (`FLT-003`), and validates the fleet proofs against a seeded
+//!   overlapping-shard mutant (`FLT-900`).
+//!
 //! * A **service-invariant checker** ([`svc`]): runs seeded chaos
 //!   soaks of the `distmsm-service` front-end and replays the event
 //!   streams for conservation of admitted jobs (`SVC-001`) and the
@@ -63,6 +71,7 @@
 pub mod comm;
 pub mod det;
 pub mod fault;
+pub mod fleet;
 pub mod harness;
 pub mod lint;
 pub mod race;
@@ -75,6 +84,10 @@ pub mod verify;
 pub use comm::{check_comm_schedules, check_schedule};
 pub use det::{lint_source, lint_workspace};
 pub use fault::{check_fault_recovery, check_recovery_report};
+pub use fleet::{
+    check_byzantine_shard_replay, check_fleet, check_fleet_grounding, check_fleet_mutant,
+    check_outsourcing_soundness,
+};
 pub use svc::{check_conservation, check_open_dispatch, check_svc};
 pub use tel::{check_telemetry, check_trace_file};
 pub use race::{check_trace, check_traces, RaceConfig};

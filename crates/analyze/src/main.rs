@@ -22,6 +22,7 @@
 
 use distmsm_analyze::comm::check_comm_schedules;
 use distmsm_analyze::fault::check_fault_recovery;
+use distmsm_analyze::fleet::check_fleet;
 use distmsm_analyze::harness::check_shipped_kernels;
 use distmsm_analyze::lint::lint_presets;
 use distmsm_analyze::svc::check_svc;
@@ -63,6 +64,7 @@ fn main() -> ExitCode {
             report.extend(check_comm_schedules());
             report.extend(check_fault_recovery());
             report.extend(check_svc());
+            report.extend(check_fleet());
             report.extend(check_telemetry());
             report
         }

@@ -73,6 +73,8 @@ pub fn plan_registry() -> Vec<PlanIr> {
         distmsm::cuzk::transpose_cell_ir(),
         distmsm::bucket_sum::lane_residue_ir(),
         ir::compaction_plan_ir(),
+        distmsm::fleet_shard_ir(),
+        distmsm::fleet_replace_ir(),
     ]
 }
 

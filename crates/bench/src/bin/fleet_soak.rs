@@ -1,0 +1,121 @@
+//! Deterministic soak of the multi-pod fleet coordinator.
+//!
+//! Replays a seeded arrival trace against per-pod chaos schedules plus
+//! the pod-level fault classes — whole-pod loss and a byzantine pod —
+//! on the simulated clock, checks the fleet invariants (exactly-once
+//! verified termination, conservation, bit-exact accepted results,
+//! starvation bounds under stealing, quarantine of the byzantine pod,
+//! the pod-loss guarantees, the verified completion-rate floor), and on
+//! violation shrinks the scenario to a minimal reproducer printed as a
+//! re-runnable seed tuple.
+//!
+//! ```text
+//! fleet_soak                  # full scenario (4 pods × 8 GPUs, 4000 jobs, 2048 tenants)
+//! fleet_soak --smoke          # bounded CI scenario (4 pods × 4 GPUs, 1200 jobs, 1024 tenants)
+//! fleet_soak --json out.json  # also write the byte-stable FleetReport JSON
+//! fleet_soak --arrival-seed 11 --fault-seed 3 --jobs 120 ...   # explicit spec
+//! fleet_soak --telemetry t.json   # (telemetry builds) Chrome-trace export
+//! ```
+//!
+//! Exits non-zero when any invariant is violated.
+
+use distmsm_fleet::{fleet_shrink, run_fleet_soak, FleetSoakOptions, FleetSoakSpec};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return Some(
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .clone(),
+            );
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    flag_value(args, flag)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad {flag} value {v}: {e:?}")))
+        .unwrap_or(default)
+}
+
+fn spec_from_args(args: &[String]) -> FleetSoakSpec {
+    let base = if args.iter().any(|a| a == "--smoke") {
+        FleetSoakSpec::smoke()
+    } else {
+        FleetSoakSpec::full()
+    };
+    let mut spec = FleetSoakSpec {
+        arrival_seed: parse(args, "--arrival-seed", base.arrival_seed),
+        fault_seed: parse(args, "--fault-seed", base.fault_seed),
+        n_jobs: parse(args, "--jobs", base.n_jobs),
+        n_tenants: parse(args, "--tenants", base.n_tenants),
+        n_pods: parse(args, "--pods", base.n_pods),
+        devices_per_pod: parse(args, "--devices-per-pod", base.devices_per_pod),
+        n_fault_windows: parse(args, "--fault-windows", base.n_fault_windows),
+        horizon_s: parse(args, "--horizon", base.horizon_s),
+        msm_size: parse(args, "--msm-size", base.msm_size),
+        byzantine_pod: base.byzantine_pod,
+        lost_pod: base.lost_pod,
+    };
+    if let Some(p) = flag_value(args, "--byzantine-pod") {
+        spec.byzantine_pod = Some(p.parse().expect("bad --byzantine-pod value"));
+    }
+    if args.iter().any(|a| a == "--no-byzantine-pod") {
+        spec.byzantine_pod = None;
+    }
+    if let Some(p) = flag_value(args, "--lost-pod") {
+        spec.lost_pod = Some(p.parse().expect("bad --lost-pod value"));
+    }
+    if args.iter().any(|a| a == "--no-lost-pod") {
+        spec.lost_pod = None;
+    }
+    spec
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = distmsm_bench::telemetry_path(&args);
+    let spec = spec_from_args(&args);
+    let opts = FleetSoakOptions::default();
+
+    println!("fleet_soak: {}", spec.seed_tuple());
+    let outcome =
+        distmsm_bench::run_with_telemetry(trace.as_deref(), || run_fleet_soak(&spec, &opts));
+
+    print!("{}", outcome.report.render());
+    println!("events processed: {}", outcome.n_events);
+
+    if let Some(path) = flag_value(&args, "--json") {
+        std::fs::write(&path, outcome.report.to_detailed_json())
+            .unwrap_or_else(|e| panic!("cannot write report to {path}: {e}"));
+        println!("wrote FleetReport JSON to {path}");
+    }
+
+    if outcome.violations.is_empty() {
+        println!("invariants: all hold (zero violations)");
+        return;
+    }
+
+    println!("invariants VIOLATED ({}):", outcome.violations.len());
+    for v in &outcome.violations {
+        println!("  [{}] {}", v.invariant, v.detail);
+    }
+    println!("shrinking to a minimal reproducer...");
+    let (min, min_outcome) = fleet_shrink(&spec, &opts, 64);
+    println!(
+        "minimal reproducer ({} violations): {}",
+        min_outcome.violations.len(),
+        min.seed_tuple()
+    );
+    println!("re-run with: fleet_soak {}", min.cli());
+    std::process::exit(1);
+}

@@ -457,8 +457,38 @@ pub fn bench_msm_json() -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    let pods = fig9_pod_rows();
+    s.push_str("  \"pod_rows\": [\n");
+    for (i, e) in pods.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pods\": {}, \"compute_s\": {:.9e}, \"reduce_s\": {:.9e}, \
+             \"total_s\": {:.9e}, \"strategy\": \"{}\"}}{}\n",
+            e.n_pods,
+            e.compute_s,
+            e.reduce_s,
+            e.total_s,
+            e.strategy.name(),
+            if i + 1 < pods.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// The fleet pod-scaling rows of the `BENCH_msm.json` trajectory
+/// artefact: the sharded `N = 2^26` BLS12-381 MSM across 1/2/4 pods of
+/// 8 GPUs, twin-verified, reduced over the NIC tier. Pure cost model —
+/// byte-stable like [`fig9_scaling_rows`].
+pub fn fig9_pod_rows() -> Vec<distmsm_fleet::FleetMsmEstimate> {
+    let n = 1u64 << 26;
+    let curve = CurveDesc::BLS12_381;
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|pods| {
+            distmsm_fleet::estimate_fleet_msm(n, &curve, pods, 8, &DistMsmConfig::default())
+        })
+        .collect()
 }
 
 /// `git describe --always --dirty` of the workspace this binary was
@@ -912,12 +942,23 @@ mod tests {
         let a = bench_msm_json();
         let b = bench_msm_json();
         assert_eq!(a, b, "trajectory artefact must be byte-stable");
-        for key in ["\"bench\": \"fig9_scaling\"", "\"curve\": \"BLS12-381\"", "\"n\": 67108864", "\"git\": \"", "\"gpus\": 32"] {
+        for key in ["\"bench\": \"fig9_scaling\"", "\"curve\": \"BLS12-381\"", "\"n\": 67108864", "\"git\": \"", "\"gpus\": 32", "\"pods\": 1", "\"pods\": 4", "\"strategy\": \""] {
             assert!(a.contains(key), "missing {key} in {a}");
         }
         // exponent-notation floats (two per row, three rows), valid tail
         assert!(a.matches("e-").count() >= 6, "floats must use exponent notation: {a}");
         assert!(a.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn fleet_pod_rows_scale() {
+        let rows = fig9_pod_rows();
+        assert_eq!(rows.iter().map(|r| r.n_pods).collect::<Vec<_>>(), vec![1, 2, 4]);
+        // Sharding shrinks per-pod compute but grows the NIC-tier reduce;
+        // at this size the fleet still wins end to end.
+        assert!(rows[2].compute_s < rows[0].compute_s);
+        assert!(rows[2].reduce_s >= rows[0].reduce_s);
+        assert!(rows[2].total_s < rows[0].total_s, "4 pods must beat 1 pod at 2^26");
     }
 
     #[test]

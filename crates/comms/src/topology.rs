@@ -417,6 +417,34 @@ impl Topology {
         t
     }
 
+    /// The cross-pod fleet fabric: `n_pods` pods, each contributing one
+    /// reduce-leader rank whose aggregated window partials leave the pod
+    /// through its 200 GB/s NIC onto an InfiniBand core switch. The
+    /// fleet coordinator host hangs off the core switch behind its own
+    /// NIC and PCIe hub, so cross-pod reduce trees span the NIC tier
+    /// end-to-end and the final fold lands on the coordinator — every
+    /// hop pays InfiniBand latency, which is what makes the pod-count
+    /// scaling knee visible.
+    pub fn fleet(n_pods: usize) -> Self {
+        assert!(n_pods >= 1, "a fleet needs at least one pod");
+        let mut t = Self::new(format!("fleet-{n_pods}pods"));
+        // Coordinator first: its host node becomes the master host.
+        let hub = t.add_node(NodeKind::PcieHub, "coord/hub");
+        let host = t.add_node(NodeKind::Host, "coord/host");
+        t.connect(hub, host, LinkRates::PCIE_GBPS, LinkRates::PCIE_LATENCY_S);
+        let core = t.add_node(NodeKind::Nic, "ib-core");
+        let coord_nic = t.add_node(NodeKind::Nic, "coord/nic");
+        t.connect(coord_nic, hub, LinkRates::PCIE_GBPS, LinkRates::PCIE_LATENCY_S);
+        t.connect(coord_nic, core, LinkRates::NIC_GBPS, LinkRates::NIC_LATENCY_S);
+        for p in 0..n_pods {
+            let nic = t.add_node(NodeKind::Nic, format!("pod{p}/nic"));
+            let g = t.add_node(NodeKind::Gpu(p), format!("pod{p}/leader"));
+            t.connect(g, nic, LinkRates::NIC_GBPS, LinkRates::NIC_LATENCY_S);
+            t.connect(nic, core, LinkRates::NIC_GBPS, LinkRates::NIC_LATENCY_S);
+        }
+        t
+    }
+
     /// Wires one box (GPUs, switch-or-hub plane, host) with `gpus` GPUs
     /// whose global ranks continue from the GPUs already present.
     /// Returns `(peer plane node, pcie hub node)` — for a PCIe-only box

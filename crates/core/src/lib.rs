@@ -70,7 +70,10 @@ pub use baseline::BestGpuBaseline;
 pub use config::{ConfigError, DistMsmConfigBuilder};
 pub use distmsm_comms::CollectiveStrategy;
 pub use engine::{partition_plan, window_shape, DistMsm, DistMsmConfig, MsmError, MsmReport, PhaseBreakdown};
-pub use plan::{partition_ir, plan_slices_with_ir, replan_ir, window_merge_ir};
+pub use plan::{
+    fleet_replace_ir, fleet_shard_ir, partition_ir, plan_slices_with_ir, replace_assignments,
+    replan_ir, shard_points, shard_points_with_ir, window_merge_ir,
+};
 pub use report::{Phase, Report};
 pub use scatter::ScatterKind;
 pub use supervisor::{FaultObservation, RecoveryReport, RetryPolicy};

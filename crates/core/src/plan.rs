@@ -199,6 +199,82 @@ pub fn plan_slices_with_ir(
     (slices, partition_ir(), env)
 }
 
+/// Splits the point range `[0, n)` of one giant MSM into `n_pods`
+/// balanced quota shards — shard `p` owns `[⌊n·p/P⌋, ⌊n·(p+1)/P⌋)`.
+/// Every pod computes the full window-partial vector of its shard; the
+/// cross-pod reduce tree sums the vectors element-wise over the NIC
+/// tier, so the point space (not the bucket space) is what must tile
+/// exactly.
+///
+/// # Panics
+///
+/// Panics if `n_pods` is zero.
+pub fn shard_points(n: usize, n_pods: usize) -> Vec<(usize, usize)> {
+    assert!(n_pods > 0, "sharding needs at least one pod");
+    (0..n_pods)
+        .map(|p| (n * p / n_pods, n * (p + 1) / n_pods))
+        .collect()
+}
+
+/// Symbolic IR of the fleet point sharding: the point space `[0, N)`
+/// tiled by quota across `P` pods. Registered with the static verifier
+/// so the VRF-001/VRF-002 disjointness + coverage proofs extend to the
+/// cross-pod shard tiles (rule family `FLT`).
+pub fn fleet_shard_ir() -> PlanIr {
+    let n = Poly::var("N");
+    PlanIr {
+        name: "fleet-shard".into(),
+        space: (IndexExpr::con(0), IndexExpr::Poly(n.clone())),
+        cover: true,
+        families: vec![ir::quota_tile_family("pod", "p", &n, &Poly::var("P"))],
+        bounds: vec![SymBound::at_least("N", 1), SymBound::at_least("P", 1)],
+        assumptions: Vec::new(),
+    }
+}
+
+/// [`shard_points`] plus its symbolic [`PlanIr`] and the concrete symbol
+/// environment for grounding cross-checks.
+pub fn shard_points_with_ir(
+    n: usize,
+    n_pods: usize,
+) -> (Vec<(usize, usize)>, PlanIr, BTreeMap<Sym, i128>) {
+    let shards = shard_points(n, n_pods);
+    let mut env = BTreeMap::new();
+    env.insert("N", n as i128);
+    env.insert("P", n_pods as i128);
+    (shards, fleet_shard_ir(), env)
+}
+
+/// Re-placement assignment after a pod quarantine: the `s` stranded
+/// jobs of the quarantined pod's queue are re-placed across the `h`
+/// surviving pods by the same quota rule — survivor `k` absorbs
+/// stranded jobs `[⌊s·k/h⌋, ⌊s·(k+1)/h⌋)`.
+///
+/// # Panics
+///
+/// Panics if `n_healthy` is zero (a fleet with no survivors has nowhere
+/// to re-place; callers shed instead).
+pub fn replace_assignments(n_stranded: usize, n_healthy: usize) -> Vec<(usize, usize)> {
+    assert!(n_healthy > 0, "re-placement needs at least one healthy pod");
+    shard_points(n_stranded, n_healthy)
+}
+
+/// Symbolic IR of the quarantine re-placement: the stranded-job space
+/// `[0, S)` tiled by quota across the `H` surviving pods. The same
+/// coverage proof that guarantees no point of a giant MSM is lost
+/// guarantees no stranded job is orphaned by a quarantine.
+pub fn fleet_replace_ir() -> PlanIr {
+    let s = Poly::var("S");
+    PlanIr {
+        name: "fleet-replace".into(),
+        space: (IndexExpr::con(0), IndexExpr::Poly(s.clone())),
+        cover: true,
+        families: vec![ir::quota_tile_family("survivor", "h", &s, &Poly::var("H"))],
+        bounds: vec![SymBound::at_least("S", 1), SymBound::at_least("H", 1)],
+        assumptions: Vec::new(),
+    }
+}
+
 /// Number of GPUs cooperating on each window under a plan.
 pub fn gpus_per_window(slices: &[Slice], n_windows: u32) -> Vec<usize> {
     let mut counts = vec![0usize; n_windows as usize];

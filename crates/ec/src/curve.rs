@@ -19,6 +19,10 @@ pub trait Curve:
     type Base: FieldElement;
     /// The scalar representation (a `Uint`).
     type Scalar: Scalar;
+    /// The scalar field `F_r` (the group order as a prime field), with
+    /// full arithmetic — the algebra the 2G2T-style outsourcing checks
+    /// blind and verify in.
+    type ScalarField: FieldElement;
 
     /// Curve name as used in the paper's tables.
     const NAME: &'static str;
@@ -35,6 +39,10 @@ pub trait Curve:
     fn generator() -> Affine<Self>;
     /// A uniformly random scalar below the group order.
     fn random_scalar<R: Rng + ?Sized>(rng: &mut R) -> Self::Scalar;
+    /// Lifts a canonical scalar (`< r`) into the scalar field.
+    fn scalar_to_field(s: &Self::Scalar) -> Self::ScalarField;
+    /// Canonical representative (`< r`) of a scalar-field element.
+    fn field_to_scalar(f: &Self::ScalarField) -> Self::Scalar;
 }
 
 /// An affine point, or the point at infinity.

@@ -41,6 +41,7 @@ fn fr_random<P: FpParams<N>, const N: usize, R: Rng + ?Sized>(rng: &mut R) -> Ui
 impl Curve for Bn254G1 {
     type Base = FqBn254;
     type Scalar = Uint<4>;
+    type ScalarField = Fp<Bn254Fr, 4>;
 
     const NAME: &'static str = "BN254";
     const SCALAR_BITS: u32 = 254;
@@ -58,11 +59,18 @@ impl Curve for Bn254G1 {
     fn random_scalar<R: Rng + ?Sized>(rng: &mut R) -> Self::Scalar {
         fr_random::<Bn254Fr, 4, _>(rng)
     }
+    fn scalar_to_field(s: &Self::Scalar) -> Self::ScalarField {
+        Fp::from_uint(s)
+    }
+    fn field_to_scalar(f: &Self::ScalarField) -> Self::Scalar {
+        f.to_uint()
+    }
 }
 
 impl Curve for Bls12377G1 {
     type Base = FqBls12377;
     type Scalar = Uint<4>;
+    type ScalarField = Fp<Bls12377Fr, 4>;
 
     const NAME: &'static str = "BLS12-377";
     const SCALAR_BITS: u32 = 253;
@@ -87,11 +95,18 @@ impl Curve for Bls12377G1 {
     fn random_scalar<R: Rng + ?Sized>(rng: &mut R) -> Self::Scalar {
         fr_random::<Bls12377Fr, 4, _>(rng)
     }
+    fn scalar_to_field(s: &Self::Scalar) -> Self::ScalarField {
+        Fp::from_uint(s)
+    }
+    fn field_to_scalar(f: &Self::ScalarField) -> Self::Scalar {
+        f.to_uint()
+    }
 }
 
 impl Curve for Bls12381G1 {
     type Base = FqBls12381;
     type Scalar = Uint<4>;
+    type ScalarField = Fp<Bls12381Fr, 4>;
 
     const NAME: &'static str = "BLS12-381";
     const SCALAR_BITS: u32 = 255;
@@ -116,11 +131,18 @@ impl Curve for Bls12381G1 {
     fn random_scalar<R: Rng + ?Sized>(rng: &mut R) -> Self::Scalar {
         fr_random::<Bls12381Fr, 4, _>(rng)
     }
+    fn scalar_to_field(s: &Self::Scalar) -> Self::ScalarField {
+        Fp::from_uint(s)
+    }
+    fn field_to_scalar(f: &Self::ScalarField) -> Self::Scalar {
+        f.to_uint()
+    }
 }
 
 impl Curve for Mnt4753G1 {
     type Base = FqMnt4753;
     type Scalar = Uint<12>;
+    type ScalarField = Fp<Mnt4753Fr, 12>;
 
     const NAME: &'static str = "MNT4753";
     const SCALAR_BITS: u32 = 753;
@@ -147,11 +169,18 @@ impl Curve for Mnt4753G1 {
     fn random_scalar<R: Rng + ?Sized>(rng: &mut R) -> Self::Scalar {
         fr_random::<Mnt4753Fr, 12, _>(rng)
     }
+    fn scalar_to_field(s: &Self::Scalar) -> Self::ScalarField {
+        Fp::from_uint(s)
+    }
+    fn field_to_scalar(f: &Self::ScalarField) -> Self::Scalar {
+        f.to_uint()
+    }
 }
 
 impl Curve for Bn254G2 {
     type Base = Fp2<Bn254Fq, 4>;
     type Scalar = Uint<4>;
+    type ScalarField = Fp<Bn254Fr, 4>;
 
     const NAME: &'static str = "BN254-G2";
     const SCALAR_BITS: u32 = 254;
@@ -192,6 +221,12 @@ impl Curve for Bn254G2 {
     }
     fn random_scalar<R: Rng + ?Sized>(rng: &mut R) -> Self::Scalar {
         fr_random::<Bn254Fr, 4, _>(rng)
+    }
+    fn scalar_to_field(s: &Self::Scalar) -> Self::ScalarField {
+        Fp::from_uint(s)
+    }
+    fn field_to_scalar(f: &Self::ScalarField) -> Self::Scalar {
+        f.to_uint()
     }
 }
 

@@ -1,0 +1,484 @@
+//! The fleet coordinator: global placement over N pods, EDF-preserving
+//! work stealing, and 2G2T-verified acceptance of every pod result.
+//!
+//! Each pod is a full [`ProverService`] (the PR 5 scheduler — admission
+//! control, circuit breakers, degraded dispatch) advanced in lock-step
+//! on the shared simulated clock: the coordinator always steps the pod
+//! with the globally earliest pending event, so cross-pod interactions
+//! (steals, re-placements) can never be stamped in another pod's past.
+//!
+//! Pods are *untrusted*: every completion is checked against its
+//! blinded twin ([`crate::outsource`]) before acceptance. A detection
+//! quarantines the pod fleet-wide — no further placements or steals —
+//! and re-places its stranded queue across the healthy pods with the
+//! verifier-proved [`distmsm::replace_assignments`] quota plan.
+
+use std::collections::BTreeMap;
+
+use distmsm::{replace_assignments, DistMsm};
+use distmsm_ec::{Curve, XyzzPoint};
+use distmsm_gpu_sim::fault::splitmix64;
+use distmsm_gpu_sim::{FaultKind, MultiGpuSystem};
+use distmsm_service::{
+    ChaosSchedule, CompletedJob, DeviceFaultWindow, JobSpec, ProverService, ServiceConfig,
+    ServiceEvent, ServiceReport, StolenJob,
+};
+
+use crate::outsource::{Challenge, Corruption, OutsourcedResult};
+use crate::report::FleetReport;
+
+/// Fleet-level configuration: identical pods behind one coordinator.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of pods.
+    pub n_pods: usize,
+    /// Per-pod service configuration (shared tenant table; `n_devices`
+    /// is the per-pod device count).
+    pub pod: ServiceConfig,
+    /// Seed for the per-job 2G2T challenges.
+    pub check_seed: u64,
+    /// Enables work stealing between pod queues.
+    pub steal: bool,
+}
+
+/// A byzantine window: between `t0_s` and `t1_s` the pod corrupts every
+/// result pair it returns with the given class.
+#[derive(Clone, Copy, Debug)]
+pub struct ByzantineWindow {
+    /// The lying pod.
+    pub pod: usize,
+    /// Window start, simulated seconds.
+    pub t0_s: f64,
+    /// Window end, simulated seconds.
+    pub t1_s: f64,
+    /// Corruption class applied to returned pairs.
+    pub class: Corruption,
+}
+
+/// Fleet-scope chaos: per-pod device/link fault schedules plus
+/// pod-level fault classes (whole-pod loss, byzantine pods) that have
+/// no single-pod analogue.
+#[derive(Clone, Debug)]
+pub struct FleetChaos {
+    /// Per-pod fail-stop/straggler/link chaos (PR 3/PR 5 classes).
+    pub pods: Vec<ChaosSchedule>,
+    /// Byzantine windows (detected by the 2G2T check, not recovery).
+    pub byzantine: Vec<ByzantineWindow>,
+}
+
+impl FleetChaos {
+    /// No chaos anywhere.
+    pub fn none(n_pods: usize) -> Self {
+        Self { pods: vec![ChaosSchedule::none(); n_pods], byzantine: Vec::new() }
+    }
+
+    /// Lowers a whole-pod loss to the service layer: every device of
+    /// `pod` fail-stops from `from_s` onward, forever. The pod's
+    /// breakers all trip, its pool fully quarantines, and queued work
+    /// must be stolen away by the rest of the fleet.
+    pub fn lose_pod(&mut self, pod: usize, from_s: f64, n_devices: usize) {
+        for device in 0..n_devices {
+            self.pods[pod].device_windows.push(DeviceFaultWindow {
+                device,
+                t0_s: from_s,
+                t1_s: f64::INFINITY,
+                kind: FaultKind::FailStop,
+            });
+        }
+    }
+
+    fn byzantine_class(&self, pod: usize, t_s: f64) -> Option<Corruption> {
+        self.byzantine
+            .iter()
+            .find(|w| w.pod == pod && t_s >= w.t0_s && t_s < w.t1_s)
+            .map(|w| w.class)
+    }
+}
+
+/// What happened at fleet scope (pod-level events carry their own
+/// [`ServiceEvent`] streams; these are the coordinator's decisions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetEventKind {
+    /// Initial placement on a pod.
+    Placed {
+        /// Chosen pod.
+        pod: usize,
+    },
+    /// An idle pod stole the earliest-deadline queued job.
+    Stolen {
+        /// Victim pod.
+        from: usize,
+        /// Thief pod.
+        to: usize,
+    },
+    /// The 2G2T check accepted a returned result pair.
+    Verified {
+        /// Pod that returned the pair.
+        pod: usize,
+    },
+    /// The 2G2T check rejected a returned result pair.
+    ByzantineDetected {
+        /// The lying pod.
+        pod: usize,
+        /// Corruption class that was seeded (label form).
+        corruption: &'static str,
+    },
+    /// The pod was quarantined fleet-wide.
+    Quarantined {
+        /// The quarantined pod.
+        pod: usize,
+    },
+    /// A job was re-placed off a quarantined pod.
+    Replaced {
+        /// Quarantined source pod.
+        from: usize,
+        /// Healthy destination pod.
+        to: usize,
+    },
+}
+
+/// One coordinator decision on the simulated clock.
+#[derive(Clone, Debug)]
+pub struct FleetEvent {
+    /// Simulated time.
+    pub t_s: f64,
+    /// Job the event concerns (`None` for pod-level events).
+    pub job: Option<u64>,
+    /// What happened.
+    pub kind: FleetEventKind,
+}
+
+/// A job whose result passed the 2G2T check.
+#[derive(Clone, Debug)]
+pub struct AcceptedJob<C: Curve> {
+    /// Job id.
+    pub id: u64,
+    /// Tenant index.
+    pub tenant: usize,
+    /// Pod whose result was accepted.
+    pub pod: usize,
+    /// The verified MSM value.
+    pub result: XyzzPoint<C>,
+    /// Attempts the accepting pod consumed.
+    pub attempts: u32,
+}
+
+/// Everything a fleet run produced, replayable and checkable.
+#[derive(Debug)]
+pub struct FleetOutcome<C: Curve> {
+    /// Aggregated fleet report (byte-stable JSON, renderable).
+    pub report: FleetReport,
+    /// Coordinator decisions in order.
+    pub events: Vec<FleetEvent>,
+    /// Merged pod event streams, tagged with the pod index.
+    pub pod_events: Vec<(usize, ServiceEvent)>,
+    /// Per-pod service reports.
+    pub pod_reports: Vec<ServiceReport>,
+    /// Jobs whose results passed the outsourcing check.
+    pub accepted: Vec<AcceptedJob<C>>,
+}
+
+/// The global placement layer over `n_pods` untrusted pods.
+pub struct FleetCoordinator<C: Curve> {
+    config: FleetConfig,
+    pods: Vec<ProverService<C>>,
+    quarantined: Vec<bool>,
+    events: Vec<FleetEvent>,
+    accepted: Vec<AcceptedJob<C>>,
+    detections: u64,
+    specs: BTreeMap<u64, JobSpec<C>>,
+    placed_on: BTreeMap<u64, usize>,
+    last_good: Option<OutsourcedResult<C>>,
+    checker: DistMsm,
+}
+
+impl<C: Curve> FleetCoordinator<C> {
+    /// Builds a fleet of `config.n_pods` identical pods.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.n_pods > 0, "a fleet needs at least one pod");
+        let pods =
+            (0..config.n_pods).map(|_| ProverService::new(config.pod.clone())).collect();
+        Self {
+            quarantined: vec![false; config.n_pods],
+            events: Vec::new(),
+            accepted: Vec::new(),
+            detections: 0,
+            specs: BTreeMap::new(),
+            placed_on: BTreeMap::new(),
+            last_good: None,
+            checker: DistMsm::new(MultiGpuSystem::dgx_a100(1)),
+            config,
+            pods,
+        }
+    }
+
+    /// Runs a full fleet trace: greedy least-load placement, lock-step
+    /// pod interleaving in global time order, work stealing, 2G2T
+    /// verification of every completion, quarantine + re-placement on
+    /// detection.
+    pub fn run(&mut self, jobs: Vec<JobSpec<C>>, chaos: &FleetChaos) -> FleetOutcome<C> {
+        assert_eq!(chaos.pods.len(), self.config.n_pods, "chaos must cover every pod");
+        self.place(jobs);
+        while let Some(pod) = self.next_pod() {
+            self.pods[pod].step(&chaos.pods[pod]);
+            for done in self.pods[pod].drain_completed() {
+                self.check_completion(pod, done, chaos);
+            }
+            self.drain_quarantined(chaos);
+            if self.config.steal {
+                self.rebalance(chaos);
+            }
+        }
+        self.finish()
+    }
+
+    /// Greedy least-estimated-load placement: jobs in `(arrival, id)`
+    /// order each go to the pod with the smallest accumulated analytic
+    /// load estimate (ties to the lowest pod id).
+    fn place(&mut self, mut jobs: Vec<JobSpec<C>>) {
+        jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        let mut est_load = vec![0.0f64; self.config.n_pods];
+        let mut per_pod: Vec<Vec<JobSpec<C>>> = vec![Vec::new(); self.config.n_pods];
+        for job in jobs {
+            let pod = (0..self.config.n_pods)
+                .min_by(|&a, &b| est_load[a].total_cmp(&est_load[b]))
+                .expect("at least one pod");
+            est_load[pod] += self.pods[pod].estimate_job_seconds(job.instance.len());
+            self.emit(job.arrival_s, Some(job.id), FleetEventKind::Placed { pod });
+            self.instant(job.arrival_s, "fleet.placed", vec![("pod".into(), pod.to_string())]);
+            self.specs.insert(job.id, job.clone());
+            self.placed_on.insert(job.id, pod);
+            per_pod[pod].push(job);
+        }
+        for (pod, batch) in per_pod.into_iter().enumerate() {
+            self.pods[pod].begin(batch);
+        }
+    }
+
+    /// The pod holding the globally earliest pending event.
+    fn next_pod(&self) -> Option<usize> {
+        (0..self.config.n_pods)
+            .filter_map(|p| self.pods[p].next_time().map(|t| (t, p)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, p)| p)
+    }
+
+    /// Runs the 2G2T check on one completion; accepts or detects.
+    fn check_completion(&mut self, pod: usize, done: CompletedJob<C>, chaos: &FleetChaos) {
+        let now = self.pods[pod].clock_s();
+        let spec = self.specs.get(&done.id).expect("completion for unknown job").clone();
+        let n = spec.instance.len();
+        let challenge =
+            Challenge::<C>::generate(self.config.check_seed ^ mix(done.id), n);
+        // The pod "returns" (R1, R2): R1 is the service result, R2 the
+        // blinded twin it also executed. An honest pod's R2 is bit-exact
+        // regardless of which engine shape ran it.
+        let twin = challenge.twin_instance(&spec.instance);
+        let honest_r2 = self
+            .checker
+            .execute(&twin)
+            .expect("fault-free twin execution")
+            .result;
+        let pair = OutsourcedResult { r1: done.result, r2: honest_r2 };
+        let pair = match chaos.byzantine_class(pod, now) {
+            Some(class) => {
+                let swap = self.last_good.unwrap_or(OutsourcedResult {
+                    r1: C::generator().to_xyzz(),
+                    r2: C::generator().to_xyzz(),
+                });
+                pair.corrupted(class, &swap)
+            }
+            None => pair,
+        };
+        if challenge.verify(&spec.instance.points, &pair.r1, &pair.r2) {
+            self.emit(now, Some(done.id), FleetEventKind::Verified { pod });
+            self.instant(now, "fleet.verified", vec![("pod".into(), pod.to_string())]);
+            self.last_good = Some(pair);
+            self.accepted.push(AcceptedJob {
+                id: done.id,
+                tenant: done.tenant,
+                pod,
+                result: pair.r1,
+                attempts: done.attempts,
+            });
+            return;
+        }
+        let class = chaos
+            .byzantine_class(pod, now)
+            .expect("2G2T check rejected an honest pod result");
+        self.detections += 1;
+        self.emit(
+            now,
+            Some(done.id),
+            FleetEventKind::ByzantineDetected { pod, corruption: class.label() },
+        );
+        self.instant(
+            now,
+            "fleet.byzantine-detected",
+            vec![("pod".into(), pod.to_string()), ("class".into(), class.label().into())],
+        );
+        if !self.quarantined[pod] {
+            self.quarantine(pod, now, chaos);
+        }
+        // Re-place the rejected job itself. The 2G2T rejection is a new
+        // failure class, not a pod-local fault: the retry budget is NOT
+        // charged, so the job re-enters with its old attempt count.
+        let to = self.least_loaded_healthy().expect("no healthy pod to re-place on");
+        let stolen = StolenJob {
+            spec,
+            attempt: done.attempts.saturating_sub(1),
+            effective_deadline_s: now,
+        };
+        self.pods[to].absorb_stolen(stolen, now, &chaos.pods[to]);
+        self.placed_on.insert(done.id, to);
+        self.emit(now, Some(done.id), FleetEventKind::Replaced { from: pod, to });
+        self.replaced_instant(now, pod, to);
+    }
+
+    /// Telemetry instant for a re-placement off a quarantined pod.
+    fn replaced_instant(&self, now: f64, from: usize, to: usize) {
+        self.instant(
+            now,
+            "fleet.replaced",
+            vec![("from".into(), from.to_string()), ("to".into(), to.to_string())],
+        );
+    }
+
+    /// Quarantines a pod fleet-wide and re-places its stranded queue
+    /// across the healthy pods with the `fleet-replace` quota plan.
+    fn quarantine(&mut self, pod: usize, now: f64, chaos: &FleetChaos) {
+        self.quarantined[pod] = true;
+        self.emit(now, None, FleetEventKind::Quarantined { pod });
+        self.instant(now, "fleet.quarantined", vec![("pod".into(), pod.to_string())]);
+        let mut stranded = Vec::new();
+        while let Some(stolen) = self.pods[pod].steal_earliest() {
+            stranded.push(stolen);
+        }
+        let healthy: Vec<usize> =
+            (0..self.config.n_pods).filter(|&p| !self.quarantined[p]).collect();
+        assert!(!healthy.is_empty(), "every pod quarantined: nowhere to re-place");
+        let ranges = replace_assignments(stranded.len(), healthy.len());
+        for (h, (lo, hi)) in ranges.into_iter().enumerate() {
+            for stolen in stranded[lo..hi].iter().cloned() {
+                let id = stolen.spec.id;
+                self.pods[healthy[h]].absorb_stolen(stolen, now, &chaos.pods[healthy[h]]);
+                self.placed_on.insert(id, healthy[h]);
+                self.emit(now, Some(id), FleetEventKind::Replaced { from: pod, to: healthy[h] });
+                self.replaced_instant(now, pod, healthy[h]);
+            }
+        }
+    }
+
+    /// Jobs queued on an already-quarantined pod (placed before the
+    /// detection, arrived after) drain continuously to the least-loaded
+    /// healthy pod — nothing may rot behind a quarantine.
+    fn drain_quarantined(&mut self, chaos: &FleetChaos) {
+        for pod in 0..self.config.n_pods {
+            if !self.quarantined[pod] {
+                continue;
+            }
+            while self.pods[pod].queued_jobs() > 0 {
+                let Some(to) = self.least_loaded_healthy() else { return };
+                let Some(stolen) = self.pods[pod].steal_earliest() else { break };
+                let id = stolen.spec.id;
+                let now = self.pods[pod].clock_s();
+                self.pods[to].absorb_stolen(stolen, now, &chaos.pods[to]);
+                self.placed_on.insert(id, to);
+                self.emit(now, Some(id), FleetEventKind::Replaced { from: pod, to });
+                self.replaced_instant(now, pod, to);
+            }
+        }
+    }
+
+    /// EDF-preserving work stealing: while some overloaded pod (queued
+    /// work, no free device) coexists with an idle one (free device,
+    /// empty queue), move the globally earliest-deadline queued job to
+    /// the lowest-id idle pod. Terminates because each absorb occupies
+    /// the thief (or queues on it, making it ineligible).
+    fn rebalance(&mut self, chaos: &FleetChaos) {
+        loop {
+            let victim = (0..self.config.n_pods)
+                .filter(|&p| {
+                    !self.quarantined[p]
+                        && self.pods[p].queued_jobs() > 0
+                        && !self.pods[p].has_free_capacity()
+                })
+                .filter_map(|p| self.pods[p].earliest_effective_deadline().map(|d| (d, p)))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .map(|(_, p)| p);
+            let thief = (0..self.config.n_pods).find(|&p| {
+                !self.quarantined[p]
+                    && self.pods[p].queued_jobs() == 0
+                    && self.pods[p].has_free_capacity()
+            });
+            let (Some(victim), Some(thief)) = (victim, thief) else { return };
+            let Some(stolen) = self.pods[victim].steal_earliest() else { return };
+            let id = stolen.spec.id;
+            let now = self.pods[victim].clock_s().max(self.pods[thief].clock_s());
+            self.pods[thief].absorb_stolen(stolen, now, &chaos.pods[thief]);
+            self.placed_on.insert(id, thief);
+            self.emit(now, Some(id), FleetEventKind::Stolen { from: victim, to: thief });
+            self.instant(
+                now,
+                "fleet.stolen",
+                vec![("from".into(), victim.to_string()), ("to".into(), thief.to_string())],
+            );
+        }
+    }
+
+    /// Healthy pod with the smallest queue (ties to the lowest id).
+    fn least_loaded_healthy(&self) -> Option<usize> {
+        (0..self.config.n_pods)
+            .filter(|&p| !self.quarantined[p])
+            .min_by_key(|&p| (self.pods[p].queued_jobs(), p))
+    }
+
+    fn finish(&mut self) -> FleetOutcome<C> {
+        let mut pod_events = Vec::new();
+        let mut pod_reports = Vec::new();
+        for (i, pod) in self.pods.iter_mut().enumerate() {
+            let outcome = pod.finish();
+            pod_events.extend(outcome.events.into_iter().map(|e| (i, e)));
+            pod_reports.push(outcome.report);
+        }
+        let events = std::mem::take(&mut self.events);
+        let accepted = std::mem::take(&mut self.accepted);
+        let report = FleetReport::build(
+            &pod_reports,
+            &events,
+            &self.quarantined,
+            self.detections,
+            accepted.iter().map(|a| a.tenant),
+            self.config.pod.tenants.len(),
+        );
+        FleetOutcome { report, events, pod_events, pod_reports, accepted }
+    }
+
+    fn emit(&mut self, t_s: f64, job: Option<u64>, kind: FleetEventKind) {
+        self.events.push(FleetEvent { t_s, job, kind });
+    }
+
+    /// Emits a telemetry instant on the `fleet` lane (no-op unless the
+    /// `telemetry` feature is on and a session is active).
+    #[allow(unused_variables)]
+    fn instant(&self, t_s: f64, name: &str, args: Vec<(String, String)>) {
+        #[cfg(feature = "telemetry")]
+        {
+            if distmsm_telemetry::session::active() {
+                distmsm_telemetry::session::push_instant(distmsm_telemetry::Instant {
+                    name: name.to_string(),
+                    cat: "fleet".to_string(),
+                    lane: distmsm_telemetry::Lane::Fleet,
+                    t_s,
+                    args,
+                });
+            }
+        }
+    }
+}
+
+/// Deterministic 64-bit mix of a job id into a challenge seed.
+fn mix(id: u64) -> u64 {
+    let mut state = id ^ 0x6a09_e667_f3bc_c908;
+    splitmix64(&mut state)
+}

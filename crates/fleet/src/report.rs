@@ -1,0 +1,274 @@
+//! Aggregated fleet accounting: per-pod rollups plus coordinator-level
+//! counters, renderable and exportable as byte-stable JSON.
+//!
+//! Deliberately *aggregate*: a fleet soak runs 1000+ tenants, so the
+//! report carries per-pod and fleet totals, not per-tenant rows — the
+//! per-pod [`ServiceReport`]s remain available on the outcome for
+//! drill-down.
+
+use distmsm::{Phase, Report};
+use distmsm_service::ServiceReport;
+
+use crate::fleet::{FleetEvent, FleetEventKind};
+
+/// Rollup of one pod's service report plus its fleet-level traffic.
+#[derive(Clone, Debug)]
+pub struct PodStats {
+    /// Pod index.
+    pub pod: usize,
+    /// Jobs initially placed on this pod by the coordinator.
+    pub placed: u64,
+    /// Jobs the pod's admission accepted.
+    pub admitted: u64,
+    /// Jobs the pod completed (pre-verification).
+    pub completed: u64,
+    /// Results from this pod that passed the 2G2T check.
+    pub accepted: u64,
+    /// Jobs the pod failed (attempts exhausted).
+    pub failed: u64,
+    /// Jobs the pod shed.
+    pub shed: u64,
+    /// Jobs stolen away from this pod's queue.
+    pub stolen_out: u64,
+    /// Jobs this pod stole from overloaded peers.
+    pub stolen_in: u64,
+    /// 2G2T detections against this pod.
+    pub detections: u64,
+    /// Whether the pod ended the run fleet-quarantined.
+    pub quarantined: bool,
+    /// The pod's own simulated horizon, seconds.
+    pub horizon_s: f64,
+}
+
+/// The fleet-level report: pod rollups plus coordinator counters.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-pod rollups, indexed by pod.
+    pub pods: Vec<PodStats>,
+    /// Tenants in the shared table.
+    pub n_tenants: usize,
+    /// Distinct tenants with at least one verified-accepted result.
+    pub tenants_served: usize,
+    /// Jobs placed by the coordinator.
+    pub placed: u64,
+    /// Jobs admitted across pods (each job admits at most once).
+    pub admitted: u64,
+    /// Results that passed the 2G2T check (each job at most once).
+    pub accepted: u64,
+    /// Jobs that exhausted their attempts.
+    pub failed: u64,
+    /// Jobs shed under pressure.
+    pub shed: u64,
+    /// Work-stealing transfers.
+    pub steals: u64,
+    /// 2G2T detections.
+    pub detections: u64,
+    /// Jobs re-placed off quarantined pods.
+    pub replaced: u64,
+    /// Pods that ended the run quarantined.
+    pub quarantined_pods: Vec<usize>,
+    /// Latest pod horizon, simulated seconds.
+    pub horizon_s: f64,
+}
+
+impl FleetReport {
+    /// Aggregates pod reports and the coordinator event stream.
+    pub fn build(
+        pod_reports: &[ServiceReport],
+        events: &[FleetEvent],
+        quarantined: &[bool],
+        detections: u64,
+        accepted_tenants: impl Iterator<Item = usize>,
+        n_tenants: usize,
+    ) -> Self {
+        let n_pods = pod_reports.len();
+        let mut pods: Vec<PodStats> = pod_reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| PodStats {
+                pod: i,
+                placed: 0,
+                admitted: r.admitted(),
+                completed: r.completed(),
+                accepted: 0,
+                failed: r.failed(),
+                shed: r.shed(),
+                stolen_out: 0,
+                stolen_in: 0,
+                detections: 0,
+                quarantined: quarantined[i],
+                horizon_s: r.horizon_s,
+            })
+            .collect();
+        let (mut placed, mut accepted, mut steals, mut replaced) = (0u64, 0u64, 0u64, 0u64);
+        for e in events {
+            match e.kind {
+                FleetEventKind::Placed { pod } => {
+                    placed += 1;
+                    pods[pod].placed += 1;
+                }
+                FleetEventKind::Stolen { from, to } => {
+                    steals += 1;
+                    pods[from].stolen_out += 1;
+                    pods[to].stolen_in += 1;
+                }
+                FleetEventKind::Verified { pod } => {
+                    accepted += 1;
+                    pods[pod].accepted += 1;
+                }
+                FleetEventKind::ByzantineDetected { pod, .. } => {
+                    pods[pod].detections += 1;
+                }
+                FleetEventKind::Replaced { .. } => replaced += 1,
+                FleetEventKind::Quarantined { .. } => {}
+            }
+        }
+        let mut served = vec![false; n_tenants];
+        for t in accepted_tenants {
+            served[t] = true;
+        }
+        Self {
+            n_tenants,
+            tenants_served: served.iter().filter(|s| **s).count(),
+            placed,
+            admitted: pods.iter().map(|p| p.admitted).sum(),
+            accepted,
+            failed: pods.iter().map(|p| p.failed).sum(),
+            shed: pods.iter().map(|p| p.shed).sum(),
+            steals,
+            detections,
+            replaced,
+            quarantined_pods: (0..n_pods).filter(|&p| quarantined[p]).collect(),
+            horizon_s: pod_reports.iter().map(|r| r.horizon_s).fold(0.0, f64::max),
+            pods,
+        }
+    }
+
+    /// `accepted / admitted` (1.0 when nothing was admitted) — the
+    /// fleet's verified completion rate.
+    pub fn completion_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.admitted as f64
+        }
+    }
+
+    /// Human-readable rendering: one row per pod, then fleet totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("pod  placed admitted accepted failed shed steal-in steal-out det  state\n");
+        for p in &self.pods {
+            out.push_str(&format!(
+                "{:<4} {:<6} {:<8} {:<8} {:<6} {:<4} {:<8} {:<9} {:<4} {}\n",
+                p.pod,
+                p.placed,
+                p.admitted,
+                p.accepted,
+                p.failed,
+                p.shed,
+                p.stolen_in,
+                p.stolen_out,
+                p.detections,
+                if p.quarantined { "QUARANTINED" } else { "healthy" },
+            ));
+        }
+        out.push_str(&format!(
+            "fleet: {} placed, {} admitted, {} accepted ({:.1}%), {} failed, {} shed, \
+             {} steals, {} detections, {} replaced, {}/{} tenants served, horizon {:.3}s\n",
+            self.placed,
+            self.admitted,
+            self.accepted,
+            100.0 * self.completion_rate(),
+            self.failed,
+            self.shed,
+            self.steals,
+            self.detections,
+            self.replaced,
+            self.tenants_served,
+            self.n_tenants,
+            self.horizon_s,
+        ));
+        out
+    }
+}
+
+/// Byte-stable float formatting shared with the service report JSON.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
+}
+
+impl Report for FleetReport {
+    fn kind(&self) -> &'static str {
+        "fleet"
+    }
+
+    fn total_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// Per-pod phases: the span each pod was live on the simulated
+    /// clock. Pods run concurrently, so phases deliberately do not sum
+    /// to [`Report::total_s`].
+    fn phase_breakdown(&self) -> Vec<Phase> {
+        self.pods
+            .iter()
+            .map(|p| Phase { name: format!("pod:{}", p.pod), seconds: p.horizon_s })
+            .collect()
+    }
+}
+
+impl FleetReport {
+    /// The full fleet accounting as byte-stable JSON (pod rollups plus
+    /// coordinator counters) — the shape the soak golden pins.
+    pub fn to_detailed_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"kind\": \"fleet\",\n");
+        out.push_str(&format!("  \"n_pods\": {},\n", self.pods.len()));
+        out.push_str(&format!("  \"n_tenants\": {},\n", self.n_tenants));
+        out.push_str(&format!("  \"tenants_served\": {},\n", self.tenants_served));
+        out.push_str(&format!("  \"placed\": {},\n", self.placed));
+        out.push_str(&format!("  \"admitted\": {},\n", self.admitted));
+        out.push_str(&format!("  \"accepted\": {},\n", self.accepted));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed));
+        out.push_str(&format!("  \"shed\": {},\n", self.shed));
+        out.push_str(&format!("  \"steals\": {},\n", self.steals));
+        out.push_str(&format!("  \"detections\": {},\n", self.detections));
+        out.push_str(&format!("  \"replaced\": {},\n", self.replaced));
+        out.push_str(&format!(
+            "  \"quarantined_pods\": [{}],\n",
+            self.quarantined_pods
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"completion_rate\": {},\n", num(self.completion_rate())));
+        out.push_str(&format!("  \"horizon_s\": {},\n", num(self.horizon_s)));
+        out.push_str("  \"pods\": [\n");
+        for (i, p) in self.pods.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pod\": {}, \"placed\": {}, \"admitted\": {}, \"accepted\": {}, \
+                 \"failed\": {}, \"shed\": {}, \"stolen_in\": {}, \"stolen_out\": {}, \
+                 \"detections\": {}, \"quarantined\": {}}}{}\n",
+                p.pod,
+                p.placed,
+                p.admitted,
+                p.accepted,
+                p.failed,
+                p.shed,
+                p.stolen_in,
+                p.stolen_out,
+                p.detections,
+                p.quarantined,
+                if i + 1 < self.pods.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}

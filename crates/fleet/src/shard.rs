@@ -1,0 +1,336 @@
+//! Sharding one giant MSM across pods, with the window-partial reduce
+//! tree spanning the NIC tier.
+//!
+//! The point range `[0, N)` is split into per-pod quota tiles by
+//! [`distmsm::shard_points`] (the same plan shape the PR 6 verifier
+//! proves via [`distmsm::fleet_shard_ir`]). Each pod runs the full
+//! multi-GPU engine on its shard *and* exposes its shard as a
+//! `W`-length window-partial vector; the cross-pod reduce is then an
+//! element-wise point-add collective over [`Topology::fleet`] — the
+//! PR 2 schedule builders route it through the per-pod NICs and the IB
+//! core switch — followed by a constant `W`-term Horner fold on the
+//! coordinator host.
+//!
+//! Every shard result is 2G2T-checked ([`crate::outsource`]) before it
+//! is allowed into the reduce: a byzantine pod is detected,
+//! quarantined, and its shard re-placed on the first healthy pod.
+
+use distmsm::{
+    shard_points_with_ir, window_shape, CollectiveStrategy, DistMsm, DistMsmConfig,
+};
+use distmsm_comms::{run_collective, CommConfig, CommSchedule, Fabric, Topology};
+use distmsm_ec::{Affine, Curve, FieldElement, MsmInstance, Scalar, XyzzPoint};
+use distmsm_gpu_sim::MultiGpuSystem;
+
+use crate::outsource::{Challenge, Corruption, OutsourcedResult};
+
+/// Configuration for a sharded fleet MSM.
+#[derive(Clone, Debug)]
+pub struct ShardedMsmConfig {
+    /// Number of pods the point range is sharded across.
+    pub n_pods: usize,
+    /// GPUs inside each pod (each shard runs on a DGX-A100-shaped pod).
+    pub gpus_per_pod: usize,
+    /// Pippenger window size used by every pod (shards must agree so
+    /// their window-partial vectors align for the cross-pod reduce).
+    pub window_size: u32,
+    /// Collective strategy for the cross-pod reduce tree.
+    pub strategy: CollectiveStrategy,
+    /// Seed for the per-shard 2G2T challenges.
+    pub challenge_seed: u64,
+    /// Optional seeded byzantine pod: `(pod, corruption class)`. The
+    /// pod's returned pair is corrupted; the check must detect it.
+    pub byzantine_pod: Option<(usize, Corruption)>,
+}
+
+impl Default for ShardedMsmConfig {
+    fn default() -> Self {
+        Self {
+            n_pods: 4,
+            gpus_per_pod: 8,
+            window_size: 8,
+            strategy: CollectiveStrategy::TreeAllReduce,
+            challenge_seed: 0x2620_2620,
+            byzantine_pod: None,
+        }
+    }
+}
+
+/// What happened to one shard.
+#[derive(Clone, Debug)]
+pub struct ShardExecution {
+    /// Pod the shard was initially placed on.
+    pub pod: usize,
+    /// Point range `[lo, hi)` of the shard.
+    pub range: (usize, usize),
+    /// Whether the 2G2T check rejected the pod's returned pair.
+    pub detected: Option<Corruption>,
+    /// Pod the shard was re-placed on after a detection.
+    pub replaced_to: Option<usize>,
+}
+
+/// Outcome of a sharded fleet MSM.
+#[derive(Clone, Debug)]
+pub struct ShardedMsmReport<C: Curve> {
+    /// The fleet-level result (bit-exact vs a single-GPU reference).
+    pub result: XyzzPoint<C>,
+    /// Per-shard execution records, indexed by shard.
+    pub shards: Vec<ShardExecution>,
+    /// Pods quarantined by a 2G2T detection.
+    pub quarantined: Vec<usize>,
+    /// The cross-pod reduce schedule (inspectable, statically checkable).
+    pub schedule: CommSchedule,
+    /// Modeled wall-clock of the slowest pod's compute (real + twin).
+    pub compute_s: f64,
+    /// Modeled wall-clock of the NIC-tier reduce tree.
+    pub reduce_s: f64,
+}
+
+/// Computes the unsigned Pippenger window-partial vector
+/// `W_w = Σ_i digit_w(k_i)·P_i` for a shard, by bucket accumulation and
+/// suffix running-sum — the quantity the cross-pod collective reduces
+/// element-wise before the final Horner fold.
+pub fn window_partials<C: Curve>(
+    points: &[Affine<C>],
+    scalars: &[C::Scalar],
+    s: u32,
+) -> Vec<XyzzPoint<C>> {
+    let (n_windows, n_buckets) = window_shape(C::SCALAR_BITS, s, false);
+    (0..n_windows)
+        .map(|w| {
+            let mut buckets = vec![XyzzPoint::<C>::identity(); n_buckets as usize];
+            for (p, k) in points.iter().zip(scalars) {
+                let d = k.window(w * s, s) as usize;
+                if d != 0 {
+                    buckets[d].pacc(p);
+                }
+            }
+            // Suffix running-sum: Σ d·B_d.
+            let mut running = XyzzPoint::identity();
+            let mut partial = XyzzPoint::identity();
+            for b in buckets.iter().skip(1).rev() {
+                running = running.padd(b);
+                partial = partial.padd(&running);
+            }
+            partial
+        })
+        .collect()
+}
+
+/// Folds a window-partial vector into the final MSM result:
+/// `R = Σ_w 2^{w·s}·W_w`, evaluated top-down Horner style.
+pub fn fold_windows<C: Curve>(partials: &[XyzzPoint<C>], s: u32) -> XyzzPoint<C> {
+    let mut acc = XyzzPoint::identity();
+    for w in (0..partials.len()).rev() {
+        for _ in 0..s {
+            acc = acc.pdbl();
+        }
+        acc = acc.padd(&partials[w]);
+    }
+    acc
+}
+
+/// Executes one `N`-point MSM sharded across `cfg.n_pods` pods.
+///
+/// Per shard: the pod runs the full engine on its sub-instance (R1) and
+/// on the blinded twin (R2), and also materialises the shard's
+/// window-partial vector. The coordinator 2G2T-checks `(R1, R2)`; on
+/// rejection the pod is quarantined and the shard re-executed on the
+/// first healthy pod. Surviving window-partial vectors are reduced
+/// element-wise over the fleet NIC topology and Horner-folded on the
+/// host.
+///
+/// Panics if the instance is empty, if every pod is quarantined, or if
+/// a shard's window-partial fold disagrees with the pod's engine result
+/// (an internal consistency bug, not a byzantine event).
+pub fn execute_sharded<C: Curve>(
+    instance: &MsmInstance<C>,
+    cfg: &ShardedMsmConfig,
+) -> ShardedMsmReport<C> {
+    let n = instance.points.len();
+    assert!(n > 0, "cannot shard an empty MSM");
+    assert!(cfg.n_pods > 0, "need at least one pod");
+    let (ranges, _ir, _env) = shard_points_with_ir(n, cfg.n_pods);
+    let s = cfg.window_size;
+    let n_windows = window_shape(C::SCALAR_BITS, s, false).0 as usize;
+
+    let pod_engine = || {
+        DistMsm::with_config(
+            MultiGpuSystem::dgx_a100(cfg.gpus_per_pod),
+            DistMsmConfig::builder()
+                .window_size(s)
+                .build()
+                .expect("static pod engine config is valid"),
+        )
+    };
+
+    // Phase 1: every pod executes its shard + blinded twin.
+    let mut shards = Vec::with_capacity(cfg.n_pods);
+    let mut vectors: Vec<Vec<XyzzPoint<C>>> = Vec::with_capacity(cfg.n_pods);
+    let mut pairs: Vec<OutsourcedResult<C>> = Vec::with_capacity(cfg.n_pods);
+    let mut challenges: Vec<Challenge<C>> = Vec::with_capacity(cfg.n_pods);
+    let mut compute_s = 0.0f64;
+    for (pod, &(lo, hi)) in ranges.iter().enumerate() {
+        let sub = MsmInstance {
+            points: instance.points[lo..hi].to_vec(),
+            scalars: instance.scalars[lo..hi].to_vec(),
+        };
+        let challenge =
+            Challenge::<C>::generate(cfg.challenge_seed ^ (pod as u64).wrapping_mul(0x9e37), hi - lo);
+        let (pair, vector, pod_s) = run_pod_shard(&sub, &challenge, s, &pod_engine());
+        // Byzantine model: the seeded pod lies about its pair (and its
+        // reduce-tree vector, so a missed detection would surface as a
+        // bit-exactness violation downstream).
+        let (pair, vector) = match cfg.byzantine_pod {
+            Some((b, class)) if b == pod => {
+                let swap = pairs.first().copied().unwrap_or(OutsourcedResult {
+                    r1: C::generator().to_xyzz(),
+                    r2: C::generator().to_xyzz(),
+                });
+                let mut v = vector;
+                v[0] = v[0].padd(&C::generator().to_xyzz());
+                (pair.corrupted(class, &swap), v)
+            }
+            _ => (pair, vector),
+        };
+        compute_s = compute_s.max(pod_s);
+        shards.push(ShardExecution { pod, range: (lo, hi), detected: None, replaced_to: None });
+        vectors.push(vector);
+        pairs.push(pair);
+        challenges.push(challenge);
+    }
+
+    // Phase 2: 2G2T check each returned pair; quarantine + re-place.
+    let mut quarantined = Vec::new();
+    for pod in 0..cfg.n_pods {
+        let (lo, hi) = shards[pod].range;
+        if challenges[pod].verify(&instance.points[lo..hi], &pairs[pod].r1, &pairs[pod].r2) {
+            continue;
+        }
+        let class = cfg
+            .byzantine_pod
+            .map(|(_, c)| c)
+            .expect("2G2T rejected an honest pod");
+        shards[pod].detected = Some(class);
+        quarantined.push(pod);
+        let healthy = (0..cfg.n_pods)
+            .find(|p| !quarantined.contains(p))
+            .expect("every pod quarantined: no healthy pod left to re-place on");
+        // Re-execute the stranded shard on the healthy pod, re-verify.
+        let sub = MsmInstance {
+            points: instance.points[lo..hi].to_vec(),
+            scalars: instance.scalars[lo..hi].to_vec(),
+        };
+        let rechallenge = Challenge::<C>::generate(
+            cfg.challenge_seed ^ 0x5e81_aced ^ ((pod as u64) << 32),
+            hi - lo,
+        );
+        let (pair, vector, pod_s) = run_pod_shard(&sub, &rechallenge, s, &pod_engine());
+        assert!(
+            rechallenge.verify(&instance.points[lo..hi], &pair.r1, &pair.r2),
+            "re-placed shard failed its own 2G2T check"
+        );
+        compute_s = compute_s.max(pod_s);
+        shards[pod].replaced_to = Some(healthy);
+        vectors[pod] = vector;
+        pairs[pod] = pair;
+    }
+
+    // Phase 3: element-wise point-add reduce over the NIC tier.
+    let topo = Topology::fleet(cfg.n_pods);
+    // An XYZZ point is 4 base-field coordinates of LIMBS32 × 4 bytes.
+    let elem_bytes = 16.0 * C::Base::LIMBS32 as f64;
+    let (reduced, schedule) = run_collective(
+        cfg.strategy,
+        &vectors,
+        |a: &XyzzPoint<C>, b| a.padd(b),
+        &Fabric::Topology(&topo),
+        &CommConfig::default(),
+        elem_bytes,
+    );
+    assert_eq!(reduced.len(), n_windows);
+    let result = fold_windows(&reduced, s);
+
+    let reduce_s = schedule.total_s;
+    ShardedMsmReport { result, shards, quarantined, schedule, compute_s, reduce_s }
+}
+
+/// One pod's honest work: engine result on the shard (R1), engine
+/// result on the blinded twin (R2), the shard's window-partial vector
+/// (asserted consistent with R1), and the modeled pod wall-clock.
+fn run_pod_shard<C: Curve>(
+    sub: &MsmInstance<C>,
+    challenge: &Challenge<C>,
+    s: u32,
+    engine: &DistMsm,
+) -> (OutsourcedResult<C>, Vec<XyzzPoint<C>>, f64) {
+    let report = engine.execute(sub).expect("fault-free pod shard execution");
+    let twin = challenge.twin_instance(sub);
+    let twin_report = engine.execute(&twin).expect("fault-free twin execution");
+    let vector = window_partials(&sub.points, &sub.scalars, s);
+    assert_eq!(
+        fold_windows(&vector, s).to_affine(),
+        report.result.to_affine(),
+        "window-partial vector inconsistent with the pod's engine result"
+    );
+    let total_s = report.total_s + twin_report.total_s;
+    (
+        OutsourcedResult { r1: report.result, r2: twin_report.result },
+        vector,
+        total_s,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distmsm_ec::curves::Bn254G1;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn instance(n: usize) -> MsmInstance<Bn254G1> {
+        MsmInstance::random(n, &mut StdRng::seed_from_u64(42))
+    }
+
+    fn cfg(n_pods: usize) -> ShardedMsmConfig {
+        ShardedMsmConfig { n_pods, gpus_per_pod: 2, ..ShardedMsmConfig::default() }
+    }
+
+    #[test]
+    fn window_partials_fold_to_the_reference() {
+        let inst = instance(33);
+        let partials = window_partials(&inst.points, &inst.scalars, 8);
+        assert_eq!(
+            fold_windows(&partials, 8).to_affine(),
+            inst.reference_result().to_affine()
+        );
+    }
+
+    #[test]
+    fn sharded_msm_is_bit_exact_across_pod_counts() {
+        let inst = instance(41);
+        let expect = inst.reference_result().to_affine();
+        for n_pods in [1, 2, 3] {
+            let report = execute_sharded(&inst, &cfg(n_pods));
+            assert_eq!(report.result.to_affine(), expect, "{n_pods} pods");
+            assert!(report.quarantined.is_empty());
+            assert!(report.shards.iter().all(|s| s.detected.is_none()));
+            assert!(report.reduce_s > 0.0 && report.compute_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn byzantine_shard_is_detected_quarantined_and_replaced_bit_exactly() {
+        let inst = instance(40);
+        let expect = inst.reference_result().to_affine();
+        for class in Corruption::ALL {
+            let report = execute_sharded(
+                &inst,
+                &ShardedMsmConfig { byzantine_pod: Some((1, class)), ..cfg(2) },
+            );
+            assert_eq!(report.quarantined, vec![1], "{}", class.label());
+            assert_eq!(report.shards[1].detected, Some(class));
+            assert_eq!(report.shards[1].replaced_to, Some(0));
+            assert_eq!(report.result.to_affine(), expect, "re-placed shard must be bit-exact");
+        }
+    }
+}

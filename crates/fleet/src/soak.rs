@@ -1,0 +1,729 @@
+//! The deterministic fleet soak: a seeded 1000+-tenant arrival trace
+//! placed across pods and replayed against per-pod chaos *plus* the
+//! pod-level fault classes that have no single-pod analogue — whole-pod
+//! loss and a byzantine pod — with fleet-scope invariants checked over
+//! the merged event streams and a greedy seed-tuple shrinker.
+//!
+//! Everything derives from the [`FleetSoakSpec`] alone, and generation
+//! is prefix-stable: shrinking a count replays a strict subset.
+
+use distmsm::engine::DistMsm;
+use distmsm_ec::curves::Bn254G1;
+use distmsm_ec::MsmInstance;
+use distmsm_gpu_sim::fault::splitmix64;
+use distmsm_gpu_sim::MultiGpuSystem;
+use distmsm_service::{
+    BreakerState, ChaosSchedule, JobClass, JobSpec, ServiceConfig, ServiceEvent, ServiceEventKind,
+    TenantConfig,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::fleet::{
+    ByzantineWindow, FleetChaos, FleetConfig, FleetCoordinator, FleetEvent, FleetEventKind,
+    FleetOutcome,
+};
+use crate::outsource::Corruption;
+use crate::report::FleetReport;
+
+/// Everything that defines one fleet soak scenario. Two equal specs
+/// produce byte-identical runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetSoakSpec {
+    /// Seed of the arrival trace (times, tenants, classes, scalars).
+    pub arrival_seed: u64,
+    /// Seed of the per-pod chaos schedules.
+    pub fault_seed: u64,
+    /// Jobs in the arrival trace.
+    pub n_jobs: usize,
+    /// Tenants in the shared table (the fleet's multi-tenancy scale).
+    pub n_tenants: usize,
+    /// Pods in the fleet.
+    pub n_pods: usize,
+    /// Devices per pod.
+    pub devices_per_pod: usize,
+    /// Random device-fault windows per pod.
+    pub n_fault_windows: usize,
+    /// Arrival horizon, simulated seconds.
+    pub horizon_s: f64,
+    /// Upper bound on per-job MSM size (jobs draw from `[size/2, size)`).
+    pub msm_size: usize,
+    /// A pod that corrupts every returned result pair for the whole
+    /// run. Must end the run 2G2T-detected and fleet-quarantined.
+    pub byzantine_pod: Option<usize>,
+    /// A pod whose every device fail-stops at `0.25 × horizon` —
+    /// whole-pod loss. Must end the run with its pool fully
+    /// quarantined, its queue drained by the rest of the fleet.
+    pub lost_pod: Option<usize>,
+}
+
+impl FleetSoakSpec {
+    /// The acceptance-scale scenario: 1024 tenants across 4 pods, a
+    /// byzantine pod and a whole-pod loss, with work stealing healing
+    /// the imbalance.
+    pub fn smoke() -> Self {
+        Self {
+            arrival_seed: 2026,
+            fault_seed: 13,
+            n_jobs: 1200,
+            n_tenants: 1024,
+            n_pods: 4,
+            devices_per_pod: 4,
+            n_fault_windows: 4,
+            horizon_s: 900.0,
+            msm_size: 32,
+            byzantine_pod: Some(3),
+            lost_pod: Some(1),
+        }
+    }
+
+    /// The overnight scenario: more jobs, bigger MSMs, more chaos.
+    pub fn full() -> Self {
+        Self {
+            arrival_seed: 2026,
+            fault_seed: 29,
+            n_jobs: 4000,
+            n_tenants: 2048,
+            n_pods: 4,
+            devices_per_pod: 8,
+            n_fault_windows: 12,
+            horizon_s: 3000.0,
+            msm_size: 64,
+            byzantine_pod: Some(3),
+            lost_pod: Some(1),
+        }
+    }
+
+    /// The spec as a re-runnable seed tuple (the shrinker's output
+    /// format).
+    pub fn seed_tuple(&self) -> String {
+        format!(
+            "(arrival_seed={}, fault_seed={}, n_jobs={}, n_tenants={}, n_pods={}, \
+             devices_per_pod={}, n_fault_windows={}, horizon_s={}, msm_size={}, \
+             byzantine_pod={:?}, lost_pod={:?})",
+            self.arrival_seed,
+            self.fault_seed,
+            self.n_jobs,
+            self.n_tenants,
+            self.n_pods,
+            self.devices_per_pod,
+            self.n_fault_windows,
+            self.horizon_s,
+            self.msm_size,
+            self.byzantine_pod,
+            self.lost_pod,
+        )
+    }
+
+    /// The spec as `fleet_soak` binary flags, for copy-paste
+    /// reproduction.
+    pub fn cli(&self) -> String {
+        let mut s = format!(
+            "--arrival-seed {} --fault-seed {} --jobs {} --tenants {} --pods {} \
+             --devices-per-pod {} --fault-windows {} --horizon {} --msm-size {}",
+            self.arrival_seed,
+            self.fault_seed,
+            self.n_jobs,
+            self.n_tenants,
+            self.n_pods,
+            self.devices_per_pod,
+            self.n_fault_windows,
+            self.horizon_s,
+            self.msm_size,
+        );
+        if let Some(p) = self.byzantine_pod {
+            s.push_str(&format!(" --byzantine-pod {p}"));
+        }
+        if let Some(p) = self.lost_pod {
+            s.push_str(&format!(" --lost-pod {p}"));
+        }
+        s
+    }
+
+    /// The corruption class the byzantine pod applies, derived from the
+    /// fault seed so soak sweeps cover all classes.
+    pub fn byzantine_class(&self) -> Corruption {
+        Corruption::ALL[(self.fault_seed % Corruption::ALL.len() as u64) as usize]
+    }
+}
+
+/// Test-only corruption of the coordinator's event stream, proving the
+/// fleet invariant checker catches violations. Never a production path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FleetSabotage {
+    /// No corruption: the honest run.
+    #[default]
+    None,
+    /// Drops every third `Verified` fleet event before the invariant
+    /// check — verified jobs appear to vanish, breaking fleet
+    /// conservation and exactly-once termination.
+    DropAccepted,
+}
+
+/// Options for one fleet soak run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetSoakOptions {
+    /// Event-stream corruption (tests only).
+    pub sabotage: FleetSabotage,
+}
+
+/// One detected fleet-invariant violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetViolation {
+    /// Stable invariant id (`"fleet-exactly-once"`,
+    /// `"fleet-conservation"`, `"fleet-bit-exact"`,
+    /// `"fleet-starvation-bound"`, `"quarantined-pod"`, `"pod-loss"`,
+    /// `"fleet-completion-floor"`).
+    pub invariant: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// The outcome of one fleet soak run.
+#[derive(Clone, Debug)]
+pub struct FleetSoakOutcome {
+    /// The aggregated fleet report.
+    pub report: FleetReport,
+    /// Detected invariant violations (empty on a healthy run).
+    pub violations: Vec<FleetViolation>,
+    /// Coordinator + pod events processed (after any sabotage).
+    pub n_events: usize,
+}
+
+fn unit(state: &mut u64) -> f64 {
+    splitmix64(state) as f64 / u64::MAX as f64
+}
+
+/// Builds the seeded fleet arrival trace: bursty Poisson-like arrivals
+/// of mixed-class, mixed-size MSM jobs spread over `n_tenants` tenants.
+///
+/// Prefix-stable: job `i` consumes a fixed number of PRNG draws and its
+/// instance is seeded per-id, so shrinking `n_jobs` keeps every
+/// surviving job identical.
+pub fn build_fleet_jobs(spec: &FleetSoakSpec) -> Vec<JobSpec<Bn254G1>> {
+    let mut state = spec.arrival_seed ^ 0xf1ee_7001_9abc_def0;
+    let mean_long_gap = spec.horizon_s / 150.0;
+    let mut t = 0.0;
+    let mut jobs = Vec::with_capacity(spec.n_jobs);
+    for i in 0..spec.n_jobs {
+        let u_gap = unit(&mut state);
+        let tenant_draw = splitmix64(&mut state);
+        let u_class = unit(&mut state);
+        let u_deadline = unit(&mut state);
+        let u_size = unit(&mut state);
+        t += if i % 8 < 5 {
+            0.0002 + 0.0018 * u_gap
+        } else {
+            -((u_gap.max(1e-12)).ln()) * mean_long_gap
+        };
+        let tenant = (tenant_draw % spec.n_tenants as u64) as usize;
+        let class = if u_class < 0.6 { JobClass::Interactive } else { JobClass::Batch };
+        let deadline_s = match class {
+            JobClass::Interactive => Some(t + 0.05 + 0.45 * u_deadline),
+            JobClass::Batch => None,
+        };
+        let half = (spec.msm_size / 2).max(1);
+        let n = half + (u_size * half as f64) as usize;
+        let mut rng = StdRng::seed_from_u64(spec.arrival_seed.wrapping_add(0xf5eed + i as u64));
+        jobs.push(JobSpec {
+            id: i as u64,
+            tenant,
+            class,
+            arrival_s: t,
+            deadline_s,
+            instance: MsmInstance::random(n, &mut rng),
+        });
+    }
+    jobs
+}
+
+/// The fleet configuration a soak runs: identical pods sharing one
+/// `n_tenants`-wide tenant table.
+pub fn fleet_config(spec: &FleetSoakSpec) -> FleetConfig {
+    let mut pod = ServiceConfig {
+        n_devices: spec.devices_per_pod,
+        tenants: (0..spec.n_tenants).map(|i| TenantConfig::new(&format!("t{i}"))).collect(),
+        ..ServiceConfig::default()
+    };
+    pod.gpus_per_job = pod.gpus_per_job.min(spec.devices_per_pod);
+    pod.degraded_gpus_per_job = pod.degraded_gpus_per_job.min(spec.devices_per_pod);
+    FleetConfig {
+        n_pods: spec.n_pods,
+        pod,
+        check_seed: spec.arrival_seed ^ spec.fault_seed.rotate_left(17) ^ 0x2620_2620,
+        steal: true,
+    }
+}
+
+/// When the spec's lost pod dies: a quarter into the horizon.
+pub fn loss_time(spec: &FleetSoakSpec) -> f64 {
+    0.25 * spec.horizon_s
+}
+
+/// Builds the fleet chaos: per-pod randomized fault windows plus the
+/// spec's pod-level classes (whole-pod loss, byzantine pod).
+pub fn build_fleet_chaos(spec: &FleetSoakSpec) -> FleetChaos {
+    let mut chaos = FleetChaos {
+        pods: (0..spec.n_pods)
+            .map(|p| {
+                ChaosSchedule::random(
+                    spec.fault_seed ^ (p as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    spec.devices_per_pod,
+                    spec.n_fault_windows,
+                    spec.n_fault_windows / 2,
+                    spec.horizon_s,
+                )
+            })
+            .collect(),
+        byzantine: Vec::new(),
+    };
+    if let Some(pod) = spec.lost_pod {
+        chaos.lose_pod(pod, loss_time(spec), spec.devices_per_pod);
+    }
+    if let Some(pod) = spec.byzantine_pod {
+        chaos.byzantine.push(ByzantineWindow {
+            pod,
+            t0_s: 0.0,
+            t1_s: f64::INFINITY,
+            class: spec.byzantine_class(),
+        });
+    }
+    chaos
+}
+
+/// Runs one fleet soak end to end: build, place, execute, corrupt (if
+/// sabotaged), check the fleet invariants.
+pub fn run_fleet_soak(spec: &FleetSoakSpec, opts: &FleetSoakOptions) -> FleetSoakOutcome {
+    let jobs = build_fleet_jobs(spec);
+    let chaos = build_fleet_chaos(spec);
+    let config = fleet_config(spec);
+    let mut coordinator = FleetCoordinator::new(config.clone());
+    let mut outcome = coordinator.run(jobs.clone(), &chaos);
+
+    if opts.sabotage == FleetSabotage::DropAccepted {
+        let mut kept = 0u64;
+        outcome.events.retain(|e| {
+            if matches!(e.kind, FleetEventKind::Verified { .. }) {
+                kept += 1;
+                !kept.is_multiple_of(3)
+            } else {
+                true
+            }
+        });
+    }
+
+    let violations = check_fleet_invariants(spec, &jobs, &outcome, &config);
+    let n_events = outcome.events.len() + outcome.pod_events.len();
+    FleetSoakOutcome { report: outcome.report, violations, n_events }
+}
+
+/// One entry of the merged fleet timeline, ordered by time with
+/// coordinator decisions sorted *before* pod events at equal stamps
+/// (a steal's queue-epoch reset precedes the dispatch it enables).
+enum Timeline<'a> {
+    Fleet(&'a FleetEvent),
+    Pod(&'a ServiceEvent),
+}
+
+impl Timeline<'_> {
+    fn t_s(&self) -> f64 {
+        match self {
+            Timeline::Fleet(e) => e.t_s,
+            Timeline::Pod(e) => e.t_s,
+        }
+    }
+
+    fn fleet_first(&self) -> u8 {
+        match self {
+            Timeline::Fleet(_) => 0,
+            Timeline::Pod(_) => 1,
+        }
+    }
+}
+
+/// Checks the fleet invariants over the merged event streams:
+///
+/// 1. **fleet-exactly-once** — every admitted job reaches exactly one
+///    fleet-terminal state: 2G2T-verified, failed, or shed. A pod-level
+///    `Completed` is *not* terminal until the coordinator verifies it —
+///    a byzantine completion is rejected and the job lives on.
+/// 2. **fleet-conservation** — at every prefix of the merged timeline,
+///    `admitted ≥ verified + failed + shed`, and the gap drains to zero
+///    by the end of the run.
+/// 3. **fleet-bit-exact** — every verified-accepted result equals the
+///    fault-free single-GPU reference for its instance.
+/// 4. **fleet-starvation-bound** — no job waits in a queue longer than
+///    its class bound; a steal or re-placement restarts the epoch at
+///    the absorbing pod.
+/// 5. **quarantined-pod** — the seeded byzantine pod is detected by the
+///    2G2T check and ends the run fleet-quarantined.
+/// 6. **pod-loss** — the lost pod's pool ends fully breaker-open, and
+///    no job is left queued behind it.
+/// 7. **fleet-completion-floor** — `accepted / admitted` stays at or
+///    above the shed-policy floor despite pod-level failures.
+pub fn check_fleet_invariants(
+    spec: &FleetSoakSpec,
+    jobs: &[JobSpec<Bn254G1>],
+    outcome: &FleetOutcome<Bn254G1>,
+    config: &FleetConfig,
+) -> Vec<FleetViolation> {
+    let mut violations = Vec::new();
+    let by_id: std::collections::BTreeMap<u64, &JobSpec<Bn254G1>> =
+        jobs.iter().map(|j| (j.id, j)).collect();
+
+    let mut timeline: Vec<Timeline<'_>> = outcome
+        .events
+        .iter()
+        .map(Timeline::Fleet)
+        .chain(outcome.pod_events.iter().map(|(_, e)| Timeline::Pod(e)))
+        .collect();
+    timeline.sort_by(|a, b| {
+        a.t_s().total_cmp(&b.t_s()).then(a.fleet_first().cmp(&b.fleet_first()))
+    });
+
+    let mut admitted = 0i64;
+    let mut terminated = 0i64;
+    let mut terminal_count: std::collections::BTreeMap<u64, u32> = Default::default();
+    let mut admitted_ids: std::collections::BTreeSet<u64> = Default::default();
+    let mut queued_since: std::collections::BTreeMap<u64, f64> = Default::default();
+    const EPS: f64 = 1e-6;
+
+    let check_wait = |violations: &mut Vec<FleetViolation>, id: u64, since: f64, until: f64| {
+        let Some(job) = by_id.get(&id) else { return };
+        let bound = config.pod.shed.class_bound(job.class);
+        let waited = until - since;
+        if waited > bound + EPS {
+            violations.push(FleetViolation {
+                invariant: "fleet-starvation-bound",
+                detail: format!(
+                    "{} job {id} waited {waited:.3}s in queue, past its {bound:.3}s bound",
+                    job.class.label()
+                ),
+            });
+        }
+    };
+
+    for entry in &timeline {
+        match entry {
+            Timeline::Fleet(e) => match &e.kind {
+                FleetEventKind::Stolen { .. } | FleetEventKind::Replaced { .. } => {
+                    // The job re-enters a queue under a fresh epoch.
+                    if let Some(id) = e.job {
+                        queued_since.insert(id, e.t_s);
+                    }
+                }
+                FleetEventKind::Verified { .. } => {
+                    terminated += 1;
+                    if let Some(id) = e.job {
+                        *terminal_count.entry(id).or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            },
+            Timeline::Pod(e) => match &e.kind {
+                ServiceEventKind::Admitted { .. } => {
+                    admitted += 1;
+                    admitted_ids.insert(e.job.unwrap_or(u64::MAX));
+                    if let Some(id) = e.job {
+                        queued_since.insert(id, e.t_s);
+                    }
+                }
+                ServiceEventKind::Requeued { .. } => {
+                    if let Some(id) = e.job {
+                        queued_since.insert(id, e.t_s);
+                    }
+                }
+                ServiceEventKind::Dispatched { .. } => {
+                    if let Some(id) = e.job {
+                        if let Some(since) = queued_since.remove(&id) {
+                            check_wait(&mut violations, id, since, e.t_s);
+                        }
+                    }
+                }
+                ServiceEventKind::Failed { .. } | ServiceEventKind::Shed { .. } => {
+                    terminated += 1;
+                    if let Some(id) = e.job {
+                        *terminal_count.entry(id).or_insert(0) += 1;
+                        if let Some(since) = queued_since.remove(&id) {
+                            check_wait(&mut violations, id, since, e.t_s);
+                        }
+                    }
+                }
+                _ => {}
+            },
+        }
+        if admitted - terminated < 0 {
+            violations.push(FleetViolation {
+                invariant: "fleet-conservation",
+                detail: format!(
+                    "at t={}: {terminated} fleet terminations exceed {admitted} admissions",
+                    entry.t_s()
+                ),
+            });
+        }
+    }
+    if admitted != terminated {
+        violations.push(FleetViolation {
+            invariant: "fleet-conservation",
+            detail: format!(
+                "run ended with {admitted} jobs admitted but {terminated} fleet-terminated",
+            ),
+        });
+    }
+    for id in &admitted_ids {
+        match terminal_count.get(id).copied().unwrap_or(0) {
+            1 => {}
+            n => violations.push(FleetViolation {
+                invariant: "fleet-exactly-once",
+                detail: format!("admitted job {id} reached {n} fleet-terminal states"),
+            }),
+        }
+    }
+
+    // 3: bit-exactness of every verified-accepted result.
+    let reference = DistMsm::new(MultiGpuSystem::dgx_a100(1));
+    for a in &outcome.accepted {
+        let Some(job) = by_id.get(&a.id) else {
+            violations.push(FleetViolation {
+                invariant: "fleet-bit-exact",
+                detail: format!("accepted job {} is not in the arrival trace", a.id),
+            });
+            continue;
+        };
+        let expect = reference
+            .execute(&job.instance)
+            .expect("fault-free reference execution succeeds");
+        if expect.result.to_affine() != a.result.to_affine() {
+            violations.push(FleetViolation {
+                invariant: "fleet-bit-exact",
+                detail: format!("job {} was accepted with a wrong MSM value", a.id),
+            });
+        }
+    }
+
+    // 5: the byzantine pod must be *detected*, not merely survived.
+    if let Some(pod) = spec.byzantine_pod {
+        let detected = outcome
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FleetEventKind::ByzantineDetected { pod: p, .. } if p == pod));
+        if !detected {
+            violations.push(FleetViolation {
+                invariant: "quarantined-pod",
+                detail: format!("byzantine pod {pod} was never detected by the 2G2T check"),
+            });
+        } else if !outcome.report.quarantined_pods.contains(&pod) {
+            violations.push(FleetViolation {
+                invariant: "quarantined-pod",
+                detail: format!("byzantine pod {pod} was detected but not quarantined"),
+            });
+        }
+    }
+
+    // 6: whole-pod loss. A dead pod must never complete work it
+    // dispatched after the loss, and once every device has seen enough
+    // post-loss dispatches to trip its breaker, the pool must end the
+    // run quarantined (no device back to Closed).
+    if let Some(pod) = spec.lost_pod {
+        let loss_s = loss_time(spec);
+        let mut last_dispatch: std::collections::BTreeMap<u64, f64> = Default::default();
+        let mut post_loss_dispatches = vec![0u32; spec.devices_per_pod];
+        for (p, e) in &outcome.pod_events {
+            if *p != pod {
+                continue;
+            }
+            match &e.kind {
+                ServiceEventKind::Dispatched { devices, .. } => {
+                    if let Some(id) = e.job {
+                        last_dispatch.insert(id, e.t_s);
+                    }
+                    if e.t_s >= loss_s {
+                        for d in devices {
+                            post_loss_dispatches[*d] += 1;
+                        }
+                    }
+                }
+                ServiceEventKind::Completed { .. } => {
+                    if let Some(id) = e.job {
+                        if last_dispatch.get(&id).copied().unwrap_or(f64::NEG_INFINITY) >= loss_s {
+                            violations.push(FleetViolation {
+                                invariant: "pod-loss",
+                                detail: format!(
+                                    "lost pod {pod} completed job {id} from a dispatch after \
+                                     the loss at t={loss_s}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let threshold = config.pod.breaker.fault_threshold;
+        let all_tripped = post_loss_dispatches.iter().all(|&n| n >= threshold);
+        let states = &outcome.pod_reports[pod].final_states;
+        if all_tripped && states.contains(&BreakerState::Closed) {
+            violations.push(FleetViolation {
+                invariant: "pod-loss",
+                detail: format!(
+                    "lost pod {pod} ended with breakers {states:?} despite every device \
+                     faulting at least {threshold} dispatches past the loss"
+                ),
+            });
+        }
+    }
+
+    // 7: the fleet-scope completion floor.
+    if outcome.report.completion_rate() < config.pod.shed.min_completion_rate {
+        violations.push(FleetViolation {
+            invariant: "fleet-completion-floor",
+            detail: format!(
+                "fleet completion rate {:.3} fell below the shed-policy floor {:.3}",
+                outcome.report.completion_rate(),
+                config.pod.shed.min_completion_rate
+            ),
+        });
+    }
+    violations
+}
+
+/// Greedily shrinks a violating fleet spec to a minimal reproducer,
+/// keeping only reductions that still violate **the same invariant**
+/// (the first one the original run reported), until a fixpoint or
+/// `max_runs` soak executions.
+///
+/// # Panics
+///
+/// Panics when called with a spec that does not violate.
+pub fn fleet_shrink(
+    spec: &FleetSoakSpec,
+    opts: &FleetSoakOptions,
+    max_runs: usize,
+) -> (FleetSoakSpec, FleetSoakOutcome) {
+    let mut current = *spec;
+    let mut outcome = run_fleet_soak(&current, opts);
+    assert!(
+        !outcome.violations.is_empty(),
+        "fleet_shrink needs a violating spec; {} is healthy",
+        spec.seed_tuple()
+    );
+    let target = outcome.violations[0].invariant;
+    let mut runs = 0;
+    'outer: loop {
+        for candidate in fleet_candidates(&current) {
+            if runs >= max_runs {
+                break 'outer;
+            }
+            runs += 1;
+            let c_outcome = run_fleet_soak(&candidate, opts);
+            if c_outcome.violations.iter().any(|v| v.invariant == target) {
+                current = candidate;
+                outcome = c_outcome;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, outcome)
+}
+
+/// Reduction candidates for one shrink round — the PR 5 axes plus the
+/// pod-level fault classes (drop the byzantine pod, drop the lost pod,
+/// shrink the tenant table).
+fn fleet_candidates(spec: &FleetSoakSpec) -> Vec<FleetSoakSpec> {
+    let mut out = Vec::new();
+    if spec.n_jobs > 1 {
+        out.push(FleetSoakSpec { n_jobs: spec.n_jobs / 2, ..*spec });
+        out.push(FleetSoakSpec { n_jobs: spec.n_jobs - 1, ..*spec });
+    }
+    if spec.n_fault_windows > 0 {
+        out.push(FleetSoakSpec { n_fault_windows: spec.n_fault_windows / 2, ..*spec });
+        out.push(FleetSoakSpec { n_fault_windows: spec.n_fault_windows - 1, ..*spec });
+    }
+    if spec.byzantine_pod.is_some() {
+        out.push(FleetSoakSpec { byzantine_pod: None, ..*spec });
+    }
+    if spec.lost_pod.is_some() {
+        out.push(FleetSoakSpec { lost_pod: None, ..*spec });
+    }
+    if spec.n_tenants > 1 {
+        out.push(FleetSoakSpec { n_tenants: (spec.n_tenants / 2).max(1), ..*spec });
+    }
+    if spec.horizon_s > 1.0 {
+        out.push(FleetSoakSpec { horizon_s: spec.horizon_s / 2.0, ..*spec });
+    }
+    out.retain(|c| c != spec);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetSoakSpec {
+        FleetSoakSpec {
+            arrival_seed: 5,
+            fault_seed: 9,
+            n_jobs: 12,
+            n_tenants: 8,
+            n_pods: 2,
+            devices_per_pod: 4,
+            n_fault_windows: 2,
+            horizon_s: 60.0,
+            msm_size: 16,
+            byzantine_pod: Some(1),
+            lost_pod: None,
+        }
+    }
+
+    #[test]
+    fn fleet_jobs_are_prefix_stable() {
+        let spec = tiny();
+        let all = build_fleet_jobs(&spec);
+        let fewer = build_fleet_jobs(&FleetSoakSpec { n_jobs: 6, ..spec });
+        for (a, b) in fewer.iter().zip(&all) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival_s, b.arrival_s);
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.instance.scalars, b.instance.scalars);
+        }
+    }
+
+    #[test]
+    fn tiny_fleet_soak_detects_and_quarantines_the_byzantine_pod() {
+        let out = run_fleet_soak(&tiny(), &FleetSoakOptions::default());
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.report.detections > 0, "byzantine pod must be detected");
+        assert_eq!(out.report.quarantined_pods, vec![1]);
+        assert!(out.report.accepted > 0);
+    }
+
+    #[test]
+    fn tiny_fleet_soak_survives_whole_pod_loss() {
+        let spec = FleetSoakSpec { byzantine_pod: None, lost_pod: Some(0), ..tiny() };
+        let out = run_fleet_soak(&spec, &FleetSoakOptions::default());
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.report.accepted > 0);
+    }
+
+    #[test]
+    fn fleet_sabotage_is_caught_and_shrinks() {
+        let spec = tiny();
+        let opts = FleetSoakOptions { sabotage: FleetSabotage::DropAccepted };
+        let out = run_fleet_soak(&spec, &opts);
+        assert!(
+            out.violations.iter().any(|v| v.invariant == "fleet-conservation"),
+            "dropped verifications must break fleet conservation: {:?}",
+            out.violations
+        );
+        let (min, min_out) = fleet_shrink(&spec, &opts, 12);
+        assert!(!min_out.violations.is_empty());
+        assert!(
+            min.n_jobs < spec.n_jobs || min.n_fault_windows < spec.n_fault_windows,
+            "shrinker made no progress: {}",
+            min.seed_tuple()
+        );
+        let replay = run_fleet_soak(&min, &opts);
+        assert!(!replay.violations.is_empty(), "reproducer must replay: {}", min.cli());
+    }
+}

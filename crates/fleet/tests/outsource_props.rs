@@ -1,0 +1,105 @@
+//! Property-based tests of the 2G2T blinded-twin outsourcing check,
+//! across all four paper curves (plus G2): every honest pod result is
+//! accepted, and every seeded corruption class — bit flip, swapped
+//! shard, zeroed partial — is detected.
+
+use distmsm_ec::curves::{Bls12377G1, Bls12381G1, Bn254G1, Bn254G2, Mnt4753G1};
+use distmsm_ec::{Curve, MsmInstance};
+use distmsm_fleet::{Challenge, Corruption, OutsourcedResult};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// An honest pod's answer: the reference MSM of the instance and of its
+/// blinded twin.
+fn honest_pair<C: Curve>(
+    instance: &MsmInstance<C>,
+    challenge: &Challenge<C>,
+) -> OutsourcedResult<C> {
+    OutsourcedResult {
+        r1: instance.reference_result(),
+        r2: challenge.twin_instance(instance).reference_result(),
+    }
+}
+
+/// Accept every honest result; detect every corruption class.
+fn check_curve<C: Curve>(seed: u64, n: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instance = MsmInstance::<C>::random(n, &mut rng);
+    let challenge = Challenge::<C>::generate(seed ^ 0x2624, n);
+    let honest = honest_pair(&instance, &challenge);
+    assert!(
+        challenge.verify(&instance.points, &honest.r1, &honest.r2),
+        "honest pod result rejected (seed={seed}, n={n})"
+    );
+
+    // The swapped-shard source is a *valid* pair for a different job:
+    // it satisfies its own challenge, but must not satisfy this one.
+    let other = MsmInstance::<C>::random(n, &mut StdRng::seed_from_u64(seed ^ 0xdead));
+    let other_challenge = Challenge::<C>::generate(seed ^ 0xbeef, n);
+    let swap = honest_pair(&other, &other_challenge);
+    assert!(
+        other_challenge.verify(&other.points, &swap.r1, &swap.r2),
+        "swap source must be valid under its own challenge"
+    );
+
+    for class in Corruption::ALL {
+        let corrupted = honest.corrupted(class, &swap);
+        assert!(
+            !challenge.verify(&instance.points, &corrupted.r1, &corrupted.r2),
+            "{} corruption went undetected (seed={seed}, n={n})",
+            class.label()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn bn254_honest_accepted_corruptions_detected(seed in 0u64..1_000_000, n in 1usize..24) {
+        check_curve::<Bn254G1>(seed, n);
+    }
+
+    #[test]
+    fn bls12377_honest_accepted_corruptions_detected(seed in 0u64..1_000_000, n in 1usize..24) {
+        check_curve::<Bls12377G1>(seed, n);
+    }
+
+    #[test]
+    fn bls12381_honest_accepted_corruptions_detected(seed in 0u64..1_000_000, n in 1usize..24) {
+        check_curve::<Bls12381G1>(seed, n);
+    }
+
+    #[test]
+    fn mnt4753_honest_accepted_corruptions_detected(seed in 0u64..1_000_000, n in 1usize..16) {
+        check_curve::<Mnt4753G1>(seed, n);
+    }
+
+    #[test]
+    fn g2_honest_accepted_corruptions_detected(seed in 0u64..1_000_000, n in 1usize..12) {
+        check_curve::<Bn254G2>(seed, n);
+    }
+
+    #[test]
+    fn blinding_is_deterministic(seed in 0u64..1_000_000, n in 1usize..24) {
+        let a = Challenge::<Bn254G1>::generate(seed, n);
+        let b = Challenge::<Bn254G1>::generate(seed, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = MsmInstance::<Bn254G1>::random(n, &mut rng);
+        prop_assert_eq!(a.blind(&instance.scalars), b.blind(&instance.scalars));
+    }
+
+    #[test]
+    fn scaling_attack_is_defeated_by_decoys(seed in 0u64..1_000_000, n in 1usize..24, c in 2u64..64) {
+        // (c·R1, c·R2) passes `R2 = α·R1` but not `R2 = α·R1 + V` with
+        // a nonzero secret decoy point V — the hole decoys close.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = MsmInstance::<Bn254G1>::random(n, &mut rng);
+        let challenge = Challenge::<Bn254G1>::generate(seed ^ 0x5ca1e, n);
+        let honest = honest_pair(&instance, &challenge);
+        let k = <Bn254G1 as Curve>::Scalar::from_u64(c);
+        let scaled_r1 = honest.r1.scalar_mul(&k);
+        let scaled_r2 = honest.r2.scalar_mul(&k);
+        prop_assert!(!challenge.verify(&instance.points, &scaled_r1, &scaled_r2));
+    }
+}

@@ -55,5 +55,6 @@ pub use pool::DevicePool;
 pub use report::{ServiceReport, TenantStats};
 pub use service::{
     CompletedJob, ProverService, ServiceConfig, ServiceEvent, ServiceEventKind, ServiceOutcome,
+    StolenJob,
 };
 pub use soak::{run_soak, shrink, Sabotage, SoakOptions, SoakOutcome, SoakSpec, Violation};

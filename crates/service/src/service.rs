@@ -168,6 +168,21 @@ pub struct ServiceOutcome<C: Curve> {
     pub completed: Vec<CompletedJob<C>>,
 }
 
+/// A queued job lifted out of one service's queue for absorption by
+/// another — the fleet work-stealing carrier. The attempt counter rides
+/// along so retry budgets are preserved across pods; the queue epoch is
+/// restarted by the absorbing pod.
+#[derive(Clone, Debug)]
+pub struct StolenJob<C: Curve> {
+    /// The job.
+    pub spec: JobSpec<C>,
+    /// Next execution attempt (preserved across the steal).
+    pub attempt: u32,
+    /// The effective EDF deadline it was stolen under (explicit
+    /// deadline, else queue-epoch start plus class bound).
+    pub effective_deadline_s: f64,
+}
+
 /// A job waiting in its tenant queue.
 #[derive(Clone, Debug)]
 struct QueuedJob<C: Curve> {
@@ -259,6 +274,9 @@ pub struct ProverService<C: Curve> {
     /// Fault-free engine on a normal-size partition, used to price
     /// deadline feasibility at admission.
     admission_engine: DistMsm,
+    /// The sorted arrival trace [`Self::begin`] seeded, indexed by
+    /// `PendingKind::Arrival`.
+    arrivals: Vec<JobSpec<C>>,
 }
 
 impl<C: Curve> ProverService<C> {
@@ -299,6 +317,7 @@ impl<C: Curve> ProverService<C> {
             rr_cursor: 0,
             curve: CurveDesc::of::<C>(),
             admission_engine,
+            arrivals: Vec::new(),
         }
     }
 
@@ -402,7 +421,21 @@ impl<C: Curve> ProverService<C> {
     /// # Panics
     ///
     /// Panics when a job names a tenant outside the configured table.
-    pub fn run(&mut self, mut jobs: Vec<JobSpec<C>>, chaos: &ChaosSchedule) -> ServiceOutcome<C> {
+    pub fn run(&mut self, jobs: Vec<JobSpec<C>>, chaos: &ChaosSchedule) -> ServiceOutcome<C> {
+        self.begin(jobs);
+        while self.step(chaos) {}
+        self.finish()
+    }
+
+    /// Seeds the arrival trace without running: sorts and validates the
+    /// jobs and schedules their arrival events. The stepping half of
+    /// [`Self::run`], exposed so a fleet layer can interleave several
+    /// pods' event loops on one global clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a job names a tenant outside the configured table.
+    pub fn begin(&mut self, mut jobs: Vec<JobSpec<C>>) {
         jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
         for job in &jobs {
             assert!(
@@ -412,26 +445,127 @@ impl<C: Curve> ProverService<C> {
                 job.tenant
             );
         }
+        let base = self.arrivals.len();
         for (i, job) in jobs.iter().enumerate() {
-            self.push_pending(job.arrival_s, PendingKind::Arrival(i));
+            self.push_pending(job.arrival_s, PendingKind::Arrival(base + i));
         }
+        self.arrivals.extend(jobs);
+    }
 
-        while let Some(Reverse(p)) = self.heap.pop() {
-            self.clock_s = self.clock_s.max(p.t_s);
-            match p.kind {
-                PendingKind::Arrival(i) => self.on_arrival(jobs[i].clone()),
-                PendingKind::Completion(id) => self.on_completion(id),
-                PendingKind::Expire(id) => self.on_expire(id),
-                PendingKind::Poll => {}
+    /// Simulated time of the next pending event, if any — the fleet
+    /// interleaver's merge key.
+    pub fn next_time(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse(p)| p.t_s)
+    }
+
+    /// The service's current simulated clock.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Processes exactly one pending event (and any dispatches it
+    /// unblocks). Returns `false` when nothing is pending — the pod is
+    /// idle until new work is seeded or absorbed.
+    pub fn step(&mut self, chaos: &ChaosSchedule) -> bool {
+        let Some(Reverse(p)) = self.heap.pop() else { return false };
+        self.clock_s = self.clock_s.max(p.t_s);
+        match p.kind {
+            PendingKind::Arrival(i) => {
+                let job = self.arrivals[i].clone();
+                self.on_arrival(job);
             }
-            self.try_dispatch(chaos);
+            PendingKind::Completion(id) => self.on_completion(id),
+            PendingKind::Expire(id) => self.on_expire(id),
+            PendingKind::Poll => {}
         }
+        self.try_dispatch(chaos);
+        true
+    }
 
+    /// Builds the outcome after stepping has drained: report plus the
+    /// event stream and completed-job results accumulated so far.
+    pub fn finish(&mut self) -> ServiceOutcome<C> {
         ServiceOutcome {
             report: self.build_report(),
             events: std::mem::take(&mut self.events),
             completed: std::mem::take(&mut self.completed),
         }
+    }
+
+    /// Takes the completions accumulated since the last drain — the
+    /// fleet coordinator's per-step checkpoint, where each result meets
+    /// its 2G2T outsourcing check before being accepted. A service run
+    /// standalone never drains, so [`Self::finish`] still returns the
+    /// full completion list.
+    pub fn drain_completed(&mut self) -> Vec<CompletedJob<C>> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Jobs currently waiting across all tenant queues.
+    pub fn queued_jobs(&self) -> usize {
+        self.total_queued()
+    }
+
+    /// True when a dispatch right now could be placed on at least one
+    /// idle, non-open device — the fleet's "has spare capacity" probe.
+    pub fn has_free_capacity(&self) -> bool {
+        let (closed, half_open) = self.pool.allocatable(self.clock_s);
+        !closed.is_empty() || !half_open.is_empty()
+    }
+
+    /// Fault-free estimated execution seconds for an `n`-point job on a
+    /// normal-size partition — the price the fleet's placement and
+    /// admission decisions are made against.
+    pub fn estimate_job_seconds(&self, n: usize) -> f64 {
+        self.admission_engine.estimate_seconds(n, &self.curve)
+    }
+
+    /// Effective EDF deadline of the job [`Self::steal_earliest`] would
+    /// take, without removing it.
+    pub fn earliest_effective_deadline(&self) -> Option<f64> {
+        self.find_edf().map(|(eff, _, _)| eff)
+    }
+
+    /// Removes and returns the queued job with the globally earliest
+    /// effective deadline — the victim half of fleet work stealing.
+    /// The job's attempt counter rides along; its queue epoch (and
+    /// starvation bound) restarts at the absorbing pod. The stale
+    /// expire event left in this service's heap is harmless: expiry
+    /// checks queue membership.
+    pub fn steal_earliest(&mut self) -> Option<StolenJob<C>> {
+        let (eff, tenant, pos) = self.find_edf()?;
+        let q = self.queues[tenant].remove(pos)?;
+        Some(StolenJob { spec: q.spec, attempt: q.attempt, effective_deadline_s: eff })
+    }
+
+    /// Absorbs a job stolen from another pod: enqueues it under a fresh
+    /// queue epoch at `now_s` and immediately tries to dispatch. The
+    /// thief's clock advances to the steal time so the dispatch cannot
+    /// be stamped in its past.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job names a tenant outside this pod's table —
+    /// fleet pods must share one tenant table.
+    pub fn absorb_stolen(&mut self, stolen: StolenJob<C>, now_s: f64, chaos: &ChaosSchedule) {
+        let tenant = stolen.spec.tenant;
+        assert!(
+            tenant < self.config.tenants.len(),
+            "stolen job {} names unknown tenant {tenant}",
+            stolen.spec.id
+        );
+        self.clock_s = self.clock_s.max(now_s);
+        let bound = self.config.shed.class_bound(stolen.spec.class);
+        let expire_s = self.clock_s + bound;
+        let id = stolen.spec.id;
+        self.queues[tenant].push_back(QueuedJob {
+            spec: stolen.spec,
+            attempt: stolen.attempt,
+            enqueued_s: self.clock_s,
+            expire_s,
+        });
+        self.push_pending(expire_s, PendingKind::Expire(id));
+        self.try_dispatch(chaos);
     }
 
     fn on_arrival(&mut self, spec: JobSpec<C>) {
@@ -486,6 +620,13 @@ impl<C: Curve> ProverService<C> {
     /// (explicit deadline, else queue-epoch start plus class bound),
     /// breaking ties by tenant weight (heavier first), then id.
     fn pick_edf(&mut self) -> Option<QueuedJob<C>> {
+        let (_, tenant, pos) = self.find_edf()?;
+        self.queues[tenant].remove(pos)
+    }
+
+    /// Locates the EDF pick without removing it: `(effective deadline,
+    /// tenant, queue position)`.
+    fn find_edf(&self) -> Option<(f64, usize, usize)> {
         let mut best: Option<(f64, f64, u64, usize, usize)> = None;
         for (tenant, queue) in self.queues.iter().enumerate() {
             let weight = self.config.tenants[tenant].weight;
@@ -515,8 +656,8 @@ impl<C: Curve> ProverService<C> {
                 }
             }
         }
-        let (_, _, _, tenant, pos) = best?;
-        self.queues[tenant].remove(pos)
+        let (eff, _, _, tenant, pos) = best?;
+        Some((eff, tenant, pos))
     }
 
     fn try_dispatch(&mut self, chaos: &ChaosSchedule) {

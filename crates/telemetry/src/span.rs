@@ -18,6 +18,9 @@ pub enum Lane {
     /// The multi-tenant service front-end (admission decisions, shed
     /// events, device-pool circuit-breaker transitions).
     Service,
+    /// The fleet placement layer (pod placement, work stealing,
+    /// outsourcing-check verdicts, pod quarantines).
+    Fleet,
     /// Simulated GPU `0..n`.
     Device(usize),
 }
@@ -32,6 +35,7 @@ impl Lane {
             Lane::Fabric => 3,
             Lane::Supervisor => 4,
             Lane::Service => 5,
+            Lane::Fleet => 6,
             Lane::Device(g) => 10 + g,
         }
     }
@@ -45,6 +49,7 @@ impl Lane {
             Lane::Fabric => "fabric".into(),
             Lane::Supervisor => "supervisor".into(),
             Lane::Service => "service".into(),
+            Lane::Fleet => "fleet".into(),
             Lane::Device(g) => format!("gpu{g}"),
         }
     }
