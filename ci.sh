@@ -29,7 +29,7 @@ cargo build --release -p distmsm-suite -p distmsm-bench
 echo "== telemetry: default build carries no telemetry symbols =="
 # feature-off must mean compiled out, not merely inactive (the positive
 # control for this grep runs after the feature smoke run below)
-for bin in fault_sweep soak fleet_soak; do
+for bin in fault_sweep soak fleet_soak crash_soak; do
     if grep -qa distmsm_telemetry "target/release/$bin"; then
         echo "FAIL: default-feature $bin binary contains telemetry symbols" >&2
         exit 1
@@ -71,6 +71,18 @@ fi
 diff -u "$FLEET_GOLDEN" "$FLEET_JSON"
 rm -f "$FLEET_JSON"
 
+echo "== crash soak smoke (journal kill points, torn writes, ckpt resume) + golden =="
+CRASH_JSON="$(mktemp /tmp/distmsm_ci_crash_soak.XXXXXX.json)"
+target/release/crash_soak --smoke --json "$CRASH_JSON"
+CRASH_GOLDEN="crates/bench/golden/crash_soak_smoke.json"
+if [[ "${BLESS:-0}" == "1" ]]; then
+    cp "$CRASH_JSON" "$CRASH_GOLDEN"
+    echo "blessed $CRASH_GOLDEN"
+fi
+# the CrashReport JSON is byte-stable: any drift is a behaviour change
+diff -u "$CRASH_GOLDEN" "$CRASH_JSON"
+rm -f "$CRASH_JSON"
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
@@ -111,5 +123,7 @@ cargo run --release -q -p distmsm-bench --bin fig9_scaling -- \
     --smoke --bench-json BENCH_msm.json
 grep -q '"bench": "fig9_scaling"' BENCH_msm.json
 grep -q '"pods": 4' BENCH_msm.json
+grep -q '"ckpt_rows"' BENCH_msm.json
+grep -q '"interval": 1' BENCH_msm.json
 
 echo "CI OK"

@@ -37,6 +37,14 @@
 //!   streams for conservation of admitted jobs (`SVC-001`) and the
 //!   no-dispatch-to-an-open-breaker health gate (`SVC-002`).
 //!
+//! * A **crash-consistency checker** ([`ckpt`]): journals a seeded
+//!   chaos soak through the service WAL and probes its recovery
+//!   contract — snapshot-plus-tail replay idempotence (`CKPT-001`),
+//!   exactly-once termination across a restart (`CKPT-002`), torn-tail
+//!   tolerate-and-report vs strict rejection (`CKPT-003`), and a
+//!   journal mutant corpus (dropped/duplicated record, stale-epoch
+//!   snapshot, CRC-skipped tail — `CKPT-900`).
+//!
 //! * A **telemetry checker** ([`tel`]): runs the engine with a live
 //!   `distmsm-telemetry` session and verifies the emitted span timeline
 //!   is well-nested and sum-consistent with the engine's own phase
@@ -68,6 +76,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ckpt;
 pub mod comm;
 pub mod det;
 pub mod fault;
@@ -81,6 +90,10 @@ pub mod symbolic;
 pub mod tel;
 pub mod verify;
 
+pub use ckpt::{
+    check_ckpt, check_exactly_once, check_journal_mutants, check_replay_idempotence,
+    check_torn_tail,
+};
 pub use comm::{check_comm_schedules, check_schedule};
 pub use det::{lint_source, lint_workspace};
 pub use fault::{check_fault_recovery, check_recovery_report};

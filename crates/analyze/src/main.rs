@@ -9,8 +9,10 @@
 //! `check` runs the dynamic race checker over every shipped kernel
 //! scenario, the static linter over every kernel preset × device, the
 //! comm-schedule checker over every captured collective, the
-//! fault-recovery checker over every seeded fault scenario, and the
-//! telemetry checker over every traced engine scenario. `verify` runs
+//! fault-recovery checker over every seeded fault scenario, the
+//! crash-consistency checker over the journaled service WAL
+//! (`CKPT-00x`/`CKPT-900`), and the telemetry checker over every
+//! traced engine scenario. `verify` runs
 //! the static plan verifier instead: symbolic write-set proofs
 //! (`VRF-001`/`VRF-002`), static collective-schedule checks over the
 //! topology presets (`VRF-003`, widened by `--all-presets`), the
@@ -20,6 +22,7 @@
 //! report (text by default, `--json` for machine consumption) and exit
 //! with status 1 when any warning or error is found.
 
+use distmsm_analyze::ckpt::check_ckpt;
 use distmsm_analyze::comm::check_comm_schedules;
 use distmsm_analyze::fault::check_fault_recovery;
 use distmsm_analyze::fleet::check_fleet;
@@ -64,6 +67,7 @@ fn main() -> ExitCode {
             report.extend(check_comm_schedules());
             report.extend(check_fault_recovery());
             report.extend(check_svc());
+            report.extend(check_ckpt());
             report.extend(check_fleet());
             report.extend(check_telemetry());
             report

@@ -1,0 +1,108 @@
+//! Shared CLI argument parsing for the soak-style binaries.
+//!
+//! `soak`, `fleet_soak` and `crash_soak` all take the same flag shapes
+//! (`--flag value` or `--flag=value`, boolean switches, a `--smoke`
+//! base-spec selector); this module is the one copy of that plumbing.
+
+/// Extracts the value of `--flag value` or `--flag=value`.
+///
+/// # Panics
+///
+/// Panics when the flag is present without a value.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return Some(
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .clone(),
+            );
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
+/// True when the boolean switch `flag` is present.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses `--flag`'s value into `T`, falling back to `default` when
+/// the flag is absent.
+///
+/// # Panics
+///
+/// Panics on an unparsable value (a CLI typo should fail loudly, not
+/// silently bench the wrong spec).
+pub fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    flag_value(args, flag)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad {flag} value {v}: {e:?}")))
+        .unwrap_or(default)
+}
+
+/// Parses an optional-field override trio: `--flag N` sets
+/// `Some(N)`, `--no-<flag-stem>` clears to `None`, absence keeps
+/// `base`.
+///
+/// # Panics
+///
+/// Panics on an unparsable value.
+pub fn parse_optional(
+    args: &[String],
+    flag: &str,
+    no_flag: &str,
+    base: Option<usize>,
+) -> Option<usize> {
+    let mut out = base;
+    if let Some(v) = flag_value(args, flag) {
+        out = Some(v.parse().unwrap_or_else(|e| panic!("bad {flag} value {v}: {e:?}")));
+    }
+    if has_flag(args, no_flag) {
+        out = None;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_handles_both_shapes() {
+        let a = args(&["--jobs", "12", "--horizon=4.5", "--smoke"]);
+        assert_eq!(flag_value(&a, "--jobs"), Some("12".into()));
+        assert_eq!(flag_value(&a, "--horizon"), Some("4.5".into()));
+        assert_eq!(flag_value(&a, "--missing"), None);
+        assert!(has_flag(&a, "--smoke"));
+        assert!(!has_flag(&a, "--full"));
+    }
+
+    #[test]
+    fn parse_falls_back_to_default() {
+        let a = args(&["--jobs", "12"]);
+        assert_eq!(parse(&a, "--jobs", 3usize), 12);
+        assert_eq!(parse(&a, "--devices", 8usize), 8);
+        assert_eq!(parse(&a, "--horizon", 2.0f64), 2.0);
+    }
+
+    #[test]
+    fn parse_optional_override_and_clear() {
+        let a = args(&["--byzantine-pod", "2"]);
+        assert_eq!(parse_optional(&a, "--byzantine-pod", "--no-byzantine-pod", None), Some(2));
+        let b = args(&["--no-byzantine-pod"]);
+        assert_eq!(parse_optional(&b, "--byzantine-pod", "--no-byzantine-pod", Some(3)), None);
+        let c = args(&[]);
+        assert_eq!(parse_optional(&c, "--byzantine-pod", "--no-byzantine-pod", Some(3)), Some(3));
+    }
+}

@@ -19,41 +19,13 @@
 //!
 //! Exits non-zero when any invariant is violated.
 
+use distmsm_bench::args::{flag_value, has_flag, parse, parse_optional};
 use distmsm_fleet::{fleet_shrink, run_fleet_soak, FleetSoakOptions, FleetSoakSpec};
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == flag {
-            return Some(
-                it.next()
-                    .unwrap_or_else(|| panic!("{flag} requires a value"))
-                    .clone(),
-            );
-        }
-        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
-            return Some(v.to_owned());
-        }
-    }
-    None
-}
-
-fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
-where
-    T::Err: std::fmt::Debug,
-{
-    flag_value(args, flag)
-        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad {flag} value {v}: {e:?}")))
-        .unwrap_or(default)
-}
-
 fn spec_from_args(args: &[String]) -> FleetSoakSpec {
-    let base = if args.iter().any(|a| a == "--smoke") {
-        FleetSoakSpec::smoke()
-    } else {
-        FleetSoakSpec::full()
-    };
-    let mut spec = FleetSoakSpec {
+    let base =
+        if has_flag(args, "--smoke") { FleetSoakSpec::smoke() } else { FleetSoakSpec::full() };
+    FleetSoakSpec {
         arrival_seed: parse(args, "--arrival-seed", base.arrival_seed),
         fault_seed: parse(args, "--fault-seed", base.fault_seed),
         n_jobs: parse(args, "--jobs", base.n_jobs),
@@ -63,22 +35,14 @@ fn spec_from_args(args: &[String]) -> FleetSoakSpec {
         n_fault_windows: parse(args, "--fault-windows", base.n_fault_windows),
         horizon_s: parse(args, "--horizon", base.horizon_s),
         msm_size: parse(args, "--msm-size", base.msm_size),
-        byzantine_pod: base.byzantine_pod,
-        lost_pod: base.lost_pod,
-    };
-    if let Some(p) = flag_value(args, "--byzantine-pod") {
-        spec.byzantine_pod = Some(p.parse().expect("bad --byzantine-pod value"));
+        byzantine_pod: parse_optional(
+            args,
+            "--byzantine-pod",
+            "--no-byzantine-pod",
+            base.byzantine_pod,
+        ),
+        lost_pod: parse_optional(args, "--lost-pod", "--no-lost-pod", base.lost_pod),
     }
-    if args.iter().any(|a| a == "--no-byzantine-pod") {
-        spec.byzantine_pod = None;
-    }
-    if let Some(p) = flag_value(args, "--lost-pod") {
-        spec.lost_pod = Some(p.parse().expect("bad --lost-pod value"));
-    }
-    if args.iter().any(|a| a == "--no-lost-pod") {
-        spec.lost_pod = None;
-    }
-    spec
 }
 
 fn main() {

@@ -17,41 +17,12 @@
 //!
 //! Exits non-zero when any invariant is violated.
 
+use distmsm_bench::args::{flag_value, has_flag, parse, parse_optional};
 use distmsm_service::soak::{run_soak, shrink, SoakOptions, SoakSpec};
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == flag {
-            return Some(
-                it.next()
-                    .unwrap_or_else(|| panic!("{flag} requires a value"))
-                    .clone(),
-            );
-        }
-        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
-            return Some(v.to_owned());
-        }
-    }
-    None
-}
-
-fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
-where
-    T::Err: std::fmt::Debug,
-{
-    flag_value(args, flag)
-        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad {flag} value {v}: {e:?}")))
-        .unwrap_or(default)
-}
-
 fn spec_from_args(args: &[String]) -> SoakSpec {
-    let base = if args.iter().any(|a| a == "--smoke") {
-        SoakSpec::smoke()
-    } else {
-        SoakSpec::full()
-    };
-    let mut spec = SoakSpec {
+    let base = if has_flag(args, "--smoke") { SoakSpec::smoke() } else { SoakSpec::full() };
+    SoakSpec {
         arrival_seed: parse(args, "--arrival-seed", base.arrival_seed),
         fault_seed: parse(args, "--fault-seed", base.fault_seed),
         n_jobs: parse(args, "--jobs", base.n_jobs),
@@ -60,15 +31,13 @@ fn spec_from_args(args: &[String]) -> SoakSpec {
         horizon_s: parse(args, "--horizon", base.horizon_s),
         n_devices: parse(args, "--devices", base.n_devices),
         msm_size: parse(args, "--msm-size", base.msm_size),
-        always_faulty: base.always_faulty,
-    };
-    if let Some(d) = flag_value(args, "--always-faulty") {
-        spec.always_faulty = Some(d.parse().expect("bad --always-faulty value"));
+        always_faulty: parse_optional(
+            args,
+            "--always-faulty",
+            "--no-always-faulty",
+            base.always_faulty,
+        ),
     }
-    if args.iter().any(|a| a == "--no-always-faulty") {
-        spec.always_faulty = None;
-    }
-    spec
 }
 
 fn main() {

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod args;
 pub mod paper;
 pub mod runners;
 pub mod table;

@@ -436,8 +436,10 @@ pub fn fig9_scaling_rows() -> (&'static str, u64, Vec<ScalingRow>) {
 }
 
 /// Renders the `BENCH_msm.json` trajectory artefact: the modelled
-/// multi-node MSM scaling of [`fig9_scaling_rows`] plus the source
-/// revision, as hand-rolled JSON with exponent-notation floats —
+/// multi-node MSM scaling of [`fig9_scaling_rows`], the fleet
+/// pod-scaling rows of [`fig9_pod_rows`] and the checkpoint-interval
+/// recovery rows of [`fig9_ckpt_rows`], plus the source revision, as
+/// hand-rolled JSON with exponent-notation floats —
 /// byte-stable for a fixed source tree, so CI can diff trajectories
 /// across commits.
 pub fn bench_msm_json() -> String {
@@ -472,8 +474,53 @@ pub fn bench_msm_json() -> String {
             if i + 1 < pods.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    let ckpts = fig9_ckpt_rows();
+    s.push_str("  \"ckpt_rows\": [\n");
+    for (i, e) in ckpts.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"interval\": {}, \"n_windows\": {}, \"overhead_s\": {:.9e}, \
+             \"recovery_s\": {:.9e}, \"scratch_s\": {:.9e}}}{}\n",
+            e.interval,
+            e.n_windows,
+            e.overhead_s,
+            e.recovery_s,
+            e.scratch_s,
+            if i + 1 < ckpts.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// The checkpoint-interval recovery rows of the `BENCH_msm.json`
+/// trajectory artefact: mid-run crash economics of the windowed
+/// `N = 2^26` BLS12-381 MSM on one 8-GPU pod, across checkpoint
+/// intervals up to (and one past) the `⌊W/2⌋` durability threshold
+/// where a midpoint crash finds no durable checkpoint and recovery
+/// degenerates to scratch. Pure cost model — byte-stable like
+/// [`fig9_scaling_rows`].
+pub fn fig9_ckpt_rows() -> Vec<distmsm::CheckpointRecoveryEstimate> {
+    let n = 1u64 << 26;
+    let curve = CurveDesc::BLS12_381;
+    // Uncompressed BLS12-381 G1 affine point: 2 × 48-byte field
+    // elements plus a tag byte.
+    let point_bytes = 97;
+    let engine = DistMsm::new(MultiGpuSystem::dgx_a100(8));
+    let n_windows =
+        distmsm::estimate_checkpoint_recovery(&engine, n, &curve, point_bytes, 1).n_windows;
+    // Power-of-two intervals up to the threshold, then one just past it.
+    let mut intervals: Vec<u32> = Vec::new();
+    let mut i = 1u32;
+    while i <= n_windows / 2 {
+        intervals.push(i);
+        i *= 2;
+    }
+    intervals.push(n_windows / 2 + 1);
+    intervals
+        .into_iter()
+        .map(|i| distmsm::estimate_checkpoint_recovery(&engine, n, &curve, point_bytes, i))
+        .collect()
 }
 
 /// The fleet pod-scaling rows of the `BENCH_msm.json` trajectory
@@ -942,12 +989,33 @@ mod tests {
         let a = bench_msm_json();
         let b = bench_msm_json();
         assert_eq!(a, b, "trajectory artefact must be byte-stable");
-        for key in ["\"bench\": \"fig9_scaling\"", "\"curve\": \"BLS12-381\"", "\"n\": 67108864", "\"git\": \"", "\"gpus\": 32", "\"pods\": 1", "\"pods\": 4", "\"strategy\": \""] {
+        for key in ["\"bench\": \"fig9_scaling\"", "\"curve\": \"BLS12-381\"", "\"n\": 67108864", "\"git\": \"", "\"gpus\": 32", "\"pods\": 1", "\"pods\": 4", "\"strategy\": \"", "\"ckpt_rows\"", "\"interval\": 1", "\"interval\": 2"] {
             assert!(a.contains(key), "missing {key} in {a}");
         }
         // exponent-notation floats (two per row, three rows), valid tail
         assert!(a.matches("e-").count() >= 6, "floats must use exponent notation: {a}");
         assert!(a.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn ckpt_rows_bracket_the_durability_threshold() {
+        let rows = fig9_ckpt_rows();
+        let w = rows[0].n_windows;
+        let last = rows.last().expect("at least the past-threshold row");
+        assert_eq!(last.interval, w / 2 + 1, "last row sits past ⌊W/2⌋");
+        assert_eq!(
+            last.recovery_s, last.scratch_s,
+            "past the threshold a midpoint crash recovers from scratch"
+        );
+        for r in &rows[..rows.len() - 1] {
+            assert!(r.interval <= w / 2, "interval {} within threshold", r.interval);
+            assert!(
+                r.recovery_s < r.scratch_s,
+                "interval {}: recovery must beat scratch",
+                r.interval
+            );
+            assert!(r.overhead_s > 0.0);
+        }
     }
 
     #[test]

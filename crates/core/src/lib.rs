@@ -50,6 +50,7 @@
 pub mod analytic;
 pub mod baseline;
 pub mod bucket_sum;
+pub mod checkpoint;
 pub mod comm;
 pub mod config;
 pub mod cuzk;
@@ -67,6 +68,10 @@ pub mod workload;
 
 pub use analytic::{estimate_best_baseline, estimate_distmsm, CurveDesc, MsmEstimate};
 pub use baseline::BestGpuBaseline;
+pub use checkpoint::{
+    estimate_checkpoint_recovery, CheckpointConfig, CheckpointError, CheckpointRecoveryEstimate,
+    WindowCheckpoint, WindowedMsmReport,
+};
 pub use config::{ConfigError, DistMsmConfigBuilder};
 pub use distmsm_comms::CollectiveStrategy;
 pub use engine::{partition_plan, window_shape, DistMsm, DistMsmConfig, MsmError, MsmReport, PhaseBreakdown};

@@ -15,8 +15,11 @@ use rand::Rng;
 pub trait Curve:
     'static + Copy + Clone + core::fmt::Debug + Send + Sync + PartialEq + Eq
 {
-    /// The base field of the curve (an `Fp` or `Fp2`).
-    type Base: FieldElement;
+    /// The base field of the curve (an `Fp` or `Fp2`). The
+    /// [`CanonicalBytes`](crate::serialize::CanonicalBytes) bound gives
+    /// every curve a canonical point wire format — checkpointed window
+    /// partials and journaled completion results round-trip through it.
+    type Base: FieldElement + crate::serialize::CanonicalBytes;
     /// The scalar representation (a `Uint`).
     type Scalar: Scalar;
     /// The scalar field `F_r` (the group order as a prime field), with

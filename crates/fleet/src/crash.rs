@@ -1,0 +1,1072 @@
+//! The deterministic crash soak: kill-point sweeps over the journaled
+//! service/fleet stack plus the window-checkpointed giant-MSM path.
+//!
+//! Three sweeps, all derived from one [`CrashSoakSpec`]:
+//!
+//! 1. **Service kill points** — a reference pod soak runs to
+//!    completion, then its durable journal is truncated at evenly
+//!    spread record boundaries *and* mid-record (torn writes). Each
+//!    prefix restores via [`ProverService::restore`], drives to
+//!    completion, and the merged pre/post event stream must satisfy
+//!    every PR-5 soak invariant: exactly-once, conservation, bit-exact
+//!    results, starvation bounds, no open-breaker dispatch. Jobs that
+//!    were terminal before the crash must never emit another event
+//!    (no resurrection), and modelled recovery cost must beat
+//!    restart-from-scratch whenever enough history exists
+//!    ([`RECOVERY_WIN_MIN_SCRATCH_S`]).
+//! 2. **Fleet time cuts** — the whole fleet (coordinator journal plus
+//!    one journal per pod) is cut at a shared simulated instant: every
+//!    journal keeps the longest prefix stamped at or before the cut.
+//!    [`FleetCoordinator::restore`] reconciles the layers (torn steals
+//!    re-absorbed, durable-but-unaccepted completions re-verified via
+//!    the 2G2T blinded-twin check), [`FleetCoordinator::resume`] runs
+//!    the tail, and the merged streams must satisfy every fleet soak
+//!    invariant — including byzantine detection and pod-loss handling
+//!    across the restart. One extra cut tears the coordinator journal
+//!    mid-record.
+//! 3. **Checkpointed shards** — a supervised windowed MSM and its
+//!    blinded twin journal a [`WindowCheckpoint`] every `interval`
+//!    windows. For every checkpoint count the pair resumes from the
+//!    last durable boundary and the finished pair must still satisfy
+//!    `R2 = α·R1 + V` bit-exactly. A torn checkpoint tail falls back
+//!    to the previous boundary; a corrupted-but-decodable checkpoint
+//!    must be *caught* by the 2G2T check, after which the scratch
+//!    fallback must verify.
+//!
+//! Everything runs on the simulated clock; two equal specs produce
+//! byte-identical reports.
+
+use std::collections::BTreeSet;
+
+use distmsm::checkpoint::{CheckpointConfig, WindowCheckpoint};
+use distmsm::DistMsm;
+use distmsm_ec::curves::Bn254G1;
+use distmsm_ec::serialize::point_to_uncompressed;
+use distmsm_ec::{Curve, MsmInstance};
+use distmsm_gpu_sim::MultiGpuSystem;
+use distmsm_journal::DurableState;
+use distmsm_service::soak as pod_soak;
+use distmsm_service::wal as service_wal;
+use distmsm_service::{
+    ChaosSchedule, JobSpec, ProverService, ServiceConfig, ServiceEvent, ServiceEventKind,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::fleet::{FleetChaos, FleetConfig, FleetCoordinator, FleetEventKind, FleetOutcome};
+use crate::outsource::Challenge;
+use crate::soak as fleet_soak;
+use crate::wal as fleet_wal;
+
+/// Simulated-seconds of lost pod history above which recovery must be
+/// strictly cheaper than recomputing from scratch, per journaled layer.
+///
+/// With the crash soak's snapshot cadence (≤ 64 records between
+/// snapshots) a single layer's recovery cost is bounded by
+/// `RECOVERY_BASE_S + 64·REPLAY_RECORD_S` plus the snapshot decode —
+/// well under 50 ms — so any crash that loses more simulated history
+/// than this must favour recovery. The fleet threshold scales by
+/// `n_pods + 1` (one journal per pod plus the coordinator).
+pub const RECOVERY_WIN_MIN_SCRATCH_S: f64 = 0.05;
+
+/// Everything that defines one crash soak. Two equal specs produce
+/// byte-identical runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashSoakSpec {
+    /// The pod-level scenario whose journal gets the kill-point sweep.
+    pub service: pod_soak::SoakSpec,
+    /// The fleet scenario whose journals get the time-cut sweep.
+    pub fleet: fleet_soak::FleetSoakSpec,
+    /// Snapshot cadence (records between installs) for every journal.
+    pub snapshot_every: u64,
+    /// Record-boundary kill points swept over the service journal.
+    pub n_kill_points: usize,
+    /// Mid-record (torn-write) kill points swept over the service
+    /// journal.
+    pub n_torn_points: usize,
+    /// Shared time cuts swept across the fleet's journals.
+    pub n_fleet_cuts: usize,
+    /// Points in the checkpointed giant-MSM shard.
+    pub ckpt_msm_size: usize,
+    /// Windows between durable checkpoints in the shard sweep.
+    pub ckpt_interval: u32,
+    /// Seed of the shard instance and its 2G2T challenge.
+    pub ckpt_seed: u64,
+}
+
+impl CrashSoakSpec {
+    /// The CI smoke scenario: small enough to sweep a dozen kill
+    /// points in seconds, still covering shedding, retries, breaker
+    /// cycles, a byzantine pod and whole-pod loss across the restarts.
+    pub fn smoke() -> Self {
+        Self {
+            service: pod_soak::SoakSpec {
+                arrival_seed: 11,
+                fault_seed: 3,
+                n_jobs: 60,
+                n_fault_windows: 6,
+                n_link_windows: 2,
+                horizon_s: 300.0,
+                n_devices: 6,
+                msm_size: 48,
+                always_faulty: Some(5),
+            },
+            fleet: fleet_soak::FleetSoakSpec {
+                arrival_seed: 2027,
+                fault_seed: 17,
+                n_jobs: 300,
+                n_tenants: 256,
+                n_pods: 4,
+                devices_per_pod: 4,
+                n_fault_windows: 2,
+                horizon_s: 450.0,
+                msm_size: 24,
+                byzantine_pod: Some(3),
+                lost_pod: Some(1),
+            },
+            snapshot_every: 24,
+            n_kill_points: 6,
+            n_torn_points: 3,
+            n_fleet_cuts: 4,
+            ckpt_msm_size: 96,
+            ckpt_interval: 3,
+            ckpt_seed: 77,
+        }
+    }
+
+    /// The acceptance-scale scenario: the full PR-5/PR-7 soak specs
+    /// under a denser kill-point grid.
+    pub fn full() -> Self {
+        Self {
+            service: pod_soak::SoakSpec::smoke(),
+            fleet: fleet_soak::FleetSoakSpec::smoke(),
+            snapshot_every: 32,
+            n_kill_points: 12,
+            n_torn_points: 6,
+            n_fleet_cuts: 8,
+            ckpt_msm_size: 192,
+            ckpt_interval: 4,
+            ckpt_seed: 77,
+        }
+    }
+
+    /// The spec as a re-runnable seed tuple.
+    pub fn seed_tuple(&self) -> String {
+        format!(
+            "(service={}, fleet={}, snapshot_every={}, n_kill_points={}, n_torn_points={}, \
+             n_fleet_cuts={}, ckpt_msm_size={}, ckpt_interval={}, ckpt_seed={})",
+            self.service.seed_tuple(),
+            self.fleet.seed_tuple(),
+            self.snapshot_every,
+            self.n_kill_points,
+            self.n_torn_points,
+            self.n_fleet_cuts,
+            self.ckpt_msm_size,
+            self.ckpt_interval,
+            self.ckpt_seed
+        )
+    }
+}
+
+/// One detected crash-consistency violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashViolation {
+    /// Stable invariant id (`"crash-baseline"`, `"crash-decode"`,
+    /// `"crash-restore"`, `"crash-no-resurrection"`,
+    /// `"crash-invariant"`, `"crash-recovery-cost"`,
+    /// `"crash-determinism"`, `"crash-torn"`, `"crash-ckpt"`,
+    /// `"crash-ckpt-detect"`).
+    pub invariant: &'static str,
+    /// What went wrong, including the kill point.
+    pub detail: String,
+}
+
+/// Byte-stable summary of one crash soak (the golden-file surface).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashReport {
+    /// Record-boundary service kill points restored and checked.
+    pub service_kill_points: usize,
+    /// Mid-record (torn-write) service kill points restored and
+    /// checked.
+    pub service_torn_points: usize,
+    /// Fleet-wide time cuts restored and checked (including the torn
+    /// coordinator cut).
+    pub fleet_cuts: usize,
+    /// Checkpointed-shard resume points verified via 2G2T.
+    pub ckpt_resumes: usize,
+    /// Restores whose lost history exceeded the recovery-win threshold
+    /// (each must have recovery strictly cheaper than scratch).
+    pub recovery_evals: usize,
+    /// Of those, restores where recovery beat scratch.
+    pub recovery_wins: usize,
+    /// Durable pod completions re-verified via 2G2T at fleet restore.
+    pub reverified: u64,
+    /// Jobs re-placed or re-absorbed because the cut tore their
+    /// ownership.
+    pub replaced: u64,
+    /// Total violations detected (0 on a healthy sweep).
+    pub n_violations: usize,
+}
+
+impl CrashReport {
+    /// Renders the report as byte-stable JSON (integers only, fixed
+    /// key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"service_kill_points\": {},\n  \"service_torn_points\": {},\n  \
+             \"fleet_cuts\": {},\n  \"ckpt_resumes\": {},\n  \"recovery_evals\": {},\n  \
+             \"recovery_wins\": {},\n  \"reverified\": {},\n  \"replaced\": {},\n  \
+             \"n_violations\": {}\n}}",
+            self.service_kill_points,
+            self.service_torn_points,
+            self.fleet_cuts,
+            self.ckpt_resumes,
+            self.recovery_evals,
+            self.recovery_wins,
+            self.reverified,
+            self.replaced,
+            self.n_violations
+        )
+    }
+}
+
+/// The outcome of one crash soak.
+#[derive(Clone, Debug)]
+pub struct CrashSoakOutcome {
+    /// Byte-stable counters.
+    pub report: CrashReport,
+    /// Detected violations (empty on a healthy sweep).
+    pub violations: Vec<CrashViolation>,
+}
+
+/// Runs the full crash soak: the service kill-point sweep, the fleet
+/// time-cut sweep and the checkpointed-shard resume sweep.
+pub fn run_crash_soak(spec: &CrashSoakSpec) -> CrashSoakOutcome {
+    let mut violations = Vec::new();
+    let mut report = CrashReport {
+        service_kill_points: 0,
+        service_torn_points: 0,
+        fleet_cuts: 0,
+        ckpt_resumes: 0,
+        recovery_evals: 0,
+        recovery_wins: 0,
+        reverified: 0,
+        replaced: 0,
+        n_violations: 0,
+    };
+    service_sweep(spec, &mut violations, &mut report);
+    fleet_sweep(spec, &mut violations, &mut report);
+    ckpt_sweep(spec, &mut violations, &mut report);
+    report.n_violations = violations.len();
+    CrashSoakOutcome { report, violations }
+}
+
+/// Evenly spread kill indices over `[1, n_records - 1]` — never 0 (an
+/// empty journal is just a cold start) and never `n_records` (no
+/// crash).
+fn kill_indices(n_records: usize, want: usize) -> Vec<usize> {
+    if n_records < 2 || want == 0 {
+        return Vec::new();
+    }
+    let lo = 1usize;
+    let hi = n_records - 1;
+    let mut out: Vec<usize> = Vec::with_capacity(want);
+    let denom = want.saturating_sub(1).max(1);
+    for i in 0..want {
+        let k = lo + (hi - lo) * i / denom;
+        if out.last() != Some(&k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+fn service_terminal(kind: &ServiceEventKind) -> bool {
+    matches!(
+        kind,
+        ServiceEventKind::Completed { .. }
+            | ServiceEventKind::Failed { .. }
+            | ServiceEventKind::Shed { .. }
+            | ServiceEventKind::Rejected { .. }
+    )
+}
+
+/// What one service restore reported back to the sweep.
+struct RestoreStats {
+    /// Debug rendering of the post-restore event stream (the
+    /// determinism probe compares two restores of the same prefix).
+    signature: String,
+    recovery_cost_s: f64,
+    scratch_cost_s: f64,
+    torn_tail_bytes: usize,
+}
+
+fn note_recovery(
+    what: &str,
+    recovery_cost_s: f64,
+    scratch_cost_s: f64,
+    threshold_s: f64,
+    violations: &mut Vec<CrashViolation>,
+    report: &mut CrashReport,
+) {
+    if scratch_cost_s < threshold_s {
+        return;
+    }
+    report.recovery_evals += 1;
+    if recovery_cost_s < scratch_cost_s {
+        report.recovery_wins += 1;
+    } else {
+        violations.push(CrashViolation {
+            invariant: "crash-recovery-cost",
+            detail: format!(
+                "{what}: recovery cost {recovery_cost_s:.6}s is not below scratch \
+                 {scratch_cost_s:.6}s despite {scratch_cost_s:.3}s of lost history"
+            ),
+        });
+    }
+}
+
+/// Restores one truncated service journal, drives it to completion and
+/// checks the merged stream. Returns `None` when decode or restore
+/// itself failed (already reported).
+fn service_restore_check(
+    config: &ServiceConfig,
+    jobs: &[JobSpec<Bn254G1>],
+    chaos: &ChaosSchedule,
+    cut: &DurableState,
+    what: &str,
+    violations: &mut Vec<CrashViolation>,
+) -> Option<RestoreStats> {
+    let before = match service_wal::decode_events(cut) {
+        Ok(events) => events,
+        Err(err) => {
+            violations.push(CrashViolation {
+                invariant: "crash-decode",
+                detail: format!("{what}: durable prefix failed to decode: {err:?}"),
+            });
+            return None;
+        }
+    };
+    let mut terminal: BTreeSet<u64> = BTreeSet::new();
+    for ev in &before {
+        if let Some(id) = ev.job {
+            if service_terminal(&ev.kind) {
+                terminal.insert(id);
+            }
+        }
+    }
+
+    let (mut svc, info) = match ProverService::restore(config.clone(), jobs, cut) {
+        Ok(pair) => pair,
+        Err(err) => {
+            violations.push(CrashViolation {
+                invariant: "crash-restore",
+                detail: format!("{what}: restore failed: {err:?}"),
+            });
+            return None;
+        }
+    };
+    while svc.step(chaos) {}
+    let outcome = svc.finish();
+
+    for ev in &outcome.events {
+        if let Some(id) = ev.job {
+            if terminal.contains(&id) {
+                violations.push(CrashViolation {
+                    invariant: "crash-no-resurrection",
+                    detail: format!(
+                        "{what}: job {id} was terminal before the crash but re-appeared \
+                         as {:?} at t={:.3}",
+                        ev.kind, ev.t_s
+                    ),
+                });
+            }
+        }
+    }
+
+    let signature = format!("{:?}", outcome.events);
+    let mut merged = before;
+    merged.extend(outcome.events.iter().cloned());
+    for v in pod_soak::check_invariants(jobs, &merged, &outcome.completed, config) {
+        violations.push(CrashViolation {
+            invariant: "crash-invariant",
+            detail: format!("{what}: {}: {}", v.invariant, v.detail),
+        });
+    }
+
+    Some(RestoreStats {
+        signature,
+        recovery_cost_s: info.recovery_cost_s,
+        scratch_cost_s: info.scratch_cost_s,
+        torn_tail_bytes: info.torn_tail_bytes,
+    })
+}
+
+fn service_sweep(
+    spec: &CrashSoakSpec,
+    violations: &mut Vec<CrashViolation>,
+    report: &mut CrashReport,
+) {
+    let jobs = pod_soak::build_jobs(&spec.service);
+    let chaos = pod_soak::build_chaos(&spec.service);
+    let mut config = pod_soak::service_config(&spec.service);
+    config.snapshot_every = spec.snapshot_every;
+
+    let mut svc: ProverService<Bn254G1> = ProverService::new(config.clone());
+    svc.begin(jobs.clone());
+    while svc.step(&chaos) {}
+    let reference = svc.finish();
+    for v in pod_soak::check_invariants(&jobs, &reference.events, &reference.completed, &config) {
+        violations.push(CrashViolation {
+            invariant: "crash-baseline",
+            detail: format!("service baseline: {}: {}", v.invariant, v.detail),
+        });
+    }
+    let durable = svc.durable().clone();
+    let n_records = durable.journal.n_records();
+
+    for (i, k) in kill_indices(n_records, spec.n_kill_points).into_iter().enumerate() {
+        let cut = durable.truncate_records(k);
+        let what = format!("service kill at record {k}/{n_records}");
+        let stats = service_restore_check(&config, &jobs, &chaos, &cut, &what, violations);
+        let Some(stats) = stats else { continue };
+        report.service_kill_points += 1;
+        note_recovery(
+            &what,
+            stats.recovery_cost_s,
+            stats.scratch_cost_s,
+            RECOVERY_WIN_MIN_SCRATCH_S,
+            violations,
+            report,
+        );
+        if i == 0 {
+            // Determinism probe: restoring the same prefix twice must
+            // replay the identical post-crash history.
+            let mut probe = Vec::new();
+            let again = service_restore_check(&config, &jobs, &chaos, &cut, &what, &mut probe);
+            violations.extend(probe);
+            if let Some(again) = again {
+                if again.signature != stats.signature {
+                    violations.push(CrashViolation {
+                        invariant: "crash-determinism",
+                        detail: format!(
+                            "{what}: two restores of the same durable prefix diverged"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let spans = durable.journal.frame_spans();
+    for k in kill_indices(n_records, spec.n_torn_points) {
+        let (offset, len) = spans[k];
+        let cut = durable.truncate_bytes(offset + len / 2);
+        let what = format!("service torn write inside record {k}/{n_records}");
+        let stats = service_restore_check(&config, &jobs, &chaos, &cut, &what, violations);
+        let Some(stats) = stats else { continue };
+        report.service_torn_points += 1;
+        if stats.torn_tail_bytes == 0 {
+            violations.push(CrashViolation {
+                invariant: "crash-torn",
+                detail: format!("{what}: recovery reported no torn tail for a mid-frame cut"),
+            });
+        }
+        note_recovery(
+            &what,
+            stats.recovery_cost_s,
+            stats.scratch_cost_s,
+            RECOVERY_WIN_MIN_SCRATCH_S,
+            violations,
+            report,
+        );
+    }
+}
+
+/// Truncates a durable journal to the longest prefix stamped at or
+/// before `t_s` — one leg of a time-consistent fleet-wide cut.
+fn truncate_at_time(durable: &DurableState, t_s: f64) -> DurableState {
+    let records = durable
+        .journal
+        .replay()
+        .expect("reference journals are intact before crash injection");
+    let keep = records.iter().take_while(|r| r.t_s <= t_s).count();
+    durable.truncate_records(keep)
+}
+
+fn fleet_terminal_before(
+    pre_fleet: &[crate::fleet::FleetEvent],
+    pre_pods: &[(usize, ServiceEvent)],
+) -> BTreeSet<u64> {
+    let mut terminal = BTreeSet::new();
+    for ev in pre_fleet {
+        if let (Some(id), FleetEventKind::Verified { .. }) = (ev.job, &ev.kind) {
+            terminal.insert(id);
+        }
+    }
+    for (_, ev) in pre_pods {
+        if let Some(id) = ev.job {
+            if matches!(
+                ev.kind,
+                ServiceEventKind::Failed { .. }
+                    | ServiceEventKind::Shed { .. }
+                    | ServiceEventKind::Rejected { .. }
+            ) {
+                terminal.insert(id);
+            }
+        }
+    }
+    terminal
+}
+
+/// Restores one fleet-wide cut, resumes it and checks the merged
+/// streams. Returns the coordinator's torn-tail byte count so the torn
+/// cut can assert it was actually torn.
+#[allow(clippy::too_many_arguments)]
+fn fleet_restore_check(
+    spec: &CrashSoakSpec,
+    config: &FleetConfig,
+    jobs: &[JobSpec<Bn254G1>],
+    chaos: &FleetChaos,
+    coordinator_cut: &DurableState,
+    pod_cuts: &[DurableState],
+    what: &str,
+    violations: &mut Vec<CrashViolation>,
+    report: &mut CrashReport,
+) -> Option<usize> {
+    let pre_fleet = match fleet_wal::decode_fleet_events(coordinator_cut) {
+        Ok(events) => events,
+        Err(err) => {
+            violations.push(CrashViolation {
+                invariant: "crash-decode",
+                detail: format!("{what}: coordinator prefix failed to decode: {err:?}"),
+            });
+            return None;
+        }
+    };
+    let mut pre_pods: Vec<(usize, ServiceEvent)> = Vec::new();
+    for (pod, cut) in pod_cuts.iter().enumerate() {
+        match service_wal::decode_events(cut) {
+            Ok(events) => pre_pods.extend(events.into_iter().map(|e| (pod, e))),
+            Err(err) => {
+                violations.push(CrashViolation {
+                    invariant: "crash-decode",
+                    detail: format!("{what}: pod {pod} prefix failed to decode: {err:?}"),
+                });
+                return None;
+            }
+        }
+    }
+    let terminal = fleet_terminal_before(&pre_fleet, &pre_pods);
+
+    let (mut fleet, info) =
+        match FleetCoordinator::restore(config.clone(), jobs, coordinator_cut, pod_cuts, chaos) {
+            Ok(pair) => pair,
+            Err(err) => {
+                violations.push(CrashViolation {
+                    invariant: "crash-restore",
+                    detail: format!("{what}: fleet restore failed: {err:?}"),
+                });
+                return None;
+            }
+        };
+    let post = fleet.resume(chaos);
+
+    for ev in &post.events {
+        if let (Some(id), FleetEventKind::Verified { .. }) = (ev.job, &ev.kind) {
+            if terminal.contains(&id) {
+                violations.push(CrashViolation {
+                    invariant: "crash-no-resurrection",
+                    detail: format!(
+                        "{what}: job {id} was fleet-terminal before the crash but was \
+                         verified again at t={:.3}",
+                        ev.t_s
+                    ),
+                });
+            }
+        }
+    }
+    for (pod, ev) in &post.pod_events {
+        if let Some(id) = ev.job {
+            if service_terminal(&ev.kind) && terminal.contains(&id) {
+                violations.push(CrashViolation {
+                    invariant: "crash-no-resurrection",
+                    detail: format!(
+                        "{what}: job {id} was fleet-terminal before the crash but pod {pod} \
+                         re-emitted {:?} at t={:.3}",
+                        ev.kind, ev.t_s
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut seen_accepted: BTreeSet<u64> = BTreeSet::new();
+    for accepted in &post.accepted {
+        if !seen_accepted.insert(accepted.id) {
+            violations.push(CrashViolation {
+                invariant: "crash-invariant",
+                detail: format!("{what}: job {} accepted more than once", accepted.id),
+            });
+        }
+    }
+
+    let merged = FleetOutcome {
+        report: post.report.clone(),
+        events: pre_fleet.into_iter().chain(post.events.iter().cloned()).collect(),
+        pod_events: pre_pods.into_iter().chain(post.pod_events.iter().cloned()).collect(),
+        pod_reports: post.pod_reports.clone(),
+        accepted: post.accepted.clone(),
+    };
+    for v in fleet_soak::check_fleet_invariants(&spec.fleet, jobs, &merged, config) {
+        violations.push(CrashViolation {
+            invariant: "crash-invariant",
+            detail: format!("{what}: {}: {}", v.invariant, v.detail),
+        });
+    }
+
+    report.fleet_cuts += 1;
+    report.reverified += info.reverified;
+    report.replaced += info.replaced_jobs;
+    note_recovery(
+        what,
+        info.recovery_cost_s,
+        info.scratch_cost_s,
+        RECOVERY_WIN_MIN_SCRATCH_S * (config.n_pods + 1) as f64,
+        violations,
+        report,
+    );
+    Some(info.coordinator_torn_tail_bytes)
+}
+
+fn fleet_sweep(
+    spec: &CrashSoakSpec,
+    violations: &mut Vec<CrashViolation>,
+    report: &mut CrashReport,
+) {
+    let jobs = fleet_soak::build_fleet_jobs(&spec.fleet);
+    let chaos = fleet_soak::build_fleet_chaos(&spec.fleet);
+    let mut config = fleet_soak::fleet_config(&spec.fleet);
+    config.pod.snapshot_every = spec.snapshot_every;
+
+    let mut coordinator = FleetCoordinator::new(config.clone());
+    let reference = coordinator.run(jobs.clone(), &chaos);
+    for v in fleet_soak::check_fleet_invariants(&spec.fleet, &jobs, &reference, &config) {
+        violations.push(CrashViolation {
+            invariant: "crash-baseline",
+            detail: format!("fleet baseline: {}: {}", v.invariant, v.detail),
+        });
+    }
+
+    let coordinator_durable = coordinator.durable().clone();
+    let pod_durables: Vec<DurableState> =
+        (0..config.n_pods).map(|p| coordinator.pod_durable(p).clone()).collect();
+    let t_max = pod_durables
+        .iter()
+        .filter_map(|d| {
+            d.journal.replay().ok().and_then(|records| records.last().map(|r| r.t_s))
+        })
+        .fold(0.0_f64, f64::max);
+    if t_max <= 0.0 {
+        violations.push(CrashViolation {
+            invariant: "crash-baseline",
+            detail: "fleet baseline produced an empty pod history — nothing to cut".into(),
+        });
+        return;
+    }
+
+    for i in 1..=spec.n_fleet_cuts {
+        let t = t_max * i as f64 / (spec.n_fleet_cuts + 1) as f64;
+        let coordinator_cut = truncate_at_time(&coordinator_durable, t);
+        let pod_cuts: Vec<DurableState> =
+            pod_durables.iter().map(|d| truncate_at_time(d, t)).collect();
+        let what = format!("fleet cut at t={t:.3}");
+        fleet_restore_check(
+            spec,
+            &config,
+            &jobs,
+            &chaos,
+            &coordinator_cut,
+            &pod_cuts,
+            &what,
+            violations,
+            report,
+        );
+    }
+
+    // One torn coordinator frame: the pods are cut at the stamp of the
+    // last *complete* coordinator record, the coordinator mid-frame.
+    let spans = coordinator_durable.journal.frame_spans();
+    if spans.len() >= 2 {
+        let k = spans.len() / 2;
+        let records = coordinator_durable
+            .journal
+            .replay()
+            .expect("reference coordinator journal is intact");
+        let t = records[k - 1].t_s;
+        let (offset, len) = spans[k];
+        let coordinator_cut = coordinator_durable.truncate_bytes(offset + len / 2);
+        let pod_cuts: Vec<DurableState> =
+            pod_durables.iter().map(|d| truncate_at_time(d, t)).collect();
+        let what = format!("fleet torn coordinator frame {k} at t={t:.3}");
+        if let Some(torn_tail_bytes) = fleet_restore_check(
+            spec,
+            &config,
+            &jobs,
+            &chaos,
+            &coordinator_cut,
+            &pod_cuts,
+            &what,
+            violations,
+            report,
+        ) {
+            if torn_tail_bytes == 0 {
+                violations.push(CrashViolation {
+                    invariant: "crash-torn",
+                    detail: format!(
+                        "{what}: recovery reported no torn coordinator tail for a mid-frame cut"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Decodes checkpoint `k` (1-based) from a checkpoint journal; `k = 0`
+/// means no durable boundary (resume from scratch).
+fn ckpt_at(
+    durable: &DurableState,
+    k: usize,
+) -> Result<Option<WindowCheckpoint<Bn254G1>>, String> {
+    if k == 0 {
+        return Ok(None);
+    }
+    let records = durable.journal.replay().map_err(|e| format!("{e:?}"))?;
+    WindowCheckpoint::decode(&records[k - 1].payload).map(Some).map_err(|e| format!("{e:?}"))
+}
+
+fn ckpt_sweep(
+    spec: &CrashSoakSpec,
+    violations: &mut Vec<CrashViolation>,
+    report: &mut CrashReport,
+) {
+    let engine = DistMsm::new(MultiGpuSystem::dgx_a100(1));
+    let mut rng = StdRng::seed_from_u64(spec.ckpt_seed ^ 0xc4ec_0000_0000_0001);
+    let instance: MsmInstance<Bn254G1> = MsmInstance::random(spec.ckpt_msm_size, &mut rng);
+    let challenge: Challenge<Bn254G1> = Challenge::generate(spec.ckpt_seed, spec.ckpt_msm_size);
+    let twin = challenge.twin_instance(&instance);
+    let cfg = CheckpointConfig { interval: spec.ckpt_interval };
+
+    let mut real_journal = DurableState::new();
+    let full_real = match engine.execute_windowed(&instance, &cfg, None, |c| {
+        real_journal.append(f64::from(c.next_window), &c.encode());
+    }) {
+        Ok(report) => report,
+        Err(err) => {
+            violations.push(CrashViolation {
+                invariant: "crash-ckpt",
+                detail: format!("checkpointed real run failed: {err:?}"),
+            });
+            return;
+        }
+    };
+    let mut twin_journal = DurableState::new();
+    let full_twin = match engine.execute_windowed(&twin, &cfg, None, |c| {
+        twin_journal.append(f64::from(c.next_window), &c.encode());
+    }) {
+        Ok(report) => report,
+        Err(err) => {
+            violations.push(CrashViolation {
+                invariant: "crash-ckpt",
+                detail: format!("checkpointed twin run failed: {err:?}"),
+            });
+            return;
+        }
+    };
+    if !challenge.verify(&instance.points, &full_real.result, &full_twin.result) {
+        violations.push(CrashViolation {
+            invariant: "crash-ckpt",
+            detail: "fault-free checkpointed pair failed the 2G2T check".into(),
+        });
+        return;
+    }
+    let want = point_to_uncompressed(&full_real.result.to_affine());
+
+    // Resume sweep: crash with k durable checkpoints on both streams,
+    // resume both from the last boundary, re-verify the finished pair.
+    let n_ckpts = real_journal.journal.n_records().min(twin_journal.journal.n_records());
+    for k in 0..=n_ckpts {
+        let what = format!("shard resume from checkpoint {k}/{n_ckpts}");
+        let resumed = ckpt_at(&real_journal, k).and_then(|resume_real| {
+            ckpt_at(&twin_journal, k).map(|resume_twin| (resume_real, resume_twin))
+        });
+        let (resume_real, resume_twin) = match resumed {
+            Ok(pair) => pair,
+            Err(err) => {
+                violations.push(CrashViolation {
+                    invariant: "crash-ckpt",
+                    detail: format!("{what}: checkpoint decode failed: {err}"),
+                });
+                continue;
+            }
+        };
+        let real = engine.execute_windowed(&instance, &cfg, resume_real, |_| {});
+        let twin_run = engine.execute_windowed(&twin, &cfg, resume_twin, |_| {});
+        match (real, twin_run) {
+            (Ok(real), Ok(twin_run)) => {
+                if point_to_uncompressed(&real.result.to_affine()) != want {
+                    violations.push(CrashViolation {
+                        invariant: "crash-ckpt",
+                        detail: format!("{what}: resumed result diverged from the full run"),
+                    });
+                }
+                if !challenge.verify(&instance.points, &real.result, &twin_run.result) {
+                    violations.push(CrashViolation {
+                        invariant: "crash-ckpt",
+                        detail: format!("{what}: resumed pair failed the 2G2T check"),
+                    });
+                }
+                if k > 0 && real.windows_computed >= full_real.windows_computed {
+                    violations.push(CrashViolation {
+                        invariant: "crash-recovery-cost",
+                        detail: format!(
+                            "{what}: resume recomputed {} of {} windows — no cheaper than \
+                             scratch",
+                            real.windows_computed, full_real.windows_computed
+                        ),
+                    });
+                }
+                report.ckpt_resumes += 1;
+            }
+            (real, twin_run) => {
+                violations.push(CrashViolation {
+                    invariant: "crash-ckpt",
+                    detail: format!(
+                        "{what}: resume failed (real: {:?}, twin: {:?})",
+                        real.err(),
+                        twin_run.err()
+                    ),
+                });
+            }
+        }
+    }
+
+    if n_ckpts == 0 {
+        violations.push(CrashViolation {
+            invariant: "crash-ckpt",
+            detail: format!(
+                "shard sweep emitted no checkpoints (interval {} over {} windows)",
+                spec.ckpt_interval, full_real.n_windows
+            ),
+        });
+        return;
+    }
+
+    // Torn checkpoint tail: a mid-frame cut must fall back to the
+    // previous durable boundary, and that resume must still verify.
+    {
+        let spans = real_journal.journal.frame_spans();
+        let (offset, len) = spans[n_ckpts - 1];
+        let torn = real_journal.truncate_bytes(offset + len / 2);
+        match torn.recover() {
+            Ok(recovered) => {
+                if recovered.torn_tail_bytes == 0 {
+                    violations.push(CrashViolation {
+                        invariant: "crash-torn",
+                        detail: "torn checkpoint tail was not reported by recovery".into(),
+                    });
+                }
+                let k = recovered.records.len();
+                let what = format!("shard torn tail falling back to checkpoint {k}");
+                let resume_real = recovered
+                    .records
+                    .last()
+                    .map(|r| WindowCheckpoint::<Bn254G1>::decode(&r.payload));
+                match resume_real.transpose() {
+                    Ok(resume_real) => {
+                        let real = engine.execute_windowed(&instance, &cfg, resume_real, |_| {});
+                        let twin_resume = match ckpt_at(&twin_journal, k) {
+                            Ok(resume) => resume,
+                            Err(err) => {
+                                violations.push(CrashViolation {
+                                    invariant: "crash-ckpt",
+                                    detail: format!("{what}: twin decode failed: {err}"),
+                                });
+                                return;
+                            }
+                        };
+                        let twin_run = engine.execute_windowed(&twin, &cfg, twin_resume, |_| {});
+                        match (real, twin_run) {
+                            (Ok(real), Ok(twin_run))
+                                if challenge.verify(
+                                    &instance.points,
+                                    &real.result,
+                                    &twin_run.result,
+                                ) =>
+                            {
+                                report.ckpt_resumes += 1;
+                            }
+                            _ => violations.push(CrashViolation {
+                                invariant: "crash-ckpt",
+                                detail: format!("{what}: fallback resume failed to verify"),
+                            }),
+                        }
+                    }
+                    Err(err) => violations.push(CrashViolation {
+                        invariant: "crash-ckpt",
+                        detail: format!("{what}: fallback checkpoint undecodable: {err:?}"),
+                    }),
+                }
+            }
+            Err(err) => violations.push(CrashViolation {
+                invariant: "crash-torn",
+                detail: format!("torn checkpoint tail was rejected instead of dropped: {err:?}"),
+            }),
+        }
+    }
+
+    // Corrupted-but-decodable checkpoint: the resumed result is wrong,
+    // so the 2G2T check must *fail*, and the scratch fallback must
+    // then verify. Resumed checkpoints are untrusted by design.
+    {
+        let records = real_journal
+            .journal
+            .replay()
+            .expect("checkpoint journal is intact before corruption injection");
+        let payload = &records[n_ckpts - 1].payload;
+        let mut bad = match WindowCheckpoint::<Bn254G1>::decode(payload) {
+            Ok(ckpt) => ckpt,
+            Err(err) => {
+                violations.push(CrashViolation {
+                    invariant: "crash-ckpt",
+                    detail: format!("stored checkpoint undecodable: {err:?}"),
+                });
+                return;
+            }
+        };
+        let delta =
+            instance.points[0].scalar_mul(&Bn254G1::field_to_scalar(&challenge.alpha));
+        bad.partials[0] = bad.partials[0].padd(&delta);
+        let what = "shard resume from corrupted checkpoint";
+        let real = engine.execute_windowed(&instance, &cfg, Some(bad), |_| {});
+        let twin_resume = match ckpt_at(&twin_journal, n_ckpts) {
+            Ok(resume) => resume,
+            Err(err) => {
+                violations.push(CrashViolation {
+                    invariant: "crash-ckpt",
+                    detail: format!("{what}: twin decode failed: {err}"),
+                });
+                return;
+            }
+        };
+        let twin_run = engine.execute_windowed(&twin, &cfg, twin_resume, |_| {});
+        match (real, twin_run) {
+            (Ok(real), Ok(twin_run)) => {
+                if challenge.verify(&instance.points, &real.result, &twin_run.result) {
+                    violations.push(CrashViolation {
+                        invariant: "crash-ckpt-detect",
+                        detail: format!(
+                            "{what}: the 2G2T check accepted a corrupted resume"
+                        ),
+                    });
+                } else {
+                    // Detected — the fallback recomputes from scratch
+                    // and must verify.
+                    let scratch = engine.execute_windowed(&instance, &cfg, None, |_| {});
+                    match scratch {
+                        Ok(scratch)
+                            if challenge.verify(
+                                &instance.points,
+                                &scratch.result,
+                                &twin_run.result,
+                            ) =>
+                        {
+                            report.ckpt_resumes += 1;
+                        }
+                        _ => violations.push(CrashViolation {
+                            invariant: "crash-ckpt",
+                            detail: format!("{what}: scratch fallback failed to verify"),
+                        }),
+                    }
+                }
+            }
+            (real, twin_run) => violations.push(CrashViolation {
+                invariant: "crash-ckpt",
+                detail: format!(
+                    "{what}: resume failed (real: {:?}, twin: {:?})",
+                    real.err(),
+                    twin_run.err()
+                ),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CrashSoakSpec {
+        CrashSoakSpec {
+            service: pod_soak::SoakSpec {
+                arrival_seed: 11,
+                fault_seed: 3,
+                n_jobs: 12,
+                n_fault_windows: 2,
+                n_link_windows: 1,
+                horizon_s: 120.0,
+                n_devices: 4,
+                msm_size: 32,
+                always_faulty: None,
+            },
+            fleet: fleet_soak::FleetSoakSpec {
+                arrival_seed: 2027,
+                fault_seed: 17,
+                n_jobs: 24,
+                n_tenants: 16,
+                n_pods: 3,
+                devices_per_pod: 3,
+                n_fault_windows: 1,
+                horizon_s: 150.0,
+                msm_size: 16,
+                byzantine_pod: Some(2),
+                lost_pod: None,
+            },
+            snapshot_every: 8,
+            n_kill_points: 3,
+            n_torn_points: 2,
+            n_fleet_cuts: 2,
+            ckpt_msm_size: 32,
+            ckpt_interval: 4,
+            ckpt_seed: 5,
+        }
+    }
+
+    #[test]
+    fn tiny_crash_soak_is_clean_and_deterministic() {
+        let spec = tiny();
+        let first = run_crash_soak(&spec);
+        assert!(
+            first.violations.is_empty(),
+            "tiny crash soak found violations: {:#?}",
+            first.violations
+        );
+        assert!(first.report.service_kill_points > 0);
+        assert!(first.report.service_torn_points > 0);
+        assert!(first.report.fleet_cuts > 0);
+        assert!(first.report.ckpt_resumes > 0);
+        let second = run_crash_soak(&spec);
+        assert_eq!(first.report, second.report, "crash soak must be deterministic");
+    }
+
+    #[test]
+    fn kill_indices_stay_in_range_and_ascend() {
+        assert!(kill_indices(0, 4).is_empty());
+        assert!(kill_indices(1, 4).is_empty());
+        assert!(kill_indices(5, 0).is_empty());
+        let ks = kill_indices(100, 7);
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+        assert!(ks.iter().all(|&k| k >= 1 && k < 100));
+        assert_eq!(kill_indices(3, 1), vec![1]);
+    }
+}
+

@@ -13,19 +13,23 @@
 //! and re-places its stranded queue across the healthy pods with the
 //! verifier-proved [`distmsm::replace_assignments`] quota plan.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use distmsm::{replace_assignments, DistMsm};
+use distmsm_ec::serialize::{point_from_uncompressed, point_to_uncompressed};
 use distmsm_ec::{Curve, XyzzPoint};
 use distmsm_gpu_sim::fault::splitmix64;
 use distmsm_gpu_sim::{FaultKind, MultiGpuSystem};
+use distmsm_journal::{DurableState, JournalError};
+use distmsm_service::wal as service_wal;
 use distmsm_service::{
-    ChaosSchedule, CompletedJob, DeviceFaultWindow, JobSpec, ProverService, ServiceConfig,
-    ServiceEvent, ServiceReport, StolenJob,
+    ChaosSchedule, CompletedJob, DeviceFaultWindow, JobPhase, JobSpec, ProverService,
+    RecoveryInfo, ServiceConfig, ServiceEvent, ServiceReport, StolenJob,
 };
 
 use crate::outsource::{Challenge, Corruption, OutsourcedResult};
 use crate::report::FleetReport;
+use crate::wal::{self as fleet_wal, FleetRecord, FleetState, FleetWal};
 
 /// Fleet-level configuration: identical pods behind one coordinator.
 #[derive(Clone, Debug)]
@@ -178,18 +182,55 @@ pub struct FleetOutcome<C: Curve> {
     pub accepted: Vec<AcceptedJob<C>>,
 }
 
+/// How a crashed fleet got back on its feet: per-layer recovery
+/// accounting plus the modelled cost comparison against recomputing
+/// the lost history from scratch.
+#[derive(Clone, Debug)]
+pub struct FleetRecoveryInfo {
+    /// Epoch of the coordinator snapshot recovery started from (0 =
+    /// none).
+    pub coordinator_snapshot_epoch: u64,
+    /// Coordinator journal records replayed on top of the snapshot.
+    pub coordinator_replayed: u64,
+    /// Torn frame bytes dropped from the coordinator journal tail.
+    pub coordinator_torn_tail_bytes: usize,
+    /// Per-pod service recovery accounting.
+    pub pods: Vec<RecoveryInfo>,
+    /// Durable pod completions whose acceptance was not durable: each
+    /// was re-run through the 2G2T check before use.
+    pub reverified: u64,
+    /// Of the re-verified completions, how many passed and were
+    /// accepted at restore (the rest fell back to re-execution).
+    pub reaccepted: u64,
+    /// Jobs whose ownership was torn by the cut (a steal's hand-off
+    /// survived but not its absorption, or the owner was quarantined)
+    /// and were re-placed afresh at restore.
+    pub replaced_jobs: u64,
+    /// Modelled total recovery cost: coordinator + every pod
+    /// (snapshot decode + bounded replay each).
+    pub recovery_cost_s: f64,
+    /// Modelled cost of recomputing from scratch — the maximum pod
+    /// clock at the crash.
+    pub scratch_cost_s: f64,
+}
+
 /// The global placement layer over `n_pods` untrusted pods.
 pub struct FleetCoordinator<C: Curve> {
     config: FleetConfig,
     pods: Vec<ProverService<C>>,
     quarantined: Vec<bool>,
     events: Vec<FleetEvent>,
+    /// Durable pre-crash coordinator events, seeded by [`Self::restore`]
+    /// so the final report accounts the full history (the outcome's
+    /// `events` stay post-restore only, mirroring the pods).
+    prior_events: Vec<FleetEvent>,
     accepted: Vec<AcceptedJob<C>>,
     detections: u64,
     specs: BTreeMap<u64, JobSpec<C>>,
     placed_on: BTreeMap<u64, usize>,
     last_good: Option<OutsourcedResult<C>>,
     checker: DistMsm,
+    wal: FleetWal,
 }
 
 impl<C: Curve> FleetCoordinator<C> {
@@ -198,9 +239,11 @@ impl<C: Curve> FleetCoordinator<C> {
         assert!(config.n_pods > 0, "a fleet needs at least one pod");
         let pods =
             (0..config.n_pods).map(|_| ProverService::new(config.pod.clone())).collect();
+        let wal = FleetWal::new(config.n_pods, config.pod.snapshot_every);
         Self {
             quarantined: vec![false; config.n_pods],
             events: Vec::new(),
+            prior_events: Vec::new(),
             accepted: Vec::new(),
             detections: 0,
             specs: BTreeMap::new(),
@@ -209,16 +252,284 @@ impl<C: Curve> FleetCoordinator<C> {
             checker: DistMsm::new(MultiGpuSystem::dgx_a100(1)),
             config,
             pods,
+            wal,
         }
+    }
+
+    /// Rebuilds a crashed fleet from the coordinator's durable journal
+    /// plus one durable journal per pod, reconciling the layers into a
+    /// consistent restart:
+    ///
+    /// * Each job's spec routes to every pod whose journal knows it
+    ///   (live phases re-enqueue there; terminal phases must not
+    ///   re-arrive), and jobs no pod durably admitted re-arrive at the
+    ///   owner the coordinator recorded.
+    /// * A job whose only durable trace is a `StolenAway` tombstone was
+    ///   torn mid-steal — the cut kept the victim's hand-off but lost
+    ///   the thief's absorption. It is already admitted, so it is
+    ///   re-absorbed onto a healthy pod with its retry budget intact
+    ///   (a `Replaced` record is journaled, never a re-admission).
+    /// * Durable pod completions whose 2G2T acceptance was *not*
+    ///   durable are untrusted: each re-runs the blinded-twin check
+    ///   before use, accepting on a pass and falling back to
+    ///   re-execution on a healthy pod otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Any corrupt durable state in any journal — CRC mismatch,
+    /// missing/duplicate epoch, stale snapshot, undecodable payload —
+    /// is a typed [`JournalError`]; torn tails alone are tolerated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the durable slices don't match `config.n_pods`, or
+    /// when every pod is quarantined and a torn-steal job has nowhere
+    /// to go (the same unrecoverable state [`Self::run`] panics on).
+    pub fn restore(
+        config: FleetConfig,
+        jobs: &[JobSpec<C>],
+        coordinator: &DurableState,
+        pod_durables: &[DurableState],
+        chaos: &FleetChaos,
+    ) -> Result<(Self, FleetRecoveryInfo), JournalError> {
+        assert!(config.n_pods > 0, "a fleet needs at least one pod");
+        assert_eq!(pod_durables.len(), config.n_pods, "one durable state per pod");
+        assert_eq!(chaos.pods.len(), config.n_pods, "chaos must cover every pod");
+        let rec = fleet_wal::recover_fleet_state(coordinator, config.n_pods)?;
+        let state = rec.state;
+
+        // Pod folds first: the durable truth about which pod owns what.
+        let mut folds = Vec::with_capacity(config.n_pods);
+        for durable in pod_durables {
+            folds.push(
+                service_wal::recover_state(
+                    durable,
+                    config.pod.tenants.len(),
+                    config.pod.n_devices,
+                    &config.pod.breaker,
+                )?
+                .state,
+            );
+        }
+
+        let healthy: Vec<usize> =
+            (0..config.n_pods).filter(|&p| !state.quarantined[p]).collect();
+        let mut spec_lists: Vec<Vec<JobSpec<C>>> = vec![Vec::new(); config.n_pods];
+        let mut replacements: Vec<(u64, usize)> = Vec::new();
+        let mut torn_steals: Vec<(JobSpec<C>, u32)> = Vec::new();
+        for job in jobs {
+            let knowing: Vec<usize> = (0..config.n_pods)
+                .filter(|&p| folds[p].jobs.contains_key(&job.id))
+                .collect();
+            if knowing.is_empty() {
+                // Never durably admitted anywhere: (re-)arrives at the
+                // recorded owner, or a healthy pod when the owner is
+                // quarantined or the placement itself was lost.
+                let owner = state
+                    .placed_on
+                    .get(&job.id)
+                    .copied()
+                    .filter(|&p| !state.quarantined[p]);
+                let target = owner.unwrap_or_else(|| {
+                    let t = healthy
+                        .iter()
+                        .copied()
+                        .min_by_key(|&p| spec_lists[p].len())
+                        .expect("every pod quarantined: nowhere to re-place");
+                    replacements.push((job.id, t));
+                    t
+                });
+                spec_lists[target].push(job.clone());
+                continue;
+            }
+            let settled_somewhere = knowing
+                .iter()
+                .any(|&p| !matches!(folds[p].jobs[&job.id].phase, JobPhase::StolenAway { .. }));
+            for &p in &knowing {
+                spec_lists[p].push(job.clone());
+            }
+            if !settled_somewhere {
+                // Torn mid-steal: only StolenAway tombstones survived —
+                // the victim's hand-off outlived the thief's
+                // absorption. The job is already admitted, so it is
+                // re-absorbed (not re-admitted) after the pods restore,
+                // at the highest attempt any tombstone recorded.
+                let attempt = knowing
+                    .iter()
+                    .map(|&p| match folds[p].jobs[&job.id].phase {
+                        JobPhase::StolenAway { attempt } => attempt,
+                        _ => 0,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                torn_steals.push((job.clone(), attempt));
+            }
+        }
+
+        let mut pod_svcs = Vec::with_capacity(config.n_pods);
+        let mut pod_infos = Vec::with_capacity(config.n_pods);
+        for (p, durable) in pod_durables.iter().enumerate() {
+            let (svc, info) = ProverService::restore(config.pod.clone(), &spec_lists[p], durable)?;
+            pod_svcs.push(svc);
+            pod_infos.push(info);
+        }
+
+        let mut accepted = Vec::with_capacity(state.accepted.len());
+        for a in &state.accepted {
+            let affine = point_from_uncompressed::<C>(&a.result).ok_or_else(|| {
+                JournalError::BadPayload {
+                    epoch: state.last_epoch,
+                    detail: format!("accepted job {} carries an undecodable result point", a.id),
+                }
+            })?;
+            accepted.push(AcceptedJob {
+                id: a.id,
+                tenant: a.tenant,
+                pod: a.pod,
+                result: affine.to_xyzz(),
+                attempts: a.attempts,
+            });
+        }
+        let prior_events = fleet_wal::decode_fleet_events(coordinator)?;
+        let wal = FleetWal::resume(coordinator.reopen()?, state.clone(), config.pod.snapshot_every);
+        let mut fleet = Self {
+            quarantined: state.quarantined.clone(),
+            events: Vec::new(),
+            prior_events,
+            accepted,
+            detections: state.detections,
+            specs: jobs.iter().map(|j| (j.id, j.clone())).collect(),
+            placed_on: state.placed_on.clone(),
+            last_good: None,
+            checker: DistMsm::new(MultiGpuSystem::dgx_a100(1)),
+            config,
+            pods: pod_svcs,
+            wal,
+        };
+
+        // Journal the restore-time re-placements (the fold must track
+        // the new ownership, exactly like a live placement).
+        let now = fleet.pods.iter().map(|p| p.clock_s()).fold(0.0, f64::max);
+        for &(id, pod) in &replacements {
+            fleet.wal.append(now, &FleetRecord::Placed { t_s: now, id, pod });
+            fleet.placed_on.insert(id, pod);
+            fleet.emit(now, Some(id), FleetEventKind::Placed { pod });
+            fleet.instant(now, "fleet.recovery:replaced", vec![("pod".into(), pod.to_string())]);
+        }
+        let n_torn = torn_steals.len() as u64;
+        for (spec, attempt) in torn_steals {
+            let to = fleet
+                .least_loaded_healthy()
+                .expect("every pod quarantined: nowhere to re-place");
+            let id = spec.id;
+            let from = fleet.placed_on.get(&id).copied().unwrap_or(to);
+            fleet.pods[to].absorb_stolen(
+                StolenJob { spec, attempt, effective_deadline_s: now },
+                now,
+                &chaos.pods[to],
+            );
+            fleet.placed_on.insert(id, to);
+            fleet.wal.append(now, &FleetRecord::Replaced { t_s: now, id, from, to });
+            fleet.emit(now, Some(id), FleetEventKind::Replaced { from, to });
+            fleet.replaced_instant(now, from, to);
+        }
+
+        // Durable completions whose acceptance was not durable are
+        // untrusted restored partials: re-run the 2G2T check before
+        // use. Completions already accepted, or already rejected and
+        // re-placed (the job is live on some pod), are skipped.
+        let accepted_ids: BTreeSet<u64> = fleet.accepted.iter().map(|a| a.id).collect();
+        let live_ids: BTreeSet<u64> = folds
+            .iter()
+            .flat_map(|f| {
+                f.jobs.iter().filter_map(|(id, e)| {
+                    matches!(
+                        e.phase,
+                        JobPhase::Queued { .. } | JobPhase::InFlight { .. }
+                    )
+                    .then_some(*id)
+                })
+            })
+            .collect();
+        let mut drained: Vec<(usize, CompletedJob<C>)> = Vec::new();
+        for p in 0..fleet.config.n_pods {
+            for done in fleet.pods[p].drain_completed() {
+                drained.push((p, done));
+            }
+        }
+        let accepted_before = fleet.accepted.len();
+        let mut reverified = 0u64;
+        for (p, done) in drained {
+            if accepted_ids.contains(&done.id) || live_ids.contains(&done.id) {
+                continue;
+            }
+            reverified += 1;
+            fleet.check_completion(p, done, chaos);
+        }
+        let reaccepted = (fleet.accepted.len() - accepted_before) as u64;
+        fleet.instant(
+            now,
+            "fleet.recovery:restored",
+            vec![
+                ("reverified".into(), reverified.to_string()),
+                ("reaccepted".into(), reaccepted.to_string()),
+                ("replaced".into(), replacements.len().to_string()),
+            ],
+        );
+
+        let coordinator_cost = service_wal::RECOVERY_BASE_S
+            + rec.snapshot_payload_bytes as f64 * service_wal::SNAPSHOT_BYTE_S
+            + rec.replayed_records as f64 * service_wal::REPLAY_RECORD_S;
+        let info = FleetRecoveryInfo {
+            coordinator_snapshot_epoch: rec.snapshot_epoch,
+            coordinator_replayed: rec.replayed_records,
+            coordinator_torn_tail_bytes: rec.torn_tail_bytes,
+            reverified,
+            reaccepted,
+            replaced_jobs: replacements.len() as u64 + n_torn,
+            recovery_cost_s: coordinator_cost
+                + pod_infos.iter().map(|i| i.recovery_cost_s).sum::<f64>(),
+            scratch_cost_s: pod_infos.iter().map(|i| i.scratch_cost_s).fold(0.0, f64::max),
+            pods: pod_infos,
+        };
+        Ok((fleet, info))
     }
 
     /// Runs a full fleet trace: greedy least-load placement, lock-step
     /// pod interleaving in global time order, work stealing, 2G2T
     /// verification of every completion, quarantine + re-placement on
     /// detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chaos` does not cover every pod, or when chaos
+    /// quarantines *every* pod — with no healthy pod left there is
+    /// nowhere to re-place stranded work, an unrecoverable state the
+    /// fleet refuses to paper over.
     pub fn run(&mut self, jobs: Vec<JobSpec<C>>, chaos: &FleetChaos) -> FleetOutcome<C> {
         assert_eq!(chaos.pods.len(), self.config.n_pods, "chaos must cover every pod");
         self.place(jobs);
+        self.run_loop(chaos);
+        self.finish()
+    }
+
+    /// Drains a restored fleet to quiescence: the [`Self::run`] loop
+    /// without the placement phase (ownership came back from the
+    /// journals). The returned outcome holds post-restore events only;
+    /// the pre-crash prefix is decodable from the durable journals via
+    /// [`crate::wal::decode_fleet_events`] and
+    /// [`distmsm_service::decode_events`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in the same unrecoverable states as [`Self::run`].
+    pub fn resume(&mut self, chaos: &FleetChaos) -> FleetOutcome<C> {
+        assert_eq!(chaos.pods.len(), self.config.n_pods, "chaos must cover every pod");
+        self.run_loop(chaos);
+        self.finish()
+    }
+
+    fn run_loop(&mut self, chaos: &FleetChaos) {
         while let Some(pod) = self.next_pod() {
             self.pods[pod].step(&chaos.pods[pod]);
             for done in self.pods[pod].drain_completed() {
@@ -229,7 +540,6 @@ impl<C: Curve> FleetCoordinator<C> {
                 self.rebalance(chaos);
             }
         }
-        self.finish()
     }
 
     /// Greedy least-estimated-load placement: jobs in `(arrival, id)`
@@ -244,6 +554,11 @@ impl<C: Curve> FleetCoordinator<C> {
                 .min_by(|&a, &b| est_load[a].total_cmp(&est_load[b]))
                 .expect("at least one pod");
             est_load[pod] += self.pods[pod].estimate_job_seconds(job.instance.len());
+            // The whole placement plan persists at frame time 0.0 —
+            // before the run starts — so a time-consistent crash cut
+            // can never tear it apart; the payload keeps the arrival
+            // time for event reconstruction.
+            self.wal.append(0.0, &FleetRecord::Placed { t_s: job.arrival_s, id: job.id, pod });
             self.emit(job.arrival_s, Some(job.id), FleetEventKind::Placed { pod });
             self.instant(job.arrival_s, "fleet.placed", vec![("pod".into(), pod.to_string())]);
             self.specs.insert(job.id, job.clone());
@@ -266,6 +581,9 @@ impl<C: Curve> FleetCoordinator<C> {
     /// Runs the 2G2T check on one completion; accepts or detects.
     fn check_completion(&mut self, pod: usize, done: CompletedJob<C>, chaos: &FleetChaos) {
         let now = self.pods[pod].clock_s();
+        // Invariant: every dispatchable job's spec was recorded at
+        // placement (or at restore from the durable fold), so a pod can
+        // only complete ids the coordinator knows.
         let spec = self.specs.get(&done.id).expect("completion for unknown job").clone();
         let n = spec.instance.len();
         let challenge =
@@ -274,6 +592,8 @@ impl<C: Curve> FleetCoordinator<C> {
         // blinded twin it also executed. An honest pod's R2 is bit-exact
         // regardless of which engine shape ran it.
         let twin = challenge.twin_instance(&spec.instance);
+        // Invariant: the checker engine runs with no fault plan, and a
+        // fault-free simulated execution cannot fail.
         let honest_r2 = self
             .checker
             .execute(&twin)
@@ -291,6 +611,18 @@ impl<C: Curve> FleetCoordinator<C> {
             None => pair,
         };
         if challenge.verify(&spec.instance.points, &pair.r1, &pair.r2) {
+            // Acceptance and the accepted value ride one atomic record.
+            self.wal.append(
+                now,
+                &FleetRecord::Accepted {
+                    t_s: now,
+                    id: done.id,
+                    tenant: done.tenant,
+                    pod,
+                    attempts: done.attempts,
+                    result: point_to_uncompressed(&pair.r1.to_affine()),
+                },
+            );
             self.emit(now, Some(done.id), FleetEventKind::Verified { pod });
             self.instant(now, "fleet.verified", vec![("pod".into(), pod.to_string())]);
             self.last_good = Some(pair);
@@ -303,10 +635,18 @@ impl<C: Curve> FleetCoordinator<C> {
             });
             return;
         }
+        // Invariant: 2G2T has no false positives — for a bit-exact
+        // honest result the blinded-twin identity r2 = α·r1 + V holds
+        // algebraically, so a rejection implies the chaos schedule
+        // marked this pod byzantine at `now`.
         let class = chaos
             .byzantine_class(pod, now)
             .expect("2G2T check rejected an honest pod result");
         self.detections += 1;
+        self.wal.append(
+            now,
+            &FleetRecord::Detected { t_s: now, id: done.id, pod, corruption: class.label() },
+        );
         self.emit(
             now,
             Some(done.id),
@@ -331,6 +671,7 @@ impl<C: Curve> FleetCoordinator<C> {
         };
         self.pods[to].absorb_stolen(stolen, now, &chaos.pods[to]);
         self.placed_on.insert(done.id, to);
+        self.wal.append(now, &FleetRecord::Replaced { t_s: now, id: done.id, from: pod, to });
         self.emit(now, Some(done.id), FleetEventKind::Replaced { from: pod, to });
         self.replaced_instant(now, pod, to);
     }
@@ -348,6 +689,7 @@ impl<C: Curve> FleetCoordinator<C> {
     /// across the healthy pods with the `fleet-replace` quota plan.
     fn quarantine(&mut self, pod: usize, now: f64, chaos: &FleetChaos) {
         self.quarantined[pod] = true;
+        self.wal.append(now, &FleetRecord::Quarantined { t_s: now, pod });
         self.emit(now, None, FleetEventKind::Quarantined { pod });
         self.instant(now, "fleet.quarantined", vec![("pod".into(), pod.to_string())]);
         let mut stranded = Vec::new();
@@ -363,6 +705,10 @@ impl<C: Curve> FleetCoordinator<C> {
                 let id = stolen.spec.id;
                 self.pods[healthy[h]].absorb_stolen(stolen, now, &chaos.pods[healthy[h]]);
                 self.placed_on.insert(id, healthy[h]);
+                self.wal.append(
+                    now,
+                    &FleetRecord::Replaced { t_s: now, id, from: pod, to: healthy[h] },
+                );
                 self.emit(now, Some(id), FleetEventKind::Replaced { from: pod, to: healthy[h] });
                 self.replaced_instant(now, pod, healthy[h]);
             }
@@ -384,6 +730,7 @@ impl<C: Curve> FleetCoordinator<C> {
                 let now = self.pods[pod].clock_s();
                 self.pods[to].absorb_stolen(stolen, now, &chaos.pods[to]);
                 self.placed_on.insert(id, to);
+                self.wal.append(now, &FleetRecord::Replaced { t_s: now, id, from: pod, to });
                 self.emit(now, Some(id), FleetEventKind::Replaced { from: pod, to });
                 self.replaced_instant(now, pod, to);
             }
@@ -417,6 +764,10 @@ impl<C: Curve> FleetCoordinator<C> {
             let now = self.pods[victim].clock_s().max(self.pods[thief].clock_s());
             self.pods[thief].absorb_stolen(stolen, now, &chaos.pods[thief]);
             self.placed_on.insert(id, thief);
+            self.wal.append(
+                now,
+                &FleetRecord::Stolen { t_s: now, id, from: victim, to: thief },
+            );
             self.emit(now, Some(id), FleetEventKind::Stolen { from: victim, to: thief });
             self.instant(
                 now,
@@ -443,15 +794,38 @@ impl<C: Curve> FleetCoordinator<C> {
         }
         let events = std::mem::take(&mut self.events);
         let accepted = std::mem::take(&mut self.accepted);
+        // The report spans the full history: the durable pre-crash
+        // events a restore seeded (empty on a cold start) plus this
+        // run's — matching the pods, whose restored reports also count
+        // their durable past. The outcome's `events` stay post-restore.
+        let mut full_history = std::mem::take(&mut self.prior_events);
+        full_history.extend(events.iter().cloned());
         let report = FleetReport::build(
             &pod_reports,
-            &events,
+            &full_history,
             &self.quarantined,
             self.detections,
             accepted.iter().map(|a| a.tenant),
             self.config.pod.tenants.len(),
         );
         FleetOutcome { report, events, pod_events, pod_reports, accepted }
+    }
+
+    /// The coordinator's durable journal + snapshot bytes — what a
+    /// simulated crash preserves and [`Self::restore`] rebuilds from.
+    pub fn durable(&self) -> &DurableState {
+        self.wal.durable()
+    }
+
+    /// One pod's durable journal (the service-layer WAL).
+    pub fn pod_durable(&self, pod: usize) -> &DurableState {
+        self.pods[pod].durable()
+    }
+
+    /// The coordinator WAL's shadow fold of everything journaled so
+    /// far.
+    pub fn wal_state(&self) -> &FleetState {
+        self.wal.state()
     }
 
     fn emit(&mut self, t_s: f64, job: Option<u64>, kind: FleetEventKind) {

@@ -39,22 +39,32 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod crash;
 pub mod estimate;
 pub mod fleet;
 pub mod outsource;
 pub mod report;
 pub mod shard;
 pub mod soak;
+pub mod wal;
 
+pub use crash::{
+    run_crash_soak, CrashReport, CrashSoakOutcome, CrashSoakSpec, CrashViolation,
+    RECOVERY_WIN_MIN_SCRATCH_S,
+};
 pub use estimate::{estimate_fleet_msm, FleetMsmEstimate};
 pub use fleet::{
     AcceptedJob, FleetChaos, FleetConfig, FleetCoordinator, FleetEvent, FleetEventKind,
-    FleetOutcome,
+    FleetOutcome, FleetRecoveryInfo,
 };
 pub use outsource::{Challenge, Corruption, OutsourcedResult, N_DECOYS};
 pub use report::{FleetReport, PodStats};
 pub use shard::{execute_sharded, fold_windows, window_partials, ShardExecution, ShardedMsmConfig,
     ShardedMsmReport};
+pub use wal::{
+    decode_fleet_events, recover_fleet_state, AcceptedEntry, FleetRecord, FleetState, FleetWal,
+    FleetWalRecovery,
+};
 pub use soak::{
     fleet_shrink, run_fleet_soak, FleetSabotage, FleetSoakOptions, FleetSoakOutcome, FleetSoakSpec,
     FleetViolation,

@@ -207,6 +207,9 @@ pub fn execute_sharded<C: Curve>(
         if challenges[pod].verify(&instance.points[lo..hi], &pairs[pod].r1, &pairs[pod].r2) {
             continue;
         }
+        // Invariant: 2G2T has no false positives — an honest shard's
+        // blinded twin satisfies r2 = α·r1 + V exactly, so a rejection
+        // implies the config seeded a byzantine pod.
         let class = cfg
             .byzantine_pod
             .map(|(_, c)| c)

@@ -1,0 +1,651 @@
+//! Crash-consistent journaling for the fleet coordinator.
+//!
+//! The coordinator journals every decision it makes — placements,
+//! steals, 2G2T acceptances, byzantine detections, quarantines and
+//! re-placements — as one [`FleetRecord`] per decision in the same
+//! handler that makes it, mirroring the service-layer WAL
+//! ([`distmsm_service::wal`]). The same three rules keep recovery
+//! exactly-once:
+//!
+//! * **Atomic compound records.** A 2G2T acceptance and the accepted
+//!   result bytes ride one [`FleetRecord::Accepted`] record, so no
+//!   torn write can strand a `Verified` event without the value it
+//!   verified.
+//! * **A shadow fold.** [`FleetWal`] folds every append through
+//!   [`FleetState::apply`] — the same function recovery replays — so a
+//!   snapshot (the encoded shadow) equals a from-scratch replay by
+//!   construction.
+//! * **Replay-only counters.** Everything the fold tracks (ownership,
+//!   quarantine flags, detections, accepted results) derives from the
+//!   record stream alone; volatile coordinator state (`last_good`, the
+//!   event buffer) is legitimately rebuilt differently after a crash.
+//!
+//! The placement prefix is journaled at frame time `0.0` — the
+//! coordinator persists its whole placement plan before the run starts
+//! — while each record's payload carries the decision's *event* time,
+//! so a time-consistent crash cut never tears the plan apart.
+
+use std::collections::BTreeMap;
+
+use distmsm_journal::{ByteReader, ByteWriter, DurableState, JournalError, WireError};
+
+use crate::fleet::{FleetEvent, FleetEventKind};
+
+// ---------------------------------------------------------------------
+// small tag codecs
+// ---------------------------------------------------------------------
+
+fn corruption_tag(label: &str) -> u8 {
+    match label {
+        "bit-flip" => 0,
+        "swapped-shard" => 1,
+        "zero-partial" => 2,
+        _ => 255,
+    }
+}
+
+fn corruption_from(tag: u8, off: usize) -> Result<&'static str, WireError> {
+    match tag {
+        0 => Ok("bit-flip"),
+        1 => Ok("swapped-shard"),
+        2 => Ok("zero-partial"),
+        255 => Ok("unknown"),
+        _ => Err(WireError { offset: off }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// records
+// ---------------------------------------------------------------------
+
+/// One durable coordinator decision. Each record reconstructs exactly
+/// one [`FleetEvent`]; the [`Accepted`](Self::Accepted) compound record
+/// additionally carries the verified result's canonical point bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetRecord {
+    /// Initial (or post-crash re-) placement of a job on a pod.
+    Placed {
+        /// Event time (the job's arrival, or the restore clock).
+        t_s: f64,
+        /// Job id.
+        id: u64,
+        /// Chosen pod.
+        pod: usize,
+    },
+    /// A work steal moved a queued job between pods.
+    Stolen {
+        /// Steal time.
+        t_s: f64,
+        /// Job id.
+        id: u64,
+        /// Victim pod.
+        from: usize,
+        /// Thief pod.
+        to: usize,
+    },
+    /// The 2G2T check accepted a result — event *and* value, atomic.
+    Accepted {
+        /// Acceptance time.
+        t_s: f64,
+        /// Job id.
+        id: u64,
+        /// Tenant index.
+        tenant: usize,
+        /// Accepting pod.
+        pod: usize,
+        /// Attempts the pod consumed.
+        attempts: u32,
+        /// Canonical uncompressed bytes of the verified MSM value.
+        result: Vec<u8>,
+    },
+    /// The 2G2T check rejected a result pair.
+    Detected {
+        /// Detection time.
+        t_s: f64,
+        /// Job id whose pair was rejected.
+        id: u64,
+        /// The lying pod.
+        pod: usize,
+        /// Corruption class label.
+        corruption: &'static str,
+    },
+    /// A pod was quarantined fleet-wide.
+    Quarantined {
+        /// Quarantine time.
+        t_s: f64,
+        /// The quarantined pod.
+        pod: usize,
+    },
+    /// A job was re-placed off a quarantined pod.
+    Replaced {
+        /// Re-placement time.
+        t_s: f64,
+        /// Job id.
+        id: u64,
+        /// Quarantined source pod.
+        from: usize,
+        /// Healthy destination pod.
+        to: usize,
+    },
+}
+
+impl FleetRecord {
+    /// Canonical payload bytes (version-free: the record tag is the
+    /// first byte; the journal frame carries epoch/time/CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            FleetRecord::Placed { t_s, id, pod } => {
+                w.u8(0).f64(*t_s).u64(*id).usize(*pod);
+            }
+            FleetRecord::Stolen { t_s, id, from, to } => {
+                w.u8(1).f64(*t_s).u64(*id).usize(*from).usize(*to);
+            }
+            FleetRecord::Accepted { t_s, id, tenant, pod, attempts, result } => {
+                w.u8(2).f64(*t_s).u64(*id).usize(*tenant).usize(*pod).u32(*attempts);
+                w.bytes(result);
+            }
+            FleetRecord::Detected { t_s, id, pod, corruption } => {
+                w.u8(3).f64(*t_s).u64(*id).usize(*pod).u8(corruption_tag(corruption));
+            }
+            FleetRecord::Quarantined { t_s, pod } => {
+                w.u8(4).f64(*t_s).usize(*pod);
+            }
+            FleetRecord::Replaced { t_s, id, from, to } => {
+                w.u8(5).f64(*t_s).u64(*id).usize(*from).usize(*to);
+            }
+        }
+        w.finish()
+    }
+
+    /// Strict decode: unknown tags and trailing bytes are errors.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(payload);
+        let off = r.offset();
+        let rec = match r.u8()? {
+            0 => FleetRecord::Placed { t_s: r.f64()?, id: r.u64()?, pod: r.usize()? },
+            1 => FleetRecord::Stolen {
+                t_s: r.f64()?,
+                id: r.u64()?,
+                from: r.usize()?,
+                to: r.usize()?,
+            },
+            2 => FleetRecord::Accepted {
+                t_s: r.f64()?,
+                id: r.u64()?,
+                tenant: r.usize()?,
+                pod: r.usize()?,
+                attempts: r.u32()?,
+                result: r.bytes()?.to_vec(),
+            },
+            3 => {
+                let (t_s, id, pod) = (r.f64()?, r.u64()?, r.usize()?);
+                let coff = r.offset();
+                FleetRecord::Detected { t_s, id, pod, corruption: corruption_from(r.u8()?, coff)? }
+            }
+            4 => FleetRecord::Quarantined { t_s: r.f64()?, pod: r.usize()? },
+            5 => FleetRecord::Replaced {
+                t_s: r.f64()?,
+                id: r.u64()?,
+                from: r.usize()?,
+                to: r.usize()?,
+            },
+            _ => return Err(WireError { offset: off }),
+        };
+        if !r.is_empty() {
+            return Err(WireError { offset: r.offset() });
+        }
+        Ok(rec)
+    }
+
+    /// The coordinator event this record witnesses.
+    pub fn event(&self) -> FleetEvent {
+        match self {
+            FleetRecord::Placed { t_s, id, pod } => {
+                FleetEvent { t_s: *t_s, job: Some(*id), kind: FleetEventKind::Placed { pod: *pod } }
+            }
+            FleetRecord::Stolen { t_s, id, from, to } => FleetEvent {
+                t_s: *t_s,
+                job: Some(*id),
+                kind: FleetEventKind::Stolen { from: *from, to: *to },
+            },
+            FleetRecord::Accepted { t_s, id, pod, .. } => FleetEvent {
+                t_s: *t_s,
+                job: Some(*id),
+                kind: FleetEventKind::Verified { pod: *pod },
+            },
+            FleetRecord::Detected { t_s, id, pod, corruption } => FleetEvent {
+                t_s: *t_s,
+                job: Some(*id),
+                kind: FleetEventKind::ByzantineDetected { pod: *pod, corruption },
+            },
+            FleetRecord::Quarantined { t_s, pod } => FleetEvent {
+                t_s: *t_s,
+                job: None,
+                kind: FleetEventKind::Quarantined { pod: *pod },
+            },
+            FleetRecord::Replaced { t_s, id, from, to } => FleetEvent {
+                t_s: *t_s,
+                job: Some(*id),
+                kind: FleetEventKind::Replaced { from: *from, to: *to },
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the fold
+// ---------------------------------------------------------------------
+
+/// One 2G2T-accepted result as the fold keeps it (canonical bytes; the
+/// coordinator decodes back to a curve point on restore).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AcceptedEntry {
+    /// Job id.
+    pub id: u64,
+    /// Tenant index.
+    pub tenant: usize,
+    /// Accepting pod.
+    pub pod: usize,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Canonical uncompressed result bytes.
+    pub result: Vec<u8>,
+}
+
+/// The coordinator state a journal replay reconstructs: job ownership,
+/// quarantine flags, the detection counter and every accepted result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetState {
+    /// Latest decision time folded in (placements do not advance it).
+    pub clock_s: f64,
+    /// Epoch of the last record folded in.
+    pub last_epoch: u64,
+    /// Per-pod fleet-wide quarantine flags.
+    pub quarantined: Vec<bool>,
+    /// 2G2T detections so far.
+    pub detections: u64,
+    /// Current owner pod of every job the coordinator has placed.
+    pub placed_on: BTreeMap<u64, usize>,
+    /// Accepted results in acceptance order.
+    pub accepted: Vec<AcceptedEntry>,
+}
+
+impl FleetState {
+    /// The empty fold for an `n_pods` fleet.
+    pub fn new(n_pods: usize) -> Self {
+        Self {
+            clock_s: 0.0,
+            last_epoch: 0,
+            quarantined: vec![false; n_pods],
+            detections: 0,
+            placed_on: BTreeMap::new(),
+            accepted: Vec::new(),
+        }
+    }
+
+    fn bad(epoch: u64, detail: String) -> JournalError {
+        JournalError::BadPayload { epoch, detail }
+    }
+
+    fn check_pod(&self, epoch: u64, pod: usize) -> Result<(), JournalError> {
+        if pod >= self.quarantined.len() {
+            return Err(Self::bad(
+                epoch,
+                format!("pod {pod} out of range for a {}-pod fleet", self.quarantined.len()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Folds one record in. Semantic garbage — out-of-range pods, moves
+    /// of unplaced jobs, double acceptance, double quarantine — is a
+    /// typed error, never a panic.
+    pub fn apply(&mut self, epoch: u64, rec: &FleetRecord) -> Result<(), JournalError> {
+        match rec {
+            FleetRecord::Placed { id, pod, .. } => {
+                self.check_pod(epoch, *pod)?;
+                // Re-placement of an orphaned job at restore overwrites.
+                self.placed_on.insert(*id, *pod);
+            }
+            FleetRecord::Stolen { t_s, id, from, to }
+            | FleetRecord::Replaced { t_s, id, from, to } => {
+                self.check_pod(epoch, *from)?;
+                self.check_pod(epoch, *to)?;
+                if !self.placed_on.contains_key(id) {
+                    return Err(Self::bad(epoch, format!("job {id} moved before any placement")));
+                }
+                self.placed_on.insert(*id, *to);
+                self.clock_s = self.clock_s.max(*t_s);
+            }
+            FleetRecord::Accepted { t_s, id, tenant, pod, attempts, result } => {
+                self.check_pod(epoch, *pod)?;
+                if self.accepted.iter().any(|a| a.id == *id) {
+                    return Err(Self::bad(epoch, format!("job {id} accepted twice")));
+                }
+                self.accepted.push(AcceptedEntry {
+                    id: *id,
+                    tenant: *tenant,
+                    pod: *pod,
+                    attempts: *attempts,
+                    result: result.clone(),
+                });
+                self.clock_s = self.clock_s.max(*t_s);
+            }
+            FleetRecord::Detected { t_s, pod, .. } => {
+                self.check_pod(epoch, *pod)?;
+                self.detections += 1;
+                self.clock_s = self.clock_s.max(*t_s);
+            }
+            FleetRecord::Quarantined { t_s, pod } => {
+                self.check_pod(epoch, *pod)?;
+                if self.quarantined[*pod] {
+                    return Err(Self::bad(epoch, format!("pod {pod} quarantined twice")));
+                }
+                self.quarantined[*pod] = true;
+                self.clock_s = self.clock_s.max(*t_s);
+            }
+        }
+        self.last_epoch = epoch;
+        Ok(())
+    }
+
+    /// Canonical snapshot bytes (version byte 1).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(1).f64(self.clock_s).u64(self.last_epoch);
+        w.usize(self.quarantined.len());
+        for &q in &self.quarantined {
+            w.bool(q);
+        }
+        w.u64(self.detections);
+        w.usize(self.placed_on.len());
+        for (&id, &pod) in &self.placed_on {
+            w.u64(id).usize(pod);
+        }
+        w.usize(self.accepted.len());
+        for a in &self.accepted {
+            w.u64(a.id).usize(a.tenant).usize(a.pod).u32(a.attempts);
+            w.bytes(&a.result);
+        }
+        w.finish()
+    }
+
+    /// Strict decode of [`Self::encode`] bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let off = r.offset();
+        if r.u8()? != 1 {
+            return Err(WireError { offset: off });
+        }
+        let clock_s = r.f64()?;
+        let last_epoch = r.u64()?;
+        let n_pods = r.usize()?;
+        let mut quarantined = Vec::with_capacity(n_pods.min(4096));
+        for _ in 0..n_pods {
+            quarantined.push(r.bool()?);
+        }
+        let detections = r.u64()?;
+        let n_placed = r.usize()?;
+        let mut placed_on = BTreeMap::new();
+        for _ in 0..n_placed {
+            let id = r.u64()?;
+            placed_on.insert(id, r.usize()?);
+        }
+        let n_accepted = r.usize()?;
+        let mut accepted = Vec::with_capacity(n_accepted.min(4096));
+        for _ in 0..n_accepted {
+            accepted.push(AcceptedEntry {
+                id: r.u64()?,
+                tenant: r.usize()?,
+                pod: r.usize()?,
+                attempts: r.u32()?,
+                result: r.bytes()?.to_vec(),
+            });
+        }
+        if !r.is_empty() {
+            return Err(WireError { offset: r.offset() });
+        }
+        Ok(Self { clock_s, last_epoch, quarantined, detections, placed_on, accepted })
+    }
+}
+
+// ---------------------------------------------------------------------
+// the live WAL
+// ---------------------------------------------------------------------
+
+/// The coordinator's live write-ahead log: durable journal plus the
+/// shadow [`FleetState`] every append folds through.
+#[derive(Clone, Debug)]
+pub struct FleetWal {
+    durable: DurableState,
+    state: FleetState,
+    snapshot_every: u64,
+}
+
+impl FleetWal {
+    /// A fresh WAL for an `n_pods` fleet.
+    pub fn new(n_pods: usize, snapshot_every: u64) -> Self {
+        Self { durable: DurableState::new(), state: FleetState::new(n_pods), snapshot_every }
+    }
+
+    /// Resumes over recovered durable state (the restore path);
+    /// `durable` should be the reopened (torn-tail-free) state and
+    /// `state` the fold [`recover_fleet_state`] produced from it.
+    pub fn resume(durable: DurableState, state: FleetState, snapshot_every: u64) -> Self {
+        Self { durable, state, snapshot_every }
+    }
+
+    /// Appends one record: encode, journal, fold, snapshot on cadence.
+    pub fn append(&mut self, frame_t_s: f64, rec: &FleetRecord) -> u64 {
+        let payload = rec.encode();
+        let epoch = self.durable.append(frame_t_s, &payload);
+        // Invariant, not a recoverable error: live records mirror the
+        // very transitions the fold applies.
+        self.state
+            .apply(epoch, rec)
+            .expect("live fleet records always fold into the shadow state");
+        if self.snapshot_every > 0 && epoch.is_multiple_of(self.snapshot_every) {
+            self.durable.install_snapshot(epoch, frame_t_s, &self.state.encode());
+        }
+        epoch
+    }
+
+    /// The durable journal + snapshot bytes (what a crash preserves).
+    pub fn durable(&self) -> &DurableState {
+        &self.durable
+    }
+
+    /// The shadow fold of everything appended so far.
+    pub fn state(&self) -> &FleetState {
+        &self.state
+    }
+}
+
+/// What [`recover_fleet_state`] reconstructed, plus how it got there.
+#[derive(Clone, Debug)]
+pub struct FleetWalRecovery {
+    /// The folded coordinator state.
+    pub state: FleetState,
+    /// Epoch of the snapshot recovery started from (0 = none).
+    pub snapshot_epoch: u64,
+    /// Records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Bytes of the decoded snapshot payload (0 = none).
+    pub snapshot_payload_bytes: usize,
+    /// Torn frame bytes dropped from the journal tail.
+    pub torn_tail_bytes: usize,
+}
+
+/// Recovers a [`FleetState`] from durable coordinator bytes: newest
+/// intact snapshot plus bounded replay. A torn tail is dropped; any
+/// complete-but-corrupt frame or shape mismatch is a typed error.
+pub fn recover_fleet_state(
+    durable: &DurableState,
+    n_pods: usize,
+) -> Result<FleetWalRecovery, JournalError> {
+    let rec = durable.recover()?;
+    let (mut state, snapshot_epoch, snapshot_payload_bytes) = match &rec.snapshot {
+        Some(s) => {
+            let st = FleetState::decode(&s.payload).map_err(|e| JournalError::BadPayload {
+                epoch: s.epoch,
+                detail: format!("snapshot: {e}"),
+            })?;
+            if st.quarantined.len() != n_pods {
+                return Err(JournalError::BadPayload {
+                    epoch: s.epoch,
+                    detail: format!(
+                        "snapshot covers {} pods, the config has {n_pods}",
+                        st.quarantined.len()
+                    ),
+                });
+            }
+            (st, s.epoch, s.payload.len())
+        }
+        None => (FleetState::new(n_pods), 0, 0),
+    };
+    let replayed_records = rec.records.len() as u64;
+    for r in &rec.records {
+        let fr = FleetRecord::decode(&r.payload).map_err(|e| JournalError::BadPayload {
+            epoch: r.epoch,
+            detail: e.to_string(),
+        })?;
+        state.apply(r.epoch, &fr)?;
+    }
+    Ok(FleetWalRecovery {
+        state,
+        snapshot_epoch,
+        replayed_records,
+        snapshot_payload_bytes,
+        torn_tail_bytes: rec.torn_tail_bytes,
+    })
+}
+
+/// Decodes the full coordinator event stream a durable journal
+/// witnesses — the pre-crash half of the merged fleet timeline the
+/// crash soak checks. Torn tail dropped, full history replayed
+/// (the coordinator WAL never compacts).
+pub fn decode_fleet_events(durable: &DurableState) -> Result<Vec<FleetEvent>, JournalError> {
+    let clean = durable.reopen()?;
+    let records = clean.journal.replay()?;
+    let mut out = Vec::with_capacity(records.len());
+    for r in &records {
+        let fr = FleetRecord::decode(&r.payload).map_err(|e| JournalError::BadPayload {
+            epoch: r.epoch,
+            detail: e.to_string(),
+        })?;
+        out.push(fr.event());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<FleetRecord> {
+        vec![
+            FleetRecord::Placed { t_s: 0.5, id: 7, pod: 1 },
+            FleetRecord::Placed { t_s: 0.6, id: 8, pod: 0 },
+            FleetRecord::Stolen { t_s: 1.0, id: 7, from: 1, to: 0 },
+            FleetRecord::Accepted {
+                t_s: 2.0,
+                id: 8,
+                tenant: 3,
+                pod: 0,
+                attempts: 1,
+                result: vec![1, 2, 3, 4],
+            },
+            FleetRecord::Detected { t_s: 2.5, id: 7, pod: 0, corruption: "swapped-shard" },
+            FleetRecord::Quarantined { t_s: 2.5, pod: 0 },
+            FleetRecord::Replaced { t_s: 2.5, id: 7, from: 0, to: 1 },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_and_reject_trailing_garbage() {
+        for rec in sample_records() {
+            let mut bytes = rec.encode();
+            assert_eq!(FleetRecord::decode(&bytes).unwrap(), rec);
+            bytes.push(0);
+            assert!(FleetRecord::decode(&bytes).is_err(), "trailing byte must fail: {rec:?}");
+        }
+    }
+
+    #[test]
+    fn fold_tracks_ownership_detections_and_snapshot_roundtrips() {
+        let mut st = FleetState::new(2);
+        for (i, rec) in sample_records().iter().enumerate() {
+            st.apply(i as u64 + 1, rec).unwrap();
+        }
+        assert_eq!(st.placed_on[&7], 1, "7 replaced back onto pod 1");
+        assert_eq!(st.placed_on[&8], 0);
+        assert_eq!(st.detections, 1);
+        assert_eq!(st.quarantined, vec![true, false]);
+        assert_eq!(st.accepted.len(), 1);
+        assert_eq!(st.accepted[0].result, vec![1, 2, 3, 4]);
+        assert_eq!(st.clock_s, 2.5);
+        let bytes = st.encode();
+        assert_eq!(FleetState::decode(&bytes).unwrap(), st);
+    }
+
+    #[test]
+    fn fold_rejects_semantic_garbage() {
+        let mut st = FleetState::new(2);
+        assert!(matches!(
+            st.apply(1, &FleetRecord::Placed { t_s: 0.0, id: 1, pod: 9 }),
+            Err(JournalError::BadPayload { .. })
+        ));
+        assert!(matches!(
+            st.apply(1, &FleetRecord::Stolen { t_s: 0.0, id: 1, from: 0, to: 1 }),
+            Err(JournalError::BadPayload { .. })
+        ));
+        st.apply(1, &FleetRecord::Quarantined { t_s: 1.0, pod: 0 }).unwrap();
+        assert!(matches!(
+            st.apply(2, &FleetRecord::Quarantined { t_s: 1.0, pod: 0 }),
+            Err(JournalError::BadPayload { .. })
+        ));
+        let acc = FleetRecord::Accepted {
+            t_s: 1.0,
+            id: 4,
+            tenant: 0,
+            pod: 1,
+            attempts: 1,
+            result: vec![9],
+        };
+        st.apply(3, &acc).unwrap();
+        assert!(matches!(st.apply(4, &acc), Err(JournalError::BadPayload { .. })));
+    }
+
+    #[test]
+    fn wal_snapshot_equals_fold_and_recovery_replays_it() {
+        let mut wal = FleetWal::new(2, 3);
+        for rec in sample_records() {
+            let t = match rec {
+                FleetRecord::Placed { .. } => 0.0,
+                FleetRecord::Stolen { t_s, .. }
+                | FleetRecord::Accepted { t_s, .. }
+                | FleetRecord::Detected { t_s, .. }
+                | FleetRecord::Quarantined { t_s, .. }
+                | FleetRecord::Replaced { t_s, .. } => t_s,
+            };
+            wal.append(t, &rec);
+        }
+        let rec = recover_fleet_state(wal.durable(), 2).unwrap();
+        assert_eq!(&rec.state, wal.state(), "replay equals the shadow fold");
+        assert_eq!(rec.snapshot_epoch, 6, "cadence-3 snapshot at epoch 6");
+        assert_eq!(rec.replayed_records, 1);
+        let events = decode_fleet_events(wal.durable()).unwrap();
+        assert_eq!(events.len(), 7);
+        assert!(matches!(events[3].kind, FleetEventKind::Verified { pod: 0 }));
+
+        // A record-boundary cut recovers the exact prefix fold.
+        let cut = wal.durable().truncate_records(4);
+        let rec4 = recover_fleet_state(&cut, 2).unwrap();
+        let mut expect = FleetState::new(2);
+        for (i, r) in sample_records().iter().take(4).enumerate() {
+            expect.apply(i as u64 + 1, r).unwrap();
+        }
+        assert_eq!(rec4.state, expect);
+    }
+}

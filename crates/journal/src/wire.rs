@@ -1,0 +1,200 @@
+//! Minimal little-endian byte codec used by journal payloads.
+//!
+//! The journal itself treats payloads as opaque; the service and fleet
+//! layers encode their records with this writer/reader pair so every
+//! payload has one canonical byte form (byte-comparable snapshots) and
+//! decoding failures surface as typed [`WireError`]s instead of panics.
+
+/// A decode failure: the reader ran past the end of the buffer or met a
+/// malformed length/UTF-8 field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "wire decode failed at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Canonical little-endian encoder.
+#[derive(Clone, Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Finishes, yielding the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Appends an `f64` by bit pattern (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Appends length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+}
+
+/// Strict little-endian decoder over a byte slice.
+#[derive(Clone, Copy, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.off + n > self.buf.len() {
+            return Err(WireError { offset: self.off });
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a `usize` (encoded as `u64`); errors if it overflows.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        let off = self.off;
+        usize::try_from(self.u64()?).map_err(|_| WireError { offset: off })
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`; errors on any byte other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        let off = self.off;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError { offset: off }),
+        }
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let off = self.off;
+        let len = self.u32()? as usize;
+        self.take(len).map_err(|_| WireError { offset: off })
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let off = self.off;
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError { offset: off })
+    }
+
+    /// True when every byte has been consumed — decoders check this to
+    /// reject trailing garbage.
+    pub fn is_empty(&self) -> bool {
+        self.off == self.buf.len()
+    }
+
+    /// Current offset (for error reporting).
+    pub fn offset(&self) -> usize {
+        self.off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = ByteWriter::new();
+        w.u8(7).u32(0xdead_beef).u64(1 << 40).f64(-0.125).bool(true).str("tenant").bytes(&[1, 2, 3]);
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "tenant");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn short_reads_are_typed() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.u64().is_err());
+        let mut r2 = ByteReader::new(&[5, 0, 0, 0, 1]);
+        assert!(r2.bytes().is_err(), "declared length outruns buffer");
+        let mut r3 = ByteReader::new(&[2]);
+        assert!(r3.bool().is_err(), "non-boolean byte rejected");
+    }
+}

@@ -122,6 +122,17 @@ impl CircuitBreaker {
         }
     }
 
+    /// Rebuilds a breaker from durable recovery state.
+    ///
+    /// `open_spells` and `open_until_s` are reconstructed from the
+    /// journal's `Breaker` transition records; `consecutive_faults`
+    /// legitimately resets to zero across a restart (the fault streak
+    /// was in volatile memory, and a conservative reset only delays —
+    /// never skips — the next trip).
+    pub fn restore(state: BreakerState, open_spells: u32, open_until_s: f64) -> Self {
+        Self { state, consecutive_faults: 0, open_spells, open_until_s }
+    }
+
     /// Current state (as of the last `poll`).
     pub fn state(&self) -> BreakerState {
         self.state

@@ -46,6 +46,7 @@ pub mod pool;
 pub mod report;
 pub mod service;
 pub mod soak;
+pub mod wal;
 
 pub use admission::{AdmissionError, ShedPolicy, TenantConfig};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, PoolTransition};
@@ -58,3 +59,7 @@ pub use service::{
     StolenJob,
 };
 pub use soak::{run_soak, shrink, Sabotage, SoakOptions, SoakOutcome, SoakSpec, Violation};
+pub use wal::{
+    decode_events, recover_state, AdmissionOutcome, BreakerRestore, CompletedEntry, JobEntry,
+    JobPhase, RecoveryInfo, ServiceRecord, ServiceState, ServiceWal, TenantCounters, WalRecovery,
+};

@@ -25,6 +25,17 @@ impl DevicePool {
         }
     }
 
+    /// Rebuilds a pool from restored breakers (crash recovery).
+    ///
+    /// Busy horizons reset to idle — any in-flight work was lost with
+    /// the crash and is re-dispatched by the service — and the
+    /// transition timeline restarts empty (the pre-crash prefix lives
+    /// in the journal, not in volatile pool state).
+    pub fn restore(config: BreakerConfig, breakers: Vec<CircuitBreaker>) -> Self {
+        let n = breakers.len();
+        Self { config, breakers, busy_until_s: vec![0.0; n], timeline: Vec::new() }
+    }
+
     /// Number of devices in the pool (healthy or not).
     pub fn n_devices(&self) -> usize {
         self.breakers.len()

@@ -15,12 +15,17 @@ use distmsm::CurveDesc;
 use distmsm_ec::{Curve, XyzzPoint};
 use distmsm_gpu_sim::MultiGpuSystem;
 
+use distmsm_journal::{DurableState, JournalError};
+
 use crate::admission::{AdmissionError, ShedPolicy, TenantConfig};
-use crate::breaker::{BreakerConfig, PoolTransition};
+use crate::breaker::{BreakerConfig, CircuitBreaker, PoolTransition};
 use crate::chaos::ChaosSchedule;
 use crate::job::{JobClass, JobSpec, ShedReason};
 use crate::pool::DevicePool;
 use crate::report::{ServiceReport, TenantStats};
+use crate::wal::{
+    self, AdmissionOutcome, JobPhase, RecoveryInfo, ServiceRecord, ServiceState, ServiceWal,
+};
 
 /// Configuration of the service front-end.
 #[derive(Clone, Debug)]
@@ -45,6 +50,10 @@ pub struct ServiceConfig {
     pub window_size: u32,
     /// Straggler SLA forwarded to the engine (`None` disables).
     pub straggler_sla: Option<f64>,
+    /// Install a journal snapshot every this many records (0 disables
+    /// snapshotting; recovery then replays the whole journal). The
+    /// journal itself is always on.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +71,7 @@ impl Default for ServiceConfig {
             max_attempts: 3,
             window_size: 8,
             straggler_sla: Some(3.0),
+            snapshot_every: 0,
         }
     }
 }
@@ -123,6 +133,18 @@ pub enum ServiceEventKind {
     Breaker {
         /// The transition.
         transition: PoolTransition,
+    },
+    /// The service restarted from durable state (journal + snapshot).
+    /// Emitted once, first thing after a [`ProverService::restore`].
+    Recovered {
+        /// Epoch of the snapshot recovery started from (0 = none).
+        snapshot_epoch: u64,
+        /// Journal records replayed on top of the snapshot.
+        replayed: u64,
+        /// Queued or in-flight jobs put back on a queue.
+        requeued: u64,
+        /// Jobs whose arrival was not yet durable, re-seeded.
+        rearrived: u64,
     },
 }
 
@@ -277,6 +299,10 @@ pub struct ProverService<C: Curve> {
     /// The sorted arrival trace [`Self::begin`] seeded, indexed by
     /// `PendingKind::Arrival`.
     arrivals: Vec<JobSpec<C>>,
+    /// The always-on write-ahead journal: every state change is
+    /// appended in the handler that makes it, so a crash (journal
+    /// truncation) always preserves a consistent history prefix.
+    wal: ServiceWal,
 }
 
 impl<C: Curve> ProverService<C> {
@@ -303,6 +329,12 @@ impl<C: Curve> ProverService<C> {
             Self::engine_config(&config, distmsm_gpu_sim::FaultPlan::none())
                 .expect("service engine config is valid"),
         );
+        let wal = ServiceWal::new(
+            config.tenants.len(),
+            config.n_devices,
+            config.breaker,
+            config.snapshot_every,
+        );
         Self {
             config,
             pool,
@@ -318,6 +350,7 @@ impl<C: Curve> ProverService<C> {
             curve: CurveDesc::of::<C>(),
             admission_engine,
             arrivals: Vec::new(),
+            wal,
         }
     }
 
@@ -340,6 +373,193 @@ impl<C: Curve> ProverService<C> {
         &self.pool
     }
 
+    /// Rebuilds a service from durable state after a crash: newest
+    /// intact snapshot + bounded journal replay, then re-queue what was
+    /// live and re-seed what was never durably admitted.
+    ///
+    /// `jobs` is the full arrival trace (plus any fleet-absorbed specs)
+    /// — the journal stores job *state*, not instances, so every
+    /// non-terminal journaled job must have its spec here. `config`
+    /// must match the crashed service's (tenant table and device count
+    /// are validated against the snapshot shape).
+    ///
+    /// Semantics, checked end to end by the crash soak:
+    ///
+    /// * Jobs with a durable terminal record (completed, failed, shed,
+    ///   rejected, stolen-away) are **never** resurrected.
+    /// * Queued jobs re-enqueue with their original queue-epoch start,
+    ///   so the starvation bound keeps counting across the crash.
+    /// * In-flight jobs lost their execution: they re-join the queue at
+    ///   the same attempt under a fresh epoch, with a `Requeued` event.
+    /// * Jobs with no durable admission record re-arrive and have
+    ///   admission decided afresh.
+    /// * Breakers restore from transition records; completed results
+    ///   decode back bit-exactly from their canonical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any corrupt durable state — CRC mismatch, missing/duplicate
+    /// epoch, stale snapshot, undecodable payload, or a live job whose
+    /// spec is missing from `jobs` — is a typed [`JournalError`]; a
+    /// torn tail alone is tolerated and dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` itself is degenerate, exactly as
+    /// [`Self::new`] does.
+    pub fn restore(
+        config: ServiceConfig,
+        jobs: &[JobSpec<C>],
+        durable: &DurableState,
+    ) -> Result<(Self, RecoveryInfo), JournalError> {
+        let rec = wal::recover_state(
+            durable,
+            config.tenants.len(),
+            config.n_devices,
+            &config.breaker,
+        )?;
+        let snapshot_every = config.snapshot_every;
+        let breaker_cfg = config.breaker;
+        let mut svc = Self::new(config);
+        let state = rec.state;
+        svc.clock_s = state.clock_s;
+        svc.pool = DevicePool::restore(
+            breaker_cfg,
+            state
+                .breakers
+                .iter()
+                .map(|b| CircuitBreaker::restore(b.state, b.open_spells, b.open_until_s))
+                .collect(),
+        );
+        for (a, t) in svc.accum.iter_mut().zip(&state.tenants) {
+            a.arrivals = t.arrivals;
+            a.admitted = t.admitted;
+            a.rejected = t.rejected;
+            a.completed = t.completed;
+            a.failed = t.failed;
+            a.shed = t.shed;
+            a.deadline_missed = t.deadline_missed;
+            a.sojourns_s = t.sojourns_s.clone();
+        }
+        for e in &state.completed {
+            let affine = distmsm_ec::serialize::point_from_uncompressed::<C>(&e.result)
+                .ok_or_else(|| JournalError::BadPayload {
+                    epoch: state.last_epoch,
+                    detail: format!("completed job {} carries an undecodable result point", e.id),
+                })?;
+            svc.completed.push(CompletedJob {
+                id: e.id,
+                tenant: e.tenant,
+                result: affine.to_xyzz(),
+                attempts: e.attempts,
+                used_readmitted_device: e.used_readmitted,
+            });
+        }
+
+        // Continue the journal from the reopened (torn-tail-free) log.
+        svc.wal = ServiceWal::resume(
+            durable.reopen()?,
+            state.clone(),
+            breaker_cfg,
+            snapshot_every,
+        );
+
+        let spec_by_id: BTreeMap<u64, &JobSpec<C>> = jobs.iter().map(|j| (j.id, j)).collect();
+        let live_spec = |id: u64| {
+            spec_by_id.get(&id).copied().ok_or_else(|| JournalError::BadPayload {
+                epoch: state.last_epoch,
+                detail: format!("journaled job {id} is live at recovery but has no spec"),
+            })
+        };
+        let mut requeued = 0u64;
+        for (&id, entry) in &state.jobs {
+            match entry.phase {
+                JobPhase::Queued { attempt, since_s } => {
+                    let spec = live_spec(id)?;
+                    let bound = svc.config.shed.class_bound(spec.class);
+                    // The original queue epoch survives the crash, so
+                    // the starvation bound keeps counting.
+                    let expire_s = since_s + bound;
+                    svc.queues[entry.tenant].push_back(QueuedJob {
+                        spec: spec.clone(),
+                        attempt,
+                        enqueued_s: since_s,
+                        expire_s,
+                    });
+                    svc.push_pending(expire_s.max(svc.clock_s), PendingKind::Expire(id));
+                    requeued += 1;
+                }
+                JobPhase::InFlight { attempt } => {
+                    let spec = live_spec(id)?;
+                    // The execution died with the pod: back to the
+                    // queue at the same attempt, fresh epoch.
+                    let bound = svc.config.shed.class_bound(spec.class);
+                    let expire_s = svc.clock_s + bound;
+                    svc.emit_journal(
+                        Some(id),
+                        Some(entry.tenant),
+                        ServiceEventKind::Requeued { attempt },
+                    );
+                    svc.queues[entry.tenant].push_back(QueuedJob {
+                        spec: spec.clone(),
+                        attempt,
+                        enqueued_s: svc.clock_s,
+                        expire_s,
+                    });
+                    svc.push_pending(expire_s, PendingKind::Expire(id));
+                    requeued += 1;
+                }
+                JobPhase::Done
+                | JobPhase::Rejected
+                | JobPhase::Failed
+                | JobPhase::Shed
+                | JobPhase::StolenAway { .. } => {}
+            }
+        }
+
+        // Jobs the journal never saw re-arrive and re-run admission.
+        let rearrive: Vec<JobSpec<C>> = jobs
+            .iter()
+            .filter(|j| !state.jobs.contains_key(&j.id))
+            .cloned()
+            .collect();
+        let rearrived = rearrive.len() as u64;
+        svc.begin(rearrive);
+
+        svc.emit_journal(
+            None,
+            None,
+            ServiceEventKind::Recovered {
+                snapshot_epoch: rec.snapshot_epoch,
+                replayed: rec.replayed_records,
+                requeued,
+                rearrived,
+            },
+        );
+        svc.instant(
+            "recovery:restored",
+            vec![
+                ("snapshot_epoch".into(), rec.snapshot_epoch.to_string()),
+                ("replayed".into(), rec.replayed_records.to_string()),
+                ("requeued".into(), requeued.to_string()),
+                ("rearrived".into(), rearrived.to_string()),
+            ],
+        );
+
+        let info = RecoveryInfo {
+            snapshot_epoch: rec.snapshot_epoch,
+            replayed_records: rec.replayed_records,
+            torn_tail_bytes: rec.torn_tail_bytes,
+            requeued_jobs: requeued,
+            rearrived_jobs: rearrived,
+            recovery_cost_s: wal::RECOVERY_BASE_S
+                + rec.snapshot_payload_bytes as f64 * wal::SNAPSHOT_BYTE_S
+                + rec.replayed_records as f64 * wal::REPLAY_RECORD_S,
+            scratch_cost_s: state.clock_s,
+        };
+        Ok((svc, info))
+    }
+
     fn push_pending(&mut self, t_s: f64, kind: PendingKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -348,6 +568,29 @@ impl<C: Curve> ProverService<C> {
 
     fn emit(&mut self, job: Option<u64>, tenant: Option<usize>, kind: ServiceEventKind) {
         self.events.push(ServiceEvent { t_s: self.clock_s, job, tenant, kind });
+    }
+
+    /// Emits an event *and* journals it as a [`ServiceRecord::Event`] —
+    /// the path for every event that is itself the atomic unit of a
+    /// state change (dispatch, requeue, failure, shed, breaker,
+    /// recovery marker). Admission and completion instead ride their
+    /// compound records, journaled at their call sites.
+    fn emit_journal(&mut self, job: Option<u64>, tenant: Option<usize>, kind: ServiceEventKind) {
+        let ev = ServiceEvent { t_s: self.clock_s, job, tenant, kind };
+        self.wal.append(ev.t_s, &ServiceRecord::Event(ev.clone()));
+        self.events.push(ev);
+    }
+
+    /// The durable journal + snapshot bytes — what a simulated crash
+    /// preserves and [`Self::restore`] rebuilds from.
+    pub fn durable(&self) -> &DurableState {
+        self.wal.durable()
+    }
+
+    /// The WAL's shadow fold of everything journaled so far (the
+    /// `CKPT-001` rule compares this against a from-scratch replay).
+    pub fn wal_state(&self) -> &ServiceState {
+        self.wal.state()
     }
 
     /// Emits a telemetry instant on the `service` lane (no-op unless the
@@ -378,7 +621,7 @@ impl<C: Curve> ProverService<C> {
                     ("cause".into(), t.cause.into()),
                 ],
             );
-            self.emit(None, None, ServiceEventKind::Breaker { transition: t });
+            self.emit_journal(None, None, ServiceEventKind::Breaker { transition: t });
         }
     }
 
@@ -535,6 +778,12 @@ impl<C: Curve> ProverService<C> {
     pub fn steal_earliest(&mut self) -> Option<StolenJob<C>> {
         let (eff, tenant, pos) = self.find_edf()?;
         let q = self.queues[tenant].remove(pos)?;
+        // Journal the steal so recovery never resurrects a job another
+        // pod now owns. No service event is emitted for queue surgery.
+        self.wal.append(
+            self.clock_s,
+            &ServiceRecord::StolenOut { t_s: self.clock_s, id: q.spec.id, attempt: q.attempt },
+        );
         Some(StolenJob { spec: q.spec, attempt: q.attempt, effective_deadline_s: eff })
     }
 
@@ -558,6 +807,15 @@ impl<C: Curve> ProverService<C> {
         let bound = self.config.shed.class_bound(stolen.spec.class);
         let expire_s = self.clock_s + bound;
         let id = stolen.spec.id;
+        self.wal.append(
+            self.clock_s,
+            &ServiceRecord::Absorbed {
+                t_s: self.clock_s,
+                id,
+                tenant,
+                attempt: stolen.attempt,
+            },
+        );
         self.queues[tenant].push_back(QueuedJob {
             spec: stolen.spec,
             attempt: stolen.attempt,
@@ -597,6 +855,18 @@ impl<C: Curve> ProverService<C> {
                 &format!("reject:{}", error.label()),
                 vec![("job".into(), spec.id.to_string()), ("tenant".into(), tcfg.name.clone())],
             );
+            // Arrival + outcome ride one atomic journal record: a torn
+            // write can lose the whole admission, never half of it.
+            self.wal.append(
+                self.clock_s,
+                &ServiceRecord::Admission {
+                    t_s: self.clock_s,
+                    id: spec.id,
+                    tenant,
+                    class: spec.class,
+                    outcome: AdmissionOutcome::Rejected { error: error.clone() },
+                },
+            );
             self.emit(Some(spec.id), Some(tenant), ServiceEventKind::Rejected { error });
             return;
         }
@@ -605,6 +875,7 @@ impl<C: Curve> ProverService<C> {
         let bound = self.config.shed.class_bound(spec.class);
         let expire_s = self.clock_s + bound;
         let id = spec.id;
+        let class = spec.class;
         self.queues[tenant].push_back(QueuedJob {
             spec,
             attempt: 0,
@@ -612,6 +883,16 @@ impl<C: Curve> ProverService<C> {
             expire_s,
         });
         let queue_len = self.queues[tenant].len();
+        self.wal.append(
+            self.clock_s,
+            &ServiceRecord::Admission {
+                t_s: self.clock_s,
+                id,
+                tenant,
+                class,
+                outcome: AdmissionOutcome::Admitted { queue_len },
+            },
+        );
         self.emit(Some(id), Some(tenant), ServiceEventKind::Admitted { queue_len });
         self.push_pending(expire_s, PendingKind::Expire(id));
     }
@@ -745,7 +1026,7 @@ impl<C: Curve> ProverService<C> {
         let used_readmitted_device = devices.iter().any(|&d| self.pool.open_spells(d) > 0);
         self.pool.allocate(&devices, self.clock_s + duration_s);
         self.push_pending(self.clock_s + duration_s, PendingKind::Completion(job.spec.id));
-        self.emit(
+        self.emit_journal(
             Some(job.spec.id),
             Some(job.spec.tenant),
             ServiceEventKind::Dispatched { devices: devices.clone(), attempt, degraded },
@@ -798,15 +1079,29 @@ impl<C: Curve> ProverService<C> {
                     self.accum[tenant].deadline_missed += 1;
                 }
                 self.accum[tenant].sojourns_s.push(sojourn_s);
-                self.emit(
-                    Some(id),
-                    Some(tenant),
-                    ServiceEventKind::Completed {
+                let event = ServiceEvent {
+                    t_s: self.clock_s,
+                    job: Some(id),
+                    tenant: Some(tenant),
+                    kind: ServiceEventKind::Completed {
                         deadline_met,
                         sojourn_s,
                         attempts: fl.attempt + 1,
                     },
+                };
+                // Event + result bytes in one atomic record: no torn
+                // write can strand a completion without its payload.
+                self.wal.append(
+                    self.clock_s,
+                    &ServiceRecord::Completed {
+                        event: event.clone(),
+                        result: distmsm_ec::serialize::point_to_uncompressed(
+                            &report.result.to_affine(),
+                        ),
+                        used_readmitted: fl.used_readmitted_device,
+                    },
                 );
+                self.events.push(event);
                 self.completed.push(CompletedJob {
                     id,
                     tenant,
@@ -838,7 +1133,7 @@ impl<C: Curve> ProverService<C> {
                 if next_attempt < self.config.max_attempts {
                     let bound = self.config.shed.class_bound(fl.spec.class);
                     let expire_s = self.clock_s + bound;
-                    self.emit(
+                    self.emit_journal(
                         Some(id),
                         Some(tenant),
                         ServiceEventKind::Requeued { attempt: next_attempt },
@@ -856,7 +1151,7 @@ impl<C: Curve> ProverService<C> {
                         "job:failed",
                         vec![("job".into(), id.to_string()), ("error".into(), error.to_string())],
                     );
-                    self.emit(
+                    self.emit_journal(
                         Some(id),
                         Some(tenant),
                         ServiceEventKind::Failed { error: error.to_string() },
@@ -885,7 +1180,7 @@ impl<C: Curve> ProverService<C> {
                     &format!("shed:{}", reason.label()),
                     vec![("job".into(), id.to_string())],
                 );
-                self.emit(Some(id), Some(tenant), ServiceEventKind::Shed { reason });
+                self.emit_journal(Some(id), Some(tenant), ServiceEventKind::Shed { reason });
                 return;
             }
         }

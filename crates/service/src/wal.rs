@@ -1,0 +1,1366 @@
+//! Crash-consistent write-ahead journaling for the prover service.
+//!
+//! Every externally visible state change the service makes — admission
+//! outcomes, dispatches, requeues, completions, sheds, breaker
+//! transitions, and the fleet's steal/absorb queue surgery — is encoded
+//! as one [`ServiceRecord`] and appended to a `distmsm-journal`
+//! [`DurableState`] *in the same handler that makes the change*. On the
+//! simulated clock an append is atomic, so the journal is always a
+//! consistent prefix of the service's history; a crash is modelled by
+//! truncating the journal bytes at an arbitrary (even mid-frame)
+//! boundary and rebuilding from what survived.
+//!
+//! Three design rules keep recovery exactly-once:
+//!
+//! * **Atomic compound records.** An arrival and its admission outcome
+//!   ride one [`ServiceRecord::Admission`] record, and a completion
+//!   event and its result bytes ride one [`ServiceRecord::Completed`]
+//!   record. No record boundary can therefore separate a decision from
+//!   its effect — a torn write loses the *whole* decision, never half
+//!   of it.
+//! * **A shadow fold.** [`ServiceWal`] maintains a [`ServiceState`] by
+//!   folding every appended record through [`ServiceState::apply`] —
+//!   the same function recovery uses. A snapshot is just the encoded
+//!   shadow state, so *snapshot ≡ replay* holds by construction (the
+//!   `CKPT-001` analyzer rule grounds this equivalence on real logs).
+//! * **Replay-only counters.** Everything the fold tracks (job phases,
+//!   tenant counters, breaker spells, completed results) is derivable
+//!   from the record stream alone; volatile details that are *not*
+//!   journaled (heap order, round-robin cursor, busy horizons) are
+//!   exactly the ones a restart may legitimately rebuild differently.
+//!
+//! Recovery invariants the crash soak checks end to end: every job
+//! terminates exactly once across the crash, shed/completed jobs are
+//! never resurrected, results stay bit-exact, and recovery cost
+//! (snapshot decode + bounded replay) is strictly below re-running the
+//! lost history once the journal is long enough.
+
+use std::collections::BTreeMap;
+
+use distmsm_journal::{ByteReader, ByteWriter, DurableState, JournalError, WireError};
+
+use crate::admission::AdmissionError;
+use crate::breaker::{BreakerConfig, BreakerState};
+use crate::job::{JobClass, ShedReason};
+use crate::service::{ServiceEvent, ServiceEventKind};
+
+/// Modelled fixed cost of opening the durable state on recovery.
+pub const RECOVERY_BASE_S: f64 = 5e-3;
+/// Modelled cost of folding one replayed journal record.
+pub const REPLAY_RECORD_S: f64 = 2e-4;
+/// Modelled cost per snapshot byte decoded on recovery.
+pub const SNAPSHOT_BYTE_S: f64 = 1e-8;
+
+// ---------------------------------------------------------------------
+// small tag codecs
+// ---------------------------------------------------------------------
+
+fn class_tag(c: JobClass) -> u8 {
+    match c {
+        JobClass::Interactive => 0,
+        JobClass::Batch => 1,
+    }
+}
+
+fn class_from(tag: u8, off: usize) -> Result<JobClass, WireError> {
+    match tag {
+        0 => Ok(JobClass::Interactive),
+        1 => Ok(JobClass::Batch),
+        _ => Err(WireError { offset: off }),
+    }
+}
+
+fn reason_tag(r: ShedReason) -> u8 {
+    match r {
+        ShedReason::Starvation => 0,
+        ShedReason::PoolQuarantined => 1,
+    }
+}
+
+fn reason_from(tag: u8, off: usize) -> Result<ShedReason, WireError> {
+    match tag {
+        0 => Ok(ShedReason::Starvation),
+        1 => Ok(ShedReason::PoolQuarantined),
+        _ => Err(WireError { offset: off }),
+    }
+}
+
+fn state_tag(s: BreakerState) -> u8 {
+    match s {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    }
+}
+
+fn state_from(tag: u8, off: usize) -> Result<BreakerState, WireError> {
+    match tag {
+        0 => Ok(BreakerState::Closed),
+        1 => Ok(BreakerState::Open),
+        2 => Ok(BreakerState::HalfOpen),
+        _ => Err(WireError { offset: off }),
+    }
+}
+
+/// The breaker's four `&'static str` transition causes, as wire tags.
+/// An unknown cause (future code) maps to the reserved tag rather than
+/// failing the append path.
+fn cause_tag(cause: &str) -> u8 {
+    match cause {
+        "fault-threshold" => 0,
+        "probation-elapsed" => 1,
+        "probe-success" => 2,
+        "probe-fault" => 3,
+        _ => 255,
+    }
+}
+
+fn cause_from(tag: u8, off: usize) -> Result<&'static str, WireError> {
+    match tag {
+        0 => Ok("fault-threshold"),
+        1 => Ok("probation-elapsed"),
+        2 => Ok("probe-success"),
+        3 => Ok("probe-fault"),
+        255 => Ok("unknown"),
+        _ => Err(WireError { offset: off }),
+    }
+}
+
+fn encode_admission_error(w: &mut ByteWriter, e: &AdmissionError) {
+    match e {
+        AdmissionError::QueueFull { tenant, capacity } => {
+            w.u8(0).str(tenant).usize(*capacity);
+        }
+        AdmissionError::Shedding { tenant, pressure } => {
+            w.u8(1).str(tenant).f64(*pressure);
+        }
+        AdmissionError::DeadlineInfeasible { needed_s, available_s } => {
+            w.u8(2).f64(*needed_s).f64(*available_s);
+        }
+    }
+}
+
+fn decode_admission_error(r: &mut ByteReader<'_>) -> Result<AdmissionError, WireError> {
+    let off = r.offset();
+    match r.u8()? {
+        0 => Ok(AdmissionError::QueueFull { tenant: r.str()?, capacity: r.usize()? }),
+        1 => Ok(AdmissionError::Shedding { tenant: r.str()?, pressure: r.f64()? }),
+        2 => Ok(AdmissionError::DeadlineInfeasible { needed_s: r.f64()?, available_s: r.f64()? }),
+        _ => Err(WireError { offset: off }),
+    }
+}
+
+fn encode_option_u64(w: &mut ByteWriter, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            w.bool(true).u64(x);
+        }
+        None => {
+            w.bool(false);
+        }
+    }
+}
+
+fn decode_option_u64(r: &mut ByteReader<'_>) -> Result<Option<u64>, WireError> {
+    Ok(if r.bool()? { Some(r.u64()?) } else { None })
+}
+
+fn encode_event(w: &mut ByteWriter, ev: &ServiceEvent) {
+    w.f64(ev.t_s);
+    encode_option_u64(w, ev.job);
+    encode_option_u64(w, ev.tenant.map(|t| t as u64));
+    match &ev.kind {
+        ServiceEventKind::Arrival { class } => {
+            w.u8(0).u8(class_tag(*class));
+        }
+        ServiceEventKind::Admitted { queue_len } => {
+            w.u8(1).usize(*queue_len);
+        }
+        ServiceEventKind::Rejected { error } => {
+            w.u8(2);
+            encode_admission_error(w, error);
+        }
+        ServiceEventKind::Dispatched { devices, attempt, degraded } => {
+            w.u8(3).usize(devices.len());
+            for d in devices {
+                w.usize(*d);
+            }
+            w.u32(*attempt).bool(*degraded);
+        }
+        ServiceEventKind::Requeued { attempt } => {
+            w.u8(4).u32(*attempt);
+        }
+        ServiceEventKind::Completed { deadline_met, sojourn_s, attempts } => {
+            w.u8(5).bool(*deadline_met).f64(*sojourn_s).u32(*attempts);
+        }
+        ServiceEventKind::Failed { error } => {
+            w.u8(6).str(error);
+        }
+        ServiceEventKind::Shed { reason } => {
+            w.u8(7).u8(reason_tag(*reason));
+        }
+        ServiceEventKind::Breaker { transition } => {
+            w.u8(8)
+                .usize(transition.device)
+                .f64(transition.t_s)
+                .u8(state_tag(transition.from))
+                .u8(state_tag(transition.to))
+                .u8(cause_tag(transition.cause));
+        }
+        ServiceEventKind::Recovered { snapshot_epoch, replayed, requeued, rearrived } => {
+            w.u8(9).u64(*snapshot_epoch).u64(*replayed).u64(*requeued).u64(*rearrived);
+        }
+    }
+}
+
+fn decode_event(r: &mut ByteReader<'_>) -> Result<ServiceEvent, WireError> {
+    let t_s = r.f64()?;
+    let job = decode_option_u64(r)?;
+    let tenant = decode_option_u64(r)?.map(|t| t as usize);
+    let off = r.offset();
+    let kind = match r.u8()? {
+        0 => {
+            let off = r.offset();
+            ServiceEventKind::Arrival { class: class_from(r.u8()?, off)? }
+        }
+        1 => ServiceEventKind::Admitted { queue_len: r.usize()? },
+        2 => ServiceEventKind::Rejected { error: decode_admission_error(r)? },
+        3 => {
+            let n = r.usize()?;
+            let mut devices = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                devices.push(r.usize()?);
+            }
+            ServiceEventKind::Dispatched { devices, attempt: r.u32()?, degraded: r.bool()? }
+        }
+        4 => ServiceEventKind::Requeued { attempt: r.u32()? },
+        5 => ServiceEventKind::Completed {
+            deadline_met: r.bool()?,
+            sojourn_s: r.f64()?,
+            attempts: r.u32()?,
+        },
+        6 => ServiceEventKind::Failed { error: r.str()? },
+        7 => {
+            let off = r.offset();
+            ServiceEventKind::Shed { reason: reason_from(r.u8()?, off)? }
+        }
+        8 => {
+            let device = r.usize()?;
+            let t_s = r.f64()?;
+            let off_from = r.offset();
+            let from = state_from(r.u8()?, off_from)?;
+            let off_to = r.offset();
+            let to = state_from(r.u8()?, off_to)?;
+            let off_cause = r.offset();
+            let cause = cause_from(r.u8()?, off_cause)?;
+            ServiceEventKind::Breaker {
+                transition: crate::breaker::PoolTransition { device, t_s, from, to, cause },
+            }
+        }
+        9 => ServiceEventKind::Recovered {
+            snapshot_epoch: r.u64()?,
+            replayed: r.u64()?,
+            requeued: r.u64()?,
+            rearrived: r.u64()?,
+        },
+        _ => return Err(WireError { offset: off }),
+    };
+    Ok(ServiceEvent { t_s, job, tenant, kind })
+}
+
+// ---------------------------------------------------------------------
+// records
+// ---------------------------------------------------------------------
+
+/// The admission half of an [`ServiceRecord::Admission`] record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdmissionOutcome {
+    /// The job joined its tenant queue.
+    Admitted {
+        /// Queue length after the push.
+        queue_len: usize,
+    },
+    /// The job was refused at the door.
+    Rejected {
+        /// Why.
+        error: AdmissionError,
+    },
+}
+
+/// One journaled service state change. The journal frame supplies the
+/// epoch and timestamp; the payload is this record's canonical byte
+/// encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceRecord {
+    /// A job arrived *and* its admission outcome was decided — one
+    /// atomic record, so truncation can never separate the two.
+    Admission {
+        /// Simulated arrival-processing time.
+        t_s: f64,
+        /// Job id.
+        id: u64,
+        /// Tenant index.
+        tenant: usize,
+        /// Service class (drives the starvation bound on recovery).
+        class: JobClass,
+        /// Admitted or rejected, with the event detail.
+        outcome: AdmissionOutcome,
+    },
+    /// Any other service event (dispatch, requeue, failure, shed,
+    /// breaker transition, recovery marker).
+    Event(ServiceEvent),
+    /// A job completed: the event *and* its verified result bytes in
+    /// one atomic record, so a torn write can never strand a completion
+    /// without its payload (or vice versa).
+    Completed {
+        /// The `Completed` service event.
+        event: ServiceEvent,
+        /// Uncompressed canonical encoding of the MSM result point.
+        result: Vec<u8>,
+        /// Whether the completing partition used a re-admitted device.
+        used_readmitted: bool,
+    },
+    /// A stolen job was absorbed from another pod (no service event is
+    /// emitted for this queue surgery, but the fold must see it).
+    Absorbed {
+        /// Absorption time.
+        t_s: f64,
+        /// Job id.
+        id: u64,
+        /// Tenant index.
+        tenant: usize,
+        /// Preserved execution attempt.
+        attempt: u32,
+    },
+    /// A queued job was lifted out of this pod by the fleet's work
+    /// stealing; it must not be resurrected here on recovery. The
+    /// attempt rides along so a fleet restore that finds only this
+    /// tombstone (the thief's absorption was torn away) can re-absorb
+    /// the job elsewhere without resetting its retry budget.
+    StolenOut {
+        /// Steal time.
+        t_s: f64,
+        /// Job id.
+        id: u64,
+        /// Execution attempt the job carried out the door.
+        attempt: u32,
+    },
+}
+
+impl ServiceRecord {
+    /// Canonical byte encoding (the journal frame payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Self::Admission { t_s, id, tenant, class, outcome } => {
+                w.u8(0).f64(*t_s).u64(*id).usize(*tenant).u8(class_tag(*class));
+                match outcome {
+                    AdmissionOutcome::Admitted { queue_len } => {
+                        w.u8(0).usize(*queue_len);
+                    }
+                    AdmissionOutcome::Rejected { error } => {
+                        w.u8(1);
+                        encode_admission_error(&mut w, error);
+                    }
+                }
+            }
+            Self::Event(ev) => {
+                w.u8(1);
+                encode_event(&mut w, ev);
+            }
+            Self::Completed { event, result, used_readmitted } => {
+                w.u8(2);
+                encode_event(&mut w, event);
+                w.bytes(result).bool(*used_readmitted);
+            }
+            Self::Absorbed { t_s, id, tenant, attempt } => {
+                w.u8(3).f64(*t_s).u64(*id).usize(*tenant).u32(*attempt);
+            }
+            Self::StolenOut { t_s, id, attempt } => {
+                w.u8(4).f64(*t_s).u64(*id).u32(*attempt);
+            }
+        }
+        w.finish()
+    }
+
+    /// Strict decode of a journal payload; trailing bytes are rejected.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(payload);
+        let off = r.offset();
+        let rec = match r.u8()? {
+            0 => {
+                let t_s = r.f64()?;
+                let id = r.u64()?;
+                let tenant = r.usize()?;
+                let off_c = r.offset();
+                let class = class_from(r.u8()?, off_c)?;
+                let off_o = r.offset();
+                let outcome = match r.u8()? {
+                    0 => AdmissionOutcome::Admitted { queue_len: r.usize()? },
+                    1 => AdmissionOutcome::Rejected { error: decode_admission_error(&mut r)? },
+                    _ => return Err(WireError { offset: off_o }),
+                };
+                Self::Admission { t_s, id, tenant, class, outcome }
+            }
+            1 => Self::Event(decode_event(&mut r)?),
+            2 => {
+                let event = decode_event(&mut r)?;
+                let result = r.bytes()?.to_vec();
+                let used_readmitted = r.bool()?;
+                Self::Completed { event, result, used_readmitted }
+            }
+            3 => Self::Absorbed {
+                t_s: r.f64()?,
+                id: r.u64()?,
+                tenant: r.usize()?,
+                attempt: r.u32()?,
+            },
+            4 => Self::StolenOut { t_s: r.f64()?, id: r.u64()?, attempt: r.u32()? },
+            _ => return Err(WireError { offset: off }),
+        };
+        if !r.is_empty() {
+            return Err(WireError { offset: r.offset() });
+        }
+        Ok(rec)
+    }
+
+    /// The service events this record reconstructs — the bridge from a
+    /// recovered journal prefix back to the replayable event stream the
+    /// soak invariants are checked over.
+    pub fn events(&self) -> Vec<ServiceEvent> {
+        match self {
+            Self::Admission { t_s, id, tenant, class, outcome } => {
+                let arrival = ServiceEvent {
+                    t_s: *t_s,
+                    job: Some(*id),
+                    tenant: Some(*tenant),
+                    kind: ServiceEventKind::Arrival { class: *class },
+                };
+                let second = ServiceEvent {
+                    t_s: *t_s,
+                    job: Some(*id),
+                    tenant: Some(*tenant),
+                    kind: match outcome {
+                        AdmissionOutcome::Admitted { queue_len } => {
+                            ServiceEventKind::Admitted { queue_len: *queue_len }
+                        }
+                        AdmissionOutcome::Rejected { error } => {
+                            ServiceEventKind::Rejected { error: error.clone() }
+                        }
+                    },
+                };
+                vec![arrival, second]
+            }
+            Self::Event(ev) => vec![ev.clone()],
+            Self::Completed { event, .. } => vec![event.clone()],
+            Self::Absorbed { .. } | Self::StolenOut { .. } => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the fold
+// ---------------------------------------------------------------------
+
+/// Where a journaled job currently stands.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JobPhase {
+    /// Waiting in its tenant queue.
+    Queued {
+        /// Next execution attempt.
+        attempt: u32,
+        /// When this queue epoch started (preserves the starvation
+        /// bound across a restart).
+        since_s: f64,
+    },
+    /// Executing on a partition; a crash loses the execution and the
+    /// job re-joins the queue on recovery at the same attempt.
+    InFlight {
+        /// The attempt that was executing.
+        attempt: u32,
+    },
+    /// Terminal: completed with a verified result.
+    Done,
+    /// Terminal: refused at admission.
+    Rejected,
+    /// Terminal: exhausted its attempts.
+    Failed,
+    /// Terminal: dropped by the shed policy.
+    Shed,
+    /// Lifted out by fleet work stealing — terminal *for this pod*.
+    /// Keeps the attempt so a fleet restore that finds only this
+    /// tombstone can re-absorb the job with its retry budget intact.
+    StolenAway {
+        /// Execution attempt the job carried out the door.
+        attempt: u32,
+    },
+}
+
+/// One journaled job: which tenant it belongs to and where it stands.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobEntry {
+    /// Tenant index.
+    pub tenant: usize,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+}
+
+/// Per-tenant counters, mirroring the service's internal accumulator so
+/// a restored service reports continuous statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantCounters {
+    /// Jobs that reached the door.
+    pub arrivals: u64,
+    /// Jobs admitted.
+    pub admitted: u64,
+    /// Jobs rejected at admission.
+    pub rejected: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs failed after exhausting attempts.
+    pub failed: u64,
+    /// Jobs shed from the queue.
+    pub shed: u64,
+    /// Completions past their deadline.
+    pub deadline_missed: u64,
+    /// Arrival-to-completion times, in completion order.
+    pub sojourns_s: Vec<f64>,
+}
+
+/// Per-device breaker state reconstructible from transition records.
+/// `consecutive_faults` is deliberately absent: the streak is volatile
+/// and resets to zero across a restart.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakerRestore {
+    /// Current breaker state.
+    pub state: BreakerState,
+    /// Completed open spells (drives the probation backoff).
+    pub open_spells: u32,
+    /// When the current open spell's probation elapses.
+    pub open_until_s: f64,
+}
+
+impl Default for BreakerRestore {
+    fn default() -> Self {
+        Self { state: BreakerState::Closed, open_spells: 0, open_until_s: 0.0 }
+    }
+}
+
+/// A durably completed job: id, accounting, and the canonical result
+/// bytes (decoded back to a curve point on restore).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompletedEntry {
+    /// Job id.
+    pub id: u64,
+    /// Tenant index.
+    pub tenant: usize,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Whether a re-admitted device served the completion.
+    pub used_readmitted: bool,
+    /// Uncompressed canonical encoding of the result point.
+    pub result: Vec<u8>,
+}
+
+/// The deterministic fold of a service journal: everything a restarted
+/// pod needs that is not re-derivable from its static inputs.
+///
+/// `ServiceState` is both the recovery target *and* the shadow state
+/// the live [`ServiceWal`] maintains — snapshots are its canonical
+/// encoding, so snapshot-and-replay agree by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceState {
+    /// High-water simulated time over applied records.
+    pub clock_s: f64,
+    /// Epoch of the last applied record (0 = none).
+    pub last_epoch: u64,
+    /// Every journaled job, by id.
+    pub jobs: BTreeMap<u64, JobEntry>,
+    /// Per-tenant counters, indexed like the config's tenant table.
+    pub tenants: Vec<TenantCounters>,
+    /// Per-device breaker restore info.
+    pub breakers: Vec<BreakerRestore>,
+    /// Durably completed jobs, in completion order.
+    pub completed: Vec<CompletedEntry>,
+}
+
+impl ServiceState {
+    /// The initial (pre-history) state for a pod shape.
+    pub fn new(n_tenants: usize, n_devices: usize) -> Self {
+        Self {
+            clock_s: 0.0,
+            last_epoch: 0,
+            jobs: BTreeMap::new(),
+            tenants: vec![TenantCounters::default(); n_tenants],
+            breakers: vec![BreakerRestore::default(); n_devices],
+            completed: Vec::new(),
+        }
+    }
+
+    fn bad(epoch: u64, detail: String) -> JournalError {
+        JournalError::BadPayload { epoch, detail }
+    }
+
+    fn tenant_mut(
+        &mut self,
+        epoch: u64,
+        tenant: usize,
+    ) -> Result<&mut TenantCounters, JournalError> {
+        let n = self.tenants.len();
+        self.tenants
+            .get_mut(tenant)
+            .ok_or_else(|| Self::bad(epoch, format!("tenant {tenant} out of range (have {n})")))
+    }
+
+    fn job_mut(&mut self, epoch: u64, id: u64) -> Result<&mut JobEntry, JournalError> {
+        self.jobs
+            .get_mut(&id)
+            .ok_or_else(|| Self::bad(epoch, format!("record names unknown job {id}")))
+    }
+
+    /// Folds one record into the state. Errors are typed, never panics:
+    /// a semantically impossible record (unknown job, out-of-range
+    /// tenant or device, an event kind that must ride an atomic record)
+    /// is a [`JournalError::BadPayload`].
+    pub fn apply(
+        &mut self,
+        epoch: u64,
+        rec: &ServiceRecord,
+        breaker: &BreakerConfig,
+    ) -> Result<(), JournalError> {
+        match rec {
+            ServiceRecord::Admission { t_s, id, tenant, class: _, outcome } => {
+                self.clock_s = self.clock_s.max(*t_s);
+                if self.jobs.contains_key(id) {
+                    return Err(Self::bad(epoch, format!("job {id} arrived twice")));
+                }
+                let counters = self.tenant_mut(epoch, *tenant)?;
+                counters.arrivals += 1;
+                let phase = match outcome {
+                    AdmissionOutcome::Admitted { .. } => {
+                        counters.admitted += 1;
+                        JobPhase::Queued { attempt: 0, since_s: *t_s }
+                    }
+                    AdmissionOutcome::Rejected { .. } => {
+                        counters.rejected += 1;
+                        JobPhase::Rejected
+                    }
+                };
+                self.jobs.insert(*id, JobEntry { tenant: *tenant, phase });
+            }
+            ServiceRecord::Event(ev) => {
+                self.clock_s = self.clock_s.max(ev.t_s);
+                match &ev.kind {
+                    ServiceEventKind::Dispatched { attempt, .. } => {
+                        let id = ev
+                            .job
+                            .ok_or_else(|| Self::bad(epoch, "dispatch without a job".into()))?;
+                        self.job_mut(epoch, id)?.phase = JobPhase::InFlight { attempt: *attempt };
+                    }
+                    ServiceEventKind::Requeued { attempt } => {
+                        let id = ev
+                            .job
+                            .ok_or_else(|| Self::bad(epoch, "requeue without a job".into()))?;
+                        let since_s = ev.t_s;
+                        self.job_mut(epoch, id)?.phase =
+                            JobPhase::Queued { attempt: *attempt, since_s };
+                    }
+                    ServiceEventKind::Failed { .. } => {
+                        let (id, tenant) = ev
+                            .job
+                            .zip(ev.tenant)
+                            .ok_or_else(|| Self::bad(epoch, "failure without a job".into()))?;
+                        self.tenant_mut(epoch, tenant)?.failed += 1;
+                        self.job_mut(epoch, id)?.phase = JobPhase::Failed;
+                    }
+                    ServiceEventKind::Shed { .. } => {
+                        let (id, tenant) = ev
+                            .job
+                            .zip(ev.tenant)
+                            .ok_or_else(|| Self::bad(epoch, "shed without a job".into()))?;
+                        self.tenant_mut(epoch, tenant)?.shed += 1;
+                        self.job_mut(epoch, id)?.phase = JobPhase::Shed;
+                    }
+                    ServiceEventKind::Breaker { transition } => {
+                        let n = self.breakers.len();
+                        let b = self.breakers.get_mut(transition.device).ok_or_else(|| {
+                            Self::bad(
+                                epoch,
+                                format!("device {} out of range (have {n})", transition.device),
+                            )
+                        })?;
+                        if transition.to == BreakerState::Open {
+                            // Mirrors `CircuitBreaker::trip`: probation
+                            // is priced off the spell count *before*
+                            // this trip increments it.
+                            b.open_until_s =
+                                transition.t_s + breaker.probation_for(b.open_spells);
+                            b.open_spells += 1;
+                        }
+                        b.state = transition.to;
+                    }
+                    ServiceEventKind::Recovered { .. } => {}
+                    ServiceEventKind::Arrival { .. }
+                    | ServiceEventKind::Admitted { .. }
+                    | ServiceEventKind::Rejected { .. }
+                    | ServiceEventKind::Completed { .. } => {
+                        return Err(Self::bad(
+                            epoch,
+                            "admission/completion events must ride their atomic records".into(),
+                        ));
+                    }
+                }
+            }
+            ServiceRecord::Completed { event, result, used_readmitted } => {
+                self.clock_s = self.clock_s.max(event.t_s);
+                let ServiceEventKind::Completed { deadline_met, sojourn_s, attempts } = &event.kind
+                else {
+                    return Err(Self::bad(
+                        epoch,
+                        "completion record carries a non-completion event".into(),
+                    ));
+                };
+                let (id, tenant) = event
+                    .job
+                    .zip(event.tenant)
+                    .ok_or_else(|| Self::bad(epoch, "completion without a job".into()))?;
+                let counters = self.tenant_mut(epoch, tenant)?;
+                counters.completed += 1;
+                if !deadline_met {
+                    counters.deadline_missed += 1;
+                }
+                counters.sojourns_s.push(*sojourn_s);
+                self.job_mut(epoch, id)?.phase = JobPhase::Done;
+                self.completed.push(CompletedEntry {
+                    id,
+                    tenant,
+                    attempts: *attempts,
+                    used_readmitted: *used_readmitted,
+                    result: result.clone(),
+                });
+            }
+            ServiceRecord::Absorbed { t_s, id, tenant, attempt } => {
+                self.clock_s = self.clock_s.max(*t_s);
+                if *tenant >= self.tenants.len() {
+                    return Err(Self::bad(
+                        epoch,
+                        format!("absorbed job {id} names tenant {tenant} out of range"),
+                    ));
+                }
+                // Overwrite is legal: a job stolen away earlier may be
+                // absorbed back during fleet rebalancing.
+                self.jobs.insert(
+                    *id,
+                    JobEntry {
+                        tenant: *tenant,
+                        phase: JobPhase::Queued { attempt: *attempt, since_s: *t_s },
+                    },
+                );
+            }
+            ServiceRecord::StolenOut { t_s, id, attempt } => {
+                self.clock_s = self.clock_s.max(*t_s);
+                self.job_mut(epoch, *id)?.phase = JobPhase::StolenAway { attempt: *attempt };
+            }
+        }
+        self.last_epoch = epoch;
+        Ok(())
+    }
+
+    /// Canonical byte encoding — the snapshot payload. Deterministic:
+    /// equal states encode to equal bytes (`CKPT-001` compares these).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(1); // version
+        w.f64(self.clock_s).u64(self.last_epoch);
+        w.usize(self.jobs.len());
+        for (id, e) in &self.jobs {
+            w.u64(*id).usize(e.tenant);
+            match e.phase {
+                JobPhase::Queued { attempt, since_s } => {
+                    w.u8(0).u32(attempt).f64(since_s);
+                }
+                JobPhase::InFlight { attempt } => {
+                    w.u8(1).u32(attempt);
+                }
+                JobPhase::Done => {
+                    w.u8(2);
+                }
+                JobPhase::Rejected => {
+                    w.u8(3);
+                }
+                JobPhase::Failed => {
+                    w.u8(4);
+                }
+                JobPhase::Shed => {
+                    w.u8(5);
+                }
+                JobPhase::StolenAway { attempt } => {
+                    w.u8(6).u32(attempt);
+                }
+            }
+        }
+        w.usize(self.tenants.len());
+        for t in &self.tenants {
+            w.u64(t.arrivals)
+                .u64(t.admitted)
+                .u64(t.rejected)
+                .u64(t.completed)
+                .u64(t.failed)
+                .u64(t.shed)
+                .u64(t.deadline_missed)
+                .usize(t.sojourns_s.len());
+            for s in &t.sojourns_s {
+                w.f64(*s);
+            }
+        }
+        w.usize(self.breakers.len());
+        for b in &self.breakers {
+            w.u8(state_tag(b.state)).u32(b.open_spells).f64(b.open_until_s);
+        }
+        w.usize(self.completed.len());
+        for c in &self.completed {
+            w.u64(c.id).usize(c.tenant).u32(c.attempts).bool(c.used_readmitted).bytes(&c.result);
+        }
+        w.finish()
+    }
+
+    /// Strict decode of a snapshot payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let off = r.offset();
+        if r.u8()? != 1 {
+            return Err(WireError { offset: off });
+        }
+        let clock_s = r.f64()?;
+        let last_epoch = r.u64()?;
+        let n_jobs = r.usize()?;
+        let mut jobs = BTreeMap::new();
+        for _ in 0..n_jobs {
+            let id = r.u64()?;
+            let tenant = r.usize()?;
+            let off = r.offset();
+            let phase = match r.u8()? {
+                0 => JobPhase::Queued { attempt: r.u32()?, since_s: r.f64()? },
+                1 => JobPhase::InFlight { attempt: r.u32()? },
+                2 => JobPhase::Done,
+                3 => JobPhase::Rejected,
+                4 => JobPhase::Failed,
+                5 => JobPhase::Shed,
+                6 => JobPhase::StolenAway { attempt: r.u32()? },
+                _ => return Err(WireError { offset: off }),
+            };
+            jobs.insert(id, JobEntry { tenant, phase });
+        }
+        let n_tenants = r.usize()?;
+        let mut tenants = Vec::with_capacity(n_tenants.min(1024));
+        for _ in 0..n_tenants {
+            let mut t = TenantCounters {
+                arrivals: r.u64()?,
+                admitted: r.u64()?,
+                rejected: r.u64()?,
+                completed: r.u64()?,
+                failed: r.u64()?,
+                shed: r.u64()?,
+                deadline_missed: r.u64()?,
+                sojourns_s: Vec::new(),
+            };
+            let n = r.usize()?;
+            for _ in 0..n {
+                t.sojourns_s.push(r.f64()?);
+            }
+            tenants.push(t);
+        }
+        let n_breakers = r.usize()?;
+        let mut breakers = Vec::with_capacity(n_breakers.min(4096));
+        for _ in 0..n_breakers {
+            let off = r.offset();
+            breakers.push(BreakerRestore {
+                state: state_from(r.u8()?, off)?,
+                open_spells: r.u32()?,
+                open_until_s: r.f64()?,
+            });
+        }
+        let n_completed = r.usize()?;
+        let mut completed = Vec::with_capacity(n_completed.min(4096));
+        for _ in 0..n_completed {
+            completed.push(CompletedEntry {
+                id: r.u64()?,
+                tenant: r.usize()?,
+                attempts: r.u32()?,
+                used_readmitted: r.bool()?,
+                result: r.bytes()?.to_vec(),
+            });
+        }
+        if !r.is_empty() {
+            return Err(WireError { offset: r.offset() });
+        }
+        Ok(Self { clock_s, last_epoch, jobs, tenants, breakers, completed })
+    }
+}
+
+// ---------------------------------------------------------------------
+// the live WAL
+// ---------------------------------------------------------------------
+
+/// The service's live write-ahead log: a durable journal plus the
+/// shadow [`ServiceState`] every append folds through. Journaling is
+/// always on (it emits no events and advances no simulated time, so
+/// existing behaviour is byte-identical); periodic snapshots are opt-in
+/// via [`crate::service::ServiceConfig::snapshot_every`].
+#[derive(Clone, Debug)]
+pub struct ServiceWal {
+    durable: DurableState,
+    state: ServiceState,
+    breaker: BreakerConfig,
+    snapshot_every: u64,
+}
+
+impl ServiceWal {
+    /// A fresh WAL for a pod shape.
+    pub fn new(
+        n_tenants: usize,
+        n_devices: usize,
+        breaker: BreakerConfig,
+        snapshot_every: u64,
+    ) -> Self {
+        Self {
+            durable: DurableState::new(),
+            state: ServiceState::new(n_tenants, n_devices),
+            breaker,
+            snapshot_every,
+        }
+    }
+
+    /// Resumes a WAL over recovered durable state (the restore path).
+    /// `durable` should be the *reopened* state (torn tail dropped) and
+    /// `state` the fold [`recover_state`] produced from it.
+    pub fn resume(
+        durable: DurableState,
+        state: ServiceState,
+        breaker: BreakerConfig,
+        snapshot_every: u64,
+    ) -> Self {
+        Self { durable, state, breaker, snapshot_every }
+    }
+
+    /// Appends one record: encodes, journals, folds into the shadow
+    /// state, and installs a snapshot when the epoch hits the
+    /// configured cadence.
+    pub fn append(&mut self, t_s: f64, rec: &ServiceRecord) -> u64 {
+        let payload = rec.encode();
+        let epoch = self.durable.append(t_s, &payload);
+        // Invariant, not a recoverable error: live records are built
+        // from the very state transitions the fold mirrors, so a fold
+        // failure here is a bug in the service, never bad input.
+        self.state
+            .apply(epoch, rec, &self.breaker)
+            .expect("live service records always fold into the shadow state");
+        if self.snapshot_every > 0 && epoch.is_multiple_of(self.snapshot_every) {
+            self.durable.install_snapshot(epoch, t_s, &self.state.encode());
+        }
+        epoch
+    }
+
+    /// The durable journal + snapshot bytes (what a crash preserves).
+    pub fn durable(&self) -> &DurableState {
+        &self.durable
+    }
+
+    /// The shadow fold of everything appended so far.
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+}
+
+/// What [`recover_state`] reconstructed, plus how it got there.
+#[derive(Clone, Debug)]
+pub struct WalRecovery {
+    /// The folded state.
+    pub state: ServiceState,
+    /// Epoch of the snapshot recovery started from (0 = none).
+    pub snapshot_epoch: u64,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Bytes of the decoded snapshot payload (0 = none).
+    pub snapshot_payload_bytes: usize,
+    /// Torn (incomplete) frame bytes dropped from the journal tail.
+    pub torn_tail_bytes: usize,
+}
+
+/// Recovers a [`ServiceState`] from durable bytes: newest intact
+/// snapshot plus a bounded replay of the records after it. A torn tail
+/// is tolerated (dropped); any complete-but-corrupt frame, stale
+/// snapshot or undecodable payload is a typed [`JournalError`].
+pub fn recover_state(
+    durable: &DurableState,
+    n_tenants: usize,
+    n_devices: usize,
+    breaker: &BreakerConfig,
+) -> Result<WalRecovery, JournalError> {
+    let rec = durable.recover()?;
+    let (mut state, snapshot_epoch, snapshot_payload_bytes) = match &rec.snapshot {
+        Some(s) => {
+            let st = ServiceState::decode(&s.payload).map_err(|e| JournalError::BadPayload {
+                epoch: s.epoch,
+                detail: format!("snapshot: {e}"),
+            })?;
+            if st.tenants.len() != n_tenants || st.breakers.len() != n_devices {
+                return Err(JournalError::BadPayload {
+                    epoch: s.epoch,
+                    detail: format!(
+                        "snapshot shape ({} tenants, {} devices) does not match the config \
+                         ({n_tenants} tenants, {n_devices} devices)",
+                        st.tenants.len(),
+                        st.breakers.len()
+                    ),
+                });
+            }
+            (st, s.epoch, s.payload.len())
+        }
+        None => (ServiceState::new(n_tenants, n_devices), 0, 0),
+    };
+    let replayed_records = rec.records.len() as u64;
+    for r in &rec.records {
+        let sr = ServiceRecord::decode(&r.payload).map_err(|e| JournalError::BadPayload {
+            epoch: r.epoch,
+            detail: e.to_string(),
+        })?;
+        state.apply(r.epoch, &sr, breaker)?;
+    }
+    Ok(WalRecovery {
+        state,
+        snapshot_epoch,
+        replayed_records,
+        snapshot_payload_bytes,
+        torn_tail_bytes: rec.torn_tail_bytes,
+    })
+}
+
+/// Decodes the full event stream a durable journal witnesses — the
+/// pre-crash half of the merged stream the crash soak checks service
+/// invariants over. A torn tail is dropped first; the whole journal is
+/// then replayed from its first record, snapshot ignored (the service
+/// WAL never compacts, so the full history is present — snapshots
+/// bound recovery *replay* cost, not journal storage).
+pub fn decode_events(durable: &DurableState) -> Result<Vec<ServiceEvent>, JournalError> {
+    let clean = durable.reopen()?;
+    let records = clean.journal.replay()?;
+    let mut out = Vec::new();
+    for r in &records {
+        let sr = ServiceRecord::decode(&r.payload).map_err(|e| JournalError::BadPayload {
+            epoch: r.epoch,
+            detail: e.to_string(),
+        })?;
+        out.extend(sr.events());
+    }
+    Ok(out)
+}
+
+/// How a [`crate::service::ProverService::restore`] got back on its
+/// feet, including the modelled cost comparison against restarting from
+/// scratch.
+#[derive(Clone, Debug)]
+pub struct RecoveryInfo {
+    /// Epoch of the snapshot recovery started from (0 = none).
+    pub snapshot_epoch: u64,
+    /// Records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Torn frame bytes dropped from the journal tail.
+    pub torn_tail_bytes: usize,
+    /// In-flight or queued jobs put back on a queue.
+    pub requeued_jobs: u64,
+    /// Jobs whose arrival was not yet durable, re-seeded as arrivals.
+    pub rearrived_jobs: u64,
+    /// Modelled recovery cost: base + snapshot decode + bounded replay.
+    pub recovery_cost_s: f64,
+    /// Modelled cost of recomputing the lost history from scratch (the
+    /// simulated clock at the crash).
+    pub scratch_cost_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::PoolTransition;
+
+    fn ev(t_s: f64, job: Option<u64>, tenant: Option<usize>, kind: ServiceEventKind) -> ServiceEvent {
+        ServiceEvent { t_s, job, tenant, kind }
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = vec![
+            ServiceRecord::Admission {
+                t_s: 0.5,
+                id: 3,
+                tenant: 1,
+                class: JobClass::Batch,
+                outcome: AdmissionOutcome::Admitted { queue_len: 2 },
+            },
+            ServiceRecord::Admission {
+                t_s: 0.75,
+                id: 4,
+                tenant: 0,
+                class: JobClass::Interactive,
+                outcome: AdmissionOutcome::Rejected {
+                    error: AdmissionError::DeadlineInfeasible { needed_s: 2.0, available_s: 1.0 },
+                },
+            },
+            ServiceRecord::Event(ev(
+                1.0,
+                Some(3),
+                Some(1),
+                ServiceEventKind::Dispatched { devices: vec![0, 2], attempt: 0, degraded: false },
+            )),
+            ServiceRecord::Event(ev(
+                1.5,
+                None,
+                None,
+                ServiceEventKind::Breaker {
+                    transition: PoolTransition {
+                        device: 2,
+                        t_s: 1.5,
+                        from: BreakerState::Closed,
+                        to: BreakerState::Open,
+                        cause: "fault-threshold",
+                    },
+                },
+            )),
+            ServiceRecord::Completed {
+                event: ev(
+                    2.0,
+                    Some(3),
+                    Some(1),
+                    ServiceEventKind::Completed { deadline_met: true, sojourn_s: 1.5, attempts: 1 },
+                ),
+                result: vec![0, 1, 2, 3],
+                used_readmitted: true,
+            },
+            ServiceRecord::Absorbed { t_s: 2.5, id: 9, tenant: 0, attempt: 2 },
+            ServiceRecord::StolenOut { t_s: 3.0, id: 9, attempt: 1 },
+            ServiceRecord::Event(ev(
+                3.5,
+                None,
+                None,
+                ServiceEventKind::Recovered {
+                    snapshot_epoch: 4,
+                    replayed: 2,
+                    requeued: 1,
+                    rearrived: 0,
+                },
+            )),
+        ];
+        for r in &records {
+            let bytes = r.encode();
+            assert_eq!(&ServiceRecord::decode(&bytes).expect("roundtrips"), r);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = ServiceRecord::StolenOut { t_s: 1.0, id: 7, attempt: 0 }.encode();
+        bytes.push(0);
+        assert!(ServiceRecord::decode(&bytes).is_err());
+        assert!(ServiceRecord::decode(&[200]).is_err(), "unknown tag rejected");
+        assert!(ServiceRecord::decode(&[]).is_err(), "empty payload rejected");
+    }
+
+    #[test]
+    fn fold_tracks_phases_counters_and_breakers() {
+        let bc = BreakerConfig::default();
+        let mut st = ServiceState::new(2, 4);
+        st.apply(
+            1,
+            &ServiceRecord::Admission {
+                t_s: 0.5,
+                id: 1,
+                tenant: 0,
+                class: JobClass::Interactive,
+                outcome: AdmissionOutcome::Admitted { queue_len: 1 },
+            },
+            &bc,
+        )
+        .unwrap();
+        assert_eq!(st.jobs[&1].phase, JobPhase::Queued { attempt: 0, since_s: 0.5 });
+        assert_eq!(st.tenants[0].arrivals, 1);
+        assert_eq!(st.tenants[0].admitted, 1);
+
+        st.apply(
+            2,
+            &ServiceRecord::Event(ev(
+                1.0,
+                Some(1),
+                Some(0),
+                ServiceEventKind::Dispatched { devices: vec![0], attempt: 0, degraded: false },
+            )),
+            &bc,
+        )
+        .unwrap();
+        assert_eq!(st.jobs[&1].phase, JobPhase::InFlight { attempt: 0 });
+
+        // Two trips price probation off the pre-trip spell count.
+        for (epoch, (t, from, to, cause)) in [
+            (3u64, (2.0, BreakerState::Closed, BreakerState::Open, "fault-threshold")),
+            (4, (5.0, BreakerState::Open, BreakerState::HalfOpen, "probation-elapsed")),
+            (5, (5.5, BreakerState::HalfOpen, BreakerState::Open, "probe-fault")),
+        ] {
+            st.apply(
+                epoch,
+                &ServiceRecord::Event(ev(
+                    t,
+                    None,
+                    None,
+                    ServiceEventKind::Breaker {
+                        transition: PoolTransition { device: 2, t_s: t, from, to, cause },
+                    },
+                )),
+                &bc,
+            )
+            .unwrap();
+        }
+        assert_eq!(st.breakers[2].open_spells, 2);
+        assert_eq!(st.breakers[2].state, BreakerState::Open);
+        assert_eq!(st.breakers[2].open_until_s, 5.5 + bc.probation_for(1));
+
+        st.apply(
+            6,
+            &ServiceRecord::Completed {
+                event: ev(
+                    6.0,
+                    Some(1),
+                    Some(0),
+                    ServiceEventKind::Completed {
+                        deadline_met: false,
+                        sojourn_s: 5.5,
+                        attempts: 1,
+                    },
+                ),
+                result: vec![1, 2],
+                used_readmitted: false,
+            },
+            &bc,
+        )
+        .unwrap();
+        assert_eq!(st.jobs[&1].phase, JobPhase::Done);
+        assert_eq!(st.tenants[0].completed, 1);
+        assert_eq!(st.tenants[0].deadline_missed, 1);
+        assert_eq!(st.completed.len(), 1);
+        assert_eq!(st.last_epoch, 6);
+        assert_eq!(st.clock_s, 6.0);
+
+        // Canonical encoding roundtrips byte-exactly.
+        let bytes = st.encode();
+        let decoded = ServiceState::decode(&bytes).expect("snapshot roundtrips");
+        assert_eq!(decoded, st);
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn fold_rejects_semantic_garbage() {
+        let bc = BreakerConfig::default();
+        let mut st = ServiceState::new(1, 1);
+        // Unknown job.
+        assert!(matches!(
+            st.apply(1, &ServiceRecord::StolenOut { t_s: 0.0, id: 9, attempt: 0 }, &bc),
+            Err(JournalError::BadPayload { .. })
+        ));
+        // Out-of-range tenant.
+        assert!(matches!(
+            st.apply(
+                1,
+                &ServiceRecord::Admission {
+                    t_s: 0.0,
+                    id: 1,
+                    tenant: 5,
+                    class: JobClass::Batch,
+                    outcome: AdmissionOutcome::Admitted { queue_len: 1 },
+                },
+                &bc
+            ),
+            Err(JournalError::BadPayload { .. })
+        ));
+        // A bare Admitted event outside its atomic record.
+        assert!(matches!(
+            st.apply(
+                1,
+                &ServiceRecord::Event(ev(
+                    0.0,
+                    Some(1),
+                    Some(0),
+                    ServiceEventKind::Admitted { queue_len: 1 }
+                )),
+                &bc
+            ),
+            Err(JournalError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn wal_snapshot_equals_fold_and_recovery_replays_it() {
+        let bc = BreakerConfig::default();
+        let mut wal = ServiceWal::new(2, 2, bc, 2);
+        let recs = vec![
+            ServiceRecord::Admission {
+                t_s: 0.1,
+                id: 1,
+                tenant: 0,
+                class: JobClass::Interactive,
+                outcome: AdmissionOutcome::Admitted { queue_len: 1 },
+            },
+            ServiceRecord::Event(ev(
+                0.2,
+                Some(1),
+                Some(0),
+                ServiceEventKind::Dispatched { devices: vec![0], attempt: 0, degraded: false },
+            )),
+            ServiceRecord::Admission {
+                t_s: 0.3,
+                id: 2,
+                tenant: 1,
+                class: JobClass::Batch,
+                outcome: AdmissionOutcome::Admitted { queue_len: 1 },
+            },
+            ServiceRecord::Completed {
+                event: ev(
+                    0.4,
+                    Some(1),
+                    Some(0),
+                    ServiceEventKind::Completed { deadline_met: true, sojourn_s: 0.3, attempts: 1 },
+                ),
+                result: vec![7, 7],
+                used_readmitted: false,
+            },
+        ];
+        for r in &recs {
+            let t = match r {
+                ServiceRecord::Admission { t_s, .. } => *t_s,
+                ServiceRecord::Event(e) | ServiceRecord::Completed { event: e, .. } => e.t_s,
+                ServiceRecord::Absorbed { t_s, .. } | ServiceRecord::StolenOut { t_s, .. } => *t_s,
+            };
+            wal.append(t, r);
+        }
+        // Recovery = snapshot (epoch 4) + 0 replayed records here.
+        let rec = recover_state(wal.durable(), 2, 2, &bc).expect("clean log recovers");
+        assert_eq!(&rec.state, wal.state(), "snapshot + replay equals the live shadow fold");
+        assert_eq!(rec.snapshot_epoch, 4);
+        assert_eq!(rec.replayed_records, 0);
+
+        // Truncating between records replays the un-snapshotted suffix
+        // and still agrees with an incremental fold.
+        let crashed = wal.durable().truncate_records(3);
+        let rec3 = recover_state(&crashed, 2, 2, &bc).expect("prefix recovers");
+        assert_eq!(rec3.snapshot_epoch, 2);
+        assert_eq!(rec3.replayed_records, 1);
+        let mut byhand = ServiceState::new(2, 2);
+        for (i, r) in recs[..3].iter().enumerate() {
+            byhand.apply(i as u64 + 1, r, &bc).unwrap();
+        }
+        assert_eq!(rec3.state, byhand);
+
+        // The decoded event stream is the Admission/Completed expansion.
+        let events = decode_events(&crashed).expect("events decode");
+        assert_eq!(events.len(), 5, "2 admissions × 2 events + 1 dispatch");
+        assert!(matches!(events[0].kind, ServiceEventKind::Arrival { .. }));
+        assert!(matches!(events[1].kind, ServiceEventKind::Admitted { .. }));
+    }
+}
