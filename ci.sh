@@ -13,8 +13,10 @@
 # workspace determinism lint — no execution, all N/window/GPU shapes.
 # The soak smokes replay seeded chaos scenarios through the
 # multi-tenant service and the multi-pod fleet coordinator (whole-pod
-# loss plus a byzantine pod caught by the 2G2T check) and diff their
-# byte-stable reports against goldens (BLESS=1 ./ci.sh regenerates).
+# loss plus a byzantine pod caught by the 2G2T check), the journaling
+# crash soak, and the partition soak (heartbeat leases, epoch fencing,
+# anti-entropy rejoin) and diff their byte-stable reports against
+# goldens (BLESS=1 ./ci.sh regenerates).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -29,7 +31,7 @@ cargo build --release -p distmsm-suite -p distmsm-bench
 echo "== telemetry: default build carries no telemetry symbols =="
 # feature-off must mean compiled out, not merely inactive (the positive
 # control for this grep runs after the feature smoke run below)
-for bin in fault_sweep soak fleet_soak crash_soak; do
+for bin in fault_sweep soak fleet_soak crash_soak partition_soak; do
     if grep -qa distmsm_telemetry "target/release/$bin"; then
         echo "FAIL: default-feature $bin binary contains telemetry symbols" >&2
         exit 1
@@ -83,6 +85,18 @@ fi
 diff -u "$CRASH_GOLDEN" "$CRASH_JSON"
 rm -f "$CRASH_JSON"
 
+echo "== partition soak smoke (leases, fencing, anti-entropy rejoin) + golden =="
+PART_JSON="$(mktemp /tmp/distmsm_ci_partition_soak.XXXXXX.json)"
+target/release/partition_soak --smoke --json "$PART_JSON"
+PART_GOLDEN="crates/bench/golden/partition_soak_smoke.json"
+if [[ "${BLESS:-0}" == "1" ]]; then
+    cp "$PART_JSON" "$PART_GOLDEN"
+    echo "blessed $PART_GOLDEN"
+fi
+# the PartitionReport JSON is byte-stable: any drift is a behaviour change
+diff -u "$PART_GOLDEN" "$PART_JSON"
+rm -f "$PART_JSON"
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
@@ -104,7 +118,7 @@ grep -qa distmsm_telemetry target/release/fault_sweep
 cargo run --release -q -p distmsm-analyze -- trace "$TRACE"
 rm -f "$TRACE"
 
-echo "== distmsm-analyze check (race + lint + comm + fault + service + fleet + telemetry) =="
+echo "== distmsm-analyze check (race + lint + comm + fault + service + ckpt + partition + fleet + telemetry) =="
 cargo run -p distmsm-analyze -- check
 
 echo "== distmsm-analyze verify --all-presets (static proofs incl. fleet plans + mutants + det lint) =="
@@ -125,5 +139,6 @@ grep -q '"bench": "fig9_scaling"' BENCH_msm.json
 grep -q '"pods": 4' BENCH_msm.json
 grep -q '"ckpt_rows"' BENCH_msm.json
 grep -q '"interval": 1' BENCH_msm.json
+grep -q '"partition_rows"' BENCH_msm.json
 
 echo "CI OK"

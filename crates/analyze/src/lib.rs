@@ -45,6 +45,14 @@
 //!   journal mutant corpus (dropped/duplicated record, stale-epoch
 //!   snapshot, CRC-skipped tail — `CKPT-900`).
 //!
+//! * A **partition-tolerance checker** ([`part`]): journals a seeded
+//!   partitioned fleet scenario and replays its fencing contract —
+//!   epoch monotonicity through an independent automaton (`PART-001`),
+//!   anti-entropy rejoin idempotence (`PART-002`),
+//!   no-completion-from-an-expired-lease (`PART-003`), and a fencing
+//!   mutant corpus (stale-epoch acceptance, lease renewed after
+//!   expiry, double absorb on heal, fence-epoch skip — `PART-900`).
+//!
 //! * A **telemetry checker** ([`tel`]): runs the engine with a live
 //!   `distmsm-telemetry` session and verifies the emitted span timeline
 //!   is well-nested and sum-consistent with the engine's own phase
@@ -83,6 +91,7 @@ pub mod fault;
 pub mod fleet;
 pub mod harness;
 pub mod lint;
+pub mod part;
 pub mod race;
 pub mod report;
 pub mod svc;
@@ -100,6 +109,10 @@ pub use fault::{check_fault_recovery, check_recovery_report};
 pub use fleet::{
     check_byzantine_shard_replay, check_fleet, check_fleet_grounding, check_fleet_mutant,
     check_outsourcing_soundness,
+};
+pub use part::{
+    check_fencing_monotonicity, check_fencing_mutants, check_no_expired_acceptance,
+    check_part, check_rejoin_idempotence,
 };
 pub use svc::{check_conservation, check_open_dispatch, check_svc};
 pub use tel::{check_telemetry, check_trace_file};

@@ -11,8 +11,9 @@
 //! comm-schedule checker over every captured collective, the
 //! fault-recovery checker over every seeded fault scenario, the
 //! crash-consistency checker over the journaled service WAL
-//! (`CKPT-00x`/`CKPT-900`), and the telemetry checker over every
-//! traced engine scenario. `verify` runs
+//! (`CKPT-00x`/`CKPT-900`), the partition-tolerance checker over the
+//! fenced fleet journal (`PART-00x`/`PART-900`), and the telemetry
+//! checker over every traced engine scenario. `verify` runs
 //! the static plan verifier instead: symbolic write-set proofs
 //! (`VRF-001`/`VRF-002`), static collective-schedule checks over the
 //! topology presets (`VRF-003`, widened by `--all-presets`), the
@@ -28,6 +29,7 @@ use distmsm_analyze::fault::check_fault_recovery;
 use distmsm_analyze::fleet::check_fleet;
 use distmsm_analyze::harness::check_shipped_kernels;
 use distmsm_analyze::lint::lint_presets;
+use distmsm_analyze::part::check_part;
 use distmsm_analyze::svc::check_svc;
 use distmsm_analyze::tel::{check_telemetry, check_trace_file};
 use distmsm_analyze::verify::check_verify;
@@ -68,6 +70,7 @@ fn main() -> ExitCode {
             report.extend(check_fault_recovery());
             report.extend(check_svc());
             report.extend(check_ckpt());
+            report.extend(check_part());
             report.extend(check_fleet());
             report.extend(check_telemetry());
             report

@@ -32,7 +32,8 @@ fn main() {
         let (report, _) = distmsm_bench::runners::run_fig9_scaling();
         println!("{report}");
     }
-    let json = distmsm_bench::runners::bench_msm_json();
+    let json =
+        distmsm_bench::runners::bench_msm_json(&distmsm_bench::runners::git_describe());
     match json_path {
         Some(p) => {
             std::fs::write(&p, &json).expect("write bench json");

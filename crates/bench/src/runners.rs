@@ -437,18 +437,24 @@ pub fn fig9_scaling_rows() -> (&'static str, u64, Vec<ScalingRow>) {
 
 /// Renders the `BENCH_msm.json` trajectory artefact: the modelled
 /// multi-node MSM scaling of [`fig9_scaling_rows`], the fleet
-/// pod-scaling rows of [`fig9_pod_rows`] and the checkpoint-interval
-/// recovery rows of [`fig9_ckpt_rows`], plus the source revision, as
+/// pod-scaling rows of [`fig9_pod_rows`], the checkpoint-interval
+/// recovery rows of [`fig9_ckpt_rows`] and the partition-tolerance
+/// cost rows of [`fig9_partition_rows`], plus the source revision, as
 /// hand-rolled JSON with exponent-notation floats —
 /// byte-stable for a fixed source tree, so CI can diff trajectories
 /// across commits.
-pub fn bench_msm_json() -> String {
+///
+/// The revision stamp is an explicit input (callers pass
+/// [`git_describe`] or a pinned string), so the function itself is a
+/// pure function of its arguments — two calls with the same `describe`
+/// are byte-identical even across checkouts.
+pub fn bench_msm_json(describe: &str) -> String {
     let (curve, n, rows) = fig9_scaling_rows();
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"fig9_scaling\",\n");
     s.push_str(&format!("  \"curve\": \"{curve}\",\n"));
     s.push_str(&format!("  \"n\": {n},\n"));
-    s.push_str(&format!("  \"git\": \"{}\",\n", git_describe()));
+    s.push_str(&format!("  \"git\": \"{describe}\",\n"));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
@@ -489,8 +495,64 @@ pub fn bench_msm_json() -> String {
             if i + 1 < ckpts.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    let parts = fig9_partition_rows();
+    s.push_str("  \"partition_rows\": [\n");
+    for (i, e) in parts.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"partition_s\": {:.9e}, \"detect_s\": {:.9e}, \"fenced\": {}, \
+             \"replaced\": {}, \"unavailable_frac\": {:.9e}}}{}\n",
+            e.partition_s,
+            e.detect_s,
+            u8::from(e.fenced),
+            u8::from(e.replaced),
+            e.unavailable_frac,
+            if i + 1 < parts.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// One row of the partition-tolerance cost model in `BENCH_msm.json`:
+/// what a link partition of a given duration costs a 4-pod fleet under
+/// the default heartbeat-lease configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionCostRow {
+    /// Partition duration, simulated seconds.
+    pub partition_s: f64,
+    /// Detection latency: the first heartbeat round trip that fails.
+    pub detect_s: f64,
+    /// Does the partition outlive the lease (the pod is fenced and its
+    /// epoch advances)?
+    pub fenced: bool,
+    /// Does it also outlive the replace grace (orphans are re-placed
+    /// and the stale copies discarded by fencing)?
+    pub replaced: bool,
+    /// Fraction of fleet capacity lost over the horizon: one pod of
+    /// four degraded for the window.
+    pub unavailable_frac: f64,
+}
+
+/// The partition-tolerance cost rows of the `BENCH_msm.json`
+/// trajectory artefact: partition durations from sub-heartbeat blips
+/// to multi-minute outages against the default lease/fence/replace
+/// thresholds on a 4-pod fleet over a 900 s horizon. Pure cost model —
+/// byte-stable like [`fig9_scaling_rows`].
+pub fn fig9_partition_rows() -> Vec<PartitionCostRow> {
+    let mc = distmsm_fleet::MembershipConfig::default();
+    let n_pods = 4.0;
+    let horizon_s = 900.0;
+    [5.0f64, 15.0, 45.0, 120.0, 300.0]
+        .into_iter()
+        .map(|partition_s| PartitionCostRow {
+            partition_s,
+            detect_s: mc.heartbeat_s,
+            fenced: partition_s > mc.lease_s,
+            replaced: partition_s > mc.lease_s + mc.replace_grace_s,
+            unavailable_frac: partition_s.min(horizon_s) / horizon_s / n_pods,
+        })
+        .collect()
 }
 
 /// The checkpoint-interval recovery rows of the `BENCH_msm.json`
@@ -539,8 +601,9 @@ pub fn fig9_pod_rows() -> Vec<distmsm_fleet::FleetMsmEstimate> {
 }
 
 /// `git describe --always --dirty` of the workspace this binary was
-/// built from, or `"unknown"` outside a git checkout.
-fn git_describe() -> String {
+/// built from, or `"unknown"` outside a git checkout. The canonical
+/// `describe` argument for [`bench_msm_json`].
+pub fn git_describe() -> String {
     std::process::Command::new("git")
         .args(["describe", "--always", "--dirty"])
         .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
@@ -986,15 +1049,29 @@ mod tests {
 
     #[test]
     fn bench_msm_json_is_byte_stable() {
-        let a = bench_msm_json();
-        let b = bench_msm_json();
+        let a = bench_msm_json("pinned-rev");
+        let b = bench_msm_json("pinned-rev");
         assert_eq!(a, b, "trajectory artefact must be byte-stable");
-        for key in ["\"bench\": \"fig9_scaling\"", "\"curve\": \"BLS12-381\"", "\"n\": 67108864", "\"git\": \"", "\"gpus\": 32", "\"pods\": 1", "\"pods\": 4", "\"strategy\": \"", "\"ckpt_rows\"", "\"interval\": 1", "\"interval\": 2"] {
+        for key in ["\"bench\": \"fig9_scaling\"", "\"curve\": \"BLS12-381\"", "\"n\": 67108864", "\"git\": \"pinned-rev\"", "\"gpus\": 32", "\"pods\": 1", "\"pods\": 4", "\"strategy\": \"", "\"ckpt_rows\"", "\"interval\": 1", "\"interval\": 2", "\"partition_rows\"", "\"fenced\": 1", "\"replaced\": 1"] {
             assert!(a.contains(key), "missing {key} in {a}");
         }
         // exponent-notation floats (two per row, three rows), valid tail
         assert!(a.matches("e-").count() >= 6, "floats must use exponent notation: {a}");
         assert!(a.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn partition_rows_cross_both_thresholds() {
+        let rows = fig9_partition_rows();
+        assert!(rows.first().is_some_and(|r| !r.fenced), "a blip must not fence");
+        assert!(rows.last().is_some_and(|r| r.fenced && r.replaced));
+        // fenced ⊇ replaced, and both are monotone in duration.
+        for w in rows.windows(2) {
+            assert!(w[0].partition_s < w[1].partition_s);
+            assert!(u8::from(w[0].fenced) <= u8::from(w[1].fenced));
+            assert!(u8::from(w[0].replaced) <= u8::from(w[1].replaced));
+        }
+        assert!(rows.iter().all(|r| !r.replaced || r.fenced));
     }
 
     #[test]

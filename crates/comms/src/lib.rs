@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod collective;
+pub mod partition;
 pub mod schedule;
 pub mod topology;
 
@@ -39,4 +40,5 @@ pub use schedule::{
     CommConfig, CommSchedule, CommStep, Endpoint, Fabric, Flow, LinkId, LinkLoad, PathCost,
     PathLink,
 };
+pub use partition::{PartitionDirection, PartitionSchedule, PartitionWindow};
 pub use topology::{Link, LinkRates, Node, NodeKind, Route, RouteError, Topology};

@@ -33,6 +33,12 @@ pub trait Curve:
     const SCALAR_BITS: u32;
     /// Whether `a = 0` (saves one multiplication in PDBL).
     const A_IS_ZERO: bool;
+    /// Whether the curve's cofactor is 1 — i.e. the whole curve group
+    /// *is* the prime-order subgroup. When true, admission-time
+    /// validation ([`crate::validate`]) can skip the order
+    /// multiplication: every on-curve point is automatically in the
+    /// subgroup.
+    const COFACTOR_IS_ONE: bool;
 
     /// The `a` coefficient.
     fn a() -> Self::Base;

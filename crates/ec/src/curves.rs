@@ -46,6 +46,7 @@ impl Curve for Bn254G1 {
     const NAME: &'static str = "BN254";
     const SCALAR_BITS: u32 = 254;
     const A_IS_ZERO: bool = true;
+    const COFACTOR_IS_ONE: bool = true;
 
     fn a() -> Self::Base {
         FqBn254::ZERO
@@ -75,6 +76,7 @@ impl Curve for Bls12377G1 {
     const NAME: &'static str = "BLS12-377";
     const SCALAR_BITS: u32 = 253;
     const A_IS_ZERO: bool = true;
+    const COFACTOR_IS_ONE: bool = false;
 
     fn a() -> Self::Base {
         FqBls12377::ZERO
@@ -111,6 +113,7 @@ impl Curve for Bls12381G1 {
     const NAME: &'static str = "BLS12-381";
     const SCALAR_BITS: u32 = 255;
     const A_IS_ZERO: bool = true;
+    const COFACTOR_IS_ONE: bool = false;
 
     fn a() -> Self::Base {
         FqBls12381::ZERO
@@ -147,6 +150,7 @@ impl Curve for Mnt4753G1 {
     const NAME: &'static str = "MNT4753";
     const SCALAR_BITS: u32 = 753;
     const A_IS_ZERO: bool = false;
+    const COFACTOR_IS_ONE: bool = true;
 
     fn a() -> Self::Base {
         FqMnt4753::from_u64(2)
@@ -185,6 +189,7 @@ impl Curve for Bn254G2 {
     const NAME: &'static str = "BN254-G2";
     const SCALAR_BITS: u32 = 254;
     const A_IS_ZERO: bool = true;
+    const COFACTOR_IS_ONE: bool = false;
 
     fn a() -> Self::Base {
         Fp2::ZERO

@@ -40,7 +40,9 @@ pub mod pairing;
 pub mod sample;
 pub mod serialize;
 pub mod traits;
+pub mod validate;
 
 pub use curve::{Affine, Curve, XyzzPoint};
 pub use sample::MsmInstance;
 pub use traits::{FieldElement, Scalar, SqrtField};
+pub use validate::{validate_msm_inputs, validate_point, InputViolation};

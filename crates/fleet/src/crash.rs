@@ -203,6 +203,10 @@ pub struct CrashReport {
     /// Jobs re-placed or re-absorbed because the cut tore their
     /// ownership.
     pub replaced: u64,
+    /// Torn frame bytes dropped from journal tails across every
+    /// restore in the sweep (service cuts plus the torn coordinator
+    /// frame) — nonzero whenever a mid-frame cut was actually torn.
+    pub torn_tail_bytes: usize,
     /// Total violations detected (0 on a healthy sweep).
     pub n_violations: usize,
 }
@@ -215,7 +219,7 @@ impl CrashReport {
             "{{\n  \"service_kill_points\": {},\n  \"service_torn_points\": {},\n  \
              \"fleet_cuts\": {},\n  \"ckpt_resumes\": {},\n  \"recovery_evals\": {},\n  \
              \"recovery_wins\": {},\n  \"reverified\": {},\n  \"replaced\": {},\n  \
-             \"n_violations\": {}\n}}",
+             \"torn_tail_bytes\": {},\n  \"n_violations\": {}\n}}",
             self.service_kill_points,
             self.service_torn_points,
             self.fleet_cuts,
@@ -224,6 +228,7 @@ impl CrashReport {
             self.recovery_wins,
             self.reverified,
             self.replaced,
+            self.torn_tail_bytes,
             self.n_violations
         )
     }
@@ -251,6 +256,7 @@ pub fn run_crash_soak(spec: &CrashSoakSpec) -> CrashSoakOutcome {
         recovery_wins: 0,
         reverified: 0,
         replaced: 0,
+        torn_tail_bytes: 0,
         n_violations: 0,
     };
     service_sweep(spec, &mut violations, &mut report);
@@ -430,6 +436,7 @@ fn service_sweep(
         let stats = service_restore_check(&config, &jobs, &chaos, &cut, &what, violations);
         let Some(stats) = stats else { continue };
         report.service_kill_points += 1;
+        report.torn_tail_bytes += stats.torn_tail_bytes;
         note_recovery(
             &what,
             stats.recovery_cost_s,
@@ -465,6 +472,7 @@ fn service_sweep(
         let stats = service_restore_check(&config, &jobs, &chaos, &cut, &what, violations);
         let Some(stats) = stats else { continue };
         report.service_torn_points += 1;
+        report.torn_tail_bytes += stats.torn_tail_bytes;
         if stats.torn_tail_bytes == 0 {
             violations.push(CrashViolation {
                 invariant: "crash-torn",
@@ -627,6 +635,7 @@ fn fleet_restore_check(
     report.fleet_cuts += 1;
     report.reverified += info.reverified;
     report.replaced += info.replaced_jobs;
+    report.torn_tail_bytes += info.coordinator_torn_tail_bytes;
     note_recovery(
         what,
         info.recovery_cost_s,

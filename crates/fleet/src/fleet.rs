@@ -16,6 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use distmsm::{replace_assignments, DistMsm};
+use distmsm_comms::PartitionSchedule;
 use distmsm_ec::serialize::{point_from_uncompressed, point_to_uncompressed};
 use distmsm_ec::{Curve, XyzzPoint};
 use distmsm_gpu_sim::fault::splitmix64;
@@ -27,6 +28,7 @@ use distmsm_service::{
     RecoveryInfo, ServiceConfig, ServiceEvent, ServiceReport, StolenJob,
 };
 
+use crate::membership::{Membership, MembershipAction, MembershipConfig};
 use crate::outsource::{Challenge, Corruption, OutsourcedResult};
 use crate::report::FleetReport;
 use crate::wal::{self as fleet_wal, FleetRecord, FleetState, FleetWal};
@@ -43,6 +45,10 @@ pub struct FleetConfig {
     pub check_seed: u64,
     /// Enables work stealing between pod queues.
     pub steal: bool,
+    /// Heartbeat-lease membership. `None` preserves the pre-partition
+    /// fleet exactly: no leases, no fencing, every pod permanently
+    /// reachable (the legacy soaks and goldens stay byte-identical).
+    pub membership: Option<MembershipConfig>,
 }
 
 /// A byzantine window: between `t0_s` and `t1_s` the pod corrupts every
@@ -68,12 +74,20 @@ pub struct FleetChaos {
     pub pods: Vec<ChaosSchedule>,
     /// Byzantine windows (detected by the 2G2T check, not recovery).
     pub byzantine: Vec<ByzantineWindow>,
+    /// Coordinator↔pod link-partition windows over the fleet NIC tier.
+    /// Partitions sever *messages* (heartbeats, hand-offs, completion
+    /// returns), not pods: a partitioned pod keeps executing.
+    pub partitions: PartitionSchedule,
 }
 
 impl FleetChaos {
     /// No chaos anywhere.
     pub fn none(n_pods: usize) -> Self {
-        Self { pods: vec![ChaosSchedule::none(); n_pods], byzantine: Vec::new() }
+        Self {
+            pods: vec![ChaosSchedule::none(); n_pods],
+            byzantine: Vec::new(),
+            partitions: PartitionSchedule::none(),
+        }
     }
 
     /// Lowers a whole-pod loss to the service layer: every device of
@@ -132,12 +146,34 @@ pub enum FleetEventKind {
         /// The quarantined pod.
         pod: usize,
     },
-    /// A job was re-placed off a quarantined pod.
+    /// A job was re-placed off a quarantined or fenced pod.
     Replaced {
-        /// Quarantined source pod.
+        /// Quarantined or fenced source pod.
         from: usize,
         /// Healthy destination pod.
         to: usize,
+    },
+    /// A pod's heartbeat lease expired without renewal; its fencing
+    /// epoch advanced.
+    Fenced {
+        /// The fenced pod.
+        pod: usize,
+        /// The pod's new epoch.
+        epoch: u64,
+    },
+    /// A fenced pod re-acquired its lease and passed anti-entropy
+    /// rejoin.
+    Rejoined {
+        /// The rejoining pod.
+        pod: usize,
+        /// The pod's current epoch.
+        epoch: u64,
+    },
+    /// A stale job copy from a fenced epoch was discarded (the fleet
+    /// had re-placed or already accepted the job).
+    Discarded {
+        /// Pod whose stale copy was dropped.
+        pod: usize,
     },
 }
 
@@ -231,6 +267,15 @@ pub struct FleetCoordinator<C: Curve> {
     last_good: Option<OutsourcedResult<C>>,
     checker: DistMsm,
     wal: FleetWal,
+    /// Lease table, built lazily on the first [`Self::run_loop`] pass
+    /// when `config.membership` is set (it needs the run's partition
+    /// schedule to bound its clock).
+    membership: Option<Membership>,
+    /// Per pod: stale job copies left behind by a post-fence
+    /// re-placement, keyed by job id with the copy's placement epoch.
+    /// Consumed by rejoin's `fence_discard` pass and by the zombie
+    /// guard in [`Self::check_completion`].
+    stale_copies: Vec<BTreeMap<u64, u64>>,
 }
 
 impl<C: Curve> FleetCoordinator<C> {
@@ -250,6 +295,8 @@ impl<C: Curve> FleetCoordinator<C> {
             placed_on: BTreeMap::new(),
             last_good: None,
             checker: DistMsm::new(MultiGpuSystem::dgx_a100(1)),
+            membership: None,
+            stale_copies: vec![BTreeMap::new(); config.n_pods],
             config,
             pods,
             wal,
@@ -312,8 +359,9 @@ impl<C: Curve> FleetCoordinator<C> {
             );
         }
 
-        let healthy: Vec<usize> =
-            (0..config.n_pods).filter(|&p| !state.quarantined[p]).collect();
+        let healthy: Vec<usize> = (0..config.n_pods)
+            .filter(|&p| !state.quarantined[p] && !state.fenced[p])
+            .collect();
         let mut spec_lists: Vec<Vec<JobSpec<C>>> = vec![Vec::new(); config.n_pods];
         let mut replacements: Vec<(u64, usize)> = Vec::new();
         let mut torn_steals: Vec<(JobSpec<C>, u32)> = Vec::new();
@@ -324,12 +372,12 @@ impl<C: Curve> FleetCoordinator<C> {
             if knowing.is_empty() {
                 // Never durably admitted anywhere: (re-)arrives at the
                 // recorded owner, or a healthy pod when the owner is
-                // quarantined or the placement itself was lost.
+                // quarantined, fenced, or the placement itself was lost.
                 let owner = state
                     .placed_on
                     .get(&job.id)
                     .copied()
-                    .filter(|&p| !state.quarantined[p]);
+                    .filter(|&p| !state.quarantined[p] && !state.fenced[p]);
                 let target = owner.unwrap_or_else(|| {
                     let t = healthy
                         .iter()
@@ -402,6 +450,8 @@ impl<C: Curve> FleetCoordinator<C> {
             placed_on: state.placed_on.clone(),
             last_good: None,
             checker: DistMsm::new(MultiGpuSystem::dgx_a100(1)),
+            membership: None,
+            stale_copies: vec![BTreeMap::new(); config.n_pods],
             config,
             pods: pod_svcs,
             wal,
@@ -411,7 +461,8 @@ impl<C: Curve> FleetCoordinator<C> {
         // the new ownership, exactly like a live placement).
         let now = fleet.pods.iter().map(|p| p.clock_s()).fold(0.0, f64::max);
         for &(id, pod) in &replacements {
-            fleet.wal.append(now, &FleetRecord::Placed { t_s: now, id, pod });
+            let epoch = fleet.wal.state().pod_epochs[pod];
+            fleet.wal.append(now, &FleetRecord::Placed { t_s: now, id, pod, epoch });
             fleet.placed_on.insert(id, pod);
             fleet.emit(now, Some(id), FleetEventKind::Placed { pod });
             fleet.instant(now, "fleet.recovery:replaced", vec![("pod".into(), pod.to_string())]);
@@ -428,8 +479,9 @@ impl<C: Curve> FleetCoordinator<C> {
                 now,
                 &chaos.pods[to],
             );
+            let epoch = fleet.wal.state().pod_epochs[to];
             fleet.placed_on.insert(id, to);
-            fleet.wal.append(now, &FleetRecord::Replaced { t_s: now, id, from, to });
+            fleet.wal.append(now, &FleetRecord::Replaced { t_s: now, id, from, to, epoch });
             fleet.emit(now, Some(id), FleetEventKind::Replaced { from, to });
             fleet.replaced_instant(now, from, to);
         }
@@ -530,15 +582,195 @@ impl<C: Curve> FleetCoordinator<C> {
     }
 
     fn run_loop(&mut self, chaos: &FleetChaos) {
-        while let Some(pod) = self.next_pod() {
+        if self.membership.is_none() {
+            if let Some(mc) = self.config.membership {
+                let mut m = Membership::new(mc, self.config.n_pods, &chaos.partitions);
+                // A restored fleet may come back with pods already
+                // fenced in the durable fold; sync the lease table so
+                // they take the rejoin path, not a double fence.
+                let now = self.pods.iter().map(|p| p.clock_s()).fold(0.0, f64::max);
+                for p in 0..self.config.n_pods {
+                    if self.wal.state().fenced[p] {
+                        m.restore_fence(p, now);
+                    }
+                }
+                self.membership = Some(m);
+            }
+        }
+        loop {
+            // Next pod event vs. next membership transition, in global
+            // time order; ties go to membership so a pod never runs
+            // ahead of a fence or rejoin stamped at the same instant.
+            let pod_next = (0..self.config.n_pods)
+                .filter_map(|p| self.pods[p].next_time().map(|t| (t, p)))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mem_next =
+                self.membership.as_ref().and_then(|m| m.next_event_s(pod_next.is_some()));
+            let pod = match (pod_next, mem_next) {
+                (None, None) => break,
+                (Some((tp, pod)), Some(tm)) => {
+                    if tm <= tp {
+                        self.membership_step(tm, chaos);
+                        continue;
+                    }
+                    pod
+                }
+                (Some((_, pod)), None) => pod,
+                (None, Some(tm)) => {
+                    self.membership_step(tm, chaos);
+                    continue;
+                }
+            };
             self.pods[pod].step(&chaos.pods[pod]);
-            for done in self.pods[pod].drain_completed() {
-                self.check_completion(pod, done, chaos);
+            let now = self.pods[pod].clock_s();
+            // Completions only travel while the pod→coordinator leg is
+            // up and the pod is not behind a fence (a fenced pod's
+            // results wait for anti-entropy rejoin). Undrained
+            // completions park in the pod's buffer — its WAL already
+            // journaled them, so nothing is lost.
+            let fenced = self.membership.as_ref().is_some_and(|m| m.lease(pod).fenced);
+            if !fenced && chaos.partitions.pod_reaches_coordinator(pod, now) {
+                for done in self.pods[pod].drain_completed() {
+                    self.check_completion(pod, done, chaos);
+                }
             }
             self.drain_quarantined(chaos);
             if self.config.steal {
                 self.rebalance(chaos);
             }
+        }
+    }
+
+    /// Executes the membership transitions due at `t_s`, in order.
+    fn membership_step(&mut self, t_s: f64, chaos: &FleetChaos) {
+        let actions = self
+            .membership
+            .as_mut()
+            .expect("membership_step only runs with a lease table")
+            .poll(t_s, &chaos.partitions);
+        for action in actions {
+            match action {
+                MembershipAction::Degrade(pod) => {
+                    self.pods[pod].set_partitioned(t_s);
+                    self.instant(
+                        t_s,
+                        "fleet.partition:degraded",
+                        vec![("pod".into(), pod.to_string())],
+                    );
+                }
+                MembershipAction::Heal(pod) => {
+                    // Never fenced: just clear degraded mode and accept
+                    // the completions that parked behind the partition.
+                    self.pods[pod].clear_partitioned(t_s);
+                    self.instant(
+                        t_s,
+                        "fleet.partition:healed",
+                        vec![("pod".into(), pod.to_string())],
+                    );
+                    self.drain_parked(pod, chaos);
+                }
+                MembershipAction::Fence(pod) => self.fence_pod(pod, t_s),
+                MembershipAction::Replace(pod) => self.replace_orphans(pod, t_s, chaos),
+                MembershipAction::Rejoin(pod) => self.rejoin_pod(pod, t_s, chaos),
+            }
+        }
+    }
+
+    /// Advances a pod's fencing epoch after its lease lapsed. From this
+    /// record on, every hand-off and completion stamped with the old
+    /// epoch is dead on arrival at the fold.
+    fn fence_pod(&mut self, pod: usize, t_s: f64) {
+        let epoch = self.wal.state().pod_epochs[pod] + 1;
+        self.wal.append(t_s, &FleetRecord::Fenced { t_s, pod, epoch });
+        self.emit(t_s, None, FleetEventKind::Fenced { pod, epoch });
+        self.instant(
+            t_s,
+            "fleet.fenced",
+            vec![("pod".into(), pod.to_string()), ("epoch".into(), epoch.to_string())],
+        );
+    }
+
+    /// Gives up on a fenced pod's orphans after the replace grace: each
+    /// job it still owns (and the fleet has not accepted) is re-placed
+    /// on a live pod with a fresh retry budget. The partitioned copy
+    /// cannot be cancelled — it is discarded by fencing whenever it
+    /// surfaces.
+    fn replace_orphans(&mut self, pod: usize, t_s: f64, chaos: &FleetChaos) {
+        let accepted_ids: BTreeSet<u64> = self.accepted.iter().map(|a| a.id).collect();
+        let orphans: Vec<u64> = self
+            .placed_on
+            .iter()
+            .filter(|&(id, &owner)| owner == pod && !accepted_ids.contains(id))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in orphans {
+            let Some(to) = self.least_loaded_live(t_s, chaos) else {
+                self.instant(
+                    t_s,
+                    "fleet.replace-deferred",
+                    vec![("pod".into(), pod.to_string()), ("job".into(), id.to_string())],
+                );
+                return;
+            };
+            let spec = self.specs.get(&id).expect("orphaned job has a recorded spec").clone();
+            let stale_epoch = self.wal.state().placed_epoch[&id];
+            self.stale_copies[pod].insert(id, stale_epoch);
+            let epoch = self.wal.state().pod_epochs[to];
+            self.pods[to].absorb_stolen(
+                StolenJob { spec, attempt: 0, effective_deadline_s: t_s },
+                t_s,
+                &chaos.pods[to],
+            );
+            self.placed_on.insert(id, to);
+            self.wal.append(t_s, &FleetRecord::Replaced { t_s, id, from: pod, to, epoch });
+            self.emit(t_s, Some(id), FleetEventKind::Replaced { from: pod, to });
+            self.replaced_instant(t_s, pod, to);
+        }
+    }
+
+    /// Anti-entropy rejoin of a fenced pod whose partition healed.
+    ///
+    /// The pod's parked completion buffer is the durable WAL suffix the
+    /// coordinator missed (its PR 8 service WAL journaled every
+    /// completion before it parked). The coordinator diffs it against
+    /// its own accepted set: a completion for a job the pod still owns
+    /// is re-verified through the 2G2T blinded-twin check before
+    /// acceptance; one for a job the fleet re-placed or already
+    /// accepted is discarded by fencing epoch. Stale *queued* copies of
+    /// re-placed jobs are dropped from the pod's queues the same way.
+    fn rejoin_pod(&mut self, pod: usize, t_s: f64, chaos: &FleetChaos) {
+        let epoch = self.wal.state().pod_epochs[pod];
+        self.wal.append(t_s, &FleetRecord::Rejoined { t_s, pod, epoch });
+        self.emit(t_s, None, FleetEventKind::Rejoined { pod, epoch });
+        self.instant(
+            t_s,
+            "fleet.rejoined",
+            vec![("pod".into(), pod.to_string()), ("epoch".into(), epoch.to_string())],
+        );
+        self.pods[pod].clear_partitioned(t_s);
+        self.drain_parked(pod, chaos);
+        let stale: Vec<(u64, u64)> =
+            self.stale_copies[pod].iter().map(|(&id, &e)| (id, e)).collect();
+        for (id, stale_epoch) in stale {
+            if self.pods[pod].fence_discard(id, t_s) {
+                self.stale_copies[pod].remove(&id);
+                self.wal
+                    .append(t_s, &FleetRecord::Discarded { t_s, id, pod, epoch: stale_epoch });
+                self.emit(t_s, Some(id), FleetEventKind::Discarded { pod });
+                self.instant(
+                    t_s,
+                    "fleet.discarded",
+                    vec![("pod".into(), pod.to_string()), ("job".into(), id.to_string())],
+                );
+            }
+        }
+    }
+
+    /// Runs every parked completion of `pod` through the 2G2T check
+    /// (or the fencing discard guard).
+    fn drain_parked(&mut self, pod: usize, chaos: &FleetChaos) {
+        for done in self.pods[pod].drain_completed() {
+            self.check_completion(pod, done, chaos);
         }
     }
 
@@ -558,7 +790,9 @@ impl<C: Curve> FleetCoordinator<C> {
             // before the run starts — so a time-consistent crash cut
             // can never tear it apart; the payload keeps the arrival
             // time for event reconstruction.
-            self.wal.append(0.0, &FleetRecord::Placed { t_s: job.arrival_s, id: job.id, pod });
+            let epoch = self.wal.state().pod_epochs[pod];
+            self.wal
+                .append(0.0, &FleetRecord::Placed { t_s: job.arrival_s, id: job.id, pod, epoch });
             self.emit(job.arrival_s, Some(job.id), FleetEventKind::Placed { pod });
             self.instant(job.arrival_s, "fleet.placed", vec![("pod".into(), pod.to_string())]);
             self.specs.insert(job.id, job.clone());
@@ -570,17 +804,38 @@ impl<C: Curve> FleetCoordinator<C> {
         }
     }
 
-    /// The pod holding the globally earliest pending event.
-    fn next_pod(&self) -> Option<usize> {
-        (0..self.config.n_pods)
-            .filter_map(|p| self.pods[p].next_time().map(|t| (t, p)))
-            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
-            .map(|(_, p)| p)
-    }
-
-    /// Runs the 2G2T check on one completion; accepts or detects.
+    /// Runs the 2G2T check on one completion; accepts, detects, or —
+    /// under membership — discards a zombie (a completion for a job the
+    /// fleet re-placed or already accepted while the pod was fenced).
     fn check_completion(&mut self, pod: usize, done: CompletedJob<C>, chaos: &FleetChaos) {
         let now = self.pods[pod].clock_s();
+        // The fencing guard: exactly-once is preserved by epochs, not
+        // by assuming connectivity. A hand-off from an expired lease is
+        // rejected *on arrival*, whatever the network did meanwhile.
+        if self.membership.is_some() {
+            let st = self.wal.state();
+            let already = self.accepted.iter().any(|a| a.id == done.id);
+            let owned = self.placed_on.get(&done.id) == Some(&pod);
+            let fresh = st.placed_epoch.get(&done.id).copied() == Some(st.pod_epochs[pod]);
+            if already || !owned || !fresh {
+                let stale_epoch = self.stale_copies[pod]
+                    .get(&done.id)
+                    .copied()
+                    .unwrap_or_else(|| st.pod_epochs[pod].saturating_sub(1));
+                self.stale_copies[pod].remove(&done.id);
+                self.wal.append(
+                    now,
+                    &FleetRecord::Discarded { t_s: now, id: done.id, pod, epoch: stale_epoch },
+                );
+                self.emit(now, Some(done.id), FleetEventKind::Discarded { pod });
+                self.instant(
+                    now,
+                    "fleet.discarded",
+                    vec![("pod".into(), pod.to_string()), ("job".into(), done.id.to_string())],
+                );
+                return;
+            }
+        }
         // Invariant: every dispatchable job's spec was recorded at
         // placement (or at restore from the durable fold), so a pod can
         // only complete ids the coordinator knows.
@@ -611,7 +866,9 @@ impl<C: Curve> FleetCoordinator<C> {
             None => pair,
         };
         if challenge.verify(&spec.instance.points, &pair.r1, &pair.r2) {
-            // Acceptance and the accepted value ride one atomic record.
+            // Acceptance and the accepted value ride one atomic record,
+            // stamped with the accepting pod's live fencing epoch.
+            let epoch = self.wal.state().pod_epochs[pod];
             self.wal.append(
                 now,
                 &FleetRecord::Accepted {
@@ -620,6 +877,7 @@ impl<C: Curve> FleetCoordinator<C> {
                     tenant: done.tenant,
                     pod,
                     attempts: done.attempts,
+                    epoch,
                     result: point_to_uncompressed(&pair.r1.to_affine()),
                 },
             );
@@ -663,7 +921,7 @@ impl<C: Curve> FleetCoordinator<C> {
         // Re-place the rejected job itself. The 2G2T rejection is a new
         // failure class, not a pod-local fault: the retry budget is NOT
         // charged, so the job re-enters with its old attempt count.
-        let to = self.least_loaded_healthy().expect("no healthy pod to re-place on");
+        let to = self.least_loaded_live(now, chaos).expect("no healthy pod to re-place on");
         let stolen = StolenJob {
             spec,
             attempt: done.attempts.saturating_sub(1),
@@ -671,7 +929,9 @@ impl<C: Curve> FleetCoordinator<C> {
         };
         self.pods[to].absorb_stolen(stolen, now, &chaos.pods[to]);
         self.placed_on.insert(done.id, to);
-        self.wal.append(now, &FleetRecord::Replaced { t_s: now, id: done.id, from: pod, to });
+        let epoch = self.wal.state().pod_epochs[to];
+        self.wal
+            .append(now, &FleetRecord::Replaced { t_s: now, id: done.id, from: pod, to, epoch });
         self.emit(now, Some(done.id), FleetEventKind::Replaced { from: pod, to });
         self.replaced_instant(now, pod, to);
     }
@@ -697,17 +957,18 @@ impl<C: Curve> FleetCoordinator<C> {
             stranded.push(stolen);
         }
         let healthy: Vec<usize> =
-            (0..self.config.n_pods).filter(|&p| !self.quarantined[p]).collect();
+            (0..self.config.n_pods).filter(|&p| self.pod_live(p, now, chaos)).collect();
         assert!(!healthy.is_empty(), "every pod quarantined: nowhere to re-place");
         let ranges = replace_assignments(stranded.len(), healthy.len());
         for (h, (lo, hi)) in ranges.into_iter().enumerate() {
             for stolen in stranded[lo..hi].iter().cloned() {
                 let id = stolen.spec.id;
+                let epoch = self.wal.state().pod_epochs[healthy[h]];
                 self.pods[healthy[h]].absorb_stolen(stolen, now, &chaos.pods[healthy[h]]);
                 self.placed_on.insert(id, healthy[h]);
                 self.wal.append(
                     now,
-                    &FleetRecord::Replaced { t_s: now, id, from: pod, to: healthy[h] },
+                    &FleetRecord::Replaced { t_s: now, id, from: pod, to: healthy[h], epoch },
                 );
                 self.emit(now, Some(id), FleetEventKind::Replaced { from: pod, to: healthy[h] });
                 self.replaced_instant(now, pod, healthy[h]);
@@ -724,13 +985,15 @@ impl<C: Curve> FleetCoordinator<C> {
                 continue;
             }
             while self.pods[pod].queued_jobs() > 0 {
-                let Some(to) = self.least_loaded_healthy() else { return };
+                let now = self.pods[pod].clock_s();
+                let Some(to) = self.least_loaded_live(now, chaos) else { return };
                 let Some(stolen) = self.pods[pod].steal_earliest() else { break };
                 let id = stolen.spec.id;
-                let now = self.pods[pod].clock_s();
+                let epoch = self.wal.state().pod_epochs[to];
                 self.pods[to].absorb_stolen(stolen, now, &chaos.pods[to]);
                 self.placed_on.insert(id, to);
-                self.wal.append(now, &FleetRecord::Replaced { t_s: now, id, from: pod, to });
+                self.wal
+                    .append(now, &FleetRecord::Replaced { t_s: now, id, from: pod, to, epoch });
                 self.emit(now, Some(id), FleetEventKind::Replaced { from: pod, to });
                 self.replaced_instant(now, pod, to);
             }
@@ -746,7 +1009,7 @@ impl<C: Curve> FleetCoordinator<C> {
         loop {
             let victim = (0..self.config.n_pods)
                 .filter(|&p| {
-                    !self.quarantined[p]
+                    self.pod_live(p, self.pods[p].clock_s(), chaos)
                         && self.pods[p].queued_jobs() > 0
                         && !self.pods[p].has_free_capacity()
                 })
@@ -754,7 +1017,7 @@ impl<C: Curve> FleetCoordinator<C> {
                 .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
                 .map(|(_, p)| p);
             let thief = (0..self.config.n_pods).find(|&p| {
-                !self.quarantined[p]
+                self.pod_live(p, self.pods[p].clock_s(), chaos)
                     && self.pods[p].queued_jobs() == 0
                     && self.pods[p].has_free_capacity()
             });
@@ -762,11 +1025,12 @@ impl<C: Curve> FleetCoordinator<C> {
             let Some(stolen) = self.pods[victim].steal_earliest() else { return };
             let id = stolen.spec.id;
             let now = self.pods[victim].clock_s().max(self.pods[thief].clock_s());
+            let epoch = self.wal.state().pod_epochs[thief];
             self.pods[thief].absorb_stolen(stolen, now, &chaos.pods[thief]);
             self.placed_on.insert(id, thief);
             self.wal.append(
                 now,
-                &FleetRecord::Stolen { t_s: now, id, from: victim, to: thief },
+                &FleetRecord::Stolen { t_s: now, id, from: victim, to: thief, epoch },
             );
             self.emit(now, Some(id), FleetEventKind::Stolen { from: victim, to: thief });
             self.instant(
@@ -781,6 +1045,25 @@ impl<C: Curve> FleetCoordinator<C> {
     fn least_loaded_healthy(&self) -> Option<usize> {
         (0..self.config.n_pods)
             .filter(|&p| !self.quarantined[p])
+            .min_by_key(|&p| (self.pods[p].queued_jobs(), p))
+    }
+
+    /// Is `p` a valid hand-off target at `now`: not quarantined, not
+    /// behind a fence, not in degraded mode, and with a round-trip
+    /// coordinator↔pod path. Without membership and partitions this is
+    /// exactly the legacy `!quarantined` predicate.
+    fn pod_live(&self, p: usize, now: f64, chaos: &FleetChaos) -> bool {
+        !self.quarantined[p]
+            && !self.wal.state().fenced[p]
+            && self.membership.as_ref().is_none_or(|m| !m.lease(p).degraded)
+            && chaos.partitions.round_trip_ok(p, now)
+    }
+
+    /// Live pod (per [`Self::pod_live`]) with the smallest queue, ties
+    /// to the lowest id.
+    fn least_loaded_live(&self, now: f64, chaos: &FleetChaos) -> Option<usize> {
+        (0..self.config.n_pods)
+            .filter(|&p| self.pod_live(p, now, chaos))
             .min_by_key(|&p| (self.pods[p].queued_jobs(), p))
     }
 

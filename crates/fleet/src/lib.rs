@@ -42,7 +42,9 @@
 pub mod crash;
 pub mod estimate;
 pub mod fleet;
+pub mod membership;
 pub mod outsource;
+pub mod partition;
 pub mod report;
 pub mod shard;
 pub mod soak;
@@ -57,7 +59,12 @@ pub use fleet::{
     AcceptedJob, FleetChaos, FleetConfig, FleetCoordinator, FleetEvent, FleetEventKind,
     FleetOutcome, FleetRecoveryInfo,
 };
+pub use membership::{LeaseState, Membership, MembershipAction, MembershipConfig};
 pub use outsource::{Challenge, Corruption, OutsourcedResult, N_DECOYS};
+pub use partition::{
+    run_partition_soak, PartitionReport, PartitionSoakOutcome, PartitionSoakSpec,
+    PartitionViolation,
+};
 pub use report::{FleetReport, PodStats};
 pub use shard::{execute_sharded, fold_windows, window_partials, ShardExecution, ShardedMsmConfig,
     ShardedMsmReport};

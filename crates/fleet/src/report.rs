@@ -120,7 +120,10 @@ impl FleetReport {
                     pods[pod].detections += 1;
                 }
                 FleetEventKind::Replaced { .. } => replaced += 1,
-                FleetEventKind::Quarantined { .. } => {}
+                FleetEventKind::Quarantined { .. }
+                | FleetEventKind::Fenced { .. }
+                | FleetEventKind::Rejoined { .. }
+                | FleetEventKind::Discarded { .. } => {}
             }
         }
         let mut served = vec![false; n_tenants];

@@ -9,6 +9,7 @@
 
 use distmsm::engine::DistMsm;
 use distmsm_ec::curves::Bn254G1;
+use distmsm_comms::PartitionSchedule;
 use distmsm_ec::MsmInstance;
 use distmsm_gpu_sim::fault::splitmix64;
 use distmsm_gpu_sim::MultiGpuSystem;
@@ -251,6 +252,7 @@ pub fn fleet_config(spec: &FleetSoakSpec) -> FleetConfig {
         pod,
         check_seed: spec.arrival_seed ^ spec.fault_seed.rotate_left(17) ^ 0x2620_2620,
         steal: true,
+        membership: None,
     }
 }
 
@@ -275,6 +277,7 @@ pub fn build_fleet_chaos(spec: &FleetSoakSpec) -> FleetChaos {
             })
             .collect(),
         byzantine: Vec::new(),
+        partitions: PartitionSchedule::none(),
     };
     if let Some(pod) = spec.lost_pod {
         chaos.lose_pod(pod, loss_time(spec), spec.devices_per_pod);

@@ -71,6 +71,10 @@ pub enum FleetRecord {
         id: u64,
         /// Chosen pod.
         pod: usize,
+        /// Fencing epoch of the receiving pod at placement. Every
+        /// hand-off is stamped; the fold rejects stamps that disagree
+        /// with the pod's current epoch.
+        epoch: u64,
     },
     /// A work steal moved a queued job between pods.
     Stolen {
@@ -82,6 +86,8 @@ pub enum FleetRecord {
         from: usize,
         /// Thief pod.
         to: usize,
+        /// Fencing epoch of the thief pod at absorption.
+        epoch: u64,
     },
     /// The 2G2T check accepted a result — event *and* value, atomic.
     Accepted {
@@ -95,6 +101,10 @@ pub enum FleetRecord {
         pod: usize,
         /// Attempts the pod consumed.
         attempts: u32,
+        /// Fencing epoch of the accepting pod — the fold refuses an
+        /// acceptance stamped with anything but the pod's live epoch,
+        /// so a completion from an expired lease can never land.
+        epoch: u64,
         /// Canonical uncompressed bytes of the verified MSM value.
         result: Vec<u8>,
     },
@@ -116,16 +126,55 @@ pub enum FleetRecord {
         /// The quarantined pod.
         pod: usize,
     },
-    /// A job was re-placed off a quarantined pod.
+    /// A job was re-placed off a quarantined or fenced pod.
     Replaced {
         /// Re-placement time.
         t_s: f64,
         /// Job id.
         id: u64,
-        /// Quarantined source pod.
+        /// Quarantined or fenced source pod.
         from: usize,
         /// Healthy destination pod.
         to: usize,
+        /// Fencing epoch of the destination pod at absorption.
+        epoch: u64,
+    },
+    /// A pod's heartbeat lease expired without renewal: its fencing
+    /// epoch advances and every in-flight hand-off stamped with the old
+    /// epoch is dead on arrival.
+    Fenced {
+        /// Fencing time (the lease expiry instant).
+        t_s: f64,
+        /// The fenced pod.
+        pod: usize,
+        /// The pod's *new* epoch (exactly old + 1).
+        epoch: u64,
+    },
+    /// A fenced pod re-acquired its lease after the partition healed
+    /// and passed anti-entropy rejoin. Jobs it still owns are
+    /// re-stamped to the new epoch.
+    Rejoined {
+        /// Rejoin time.
+        t_s: f64,
+        /// The rejoining pod.
+        pod: usize,
+        /// The pod's current (post-fence) epoch.
+        epoch: u64,
+    },
+    /// A stale job copy from a fenced epoch was discarded — the job was
+    /// re-placed fleet-side while the pod was partitioned, so the
+    /// pod-local copy (queued, in-flight, or a parked completion) must
+    /// not produce a second acceptance.
+    Discarded {
+        /// Discard time.
+        t_s: f64,
+        /// Job id of the stale copy.
+        id: u64,
+        /// Pod holding the stale copy.
+        pod: usize,
+        /// The stale copy's placement epoch (strictly below the pod's
+        /// current epoch).
+        epoch: u64,
     },
 }
 
@@ -135,14 +184,15 @@ impl FleetRecord {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         match self {
-            FleetRecord::Placed { t_s, id, pod } => {
-                w.u8(0).f64(*t_s).u64(*id).usize(*pod);
+            FleetRecord::Placed { t_s, id, pod, epoch } => {
+                w.u8(0).f64(*t_s).u64(*id).usize(*pod).u64(*epoch);
             }
-            FleetRecord::Stolen { t_s, id, from, to } => {
-                w.u8(1).f64(*t_s).u64(*id).usize(*from).usize(*to);
+            FleetRecord::Stolen { t_s, id, from, to, epoch } => {
+                w.u8(1).f64(*t_s).u64(*id).usize(*from).usize(*to).u64(*epoch);
             }
-            FleetRecord::Accepted { t_s, id, tenant, pod, attempts, result } => {
+            FleetRecord::Accepted { t_s, id, tenant, pod, attempts, epoch, result } => {
                 w.u8(2).f64(*t_s).u64(*id).usize(*tenant).usize(*pod).u32(*attempts);
+                w.u64(*epoch);
                 w.bytes(result);
             }
             FleetRecord::Detected { t_s, id, pod, corruption } => {
@@ -151,8 +201,17 @@ impl FleetRecord {
             FleetRecord::Quarantined { t_s, pod } => {
                 w.u8(4).f64(*t_s).usize(*pod);
             }
-            FleetRecord::Replaced { t_s, id, from, to } => {
-                w.u8(5).f64(*t_s).u64(*id).usize(*from).usize(*to);
+            FleetRecord::Replaced { t_s, id, from, to, epoch } => {
+                w.u8(5).f64(*t_s).u64(*id).usize(*from).usize(*to).u64(*epoch);
+            }
+            FleetRecord::Fenced { t_s, pod, epoch } => {
+                w.u8(6).f64(*t_s).usize(*pod).u64(*epoch);
+            }
+            FleetRecord::Rejoined { t_s, pod, epoch } => {
+                w.u8(7).f64(*t_s).usize(*pod).u64(*epoch);
+            }
+            FleetRecord::Discarded { t_s, id, pod, epoch } => {
+                w.u8(8).f64(*t_s).u64(*id).usize(*pod).u64(*epoch);
             }
         }
         w.finish()
@@ -163,12 +222,18 @@ impl FleetRecord {
         let mut r = ByteReader::new(payload);
         let off = r.offset();
         let rec = match r.u8()? {
-            0 => FleetRecord::Placed { t_s: r.f64()?, id: r.u64()?, pod: r.usize()? },
+            0 => FleetRecord::Placed {
+                t_s: r.f64()?,
+                id: r.u64()?,
+                pod: r.usize()?,
+                epoch: r.u64()?,
+            },
             1 => FleetRecord::Stolen {
                 t_s: r.f64()?,
                 id: r.u64()?,
                 from: r.usize()?,
                 to: r.usize()?,
+                epoch: r.u64()?,
             },
             2 => FleetRecord::Accepted {
                 t_s: r.f64()?,
@@ -176,6 +241,7 @@ impl FleetRecord {
                 tenant: r.usize()?,
                 pod: r.usize()?,
                 attempts: r.u32()?,
+                epoch: r.u64()?,
                 result: r.bytes()?.to_vec(),
             },
             3 => {
@@ -189,6 +255,15 @@ impl FleetRecord {
                 id: r.u64()?,
                 from: r.usize()?,
                 to: r.usize()?,
+                epoch: r.u64()?,
+            },
+            6 => FleetRecord::Fenced { t_s: r.f64()?, pod: r.usize()?, epoch: r.u64()? },
+            7 => FleetRecord::Rejoined { t_s: r.f64()?, pod: r.usize()?, epoch: r.u64()? },
+            8 => FleetRecord::Discarded {
+                t_s: r.f64()?,
+                id: r.u64()?,
+                pod: r.usize()?,
+                epoch: r.u64()?,
             },
             _ => return Err(WireError { offset: off }),
         };
@@ -201,10 +276,10 @@ impl FleetRecord {
     /// The coordinator event this record witnesses.
     pub fn event(&self) -> FleetEvent {
         match self {
-            FleetRecord::Placed { t_s, id, pod } => {
+            FleetRecord::Placed { t_s, id, pod, .. } => {
                 FleetEvent { t_s: *t_s, job: Some(*id), kind: FleetEventKind::Placed { pod: *pod } }
             }
-            FleetRecord::Stolen { t_s, id, from, to } => FleetEvent {
+            FleetRecord::Stolen { t_s, id, from, to, .. } => FleetEvent {
                 t_s: *t_s,
                 job: Some(*id),
                 kind: FleetEventKind::Stolen { from: *from, to: *to },
@@ -224,10 +299,25 @@ impl FleetRecord {
                 job: None,
                 kind: FleetEventKind::Quarantined { pod: *pod },
             },
-            FleetRecord::Replaced { t_s, id, from, to } => FleetEvent {
+            FleetRecord::Replaced { t_s, id, from, to, .. } => FleetEvent {
                 t_s: *t_s,
                 job: Some(*id),
                 kind: FleetEventKind::Replaced { from: *from, to: *to },
+            },
+            FleetRecord::Fenced { t_s, pod, epoch } => FleetEvent {
+                t_s: *t_s,
+                job: None,
+                kind: FleetEventKind::Fenced { pod: *pod, epoch: *epoch },
+            },
+            FleetRecord::Rejoined { t_s, pod, epoch } => FleetEvent {
+                t_s: *t_s,
+                job: None,
+                kind: FleetEventKind::Rejoined { pod: *pod, epoch: *epoch },
+            },
+            FleetRecord::Discarded { t_s, id, pod, .. } => FleetEvent {
+                t_s: *t_s,
+                job: Some(*id),
+                kind: FleetEventKind::Discarded { pod: *pod },
             },
         }
     }
@@ -269,6 +359,16 @@ pub struct FleetState {
     pub placed_on: BTreeMap<u64, usize>,
     /// Accepted results in acceptance order.
     pub accepted: Vec<AcceptedEntry>,
+    /// Per-pod fencing epoch (starts at 1; each fence advances it by
+    /// exactly one — the monotonicity PART-001 replays).
+    pub pod_epochs: Vec<u64>,
+    /// Per-pod fence flag: `true` between a [`FleetRecord::Fenced`] and
+    /// the matching [`FleetRecord::Rejoined`].
+    pub fenced: Vec<bool>,
+    /// The fencing epoch stamped on each job's *current* placement.
+    /// A completion whose stamp trails the owner pod's live epoch is a
+    /// zombie and must be discarded, never accepted.
+    pub placed_epoch: BTreeMap<u64, u64>,
 }
 
 impl FleetState {
@@ -281,6 +381,9 @@ impl FleetState {
             detections: 0,
             placed_on: BTreeMap::new(),
             accepted: Vec::new(),
+            pod_epochs: vec![1; n_pods],
+            fenced: vec![false; n_pods],
+            placed_epoch: BTreeMap::new(),
         }
     }
 
@@ -298,28 +401,65 @@ impl FleetState {
         Ok(())
     }
 
+    /// The fencing check every hand-off and acceptance folds through: a
+    /// stamp must equal the pod's live epoch, and the pod must not be
+    /// behind a fence.
+    fn check_stamp(&self, epoch: u64, pod: usize, stamp: u64, what: &str) -> Result<(), JournalError> {
+        if self.fenced[pod] {
+            return Err(Self::bad(epoch, format!("{what} on fenced pod {pod}")));
+        }
+        if stamp != self.pod_epochs[pod] {
+            return Err(Self::bad(
+                epoch,
+                format!(
+                    "{what} stamped epoch {stamp} but pod {pod} is at epoch {}",
+                    self.pod_epochs[pod]
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     /// Folds one record in. Semantic garbage — out-of-range pods, moves
-    /// of unplaced jobs, double acceptance, double quarantine — is a
+    /// of unplaced jobs, double acceptance, double quarantine, stale or
+    /// future fencing stamps, acceptance across an expired lease — is a
     /// typed error, never a panic.
     pub fn apply(&mut self, epoch: u64, rec: &FleetRecord) -> Result<(), JournalError> {
         match rec {
-            FleetRecord::Placed { id, pod, .. } => {
+            FleetRecord::Placed { id, pod, epoch: stamp, .. } => {
                 self.check_pod(epoch, *pod)?;
+                self.check_stamp(epoch, *pod, *stamp, "placement")?;
                 // Re-placement of an orphaned job at restore overwrites.
                 self.placed_on.insert(*id, *pod);
+                self.placed_epoch.insert(*id, *stamp);
             }
-            FleetRecord::Stolen { t_s, id, from, to }
-            | FleetRecord::Replaced { t_s, id, from, to } => {
+            FleetRecord::Stolen { t_s, id, from, to, epoch: stamp }
+            | FleetRecord::Replaced { t_s, id, from, to, epoch: stamp } => {
                 self.check_pod(epoch, *from)?;
                 self.check_pod(epoch, *to)?;
-                if !self.placed_on.contains_key(id) {
-                    return Err(Self::bad(epoch, format!("job {id} moved before any placement")));
+                self.check_stamp(epoch, *to, *stamp, "hand-off")?;
+                match self.placed_on.get(id) {
+                    None => {
+                        return Err(Self::bad(
+                            epoch,
+                            format!("job {id} moved before any placement"),
+                        ))
+                    }
+                    Some(owner) if owner != from => {
+                        return Err(Self::bad(
+                            epoch,
+                            format!("job {id} moved from pod {from} but pod {owner} owns it"),
+                        ))
+                    }
+                    Some(_) => {}
                 }
                 self.placed_on.insert(*id, *to);
+                self.placed_epoch.insert(*id, *stamp);
                 self.clock_s = self.clock_s.max(*t_s);
             }
-            FleetRecord::Accepted { t_s, id, tenant, pod, attempts, result } => {
+            FleetRecord::Accepted { t_s, id, tenant, pod, attempts, epoch: stamp, result } => {
                 self.check_pod(epoch, *pod)?;
+                self.check_stamp(epoch, *pod, *stamp, "acceptance")?;
                 if self.accepted.iter().any(|a| a.id == *id) {
                     return Err(Self::bad(epoch, format!("job {id} accepted twice")));
                 }
@@ -345,23 +485,97 @@ impl FleetState {
                 self.quarantined[*pod] = true;
                 self.clock_s = self.clock_s.max(*t_s);
             }
+            FleetRecord::Fenced { t_s, pod, epoch: new_epoch } => {
+                self.check_pod(epoch, *pod)?;
+                if self.fenced[*pod] {
+                    return Err(Self::bad(epoch, format!("pod {pod} fenced twice")));
+                }
+                if *new_epoch != self.pod_epochs[*pod] + 1 {
+                    return Err(Self::bad(
+                        epoch,
+                        format!(
+                            "fence advances pod {pod} to epoch {new_epoch}, expected {}",
+                            self.pod_epochs[*pod] + 1
+                        ),
+                    ));
+                }
+                self.pod_epochs[*pod] = *new_epoch;
+                self.fenced[*pod] = true;
+                self.clock_s = self.clock_s.max(*t_s);
+            }
+            FleetRecord::Rejoined { t_s, pod, epoch: stamp } => {
+                self.check_pod(epoch, *pod)?;
+                if !self.fenced[*pod] {
+                    return Err(Self::bad(
+                        epoch,
+                        format!("pod {pod} rejoined without a fence (lease renewed after expiry?)"),
+                    ));
+                }
+                if *stamp != self.pod_epochs[*pod] {
+                    return Err(Self::bad(
+                        epoch,
+                        format!(
+                            "rejoin stamped epoch {stamp} but pod {pod} is at epoch {}",
+                            self.pod_epochs[*pod]
+                        ),
+                    ));
+                }
+                self.fenced[*pod] = false;
+                // Jobs the pod still owns survived the fence untouched:
+                // re-stamp them to the new epoch so their (re-verified)
+                // completions are acceptable again.
+                for (id, owner) in &self.placed_on {
+                    if owner == pod {
+                        self.placed_epoch.insert(*id, *stamp);
+                    }
+                }
+                self.clock_s = self.clock_s.max(*t_s);
+            }
+            FleetRecord::Discarded { t_s, id, pod, epoch: stamp } => {
+                self.check_pod(epoch, *pod)?;
+                if !self.placed_on.contains_key(id) {
+                    return Err(Self::bad(
+                        epoch,
+                        format!("job {id} discarded before any placement"),
+                    ));
+                }
+                if *stamp >= self.pod_epochs[*pod] {
+                    return Err(Self::bad(
+                        epoch,
+                        format!(
+                            "discard of job {id} stamped epoch {stamp}, not below pod {pod}'s \
+                             epoch {}",
+                            self.pod_epochs[*pod]
+                        ),
+                    ));
+                }
+                self.clock_s = self.clock_s.max(*t_s);
+            }
         }
         self.last_epoch = epoch;
         Ok(())
     }
 
-    /// Canonical snapshot bytes (version byte 1).
+    /// Canonical snapshot bytes (version byte 2; version 1 predates
+    /// fencing epochs and is refused — stale snapshots cannot silently
+    /// resurrect a pre-fencing fleet).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
-        w.u8(1).f64(self.clock_s).u64(self.last_epoch);
+        w.u8(2).f64(self.clock_s).u64(self.last_epoch);
         w.usize(self.quarantined.len());
         for &q in &self.quarantined {
             w.bool(q);
         }
+        for &e in &self.pod_epochs {
+            w.u64(e);
+        }
+        for &f in &self.fenced {
+            w.bool(f);
+        }
         w.u64(self.detections);
         w.usize(self.placed_on.len());
         for (&id, &pod) in &self.placed_on {
-            w.u64(id).usize(pod);
+            w.u64(id).usize(pod).u64(self.placed_epoch.get(&id).copied().unwrap_or(0));
         }
         w.usize(self.accepted.len());
         for a in &self.accepted {
@@ -375,7 +589,7 @@ impl FleetState {
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = ByteReader::new(bytes);
         let off = r.offset();
-        if r.u8()? != 1 {
+        if r.u8()? != 2 {
             return Err(WireError { offset: off });
         }
         let clock_s = r.f64()?;
@@ -385,12 +599,22 @@ impl FleetState {
         for _ in 0..n_pods {
             quarantined.push(r.bool()?);
         }
+        let mut pod_epochs = Vec::with_capacity(n_pods.min(4096));
+        for _ in 0..n_pods {
+            pod_epochs.push(r.u64()?);
+        }
+        let mut fenced = Vec::with_capacity(n_pods.min(4096));
+        for _ in 0..n_pods {
+            fenced.push(r.bool()?);
+        }
         let detections = r.u64()?;
         let n_placed = r.usize()?;
         let mut placed_on = BTreeMap::new();
+        let mut placed_epoch = BTreeMap::new();
         for _ in 0..n_placed {
             let id = r.u64()?;
             placed_on.insert(id, r.usize()?);
+            placed_epoch.insert(id, r.u64()?);
         }
         let n_accepted = r.usize()?;
         let mut accepted = Vec::with_capacity(n_accepted.min(4096));
@@ -406,7 +630,17 @@ impl FleetState {
         if !r.is_empty() {
             return Err(WireError { offset: r.offset() });
         }
-        Ok(Self { clock_s, last_epoch, quarantined, detections, placed_on, accepted })
+        Ok(Self {
+            clock_s,
+            last_epoch,
+            quarantined,
+            detections,
+            placed_on,
+            accepted,
+            pod_epochs,
+            fenced,
+            placed_epoch,
+        })
     }
 }
 
@@ -545,26 +779,39 @@ mod tests {
 
     fn sample_records() -> Vec<FleetRecord> {
         vec![
-            FleetRecord::Placed { t_s: 0.5, id: 7, pod: 1 },
-            FleetRecord::Placed { t_s: 0.6, id: 8, pod: 0 },
-            FleetRecord::Stolen { t_s: 1.0, id: 7, from: 1, to: 0 },
+            FleetRecord::Placed { t_s: 0.5, id: 7, pod: 1, epoch: 1 },
+            FleetRecord::Placed { t_s: 0.6, id: 8, pod: 0, epoch: 1 },
+            FleetRecord::Stolen { t_s: 1.0, id: 7, from: 1, to: 0, epoch: 1 },
             FleetRecord::Accepted {
                 t_s: 2.0,
                 id: 8,
                 tenant: 3,
                 pod: 0,
                 attempts: 1,
+                epoch: 1,
                 result: vec![1, 2, 3, 4],
             },
             FleetRecord::Detected { t_s: 2.5, id: 7, pod: 0, corruption: "swapped-shard" },
             FleetRecord::Quarantined { t_s: 2.5, pod: 0 },
-            FleetRecord::Replaced { t_s: 2.5, id: 7, from: 0, to: 1 },
+            FleetRecord::Replaced { t_s: 2.5, id: 7, from: 0, to: 1, epoch: 1 },
+        ]
+    }
+
+    /// A membership cycle on pod 1: fence, re-place its job away, have
+    /// the stale copy surface, rejoin.
+    fn fencing_records() -> Vec<FleetRecord> {
+        vec![
+            FleetRecord::Placed { t_s: 0.5, id: 7, pod: 1, epoch: 1 },
+            FleetRecord::Fenced { t_s: 10.0, pod: 1, epoch: 2 },
+            FleetRecord::Replaced { t_s: 14.0, id: 7, from: 1, to: 0, epoch: 1 },
+            FleetRecord::Discarded { t_s: 16.0, id: 7, pod: 1, epoch: 1 },
+            FleetRecord::Rejoined { t_s: 16.0, pod: 1, epoch: 2 },
         ]
     }
 
     #[test]
     fn records_roundtrip_and_reject_trailing_garbage() {
-        for rec in sample_records() {
+        for rec in sample_records().into_iter().chain(fencing_records()) {
             let mut bytes = rec.encode();
             assert_eq!(FleetRecord::decode(&bytes).unwrap(), rec);
             bytes.push(0);
@@ -593,11 +840,11 @@ mod tests {
     fn fold_rejects_semantic_garbage() {
         let mut st = FleetState::new(2);
         assert!(matches!(
-            st.apply(1, &FleetRecord::Placed { t_s: 0.0, id: 1, pod: 9 }),
+            st.apply(1, &FleetRecord::Placed { t_s: 0.0, id: 1, pod: 9, epoch: 1 }),
             Err(JournalError::BadPayload { .. })
         ));
         assert!(matches!(
-            st.apply(1, &FleetRecord::Stolen { t_s: 0.0, id: 1, from: 0, to: 1 }),
+            st.apply(1, &FleetRecord::Stolen { t_s: 0.0, id: 1, from: 0, to: 1, epoch: 1 }),
             Err(JournalError::BadPayload { .. })
         ));
         st.apply(1, &FleetRecord::Quarantined { t_s: 1.0, pod: 0 }).unwrap();
@@ -611,10 +858,101 @@ mod tests {
             tenant: 0,
             pod: 1,
             attempts: 1,
+            epoch: 1,
             result: vec![9],
         };
         st.apply(3, &acc).unwrap();
         assert!(matches!(st.apply(4, &acc), Err(JournalError::BadPayload { .. })));
+    }
+
+    #[test]
+    fn fold_tracks_fencing_epochs_and_rejoin_restamps_owned_jobs() {
+        let mut st = FleetState::new(2);
+        st.apply(1, &FleetRecord::Placed { t_s: 0.5, id: 7, pod: 1, epoch: 1 }).unwrap();
+        st.apply(2, &FleetRecord::Placed { t_s: 0.6, id: 9, pod: 1, epoch: 1 }).unwrap();
+        st.apply(3, &FleetRecord::Fenced { t_s: 10.0, pod: 1, epoch: 2 }).unwrap();
+        assert_eq!(st.pod_epochs, vec![1, 2]);
+        assert_eq!(st.fenced, vec![false, true]);
+        // Job 7 is re-placed away while pod 1 is fenced; job 9 stays.
+        st.apply(4, &FleetRecord::Replaced { t_s: 14.0, id: 7, from: 1, to: 0, epoch: 1 })
+            .unwrap();
+        assert_eq!(st.placed_epoch[&7], 1, "stamped with the destination pod's epoch");
+        assert_eq!(st.placed_epoch[&9], 1, "still the stale pre-fence stamp");
+        st.apply(5, &FleetRecord::Discarded { t_s: 16.0, id: 7, pod: 1, epoch: 1 }).unwrap();
+        st.apply(6, &FleetRecord::Rejoined { t_s: 16.0, pod: 1, epoch: 2 }).unwrap();
+        assert_eq!(st.fenced, vec![false, false]);
+        assert_eq!(st.placed_epoch[&9], 2, "rejoin re-stamps jobs the pod still owns");
+        assert_eq!(st.placed_epoch[&7], 1, "job 7 left pod 1 and keeps its own stamp");
+        let bytes = st.encode();
+        assert_eq!(FleetState::decode(&bytes).unwrap(), st);
+    }
+
+    /// Golden pin of the fenced-steal rejection path: every hand-off
+    /// onto a fenced pod, every stale-epoch stamp, every acceptance
+    /// across an expired lease, every out-of-order fence/rejoin folds
+    /// to a typed error with a stable message prefix.
+    #[test]
+    fn fold_rejects_fenced_hand_offs_and_stale_epoch_stamps() {
+        let mut st = FleetState::new(2);
+        st.apply(1, &FleetRecord::Placed { t_s: 0.5, id: 7, pod: 1, epoch: 1 }).unwrap();
+        st.apply(2, &FleetRecord::Placed { t_s: 0.5, id: 8, pod: 0, epoch: 1 }).unwrap();
+        st.apply(3, &FleetRecord::Fenced { t_s: 10.0, pod: 1, epoch: 2 }).unwrap();
+        let cases: Vec<(FleetRecord, &str)> = vec![
+            // Steal ONTO the fenced pod: dead on arrival.
+            (
+                FleetRecord::Stolen { t_s: 11.0, id: 8, from: 0, to: 1, epoch: 2 },
+                "hand-off on fenced pod 1",
+            ),
+            // Acceptance from the fenced pod (expired lease): refused.
+            (
+                FleetRecord::Accepted {
+                    t_s: 11.0,
+                    id: 7,
+                    tenant: 0,
+                    pod: 1,
+                    attempts: 1,
+                    epoch: 2,
+                    result: vec![1],
+                },
+                "acceptance on fenced pod 1",
+            ),
+            // Stale stamp on a live pod: the zombie hand-off class.
+            (
+                FleetRecord::Placed { t_s: 11.0, id: 9, pod: 0, epoch: 0 },
+                "placement stamped epoch 0 but pod 0 is at epoch 1",
+            ),
+            // Fence must advance by exactly one.
+            (
+                FleetRecord::Fenced { t_s: 11.0, pod: 0, epoch: 5 },
+                "fence advances pod 0 to epoch 5, expected 2",
+            ),
+            // Rejoin without a fence = a lease renewed after expiry.
+            (
+                FleetRecord::Rejoined { t_s: 11.0, pod: 0, epoch: 1 },
+                "pod 0 rejoined without a fence",
+            ),
+            // A move whose `from` is not the owner (double-absorb).
+            (
+                FleetRecord::Stolen { t_s: 11.0, id: 8, from: 1, to: 0, epoch: 1 },
+                "job 8 moved from pod 1 but pod 0 owns it",
+            ),
+            // Discard must stamp a strictly older epoch.
+            (
+                FleetRecord::Discarded { t_s: 11.0, id: 7, pod: 1, epoch: 2 },
+                "discard of job 7 stamped epoch 2, not below pod 1's epoch 2",
+            ),
+        ];
+        for (rec, want) in cases {
+            match st.clone().apply(4, &rec) {
+                Err(JournalError::BadPayload { detail, .. }) => {
+                    assert!(
+                        detail.starts_with(want),
+                        "record {rec:?}: detail {detail:?} should start with {want:?}"
+                    );
+                }
+                other => panic!("record {rec:?} must be refused, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -627,7 +965,10 @@ mod tests {
                 | FleetRecord::Accepted { t_s, .. }
                 | FleetRecord::Detected { t_s, .. }
                 | FleetRecord::Quarantined { t_s, .. }
-                | FleetRecord::Replaced { t_s, .. } => t_s,
+                | FleetRecord::Replaced { t_s, .. }
+                | FleetRecord::Fenced { t_s, .. }
+                | FleetRecord::Rejoined { t_s, .. }
+                | FleetRecord::Discarded { t_s, .. } => t_s,
             };
             wal.append(t, &rec);
         }

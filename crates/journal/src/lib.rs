@@ -99,8 +99,12 @@ pub enum JournalError {
     TornTail {
         /// Byte offset of the torn frame.
         offset: usize,
-        /// Bytes remaining after the offset.
+        /// Bytes remaining after the offset — exactly the bytes a
+        /// tolerant recovery discards.
         remaining: usize,
+        /// 0-based index of the torn frame within the retained log
+        /// (equivalently: how many complete frames precede it).
+        frame_index: usize,
     },
     /// A complete frame whose CRC does not match its contents — payload
     /// bit-flips land here.
@@ -109,6 +113,8 @@ pub enum JournalError {
         epoch: u64,
         /// Byte offset of the frame.
         offset: usize,
+        /// 0-based index of the corrupt frame within the retained log.
+        frame_index: usize,
     },
     /// Two frames claim the same epoch (a replayed/duplicated append).
     DuplicateRecord {
@@ -145,11 +151,14 @@ pub enum JournalError {
 impl core::fmt::Display for JournalError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            JournalError::TornTail { offset, remaining } => {
-                write!(f, "torn frame at byte {offset} ({remaining} trailing bytes)")
+            JournalError::TornTail { offset, remaining, frame_index } => {
+                write!(
+                    f,
+                    "torn frame #{frame_index} at byte {offset} ({remaining} bytes discarded)"
+                )
             }
-            JournalError::CrcMismatch { epoch, offset } => {
-                write!(f, "CRC mismatch in frame epoch {epoch} at byte {offset}")
+            JournalError::CrcMismatch { epoch, offset, frame_index } => {
+                write!(f, "CRC mismatch in frame #{frame_index} epoch {epoch} at byte {offset}")
             }
             JournalError::DuplicateRecord { epoch } => {
                 write!(f, "duplicate record epoch {epoch}")
@@ -234,7 +243,11 @@ fn scan_frames(bytes: &[u8], check_crc: bool) -> Result<Scan, JournalError> {
             body.extend_from_slice(&bytes[off + 4..off + 20]);
             body.extend_from_slice(payload);
             if crc32(&body) != crc {
-                return Err(JournalError::CrcMismatch { epoch, offset: off });
+                return Err(JournalError::CrcMismatch {
+                    epoch,
+                    offset: off,
+                    frame_index: records.len(),
+                });
             }
         }
         records.push(Record { epoch, t_s, payload: payload.to_vec() });
@@ -316,6 +329,7 @@ impl Journal {
             return Err(JournalError::TornTail {
                 offset: scan.clean_len,
                 remaining: scan.torn_tail_bytes,
+                frame_index: scan.records.len(),
             });
         }
         check_epochs(&scan.records, self.first_epoch)?;
@@ -573,7 +587,16 @@ mod tests {
         let full = d.journal.bytes().len();
         for cut in [full - 1, full - 5, full - (FRAME_HEADER_LEN / 2)] {
             let torn = d.truncate_bytes(cut);
-            assert!(matches!(torn.journal.replay(), Err(JournalError::TornTail { .. })));
+            match torn.journal.replay() {
+                Err(JournalError::TornTail { frame_index, remaining, .. }) => {
+                    assert_eq!(frame_index, 3, "three complete frames precede the torn one");
+                    assert_eq!(remaining, cut - torn.journal.frame_spans()[..3]
+                        .iter()
+                        .map(|(_, l)| l)
+                        .sum::<usize>());
+                }
+                other => panic!("expected TornTail, got {other:?}"),
+            }
             let rec = torn.recover().expect("torn tail is recoverable");
             assert_eq!(rec.records.len(), 3);
             assert!(rec.torn_tail_bytes > 0);
@@ -588,7 +611,10 @@ mod tests {
         let (off, len) = spans[1];
         let mut torn = d.clone();
         torn.journal.bytes[off + len - 1] ^= 0x40;
-        assert!(matches!(torn.recover(), Err(JournalError::CrcMismatch { epoch: 2, .. })));
+        assert!(matches!(
+            torn.recover(),
+            Err(JournalError::CrcMismatch { epoch: 2, frame_index: 1, .. })
+        ));
         assert!(matches!(torn.journal.replay(), Err(JournalError::CrcMismatch { .. })));
         // The mutant reader accepts it — proving the CRC is load-bearing.
         assert!(torn.recover_unchecked().is_ok());

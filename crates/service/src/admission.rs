@@ -35,6 +35,23 @@ pub enum AdmissionError {
         /// Seconds remaining until the deadline at arrival.
         available_s: f64,
     },
+    /// Admission-time input validation failed: an off-curve point, a
+    /// point outside the prime-order subgroup, or a non-canonical
+    /// scalar encoding. Garbage is refused at the door instead of
+    /// corrupting the engine's group arithmetic silently.
+    MalformedInput {
+        /// Human-readable description of the first violation
+        /// (stable: derived from [`distmsm_ec::InputViolation`]).
+        detail: String,
+    },
+    /// The pod is partitioned from its coordinator (its lease lapsed or
+    /// heartbeat responses stopped): it finishes in-flight work in
+    /// degraded mode but sheds new arrivals, because any admission now
+    /// could be double-placed by the coordinator on a healthy pod.
+    PodPartitioned {
+        /// Simulated time the pod entered degraded mode.
+        since_s: f64,
+    },
 }
 
 impl AdmissionError {
@@ -44,6 +61,8 @@ impl AdmissionError {
             Self::QueueFull { .. } => "queue-full",
             Self::Shedding { .. } => "shedding",
             Self::DeadlineInfeasible { .. } => "deadline-infeasible",
+            Self::MalformedInput { .. } => "malformed-input",
+            Self::PodPartitioned { .. } => "pod-partitioned",
         }
     }
 }
@@ -62,6 +81,12 @@ impl core::fmt::Display for AdmissionError {
                     f,
                     "deadline infeasible: needs {needed_s:.3e}s, {available_s:.3e}s available"
                 )
+            }
+            Self::MalformedInput { detail } => {
+                write!(f, "malformed input: {detail}")
+            }
+            Self::PodPartitioned { since_s } => {
+                write!(f, "pod partitioned from coordinator since t={since_s:.3}s")
             }
         }
     }
@@ -169,6 +194,12 @@ mod tests {
         let e = AdmissionError::DeadlineInfeasible { needed_s: 2.0, available_s: 1.0 };
         assert_eq!(e.label(), "deadline-infeasible");
         assert!(e.to_string().contains("infeasible"));
+        let e = AdmissionError::MalformedInput { detail: "point 3 is not on the curve".into() };
+        assert_eq!(e.label(), "malformed-input");
+        assert!(e.to_string().contains("point 3"));
+        let e = AdmissionError::PodPartitioned { since_s: 12.5 };
+        assert_eq!(e.label(), "pod-partitioned");
+        assert!(e.to_string().contains("12.5"));
     }
 
     #[test]

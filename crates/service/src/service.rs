@@ -54,6 +54,12 @@ pub struct ServiceConfig {
     /// snapshotting; recovery then replays the whole journal). The
     /// journal itself is always on.
     pub snapshot_every: u64,
+    /// Validate MSM inputs at admission (on-curve, prime-subgroup,
+    /// canonical scalars) and reject garbage with
+    /// [`AdmissionError::MalformedInput`] instead of feeding it to the
+    /// engine. On cofactor-1 curves the subgroup check is free
+    /// (on-curve already implies it), so this stays on by default.
+    pub validate_inputs: bool,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +78,7 @@ impl Default for ServiceConfig {
             window_size: 8,
             straggler_sla: Some(3.0),
             snapshot_every: 0,
+            validate_inputs: true,
         }
     }
 }
@@ -303,6 +310,12 @@ pub struct ProverService<C: Curve> {
     /// appended in the handler that makes it, so a crash (journal
     /// truncation) always preserves a consistent history prefix.
     wal: ServiceWal,
+    /// `Some(t)` while the pod believes it is partitioned from its
+    /// coordinator (heartbeat responses stopped at `t`). In degraded
+    /// mode the pod keeps executing admitted work — completions are
+    /// journaled locally and reconciled at rejoin — but sheds new
+    /// arrivals with [`AdmissionError::PodPartitioned`].
+    partitioned_since_s: Option<f64>,
 }
 
 impl<C: Curve> ProverService<C> {
@@ -351,6 +364,7 @@ impl<C: Curve> ProverService<C> {
             admission_engine,
             arrivals: Vec::new(),
             wal,
+            partitioned_since_s: None,
         }
     }
 
@@ -826,6 +840,61 @@ impl<C: Curve> ProverService<C> {
         self.try_dispatch(chaos);
     }
 
+    /// Admission-time input validation (when enabled): the first
+    /// violation in slice order, or `None` for clean inputs.
+    fn input_violation(&self, spec: &JobSpec<C>) -> Option<distmsm_ec::InputViolation> {
+        if !self.config.validate_inputs {
+            return None;
+        }
+        distmsm_ec::validate_msm_inputs::<C>(&spec.instance.points, &spec.instance.scalars).err()
+    }
+
+    /// Marks the pod partitioned from its coordinator as of `now_s`
+    /// (idempotent: the first degradation instant is kept). Called by
+    /// the membership layer when a heartbeat round-trip fails.
+    pub fn set_partitioned(&mut self, now_s: f64) {
+        if self.partitioned_since_s.is_none() {
+            self.clock_s = self.clock_s.max(now_s);
+            self.partitioned_since_s = Some(now_s);
+            self.instant("partition:degraded", vec![("since_s".into(), format!("{now_s:.3}"))]);
+        }
+    }
+
+    /// Clears degraded mode after the pod re-acquires its lease.
+    pub fn clear_partitioned(&mut self, now_s: f64) {
+        if self.partitioned_since_s.take().is_some() {
+            self.clock_s = self.clock_s.max(now_s);
+            self.instant("partition:healed", vec![("at_s".into(), format!("{now_s:.3}"))]);
+        }
+    }
+
+    /// Is the pod currently in degraded (partitioned) mode?
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned_since_s.is_some()
+    }
+
+    /// Removes a *queued* job by id — the coordinator fenced this pod
+    /// and re-placed the job on a healthy pod, so the local copy is
+    /// stale. The removal is journaled as a [`ServiceRecord::StolenOut`]
+    /// tombstone (identical semantics: another pod now owns the job),
+    /// so recovery never resurrects it. Returns `false` when the job is
+    /// not queued here — an in-flight stale copy cannot be revoked; its
+    /// completion is discarded at hand-off by epoch fencing instead.
+    pub fn fence_discard(&mut self, id: u64, now_s: f64) -> bool {
+        self.clock_s = self.clock_s.max(now_s);
+        for queue in self.queues.iter_mut() {
+            if let Some(pos) = queue.iter().position(|q| q.spec.id == id) {
+                let q = queue.remove(pos).expect("position is in range");
+                self.wal.append(
+                    self.clock_s,
+                    &ServiceRecord::StolenOut { t_s: self.clock_s, id, attempt: q.attempt },
+                );
+                return true;
+            }
+        }
+        false
+    }
+
     fn on_arrival(&mut self, spec: JobSpec<C>) {
         let tenant = spec.tenant;
         self.accum[tenant].arrivals += 1;
@@ -833,7 +902,14 @@ impl<C: Curve> ProverService<C> {
 
         let pressure = self.pressure();
         let tcfg = &self.config.tenants[tenant];
-        let error = if spec.class == JobClass::Batch && pressure >= self.config.shed.shed_pressure {
+        let error = if let Some(since_s) = self.partitioned_since_s {
+            // Degraded mode: any admission now could be double-placed
+            // by the coordinator on a healthy pod, so shed at the door
+            // with a typed outcome the client can retry against.
+            Some(AdmissionError::PodPartitioned { since_s })
+        } else if let Some(violation) = self.input_violation(&spec) {
+            Some(AdmissionError::MalformedInput { detail: violation.to_string() })
+        } else if spec.class == JobClass::Batch && pressure >= self.config.shed.shed_pressure {
             Some(AdmissionError::Shedding { tenant: tcfg.name.clone(), pressure })
         } else if self.queues[tenant].len() >= tcfg.queue_capacity {
             Some(AdmissionError::QueueFull { tenant: tcfg.name.clone(), capacity: tcfg.queue_capacity })
@@ -1279,5 +1355,112 @@ mod tests {
             out.report.admitted(),
             out.report.completed() + out.report.failed() + out.report.shed()
         );
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_at_the_door() {
+        use distmsm_ec::FieldElement;
+        let mut off_curve = job(1, 0, JobClass::Interactive, 0.0);
+        off_curve.instance.points[3].y += <Bn254G1 as Curve>::Base::one();
+        let mut bad_scalar = job(2, 0, JobClass::Interactive, 0.001);
+        // The group order r itself: smallest non-canonical encoding.
+        bad_scalar.instance.scalars[0] = distmsm_ec::curves::scalar_modulus_bn254();
+        let good = job(3, 1, JobClass::Interactive, 0.002);
+
+        let mut service = ProverService::new(ServiceConfig::default());
+        let out = service.run(vec![off_curve, bad_scalar, good], &ChaosSchedule::none());
+
+        let rejections: Vec<_> = out
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                ServiceEventKind::Rejected { error } => Some((e.job, error.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rejections.len(), 2, "both malformed jobs refused: {rejections:?}");
+        assert!(matches!(
+            &rejections[0],
+            (Some(1), AdmissionError::MalformedInput { detail }) if detail.contains("point 3")
+        ));
+        assert!(matches!(
+            &rejections[1],
+            (Some(2), AdmissionError::MalformedInput { detail }) if detail.contains("scalar 0")
+        ));
+        assert_eq!(out.report.completed(), 1, "the clean job still completes");
+
+        // Validation off: garbage reaches the engine (legacy behavior).
+        let mut off_curve = job(1, 0, JobClass::Interactive, 0.0);
+        off_curve.instance.points[3].y += <Bn254G1 as Curve>::Base::one();
+        let mut lax = ProverService::<Bn254G1>::new(ServiceConfig {
+            validate_inputs: false,
+            ..ServiceConfig::default()
+        });
+        let out = lax.run(vec![off_curve], &ChaosSchedule::none());
+        assert!(
+            !out.events.iter().any(|e| matches!(e.kind, ServiceEventKind::Rejected { .. })),
+            "validation disabled: nothing refused at the door"
+        );
+    }
+
+    #[test]
+    fn partitioned_pod_sheds_new_arrivals_with_typed_outcome() {
+        let mut service = ProverService::new(ServiceConfig::default());
+        service.set_partitioned(0.5);
+        assert!(service.is_partitioned());
+        let out = service.run(
+            vec![job(7, 0, JobClass::Interactive, 1.0), job(8, 1, JobClass::Batch, 1.5)],
+            &ChaosSchedule::none(),
+        );
+        let rejected: Vec<_> = out
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    &e.kind,
+                    ServiceEventKind::Rejected {
+                        error: AdmissionError::PodPartitioned { since_s }
+                    } if *since_s == 0.5
+                )
+            })
+            .collect();
+        assert_eq!(rejected.len(), 2, "degraded mode sheds every new arrival");
+        assert_eq!(out.report.completed(), 0);
+
+        // Healing re-opens the door.
+        service.clear_partitioned(10.0);
+        assert!(!service.is_partitioned());
+        let out = service.run(vec![job(9, 0, JobClass::Interactive, 11.0)], &ChaosSchedule::none());
+        assert_eq!(out.report.completed(), 1);
+    }
+
+    #[test]
+    fn fence_discard_removes_queued_jobs_and_journals_a_tombstone() {
+        let config = ServiceConfig { n_devices: 2, gpus_per_job: 2, ..ServiceConfig::default() };
+        let mut service = ProverService::new(config);
+        let chaos = ChaosSchedule::none();
+        service.begin(vec![
+            job(0, 0, JobClass::Interactive, 0.0),
+            job(1, 0, JobClass::Interactive, 0.0005),
+        ]);
+        service.step(&chaos); // arrival 0 → dispatched (fills the pool)
+        service.step(&chaos); // arrival 1 → queued behind it
+        assert_eq!(service.queued_jobs(), 1);
+
+        assert!(service.fence_discard(1, service.clock_s()), "queued copy revoked");
+        assert_eq!(service.queued_jobs(), 0);
+        assert!(!service.fence_discard(0, service.clock_s()), "in-flight copy not revocable");
+        assert!(!service.fence_discard(99, service.clock_s()), "unknown id is a no-op");
+
+        // The tombstone is durable: recovery marks the job stolen-away,
+        // never re-queues it.
+        let rec = crate::wal::recover_state(
+            service.durable(),
+            2,
+            2,
+            &BreakerConfig::default(),
+        )
+        .expect("clean recovery");
+        assert!(matches!(rec.state.jobs[&1].phase, JobPhase::StolenAway { .. }));
     }
 }

@@ -137,6 +137,12 @@ fn encode_admission_error(w: &mut ByteWriter, e: &AdmissionError) {
         AdmissionError::DeadlineInfeasible { needed_s, available_s } => {
             w.u8(2).f64(*needed_s).f64(*available_s);
         }
+        AdmissionError::MalformedInput { detail } => {
+            w.u8(3).str(detail);
+        }
+        AdmissionError::PodPartitioned { since_s } => {
+            w.u8(4).f64(*since_s);
+        }
     }
 }
 
@@ -146,6 +152,8 @@ fn decode_admission_error(r: &mut ByteReader<'_>) -> Result<AdmissionError, Wire
         0 => Ok(AdmissionError::QueueFull { tenant: r.str()?, capacity: r.usize()? }),
         1 => Ok(AdmissionError::Shedding { tenant: r.str()?, pressure: r.f64()? }),
         2 => Ok(AdmissionError::DeadlineInfeasible { needed_s: r.f64()?, available_s: r.f64()? }),
+        3 => Ok(AdmissionError::MalformedInput { detail: r.str()? }),
+        4 => Ok(AdmissionError::PodPartitioned { since_s: r.f64()? }),
         _ => Err(WireError { offset: off }),
     }
 }
@@ -1138,6 +1146,26 @@ mod tests {
             },
             ServiceRecord::Absorbed { t_s: 2.5, id: 9, tenant: 0, attempt: 2 },
             ServiceRecord::StolenOut { t_s: 3.0, id: 9, attempt: 1 },
+            ServiceRecord::Admission {
+                t_s: 3.1,
+                id: 11,
+                tenant: 1,
+                class: JobClass::Batch,
+                outcome: AdmissionOutcome::Rejected {
+                    error: AdmissionError::MalformedInput {
+                        detail: "point 2 is not on the curve".into(),
+                    },
+                },
+            },
+            ServiceRecord::Admission {
+                t_s: 3.2,
+                id: 12,
+                tenant: 0,
+                class: JobClass::Interactive,
+                outcome: AdmissionOutcome::Rejected {
+                    error: AdmissionError::PodPartitioned { since_s: 2.75 },
+                },
+            },
             ServiceRecord::Event(ev(
                 3.5,
                 None,
